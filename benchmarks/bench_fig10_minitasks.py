@@ -1,0 +1,49 @@
+"""Figure 10 — independent tasks vs shared mini-tasks.
+
+Paper: 1000 tasks, each sleeping 10 s but depending on a 610 MB Python
+environment, on 50 4-core workers.  When every task expands the
+environment itself (Fig 10a), unpacking dominates; when a shared mini
+task expands it once per worker (Fig 10b), each task reuses the staged
+environment and total runtime drops substantially.
+"""
+
+from repro.sim.trace import ascii_worker_view
+from repro.sim.workloads import envshare_workflow
+
+PARAMS = dict(n_tasks=1000, n_workers=50, cores=4, env_mb=610,
+              unpack_time=30.0, task_time=10.0)
+
+
+def _both_modes():
+    independent = envshare_workflow(shared=False, **PARAMS)
+    shared = envshare_workflow(shared=True, **PARAMS)
+    return independent, shared
+
+
+def test_fig10_shared_minitasks_vs_independent(once):
+    independent, shared = once(_both_modes)
+
+    print("\n=== Fig 10: independent tasks vs shared mini-tasks ===")
+    print(f"{'mode':>12s} {'makespan(s)':>12s} {'unpacks':>8s}")
+    # independent mode unpacks inside each task; count = task count
+    print(f"{'independent':>12s} {independent.makespan:12.1f} {PARAMS['n_tasks']:8d}")
+    print(
+        f"{'shared':>12s} {shared.makespan:12.1f} "
+        f"{shared.transfer_counts.get('stage', 0):8d}"
+    )
+    print("\nshared-mode worker view (paper Fig 10b):")
+    print(
+        ascii_worker_view(
+            shared.log, width=72, t0=shared.started,
+            horizon=shared.finished, max_workers=10,
+        )
+    )
+
+    # paper claim: sharing the unpacked environment substantially
+    # reduces execution time; the unpack happens once per worker
+    assert shared.transfer_counts.get("stage", 0) == PARAMS["n_workers"]
+    # steady-state is (10+30)/10 = 4x, but both runs share the same
+    # ~25 s tarball distribution and the shared run pays one 30 s
+    # unpack per worker up front, landing the end-to-end gap near 2x —
+    # the magnitude Fig 10 shows
+    assert shared.makespan < independent.makespan / 2

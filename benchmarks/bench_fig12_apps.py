@@ -1,0 +1,137 @@
+"""Figure 12 — task and worker views of the three example applications.
+
+* a/d: TopEFT — gradual worker arrival, real-data then costlier MC
+  processing, accumulations merging partial histograms;
+* b/e: Colmena-XTB — a 1.4 GB software tarball seeded from the shared
+  filesystem a handful of times and then spread worker-to-worker,
+  cutting shared-FS loads from 108 to 3 (105 peer transfers);
+* c/f: BGD — 2000 serverless FunctionCalls whose throughput ramps up
+  as LibraryTasks finish deploying, peaking once all workers host one.
+"""
+
+import bisect
+import os
+
+from repro.core.events import completion_series, task_rows
+from repro.sim.svgplot import svg_task_view, svg_worker_view
+from repro.sim.trace import ascii_task_view, ascii_worker_view
+from repro.sim.workloads import bgd_workflow, colmena_workflow, topeft_workflow
+
+
+def test_fig12ad_topeft_task_and_worker_view(once):
+    result = once(
+        topeft_workflow,
+        in_cluster=True,
+        n_chunks=256,
+        fan_in=4,
+        n_workers=64,
+        worker_ramp=5.0,  # workers arrive gradually (shared cluster)
+        seed=0,
+    )
+    stats = result.stats
+    rows = task_rows(stats.log)
+
+    print("\n=== Fig 12 a/d: TopEFT ===")
+    print(f"tasks={result.n_tasks} makespan={stats.makespan:.0f}s "
+          f"final accumulation={result.final_output_bytes/1e6:.0f}MB")
+    print("\ntask view (rows sorted by start; paper Fig 12a):")
+    print(ascii_task_view(stats.log, width=72, max_tasks=24))
+    print("\nworker view (paper Fig 12d):")
+    print(ascii_worker_view(stats.log, width=72, max_workers=12))
+
+    figures = os.path.join(os.path.dirname(__file__), "figures")
+    os.makedirs(figures, exist_ok=True)
+    svg_task_view(stats.log, os.path.join(figures, "fig12a_topeft_tasks.svg"),
+                  title="Fig 12a TopEFT tasks", color_by_category=True)
+    svg_worker_view(stats.log, os.path.join(figures, "fig12d_topeft_workers.svg"),
+                    title="Fig 12d TopEFT workers")
+
+    # real-data processing precedes the bulk of MC processing and
+    # accumulations trail the processors they merge
+    by_cat = {}
+    for r in rows:
+        by_cat.setdefault(r.category, []).append(r)
+    assert set(by_cat) >= {"process-data", "process-mc", "accumulate"}
+    median = lambda rs: sorted(x.start for x in rs)[len(rs) // 2]
+    assert median(by_cat["process-data"]) <= median(by_cat["process-mc"])
+    last_accumulate = max(r.end for r in by_cat["accumulate"])
+    assert last_accumulate == max(r.end for r in rows)
+    # gradual worker arrival is visible as spread-out join times
+    joins = [e.time for e in stats.log.events("worker_join")]
+    assert max(joins) - min(joins) > 100.0
+
+
+def test_fig12be_colmena_peer_distribution(once):
+    def both():
+        return (
+            colmena_workflow(peer_transfers=True, seed=0),
+            colmena_workflow(peer_transfers=False, seed=0),
+        )
+
+    with_peers, without_peers = once(both)
+
+    print("\n=== Fig 12 b/e: Colmena-XTB ===")
+    print(f"{'mode':>10s} {'sharedfs loads':>15s} {'peer xfers':>11s} {'makespan':>9s}")
+    for label, r in [("peers", with_peers), ("no-peers", without_peers)]:
+        print(
+            f"{label:>10s} {r.sharedfs_loads:15d} {r.peer_loads:11d} "
+            f"{r.stats.makespan:9.0f}"
+        )
+    print("\nworker view with peer transfers (paper Fig 12e):")
+    print(
+        ascii_worker_view(
+            with_peers.stats.log, width=72, max_workers=12,
+        )
+    )
+
+    figures = os.path.join(os.path.dirname(__file__), "figures")
+    os.makedirs(figures, exist_ok=True)
+    svg_worker_view(
+        with_peers.stats.log,
+        os.path.join(figures, "fig12e_colmena_workers.svg"),
+        title="Fig 12e Colmena workers",
+    )
+
+    # the paper's headline numbers: shared-FS queries drop from 108 to
+    # 3, the remaining 105 served worker-to-worker
+    assert without_peers.sharedfs_loads == 108
+    assert with_peers.sharedfs_loads == 3
+    assert with_peers.peer_loads == 105
+
+
+def test_fig12cf_bgd_serverless_ramp(once):
+    result = once(
+        bgd_workflow, n_calls=2000, n_workers=200, function_slots=3, seed=0
+    )
+    stats = result.stats
+
+    print("\n=== Fig 12 c/f: BGD serverless ===")
+    ready = result.library_ready_times
+    print(f"libraries ready: first {ready[0]:.0f}s, last {ready[-1]:.0f}s")
+    series = completion_series(stats.log, points=12, category="function_call")
+    print(f"{'t(s)':>8s} {'calls done':>11s}")
+    for t, n in series:
+        print(f"{t:8.1f} {n:11d}")
+    print("\nworker view (paper Fig 12f):")
+    print(ascii_worker_view(stats.log, width=72, max_workers=12))
+
+    figures = os.path.join(os.path.dirname(__file__), "figures")
+    os.makedirs(figures, exist_ok=True)
+    svg_task_view(stats.log, os.path.join(figures, "fig12c_bgd_tasks.svg"),
+                  title="Fig 12c BGD tasks")
+    svg_worker_view(stats.log, os.path.join(figures, "fig12f_bgd_workers.svg"),
+                    title="Fig 12f BGD workers")
+
+    # every worker eventually hosts a library instance
+    assert len(ready) == 200
+    # no call starts before its worker's library is up
+    assert result.first_call_started >= ready[0]
+    # throughput ramps: the per-interval completion rate grows from the
+    # deployment phase to the steady state (paper: "exponential
+    # increase in FunctionCall throughput from minute 0 to 5")
+    counts = [n for _, n in series]
+    early_rate = counts[3] - counts[1]
+    late_rate = counts[8] - counts[6]
+    assert counts[1] <= 200  # almost nothing finishes before deployment
+    assert late_rate >= early_rate
+    assert counts[-1] == 2000

@@ -1,0 +1,136 @@
+"""Figure 13 — TopEFT on shared storage vs in-cluster storage.
+
+Paper: two TopEFT runs (~27K tasks).  With all output files brought
+back to the manager before accumulation (shared storage, Fig 13a), the
+repeated transfer of growing results bottlenecks the system, with a
+visible delay in data retrieval near the end.  Keeping histograms as
+ephemeral TempFiles at the workers (Fig 13b) removes the round trips
+and the workflow concludes rapidly.
+
+The bench runs both modes over the same reduction tree, on a manager
+whose head-node link is 1 GbE (the realistic shared-storage funnel).
+"""
+
+import os
+
+from repro.core.events import task_rows
+from repro.sim.svgplot import svg_task_view
+from repro.sim.trace import ascii_task_view
+from repro.sim.workloads import topeft_workflow
+
+PARAMS = dict(
+    n_chunks=256,
+    fan_in=4,
+    n_workers=64,
+    hist_mb=25.0,
+    growth=4.0,
+    process_time=20.0,
+    manager_bps=0.125e9,  # 1 GbE head-node link
+    seed=0,
+)
+
+
+def _both_modes():
+    in_cluster = topeft_workflow(in_cluster=True, **PARAMS)
+    shared = topeft_workflow(in_cluster=False, **PARAMS)
+    return in_cluster, shared
+
+
+def test_fig13_shared_vs_in_cluster_storage(once):
+    in_cluster, shared = once(_both_modes)
+
+    def tail(result):
+        """Time between the last task ending and the workflow finishing
+        (the data-retrieval delay of Fig 13a)."""
+        last_end = max(r.end for r in task_rows(result.stats.log))
+        return result.stats.finished - last_end
+
+    print("\n=== Fig 13: TopEFT shared storage vs in-cluster storage ===")
+    print(f"{'mode':>12s} {'makespan(s)':>12s} {'retrievals':>11s} {'GB via mgr':>11s} {'tail(s)':>8s}")
+    for label, r in [("in-cluster", in_cluster), ("shared", shared)]:
+        retrieved = r.stats.transfer_counts.get("retrieve", 0)
+        gb = r.stats.bytes_by_source.get("retrieve", 0) / 1e9
+        print(
+            f"{label:>12s} {r.stats.makespan:12.1f} {retrieved:11d} "
+            f"{gb:11.1f} {tail(r):8.1f}"
+        )
+    print("\nin-cluster task view (paper Fig 13b — rapid conclusion):")
+    print(ascii_task_view(in_cluster.stats.log, width=72, max_tasks=20))
+
+    figures = os.path.join(os.path.dirname(__file__), "figures")
+    os.makedirs(figures, exist_ok=True)
+    svg_task_view(in_cluster.stats.log,
+                  os.path.join(figures, "fig13b_incluster_tasks.svg"),
+                  title="Fig 13b in-cluster storage", color_by_category=True)
+    svg_task_view(shared.stats.log,
+                  os.path.join(figures, "fig13a_shared_tasks.svg"),
+                  title="Fig 13a shared storage", color_by_category=True)
+
+    # paper claims: in-cluster temp files eliminate the manager round
+    # trips entirely and the workflow concludes without the retrieval
+    # delay that shared storage shows near the end
+    assert in_cluster.stats.transfer_counts.get("retrieve", 0) == 0
+    assert shared.stats.transfer_counts.get("retrieve", 0) == in_cluster.n_tasks
+    assert shared.stats.makespan > in_cluster.stats.makespan * 1.1
+    assert tail(shared) > tail(in_cluster) + 5.0
+
+
+def test_fig13_growth_sensitivity(once):
+    """Ablation: the shared-storage penalty grows with accumulation size."""
+
+    def sweep():
+        ratios = []
+        for growth in (2.0, 3.0, 4.0):
+            params = dict(PARAMS, growth=growth)
+            a = topeft_workflow(in_cluster=True, **params)
+            b = topeft_workflow(in_cluster=False, **params)
+            ratios.append((growth, b.stats.makespan / a.stats.makespan))
+        return ratios
+
+    ratios = once(sweep)
+    print("\naccumulation growth vs shared-storage slowdown:")
+    print(f"{'growth':>8s} {'shared/in-cluster':>18s}")
+    for growth, ratio in ratios:
+        print(f"{growth:8.1f} {ratio:18.2f}")
+    assert all(r >= 1.0 for _, r in ratios)
+    assert ratios[-1][1] > ratios[0][1]  # bigger outputs → bigger penalty
+
+
+def test_fig13_growth_is_physical(once):
+    """Ground the growth knob in the substrate: accumulated histogram
+    sets (with EFT weight variations, as TopEFT fills) really do grow
+    as distinct datasets and variations merge up the tree."""
+
+    def measure():
+        from repro.apps.minihist import (
+            WeightSurface,
+            accumulate,
+            coupling_scan,
+            generate_batch,
+            process_with_variations,
+        )
+
+        scan = coupling_scan(n_couplings=4, points_per_axis=3)
+        datasets = ["data", "ttbar", "wjets", "zjets", "single-top",
+                    "diboson", "ttH", "tttt"]
+        partials = []
+        for i, ds in enumerate(datasets):
+            batch = generate_batch(ds, 2000, seed=i)
+            surface = WeightSurface.for_batch(batch, seed=i)
+            partials.append(process_with_variations(batch, surface, scan))
+        sizes = [len(partials[0].to_bytes())]
+        level = partials
+        while len(level) > 1:
+            level = [
+                accumulate(level[j : j + 2]) for j in range(0, len(level), 2)
+            ]
+            sizes.append(len(level[0].to_bytes()))
+        return sizes
+
+    sizes = once(measure)
+    print("\naccumulation sizes up the tree (bytes):", sizes)
+    # each merge level unions more (dataset, variation) keys: strictly growing
+    assert all(b > a for a, b in zip(sizes, sizes[1:]))
+    # and the final accumulation is much larger than one partial —
+    # the physical basis of Fig 13's "growing accumulations"
+    assert sizes[-1] > 4 * sizes[0]

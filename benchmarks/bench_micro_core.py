@@ -1,0 +1,157 @@
+"""Microbenchmarks of the core mechanisms (supports §3.2 and §6).
+
+Not a paper figure: these measure the throughput of the pieces the
+paper's prose worries about — content-addressable naming cost (§3.2,
+"there is some expense to producing such names"), and scheduler
+dispatch rate (§6: "at even one millisecond per task, it would still
+take a thousand seconds to dispatch a million tasks").
+"""
+
+import os
+import random
+
+from repro.core.files import BufferFile, CacheLevel
+from repro.core.naming import Namer, directory_merkle, task_spec_hash
+from repro.core.replica_table import ReplicaTable
+from repro.core.resources import Resources
+from repro.core.scheduler import Scheduler, WorkerView
+from repro.core.task import Task
+from repro.core.transfer_table import TransferTable
+from repro.protocol import serialization as ser
+
+
+def test_bench_buffer_naming_throughput(benchmark):
+    """Content-addressing 1 MB buffers (MD5-bound)."""
+    data = os.urandom(1 << 20)
+
+    def name_one():
+        namer = Namer(seed=0)
+        return namer.assign(BufferFile(data, CacheLevel.WORKER))
+
+    name = benchmark(name_one)
+    assert name.startswith("buffer-md5-")
+
+
+def test_bench_directory_merkle(benchmark, tmp_path):
+    """Merkle-naming a 200-file directory tree (paper Fig 7)."""
+    rng = random.Random(0)
+    for d in range(10):
+        sub = tmp_path / f"d{d}"
+        sub.mkdir()
+        for i in range(20):
+            (sub / f"f{i}").write_bytes(rng.randbytes(2048))
+    digest = benchmark(directory_merkle, str(tmp_path))
+    assert len(digest) == 32
+
+
+def test_bench_task_spec_hash(benchmark):
+    """Spec-hashing a mini task with 20 inputs."""
+    inputs = [(f"in{i}", f"file-md5-{i:032x}") for i in range(20)]
+    digest = benchmark(
+        task_spec_hash, "tar -xf input.tar", inputs, {"cores": 1}, {"X": "1"}
+    )
+    assert len(digest) == 32
+
+
+def _make_scheduler(n_workers, n_files):
+    replicas = ReplicaTable()
+    transfers = TransferTable()
+    rng = random.Random(0)
+    for w in range(n_workers):
+        for _ in range(16):
+            replicas.add_replica(
+                f"file-{rng.randrange(n_files)}", f"w{w:04d}", size=1_000_000
+            )
+    sched = Scheduler(replicas, transfers)
+    views = {
+        f"w{i:04d}": WorkerView(
+            worker_id=f"w{i:04d}",
+            capacity=Resources(cores=16, memory=64_000, disk=64_000),
+            running_tasks=0,
+        )
+        for i in range(n_workers)
+    }
+    return sched, views
+
+
+def _named_task(n_inputs, rng, n_files):
+    t = Task("cmd")
+    for i in range(n_inputs):
+        f = BufferFile(b"x")
+        f.cache_name = f"file-{rng.randrange(n_files)}"
+        t.inputs.append((f"in{i}", f))
+    return t
+
+
+def test_bench_scheduler_placement_100_workers(benchmark):
+    """Locality placement against 100 workers (the §6 dispatch-rate concern)."""
+    sched, views = _make_scheduler(100, 500)
+    rng = random.Random(1)
+    tasks = [_named_task(4, rng, 500) for _ in range(64)]
+
+    def place_batch():
+        chosen = [sched.choose_worker(t, views) for t in tasks]
+        return chosen
+
+    chosen = benchmark(place_batch)
+    assert all(c is not None for c in chosen)
+
+
+def test_bench_transfer_planning(benchmark):
+    """Source selection under per-source limits for a 6-input task."""
+    sched, views = _make_scheduler(50, 200)
+    rng = random.Random(2)
+    task = _named_task(6, rng, 200)
+
+    plan = benchmark(sched.plan_transfers, task, "w0001", {})
+    assert plan is not None
+
+
+def test_bench_replica_table_updates(benchmark):
+    """Cache-update ingestion rate (one per transfer in a real run)."""
+    def ingest():
+        rt = ReplicaTable()
+        for i in range(5000):
+            rt.add_replica(f"f{i % 700}", f"w{i % 97}", size=1024)
+        return rt.total_replicas()
+
+    total = benchmark(ingest)
+    assert total > 0
+
+
+def test_bench_function_serialization(benchmark):
+    """PythonTask payload round trip for a closure over module state."""
+    offset = 17
+
+    def fn(x, y=3):
+        return (x + y) * offset
+
+    def round_trip():
+        return ser.loads(ser.dumps(fn))(5)
+
+    assert benchmark(round_trip) == (5 + 3) * 17
+
+
+def test_bench_sim_end_to_end_dispatch(benchmark):
+    """Whole-loop dispatch rate: 2000 tiny tasks through the simulated
+    manager on 100 workers (the paper §6 scheduling-scale concern,
+    measured through the full pump/transfer/execute cycle)."""
+    from repro.core.task import Task
+    from repro.sim.cluster import SimCluster
+    from repro.sim.simmanager import SimManager
+
+    def run():
+        cluster = SimCluster()
+        cluster.add_workers(100, cores=4)
+        m = SimManager(cluster)
+        data = m.declare_dataset("shared", 1_000_000)
+        for i in range(2000):
+            t = Task(f"t{i}")
+            t.add_input(data, "d")
+            m.submit(t, duration=1.0)
+        stats = m.run(finalize=False)
+        assert stats.tasks_done == 2000
+        return stats
+
+    stats = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert stats.tasks_done == 2000

@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one figure of the paper's evaluation on
+the simulated cluster (virtual time), checks the paper's qualitative
+claim as an assertion, attaches the figure's series to
+``benchmark.extra_info``, and prints a human-readable reproduction of
+the figure (run with ``-s`` to see it).
+
+Simulation experiments are deterministic, so each is measured as a
+single round — the "benchmark time" is the wall-clock cost of the
+simulation itself, while the scientific results live in the printed
+series and extra_info.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one warm-free round; return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapper around :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

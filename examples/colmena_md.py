@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""AI-guided molecular search (the Colmena-XTB shape) on TaskVine.
+
+Alternates rounds of (a) molecular-dynamics relaxation tasks fanned out
+to workers and (b) surrogate-model training + inference at the manager
+that decides which candidates to simulate next — the steering loop the
+paper's Colmena application runs at scale.
+
+Run with::
+
+    python examples/colmena_md.py
+"""
+
+import numpy as np
+
+import repro
+from _cluster import start_workers
+from repro.apps.minimd import MLP, fingerprint, random_cluster, simulate, train
+
+ROUNDS = 2
+CANDIDATES_PER_ROUND = 8
+SIMULATE_TOP = 4
+
+
+def relax(seed):
+    """Simulation task: relax one candidate cluster, return features."""
+    from repro.apps.minimd import fingerprint, random_cluster, simulate
+
+    pos = random_cluster(9, seed=seed)
+    result = simulate(pos, steps=300, seed=seed)
+    return {
+        "seed": seed,
+        "energy": result.potential_energy,
+        "fingerprint": fingerprint(result.positions).tolist(),
+    }
+
+
+def main():
+    m = repro.Manager()
+    start_workers(m, count=2, cores=4)
+
+    rng = np.random.default_rng(0)
+    training_x, training_y = [], []
+    next_seeds = list(range(SIMULATE_TOP))
+    best = None
+
+    for round_no in range(ROUNDS):
+        # fan out simulations for the chosen candidates
+        tasks = [repro.PythonTask(relax, seed) for seed in next_seeds]
+        for t in tasks:
+            t.set_category("simulation")
+            m.submit(t)
+        m.run_until_done(timeout=300)
+        for t in tasks:
+            out = t.output()
+            training_x.append(out["fingerprint"])
+            training_y.append(out["energy"])
+            if best is None or out["energy"] < best["energy"]:
+                best = out
+        print(
+            f"round {round_no}: simulated {len(tasks)}, "
+            f"best energy so far {best['energy']:.3f} (seed {best['seed']})"
+        )
+
+        # steer: train the surrogate, rank unseen candidates by prediction
+        x = np.array(training_x)
+        y = np.array(training_y)
+        y_norm = (y - y.mean()) / (y.std() + 1e-9)
+        model = MLP(n_inputs=x.shape[1], hidden=24, seed=round_no)
+        report = train(model, x, y_norm, epochs=200, lr=0.05)
+        pool = rng.integers(100, 10_000, size=CANDIDATES_PER_ROUND)
+        features = np.array(
+            [fingerprint(simulate(random_cluster(9, seed=int(s)), steps=20).positions)
+             for s in pool]
+        )
+        ranked = sorted(zip(model.predict(features), pool))
+        next_seeds = [int(s) for _, s in ranked[:SIMULATE_TOP]]
+        print(
+            f"  surrogate loss {report.final_loss:.3f}; "
+            f"next candidates {next_seeds}"
+        )
+
+    print(f"final best: energy {best['energy']:.3f} from seed {best['seed']}")
+    m.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: declare files, run command tasks and Python tasks.
+
+Starts a manager and two local worker processes, then exercises the
+core TaskVine concepts from the paper:
+
+* a BufferFile input presented in the task's private sandbox,
+* a TempFile output that stays in the cluster until fetched,
+* a PythonTask whose function ships to the worker and returns a value.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import repro
+from _cluster import start_workers
+
+
+def fib(n):
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def main():
+    m = repro.Manager()
+    start_workers(m, count=2)
+    print(f"manager listening on {m.host}:{m.port} with {len(m.workers)} workers")
+
+    # -- a Unix command task with explicit data bindings ----------------
+    poem = m.declare_buffer(b"the vine grows\nwhere data flows\n")
+    upper = m.declare_temp()
+    task = repro.Task("tr a-z A-Z < poem.txt > loud.txt")
+    task.add_input(poem, "poem.txt")
+    task.add_output(upper, "loud.txt")
+    m.submit(task)
+
+    # -- Python tasks: functions shipped to workers ------------------
+    py_tasks = [repro.PythonTask(fib, n) for n in (10, 20, 30)]
+    for t in py_tasks:
+        m.submit(t)
+
+    for finished in m.run_until_done(timeout=120):
+        print(f"  {finished.task_id}: {finished.state.value}")
+
+    print("command output:", m.fetch_bytes(upper).decode().strip())
+    print("fib results:", [t.output() for t in py_tasks])
+    m.close()
+
+
+if __name__ == "__main__":
+    main()

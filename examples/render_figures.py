@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figure panels as SVG files.
+
+Runs scaled-down versions of every evaluation scenario on the simulator
+and writes Fig-9/11/12/13-style task and worker views::
+
+    python examples/render_figures.py [output_dir]
+
+(Defaults to ``./figures``.  Full-scale versions run via
+``pytest benchmarks/ --benchmark-only``.)
+"""
+
+import os
+import sys
+
+from repro.sim.svgplot import svg_task_view, svg_worker_view
+from repro.sim.workloads import (
+    bgd_workflow,
+    blast_cluster,
+    blast_workflow,
+    colmena_workflow,
+    distribution_workflow,
+    topeft_workflow,
+)
+
+
+def main() -> int:
+    out = sys.argv[1] if len(sys.argv) > 1 else "figures"
+    os.makedirs(out, exist_ok=True)
+    path = lambda name: os.path.join(out, name)
+
+    print("Fig 9: BLAST cold vs hot cache ...")
+    cluster = blast_cluster(n_workers=25)
+    cold = blast_workflow(cluster, n_tasks=250, seed=0)
+    hot = blast_workflow(cluster, n_tasks=250, seed=1)
+    svg_worker_view(cold.log, path("fig09a_cold.svg"),
+                    t0=cold.started, horizon=cold.finished, title="Fig 9a cold")
+    svg_worker_view(hot.log, path("fig09b_hot.svg"),
+                    t0=hot.started, horizon=hot.finished, title="Fig 9b hot")
+    print(f"  cold {cold.makespan:.0f}s vs hot {hot.makespan:.0f}s (virtual)")
+
+    print("Fig 11: transfer methods ...")
+    for mode in ("url", "unmanaged", "managed"):
+        r = distribution_workflow(
+            mode, n_workers=120, server_bps=5e9, worker_bps=4e8,
+            transfer_latency=1.0,
+        )
+        svg_worker_view(
+            r.stats.log, path(f"fig11_{mode}.svg"),
+            title=f"Fig 11 {mode}",
+        )
+        print(f"  {mode:>10s}: {r.makespan:.1f}s")
+
+    print("Fig 12 a/d: TopEFT ...")
+    t = topeft_workflow(in_cluster=True, n_chunks=128, n_workers=32,
+                        worker_ramp=5.0, seed=0)
+    svg_task_view(t.stats.log, path("fig12a_topeft_tasks.svg"), title="Fig 12a")
+    svg_worker_view(t.stats.log, path("fig12d_topeft_workers.svg"), title="Fig 12d")
+
+    print("Fig 12 b/e: Colmena ...")
+    c = colmena_workflow(peer_transfers=True, n_inference=60,
+                         n_simulation=240, n_workers=30)
+    svg_worker_view(c.stats.log, path("fig12e_colmena_workers.svg"), title="Fig 12e")
+    print(f"  shared-FS loads {c.sharedfs_loads}, peer {c.peer_loads}")
+
+    print("Fig 12 c/f: BGD serverless ...")
+    b = bgd_workflow(n_calls=400, n_workers=40)
+    svg_task_view(b.stats.log, path("fig12c_bgd_tasks.svg"), title="Fig 12c")
+    svg_worker_view(b.stats.log, path("fig12f_bgd_workers.svg"), title="Fig 12f")
+
+    print("Fig 13: shared vs in-cluster storage ...")
+    for label, in_cluster in (("b_incluster", True), ("a_shared", False)):
+        r = topeft_workflow(in_cluster=in_cluster, n_chunks=128, n_workers=32,
+                            hist_mb=25.0, growth=4.0, manager_bps=0.125e9, seed=0)
+        svg_task_view(r.stats.log, path(f"fig13{label}.svg"),
+                      title=f"Fig 13{label}")
+        print(f"  {label}: {r.stats.makespan:.0f}s")
+
+    written = sorted(os.listdir(out))
+    print(f"\n{len(written)} SVG panels in {out}/:")
+    for name in written:
+        print(f"  {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Higher-level workflow adapters over the TaskVine manager (paper §6)."""
+
+from repro.adapters.dag import GraphError, NodeFuture, TaskGraph
+from repro.adapters.serverless import MapFuture, ServerlessMap
+
+__all__ = ["GraphError", "NodeFuture", "TaskGraph", "MapFuture", "ServerlessMap"]
+
+from repro.adapters.histflow import ExecutorReport, HistogramExecutor  # noqa: E402
+
+__all__ += ["ExecutorReport", "HistogramExecutor"]

@@ -1,0 +1,166 @@
+"""A Parsl/Dask-flavoured DAG layer over the TaskVine manager.
+
+The paper (§6) prototypes running Parsl and Dask workflows "by simply
+mapping each high-level task into one low-level TaskVine task".  This
+adapter is that mapping: applications compose Python functions into a
+graph of :class:`NodeFuture` values; each node becomes a
+:class:`~repro.core.task.PythonTask` whose upstream results are
+delivered as arguments, and the graph executes with maximum available
+parallelism as dependencies resolve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.core.manager import Manager
+from repro.core.task import PythonTask, TaskState
+
+__all__ = ["TaskGraph", "NodeFuture", "GraphError"]
+
+
+class GraphError(RuntimeError):
+    """A node failed or the graph could not complete."""
+
+
+class NodeFuture:
+    """Handle to one graph node's eventual result."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, graph: "TaskGraph", func: Callable, args: tuple, kwargs: dict):
+        self.node_id = f"n{next(self._ids)}"
+        self.graph = graph
+        self.func = func
+        self.args = args
+        self.kwargs = kwargs
+        self.task: Optional[PythonTask] = None
+        self._value: Any = None
+        self._resolved = False
+        self._failed: Optional[str] = None
+
+    def dependencies(self) -> list["NodeFuture"]:
+        """Upstream futures appearing in this node's arguments."""
+        deps = [a for a in self.args if isinstance(a, NodeFuture)]
+        deps.extend(v for v in self.kwargs.values() if isinstance(v, NodeFuture))
+        return deps
+
+    @property
+    def done(self) -> bool:
+        """True once the node has a value (or failed)."""
+        return self._resolved
+
+    def result(self) -> Any:
+        """The node's value; runs the graph if it has not run yet."""
+        if not self._resolved:
+            self.graph.run()
+        if self._failed is not None:
+            raise GraphError(f"node {self.node_id} failed: {self._failed}")
+        return self._value
+
+
+class TaskGraph:
+    """Build a DAG of Python function calls and execute it on workers.
+
+    Usage::
+
+        g = TaskGraph(manager)
+        a = g.add(load, "part1")
+        b = g.add(load, "part2")
+        total = g.add(combine, a, b)      # futures as arguments
+        print(total.result())             # executes the whole graph
+
+    Nodes with no unresolved dependencies are submitted immediately;
+    the rest follow as their inputs complete, so independent branches
+    run in parallel across the cluster.
+    """
+
+    def __init__(self, manager: Manager, task_timeout: float = 300.0):
+        self.manager = manager
+        self.task_timeout = task_timeout
+        self.nodes: dict[str, NodeFuture] = {}
+        self._by_task: dict[str, NodeFuture] = {}
+
+    def add(self, func: Callable, *args: Any, **kwargs: Any) -> NodeFuture:
+        """Declare one node; futures among the arguments become edges."""
+        future = NodeFuture(self, func, args, kwargs)
+        for dep in future.dependencies():
+            if dep.graph is not self:
+                raise GraphError("cannot mix futures from different graphs")
+        self.nodes[future.node_id] = future
+        return future
+
+    # -- execution ------------------------------------------------------
+
+    def _ready_nodes(self) -> list[NodeFuture]:
+        return [
+            n
+            for n in self.nodes.values()
+            if n.task is None
+            and not n._resolved
+            and all(d._resolved and d._failed is None for d in n.dependencies())
+        ]
+
+    def _submit(self, node: NodeFuture) -> None:
+        args = tuple(
+            a._value if isinstance(a, NodeFuture) else a for a in node.args
+        )
+        kwargs = {
+            k: (v._value if isinstance(v, NodeFuture) else v)
+            for k, v in node.kwargs.items()
+        }
+        node.task = PythonTask(node.func, *args, **kwargs)
+        node.task.set_category("dag")
+        self.manager.submit(node.task)
+        self._by_task[node.task.task_id] = node
+
+    def run(self) -> None:
+        """Execute until every node resolves; raises on stalls.
+
+        Failed nodes mark their downstream subgraph failed, but
+        independent branches still complete — matching how dynamic
+        workflow systems handle partial failure.
+        """
+        for node in self._ready_nodes():
+            self._submit(node)
+        outstanding = len(self._by_task)
+        while outstanding > 0:
+            task = self.manager.wait(timeout=self.task_timeout)
+            if task is None:
+                raise GraphError(
+                    f"graph stalled waiting on {outstanding} running node(s)"
+                )
+            node = self._by_task.get(task.task_id)
+            if node is None:
+                continue  # a non-graph task owned by the caller
+            outstanding -= 1
+            self._collect(node, task)
+            for ready in self._ready_nodes():
+                self._submit(ready)
+                outstanding += 1
+        # anything never submitted is downstream of a failure
+        for node in self.nodes.values():
+            if not node._resolved and node.task is None:
+                node._resolved = True
+                node._failed = "upstream dependency failed"
+
+    def _collect(self, node: NodeFuture, task: PythonTask) -> None:
+        node._resolved = True
+        if task.state != TaskState.DONE:
+            node._failed = (task.result.failure if task.result else None) or "task failed"
+            return
+        value = task.output()
+        if isinstance(value, BaseException):
+            node._failed = repr(value)
+            return
+        node._value = value
+
+    def results(self) -> dict[str, Any]:
+        """Run the graph and return {node_id: value} for successful nodes."""
+        self.run()
+        return {
+            nid: n._value
+            for nid, n in self.nodes.items()
+            if n._resolved and n._failed is None
+        }

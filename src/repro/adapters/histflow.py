@@ -1,0 +1,143 @@
+"""A Coffea-style executor: columnar analysis over TaskVine.
+
+The paper integrates TaskVine into Coffea as an execution module
+("about 1300 lines of Python"), so TopEFT's preprocess/process/
+accumulate pipeline runs with partial histograms kept in-cluster.
+This adapter is that executor for :mod:`repro.apps.minihist`:
+
+* each event chunk becomes a PythonTask running the processor,
+* partial :class:`~repro.apps.minihist.processor.HistogramSet` results
+  stay at the workers as TempFiles,
+* accumulation tasks merge them up a fan-in tree, and
+* only the single final merge is fetched back to the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.apps.minihist.events import EventBatch, to_bytes
+from repro.apps.minihist.processor import HistogramSet
+from repro.core.files import File
+from repro.core.manager import Manager
+from repro.core.task import PythonTask, TaskState
+
+__all__ = ["HistogramExecutor", "ExecutorReport"]
+
+
+def _default_processor(events_path: str, out_path: str, selection_pt: float) -> int:
+    """Worker-side processor: events file → partial histogram file."""
+    from repro.apps.minihist import from_bytes, process
+
+    with open(events_path, "rb") as f:
+        batch = from_bytes(f.read())
+    result = process(batch, selection_pt=selection_pt)
+    with open(out_path, "wb") as f:
+        f.write(result.to_bytes())
+    return result.n_events
+
+
+def _merge(part_paths: list[str], out_path: str) -> int:
+    """Worker-side accumulator: partial files → one merged file."""
+    from repro.apps.minihist import HistogramSet, accumulate
+
+    parts = []
+    for path in part_paths:
+        with open(path, "rb") as f:
+            parts.append(HistogramSet.from_bytes(f.read()))
+    merged = accumulate(parts)
+    with open(out_path, "wb") as f:
+        f.write(merged.to_bytes())
+    return len(merged.hists)
+
+
+@dataclass
+class ExecutorReport:
+    """Outcome of one executor run."""
+
+    result: HistogramSet
+    n_process_tasks: int
+    n_accumulate_tasks: int
+    tree_depth: int
+    failed_chunks: list[int]
+
+
+class HistogramExecutor:
+    """Run a columnar histogram analysis on a TaskVine manager.
+
+    ``fan_in`` bounds how many partials one accumulator merges;
+    ``processor`` may be replaced with any callable of signature
+    ``(events_path, out_path, selection_pt) -> n_events`` — it executes
+    at the workers, so it must be self-importing like the default.
+    """
+
+    def __init__(
+        self,
+        manager: Manager,
+        fan_in: int = 4,
+        selection_pt: float = 25.0,
+        processor: Optional[Callable] = None,
+        task_timeout: float = 300.0,
+    ) -> None:
+        if fan_in < 2:
+            raise ValueError("fan_in must be at least 2")
+        self.manager = manager
+        self.fan_in = fan_in
+        self.selection_pt = selection_pt
+        self.processor = processor or _default_processor
+        self.task_timeout = task_timeout
+
+    def run(self, batches: Sequence[EventBatch]) -> ExecutorReport:
+        """Process every batch and reduce to one HistogramSet."""
+        if not batches:
+            return ExecutorReport(HistogramSet(), 0, 0, 0, [])
+        m = self.manager
+        partials: list[File] = []
+        process_tasks: list[tuple[int, PythonTask]] = []
+        for i, batch in enumerate(batches):
+            events = m.declare_buffer(to_bytes(batch))
+            out = m.declare_temp()
+            t = PythonTask(
+                self.processor, "events.npz", "hists.bin", self.selection_pt
+            )
+            t.set_category("process")
+            t.inputs.append(("events.npz", events))
+            t.outputs.insert(0, ("hists.bin", out))
+            m.submit(t)
+            process_tasks.append((i, t))
+            partials.append(out)
+
+        n_accumulate = 0
+        depth = 0
+        level = partials
+        while len(level) > 1:
+            depth += 1
+            next_level: list[File] = []
+            for j in range(0, len(level), self.fan_in):
+                group = level[j : j + self.fan_in]
+                if len(group) == 1:
+                    next_level.append(group[0])
+                    continue
+                merged = m.declare_temp()
+                names = [f"part{k}.bin" for k in range(len(group))]
+                t = PythonTask(_merge, names, "merged.bin")
+                t.set_category("accumulate")
+                for name, part in zip(names, group):
+                    t.inputs.append((name, part))
+                t.outputs.insert(0, ("merged.bin", merged))
+                m.submit(t)
+                n_accumulate += 1
+                next_level.append(merged)
+            level = next_level
+
+        m.run_until_done(timeout=self.task_timeout)
+        failed = [i for i, t in process_tasks if t.state != TaskState.DONE]
+        final = HistogramSet.from_bytes(m.fetch_bytes(level[0]))
+        return ExecutorReport(
+            result=final,
+            n_process_tasks=len(process_tasks),
+            n_accumulate_tasks=n_accumulate,
+            tree_depth=depth,
+            failed_chunks=failed,
+        )

@@ -1,0 +1,125 @@
+"""Automatic serverless transformation of repeated function calls.
+
+The paper's future work (§6): "more performance gains are possible when
+there is a high degree of similarity in the code and data needs that
+can be distributed once and then invoked multiple times.  Future work
+will explore the automatic transformation of these workflow models into
+serverless-style computations."
+
+:class:`ServerlessMap` implements that transformation: it watches which
+functions an application submits, and once a function crosses a
+repetition threshold it is compiled into a
+:class:`~repro.core.library.Library`, installed on every worker, and
+all further submissions of that function become
+:class:`~repro.core.library.FunctionCall` tasks — paying interpreter
+and import startup once per worker instead of once per task.  Functions
+below the threshold keep running as ordinary PythonTasks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.core.library import FunctionCall
+from repro.core.manager import Manager
+from repro.core.resources import Resources
+from repro.core.task import PythonTask, Task, TaskState
+
+__all__ = ["ServerlessMap", "MapFuture"]
+
+
+class MapFuture:
+    """Result handle for one submitted invocation."""
+
+    def __init__(self, task: Task):
+        self.task = task
+
+    @property
+    def done(self) -> bool:
+        """True once the underlying task reached a terminal state."""
+        return self.task.is_done
+
+    def result(self) -> Any:
+        """The invocation's return value (task must be complete)."""
+        if not self.task.is_done:
+            raise RuntimeError("invocation not complete; drain with .wait_all()")
+        if self.task.state != TaskState.DONE:
+            failure = self.task.result.failure if self.task.result else None
+            raise RuntimeError(f"invocation failed: {failure}")
+        value = self.task.output()  # PythonTask and FunctionCall both expose it
+        if isinstance(value, BaseException):
+            raise value
+        return value
+
+
+class ServerlessMap:
+    """Adaptive executor: plain tasks below a threshold, serverless above.
+
+    ``threshold`` is the number of submissions of one function after
+    which it is promoted into a library.  ``slots`` bounds concurrent
+    invocations per worker instance.
+    """
+
+    _lib_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        manager: Manager,
+        threshold: int = 3,
+        slots: int = 4,
+        library_resources: Resources = Resources(cores=1),
+    ) -> None:
+        self.manager = manager
+        self.threshold = max(1, threshold)
+        self.slots = slots
+        self.library_resources = library_resources
+        self._counts: dict[Callable, int] = {}
+        self._library_of: dict[Callable, Optional[str]] = {}
+        self._futures: list[MapFuture] = []
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, func: Callable, *args: Any, **kwargs: Any) -> MapFuture:
+        """Submit one invocation; the executor picks the execution mode."""
+        count = self._counts.get(func, 0) + 1
+        self._counts[func] = count
+        library = self._library_of.get(func)
+        if library is None and count >= self.threshold:
+            library = self._promote(func)
+        if library is not None:
+            task: Task = FunctionCall(library, func.__name__, *args, **kwargs)
+        else:
+            task = PythonTask(func, *args, **kwargs)
+        self.manager.submit(task)
+        future = MapFuture(task)
+        self._futures.append(future)
+        return future
+
+    def map(self, func: Callable, iterable) -> list[MapFuture]:
+        """Submit ``func`` over every item; returns futures in order."""
+        return [self.submit(func, item) for item in iterable]
+
+    def _promote(self, func: Callable) -> str:
+        """Compile ``func`` into a library and install it everywhere."""
+        name = f"auto-{func.__name__}-{next(self._lib_ids)}"
+        self.manager.create_library(
+            name,
+            [func],
+            resources=self.library_resources,
+            function_slots=self.slots,
+        )
+        self.manager.install_library(name)
+        self._library_of[func] = name
+        return name
+
+    # -- completion -----------------------------------------------------
+
+    def wait_all(self, timeout: float = 300.0) -> list[MapFuture]:
+        """Drain the manager until every submitted invocation completes."""
+        self.manager.run_until_done(timeout=timeout)
+        return list(self._futures)
+
+    def promoted(self, func: Callable) -> bool:
+        """True if ``func`` has been transformed into a library."""
+        return self._library_of.get(func) is not None

@@ -1,0 +1,22 @@
+from repro.apps.bgd.bgd import (
+    BGDResult,
+    best_of_restarts,
+    make_classification,
+    make_regression,
+    run_bgd_linear,
+    run_bgd_logistic,
+)
+
+__all__ = [
+    "BGDResult", "best_of_restarts", "make_classification",
+    "make_regression", "run_bgd_linear", "run_bgd_logistic",
+]
+
+from repro.apps.bgd.variants import (  # noqa: E402
+    compare_optimizers,
+    run_momentum,
+    run_nesterov,
+    run_sgd,
+)
+
+__all__ += ["compare_optimizers", "run_momentum", "run_nesterov", "run_sgd"]

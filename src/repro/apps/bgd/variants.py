@@ -1,0 +1,116 @@
+"""Gradient-descent variants for the BGD workflow's ablation studies.
+
+The paper's workflow runs plain batch gradient descent; serverless
+restarts make it cheap to compare optimizer variants per restart.  This
+module adds the standard alternatives — minibatch SGD, momentum, and
+Nesterov — all on the same linear-regression objective so results are
+directly comparable with :func:`repro.apps.bgd.run_bgd_linear`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.bgd.bgd import BGDResult
+
+__all__ = ["run_sgd", "run_momentum", "run_nesterov", "compare_optimizers"]
+
+
+def _mse(x: np.ndarray, y: np.ndarray, w: np.ndarray, b: float) -> float:
+    return float((((x @ w + b) - y) ** 2).mean())
+
+
+def run_sgd(
+    x: np.ndarray,
+    y: np.ndarray,
+    iterations: int = 200,
+    lr: float = 0.05,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> BGDResult:
+    """Minibatch stochastic gradient descent on mean squared error."""
+    rng = np.random.default_rng(seed)
+    n, d = x.shape
+    w = rng.normal(scale=1.0, size=d)
+    b = 0.0
+    losses = []
+    for _ in range(iterations):
+        idx = rng.choice(n, size=min(batch_size, n), replace=False)
+        xb, yb = x[idx], y[idx]
+        err = xb @ w + b - yb
+        losses.append(_mse(x, y, w, b))
+        w -= lr * 2.0 * xb.T @ err / len(idx)
+        b -= lr * 2.0 * err.mean()
+    return BGDResult(weights=w, bias=b, final_loss=_mse(x, y, w, b), losses=losses, seed=seed)
+
+
+def run_momentum(
+    x: np.ndarray,
+    y: np.ndarray,
+    iterations: int = 200,
+    lr: float = 0.05,
+    beta: float = 0.9,
+    seed: int = 0,
+) -> BGDResult:
+    """Full-batch gradient descent with classical momentum."""
+    rng = np.random.default_rng(seed)
+    n, d = x.shape
+    w = rng.normal(scale=1.0, size=d)
+    b = 0.0
+    vw = np.zeros(d)
+    vb = 0.0
+    losses = []
+    for _ in range(iterations):
+        err = x @ w + b - y
+        losses.append(float((err**2).mean()))
+        gw = 2.0 * x.T @ err / n
+        gb = 2.0 * err.mean()
+        vw = beta * vw + gw
+        vb = beta * vb + gb
+        w -= lr * vw
+        b -= lr * vb
+    return BGDResult(weights=w, bias=b, final_loss=_mse(x, y, w, b), losses=losses, seed=seed)
+
+
+def run_nesterov(
+    x: np.ndarray,
+    y: np.ndarray,
+    iterations: int = 200,
+    lr: float = 0.05,
+    beta: float = 0.9,
+    seed: int = 0,
+) -> BGDResult:
+    """Nesterov accelerated gradient on the same objective."""
+    rng = np.random.default_rng(seed)
+    n, d = x.shape
+    w = rng.normal(scale=1.0, size=d)
+    b = 0.0
+    vw = np.zeros(d)
+    vb = 0.0
+    losses = []
+    for _ in range(iterations):
+        look_w = w - lr * beta * vw
+        look_b = b - lr * beta * vb
+        err = x @ look_w + look_b - y
+        losses.append(_mse(x, y, w, b))
+        gw = 2.0 * x.T @ err / n
+        gb = 2.0 * err.mean()
+        vw = beta * vw + gw
+        vb = beta * vb + gb
+        w -= lr * vw
+        b -= lr * vb
+    return BGDResult(weights=w, bias=b, final_loss=_mse(x, y, w, b), losses=losses, seed=seed)
+
+
+def compare_optimizers(
+    x: np.ndarray, y: np.ndarray, iterations: int = 150, seed: int = 0
+) -> dict[str, BGDResult]:
+    """Run every variant from the same initialization seed."""
+    from repro.apps.bgd.bgd import run_bgd_linear
+
+    return {
+        "bgd": run_bgd_linear(x, y, iterations=iterations, seed=seed),
+        "sgd": run_sgd(x, y, iterations=iterations, seed=seed),
+        "momentum": run_momentum(x, y, iterations=iterations, lr=0.01, seed=seed),
+        "nesterov": run_nesterov(x, y, iterations=iterations, lr=0.01, seed=seed),
+    }

@@ -1,0 +1,25 @@
+from repro.apps.miniblast.align import Alignment, refine_hit, smith_waterman
+from repro.apps.miniblast.db import (
+    GenomeDB,
+    build_db,
+    generate_sequences,
+    load_db,
+    mutate,
+    save_db,
+)
+from repro.apps.miniblast.search import Hit, format_hits, search
+
+__all__ = [
+    "Alignment", "refine_hit", "smith_waterman",
+    "GenomeDB", "build_db", "generate_sequences", "load_db", "mutate", "save_db",
+    "Hit", "format_hits", "search",
+]
+
+from repro.apps.miniblast.stats import (  # noqa: E402
+    KarlinAltschul,
+    ScoredHit,
+    compute_lambda,
+    evaluate_hits,
+)
+
+__all__ += ["KarlinAltschul", "ScoredHit", "compute_lambda", "evaluate_hits"]

@@ -1,0 +1,143 @@
+"""Gapped local alignment (Smith-Waterman) for final hit refinement.
+
+The seed-and-extend phase (:mod:`repro.apps.miniblast.search`) finds
+ungapped high-scoring pairs quickly; real BLAST then refines the best
+candidates with a gapped dynamic-programming alignment.  This module
+provides that second stage: Smith-Waterman with linear gap costs
+(diagonal/up moves vectorized per row, the left-dependency resolved by
+a scan), plus traceback to produce the aligned strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Alignment", "smith_waterman", "refine_hit"]
+
+MATCH = 2
+MISMATCH = -3
+GAP = -4
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A scored local alignment with its aligned strings."""
+
+    score: int
+    query_aligned: str
+    subject_aligned: str
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+
+    @property
+    def identity(self) -> float:
+        """Fraction of aligned columns that match exactly."""
+        if not self.query_aligned:
+            return 0.0
+        matches = sum(
+            1
+            for a, b in zip(self.query_aligned, self.subject_aligned)
+            if a == b and a != "-"
+        )
+        return matches / len(self.query_aligned)
+
+    @property
+    def gaps(self) -> int:
+        """Number of gap columns in the alignment."""
+        return self.query_aligned.count("-") + self.subject_aligned.count("-")
+
+
+def _encode(seq: str) -> np.ndarray:
+    table = np.full(256, -1, dtype=np.int8)
+    for i, base in enumerate("ACGT"):
+        table[ord(base)] = i
+    return table[np.frombuffer(seq.encode(), dtype=np.uint8)]
+
+
+def smith_waterman(query: str, subject: str) -> Alignment:
+    """Optimal local alignment of two sequences with linear gaps.
+
+    Dynamic programming is vectorized across each matrix row; traceback
+    is recomputed from score relations, so memory is O(n·m) int32 —
+    fine for the refinement-sized sequences this stage sees.
+    """
+    q = _encode(query.upper())
+    s = _encode(subject.upper())
+    n, m = len(q), len(s)
+    if n == 0 or m == 0:
+        return Alignment(0, "", "", 0, 0, 0, 0)
+    H = np.zeros((n + 1, m + 1), dtype=np.int32)
+    for i in range(1, n + 1):
+        match_row = np.where(
+            (q[i - 1] == s) & (q[i - 1] >= 0), MATCH, MISMATCH
+        ).astype(np.int32)
+        diag = H[i - 1, :-1] + match_row
+        up = H[i - 1, 1:] + GAP
+        best = np.maximum(np.maximum(diag, up), 0)
+        # left-dependency is sequential: resolve with a scan
+        row = H[i]
+        prev = 0
+        for j in range(1, m + 1):
+            val = best[j - 1]
+            left = prev + GAP
+            if left > val:
+                val = left
+            row[j] = val
+            prev = val
+    end = np.unravel_index(np.argmax(H), H.shape)
+    score = int(H[end])
+    # traceback
+    i, j = int(end[0]), int(end[1])
+    q_parts: list[str] = []
+    s_parts: list[str] = []
+    while i > 0 and j > 0 and H[i, j] > 0:
+        here = H[i, j]
+        match_score = MATCH if query[i - 1].upper() == subject[j - 1].upper() else MISMATCH
+        if here == H[i - 1, j - 1] + match_score:
+            q_parts.append(query[i - 1])
+            s_parts.append(subject[j - 1])
+            i -= 1
+            j -= 1
+        elif here == H[i - 1, j] + GAP:
+            q_parts.append(query[i - 1])
+            s_parts.append("-")
+            i -= 1
+        else:
+            q_parts.append("-")
+            s_parts.append(subject[j - 1])
+            j -= 1
+    return Alignment(
+        score=score,
+        query_aligned="".join(reversed(q_parts)),
+        subject_aligned="".join(reversed(s_parts)),
+        query_start=i,
+        query_end=int(end[0]),
+        subject_start=j,
+        subject_end=int(end[1]),
+    )
+
+
+def refine_hit(query: str, subject: str, hit, margin: int = 20) -> Alignment:
+    """Gapped refinement of one ungapped hit (the BLAST second stage).
+
+    Realigns a window around the ungapped hit's subject span with
+    Smith-Waterman, allowing indels the seed-extension cannot express.
+    Coordinates in the result are subject-absolute.
+    """
+    lo = max(0, hit.subject_start - margin)
+    hi = min(len(subject), hit.subject_end + margin)
+    window = subject[lo:hi]
+    aligned = smith_waterman(query, window)
+    return Alignment(
+        score=aligned.score,
+        query_aligned=aligned.query_aligned,
+        subject_aligned=aligned.subject_aligned,
+        query_start=aligned.query_start,
+        query_end=aligned.query_end,
+        subject_start=lo + aligned.subject_start,
+        subject_end=lo + aligned.subject_end,
+    )

@@ -1,0 +1,58 @@
+"""Command-line BLAST-like search, runnable inside a task sandbox.
+
+This is the "executable software package" of the BLAST workflow: tasks
+invoke it against an unpacked database directory, mirroring
+``blast/bin/blast -db landmark -q query`` from paper Fig. 3::
+
+    python -m repro.apps.miniblast.cli --db landmark --query query.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.miniblast.db import load_db
+from repro.apps.miniblast.search import format_hits, search
+from repro.apps.miniblast.stats import evaluate_hits
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Search queries against a database directory; prints hits."""
+    parser = argparse.ArgumentParser(description="mini BLAST search")
+    parser.add_argument("--db", required=True, help="database directory")
+    parser.add_argument(
+        "--query", required=True, help="query file: one 'name sequence' per line"
+    )
+    parser.add_argument("--max-hits", type=int, default=10)
+    parser.add_argument("--min-score", type=int, default=0)
+    parser.add_argument(
+        "--evalues", action="store_true",
+        help="append bit scores and E-values to each hit line",
+    )
+    args = parser.parse_args(argv)
+
+    db = load_db(args.db)
+    with open(args.query) as f:
+        for line in f:
+            parts = line.split()
+            if not parts:
+                continue
+            name, sequence = (parts[0], parts[1]) if len(parts) > 1 else ("query", parts[0])
+            hits = search(db, sequence, max_hits=args.max_hits, min_score=args.min_score)
+            if args.evalues:
+                for s_hit in evaluate_hits(hits, len(sequence), db):
+                    h = s_hit.hit
+                    sys.stdout.write(
+                        f"{name}\t{h.subject}\t{h.score}\t"
+                        f"{s_hit.bit_score:.1f}\t{s_hit.e_value:.2e}\n"
+                    )
+            else:
+                sys.stdout.write(format_hits(name, hits))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

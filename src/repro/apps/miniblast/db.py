@@ -1,0 +1,124 @@
+"""Synthetic genome databases for the BLAST-like search substrate.
+
+The paper's BLAST workflow searches query sequences against a reference
+database distributed to every worker.  We reproduce the data shape: a
+database is a *directory* containing the concatenated reference
+sequences plus a k-mer index — exactly the kind of multi-file software
+/dataset asset whose distribution TaskVine optimizes (unpack once per
+worker, shared by all tasks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "GenomeDB",
+    "generate_sequences",
+    "build_db",
+    "save_db",
+    "load_db",
+    "mutate",
+]
+
+_ALPHABET = "ACGT"
+
+#: encoding used to pack nucleotides for k-mer hashing
+_BASE_CODE = {base: i for i, base in enumerate(_ALPHABET)}
+
+
+def generate_sequences(
+    n_sequences: int, length: int, seed: int = 0
+) -> dict[str, str]:
+    """Generate named random DNA sequences (deterministic per seed)."""
+    rng = random.Random(seed)
+    return {
+        f"seq{i:05d}": "".join(rng.choice(_ALPHABET) for _ in range(length))
+        for i in range(n_sequences)
+    }
+
+
+def mutate(sequence: str, rate: float, seed: int = 0) -> str:
+    """Point-mutate a sequence at the given per-base rate (for queries)."""
+    rng = random.Random(seed)
+    out = []
+    for base in sequence:
+        if rng.random() < rate:
+            out.append(rng.choice(_ALPHABET.replace(base, "")))
+        else:
+            out.append(base)
+    return "".join(out)
+
+
+def _kmer_code(kmer: str) -> int:
+    """Pack a k-mer into an integer (4 bases → 2 bits each)."""
+    code = 0
+    for base in kmer:
+        code = (code << 2) | _BASE_CODE[base]
+    return code
+
+
+@dataclass
+class GenomeDB:
+    """An in-memory reference database with a k-mer seed index."""
+
+    k: int
+    #: sequence name -> nucleotide string
+    sequences: dict[str, str]
+    #: k-mer code -> list of (sequence name, offset)
+    index: dict[int, list[tuple[str, int]]]
+
+    def seed_hits(self, kmer: str) -> list[tuple[str, int]]:
+        """Locations of one exact k-mer in the reference."""
+        return self.index.get(_kmer_code(kmer), [])
+
+    def total_bases(self) -> int:
+        """Reference size in bases."""
+        return sum(len(s) for s in self.sequences.values())
+
+
+def build_db(sequences: dict[str, str], k: int = 11) -> GenomeDB:
+    """Index reference sequences by every overlapping k-mer."""
+    if k < 4 or k > 15:
+        raise ValueError("k must be between 4 and 15")
+    index: dict[int, list[tuple[str, int]]] = {}
+    for name, seq in sequences.items():
+        for off in range(len(seq) - k + 1):
+            code = _kmer_code(seq[off : off + k])
+            index.setdefault(code, []).append((name, off))
+    return GenomeDB(k=k, sequences=sequences, index=index)
+
+
+def save_db(db: GenomeDB, directory: str) -> None:
+    """Persist a database as a directory (metadata + sequences + index)."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "meta.json"), "w") as f:
+        json.dump({"k": db.k, "n_sequences": len(db.sequences)}, f)
+    with open(os.path.join(directory, "sequences.fa"), "w") as f:
+        for name, seq in db.sequences.items():
+            f.write(f">{name}\n{seq}\n")
+    with open(os.path.join(directory, "index.pkl"), "wb") as f:
+        pickle.dump(db.index, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_db(directory: str) -> GenomeDB:
+    """Load a database directory written by :func:`save_db`."""
+    with open(os.path.join(directory, "meta.json")) as f:
+        meta = json.load(f)
+    sequences: dict[str, str] = {}
+    name = None
+    with open(os.path.join(directory, "sequences.fa")) as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith(">"):
+                name = line[1:]
+                sequences[name] = ""
+            elif name is not None:
+                sequences[name] += line
+    with open(os.path.join(directory, "index.pkl"), "rb") as f:
+        index = pickle.load(f)
+    return GenomeDB(k=int(meta["k"]), sequences=sequences, index=index)

@@ -1,0 +1,128 @@
+"""Seed-and-extend sequence search (the BLAST heuristic, from scratch).
+
+The classic two-phase heuristic: exact k-mer *seeds* are located via
+the database index, then each seed is *extended* in both directions
+with match/mismatch scoring until the running score drops more than a
+drop-off threshold below its maximum (X-drop termination).  Overlapping
+extensions of the same (query, subject) diagonal are deduplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.miniblast.db import GenomeDB
+
+__all__ = ["Hit", "search", "format_hits"]
+
+#: standard BLAST-ish nucleotide scoring
+MATCH_SCORE = 2
+MISMATCH_SCORE = -3
+X_DROP = 20
+
+
+@dataclass(frozen=True, slots=True)
+class Hit:
+    """One scored local alignment between the query and a subject."""
+
+    subject: str
+    score: int
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+
+    @property
+    def length(self) -> int:
+        """Aligned span length in bases."""
+        return self.query_end - self.query_start
+
+
+def _extend(
+    query: str, subject: str, q_off: int, s_off: int, k: int
+) -> tuple[int, int, int]:
+    """X-drop extension around one seed.
+
+    Returns (score, left_extension, right_extension) where extensions
+    count bases beyond the seed boundaries.
+    """
+    score = k * MATCH_SCORE
+    best = score
+    # extend right
+    right = 0
+    best_right = 0
+    qi, si = q_off + k, s_off + k
+    while qi < len(query) and si < len(subject):
+        score += MATCH_SCORE if query[qi] == subject[si] else MISMATCH_SCORE
+        right += 1
+        if score > best:
+            best, best_right = score, right
+        elif best - score > X_DROP:
+            break
+        qi += 1
+        si += 1
+    score = best
+    # extend left
+    left = 0
+    best_left = 0
+    qi, si = q_off - 1, s_off - 1
+    while qi >= 0 and si >= 0:
+        score += MATCH_SCORE if query[qi] == subject[si] else MISMATCH_SCORE
+        left += 1
+        if score > best:
+            best, best_left = score, left
+        elif best - score > X_DROP:
+            break
+        qi -= 1
+        si -= 1
+    return best, best_left, best_right
+
+
+def search(db: GenomeDB, query: str, max_hits: int = 10, min_score: int = 0) -> list[Hit]:
+    """Find the best local alignments of ``query`` in the database.
+
+    Seeds every query k-mer through the index, extends each, keeps the
+    best alignment per (subject, diagonal), and returns hits sorted by
+    descending score (ties broken by subject then position, so output
+    is deterministic).
+    """
+    k = db.k
+    query = query.strip().upper()
+    if len(query) < k:
+        return []
+    best_by_diag: dict[tuple[str, int], Hit] = {}
+    for q_off in range(len(query) - k + 1):
+        kmer = query[q_off : q_off + k]
+        if any(base not in "ACGT" for base in kmer):
+            continue
+        for subject_name, s_off in db.seed_hits(kmer):
+            diag = (subject_name, s_off - q_off)
+            existing = best_by_diag.get(diag)
+            if existing is not None and existing.query_start <= q_off < existing.query_end:
+                continue  # seed already covered by an accepted extension
+            subject = db.sequences[subject_name]
+            score, left, right = _extend(query, subject, q_off, s_off, k)
+            hit = Hit(
+                subject=subject_name,
+                score=score,
+                query_start=q_off - left,
+                query_end=q_off + k + right,
+                subject_start=s_off - left,
+                subject_end=s_off + k + right,
+            )
+            if existing is None or hit.score > existing.score:
+                best_by_diag[diag] = hit
+    hits = [h for h in best_by_diag.values() if h.score >= min_score]
+    hits.sort(key=lambda h: (-h.score, h.subject, h.subject_start))
+    return hits[:max_hits]
+
+
+def format_hits(query_name: str, hits: list[Hit]) -> str:
+    """Tabular report, one line per hit (BLAST outfmt-6 flavoured)."""
+    lines = []
+    for h in hits:
+        lines.append(
+            f"{query_name}\t{h.subject}\t{h.score}\t"
+            f"{h.query_start}\t{h.query_end}\t{h.subject_start}\t{h.subject_end}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,129 @@
+"""Karlin–Altschul statistics: bit scores and E-values for hits.
+
+Raw alignment scores are incomparable across databases; BLAST reports
+*bit scores* (scale-free) and *E-values* (expected chance hits at this
+score given query and database sizes), derived from Karlin–Altschul
+theory: for an ungapped local alignment with score S,
+
+    E = K · m · n · exp(−λ·S)
+
+where m, n are the effective query/database lengths and λ, K are
+parameters of the scoring system and background letter frequencies.
+λ solves  Σᵢⱼ pᵢ pⱼ exp(λ·sᵢⱼ) = 1; we compute it numerically for the
+uniform-ACGT background and the match/mismatch scores the search uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.apps.miniblast.db import GenomeDB
+from repro.apps.miniblast.search import MATCH_SCORE, MISMATCH_SCORE, Hit
+
+__all__ = ["KarlinAltschul", "compute_lambda", "ScoredHit", "evaluate_hits"]
+
+#: uniform nucleotide background
+_P_MATCH = 0.25
+_P_MISMATCH = 0.75
+
+
+def compute_lambda(
+    match: int = MATCH_SCORE,
+    mismatch: int = MISMATCH_SCORE,
+    tolerance: float = 1e-12,
+) -> float:
+    """Solve Σ pᵢpⱼ e^{λs} = 1 for λ > 0 by bisection.
+
+    For a two-outcome nucleotide system this is
+    0.25·e^{λ·match} + 0.75·e^{λ·mismatch} = 1.  A positive solution
+    exists iff the expected score 0.25·match + 0.75·mismatch < 0
+    (otherwise local alignment statistics are undefined).
+    """
+    expected = _P_MATCH * match + _P_MISMATCH * mismatch
+    if expected >= 0:
+        raise ValueError(
+            f"expected score must be negative (got {expected}); "
+            "local alignment statistics are undefined"
+        )
+
+    def f(lam: float) -> float:
+        return (
+            _P_MATCH * math.exp(lam * match)
+            + _P_MISMATCH * math.exp(lam * mismatch)
+            - 1.0
+        )
+
+    lo, hi = 1e-9, 1.0
+    while f(hi) < 0:
+        hi *= 2.0
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if f(mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class KarlinAltschul:
+    """The (λ, K) parameter pair for one scoring system."""
+
+    lam: float
+    k: float = 0.35  # standard nucleotide-search approximation
+
+    @classmethod
+    @lru_cache(maxsize=8)
+    def for_scores(cls, match: int = MATCH_SCORE, mismatch: int = MISMATCH_SCORE) -> "KarlinAltschul":
+        """Parameters for a match/mismatch scoring system (cached)."""
+        return cls(lam=compute_lambda(match, mismatch))
+
+    def bit_score(self, raw_score: int) -> float:
+        """Scale-free score: S' = (λS − ln K) / ln 2."""
+        return (self.lam * raw_score - math.log(self.k)) / math.log(2.0)
+
+    def e_value(self, raw_score: int, query_len: int, db_len: int) -> float:
+        """Expected chance alignments with ≥ this score: E = m·n·2^{−S'}."""
+        return query_len * db_len * 2.0 ** (-self.bit_score(raw_score))
+
+
+@dataclass(frozen=True)
+class ScoredHit:
+    """A search hit annotated with its statistical significance."""
+
+    hit: Hit
+    bit_score: float
+    e_value: float
+
+    @property
+    def significant(self) -> bool:
+        """Conventional E < 1e-3 significance threshold."""
+        return self.e_value < 1e-3
+
+
+def evaluate_hits(
+    hits: list[Hit],
+    query_len: int,
+    db: GenomeDB,
+    max_e: float = 10.0,
+) -> list[ScoredHit]:
+    """Annotate hits with bit scores and E-values; filter at ``max_e``.
+
+    Output is sorted by ascending E-value (most significant first),
+    matching BLAST report ordering.
+    """
+    params = KarlinAltschul.for_scores()
+    db_len = db.total_bases()
+    scored = [
+        ScoredHit(
+            hit=h,
+            bit_score=params.bit_score(h.score),
+            e_value=params.e_value(h.score, query_len, db_len),
+        )
+        for h in hits
+    ]
+    scored = [s for s in scored if s.e_value <= max_e]
+    scored.sort(key=lambda s: (s.e_value, s.hit.subject))
+    return scored

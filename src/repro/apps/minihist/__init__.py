@@ -1,0 +1,21 @@
+from repro.apps.minihist.events import EventBatch, from_bytes, generate_batch, to_bytes
+from repro.apps.minihist.processor import (
+    Histogram,
+    HistogramSet,
+    accumulate,
+    preprocess,
+    process,
+)
+
+__all__ = [
+    "EventBatch", "from_bytes", "generate_batch", "to_bytes",
+    "Histogram", "HistogramSet", "accumulate", "preprocess", "process",
+]
+
+from repro.apps.minihist.variations import (  # noqa: E402
+    WeightSurface,
+    coupling_scan,
+    process_with_variations,
+)
+
+__all__ += ["WeightSurface", "coupling_scan", "process_with_variations"]

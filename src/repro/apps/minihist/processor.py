@@ -1,0 +1,141 @@
+"""Histogramming pipeline: preprocess → process → accumulate.
+
+The TopEFT workflow shape (paper §4.2): *preprocessor* functions
+collect metadata from datasets, *processor* functions turn event
+subsets into partial histograms, and *accumulator* functions merge
+partial histograms pairwise up a reduction tree.  Accumulated results
+carry the union of all (dataset, variable) histograms seen so far,
+which is why accumulation outputs grow as the tree narrows — the
+behaviour that makes in-cluster temp files win in Fig. 13.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.minihist.events import EventBatch
+
+__all__ = [
+    "Histogram",
+    "HistogramSet",
+    "preprocess",
+    "process",
+    "accumulate",
+]
+
+
+@dataclass
+class Histogram:
+    """A fixed-binning 1-D weighted histogram."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @classmethod
+    def new(cls, lo: float, hi: float, nbins: int) -> "Histogram":
+        """An empty histogram over [lo, hi) with ``nbins`` uniform bins."""
+        return cls(edges=np.linspace(lo, hi, nbins + 1), counts=np.zeros(nbins))
+
+    def fill(self, values: np.ndarray, weights: np.ndarray) -> None:
+        """Add weighted entries (out-of-range values fall off the ends)."""
+        add, _ = np.histogram(values, bins=self.edges, weights=weights)
+        self.counts += add
+
+    def __add__(self, other: "Histogram") -> "Histogram":
+        if not np.array_equal(self.edges, other.edges):
+            raise ValueError("cannot merge histograms with different binnings")
+        return Histogram(edges=self.edges, counts=self.counts + other.counts)
+
+    @property
+    def total(self) -> float:
+        """Sum of weights in range."""
+        return float(self.counts.sum())
+
+
+#: variables histogrammed per dataset, with their binnings
+_VARIABLES = {
+    "pt": (0.0, 300.0, 60),
+    "eta": (-2.5, 2.5, 50),
+    "phi": (-np.pi, np.pi, 64),
+    "njets": (-0.5, 11.5, 12),
+}
+
+
+@dataclass
+class HistogramSet:
+    """A keyed collection of histograms: (dataset, variable) → histogram.
+
+    This is the unit that flows through the reduction tree; its
+    serialized size grows with the number of distinct keys, modelling
+    TopEFT's growing accumulation outputs.
+    """
+
+    hists: dict[tuple[str, str], Histogram] = field(default_factory=dict)
+    #: events represented (sum over all merged partials)
+    n_events: int = 0
+
+    def __add__(self, other: "HistogramSet") -> "HistogramSet":
+        merged = dict(self.hists)
+        for key, h in other.hists.items():
+            merged[key] = merged[key] + h if key in merged else h
+        return HistogramSet(hists=merged, n_events=self.n_events + other.n_events)
+
+    def to_bytes(self) -> bytes:
+        """Serialize for transport between tasks."""
+        buf = io.BytesIO()
+        pickle.dump(self, buf, protocol=pickle.HIGHEST_PROTOCOL)
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HistogramSet":
+        """Inverse of :meth:`to_bytes`."""
+        obj = pickle.loads(data)
+        if not isinstance(obj, cls):
+            raise TypeError("payload is not a HistogramSet")
+        return obj
+
+
+def preprocess(batch: EventBatch) -> dict:
+    """Collect dataset metadata (the TopEFT preprocessor stage)."""
+    return {
+        "dataset": batch.dataset,
+        "n_events": len(batch),
+        "is_mc": batch.is_mc,
+        "sum_weights": float(batch.weight.sum()),
+    }
+
+
+def process(batch: EventBatch, selection_pt: float = 25.0) -> HistogramSet:
+    """Turn one event batch into partial histograms (processor stage).
+
+    Applies a leading-lepton pT selection, then fills one histogram per
+    configured variable under the batch's dataset key.
+    """
+    mask = batch.pt >= selection_pt
+    weights = batch.weight[mask]
+    out = HistogramSet(n_events=int(mask.sum()))
+    columns = {
+        "pt": batch.pt,
+        "eta": batch.eta,
+        "phi": batch.phi,
+        "njets": batch.njets.astype(float),
+    }
+    for variable, (lo, hi, nbins) in _VARIABLES.items():
+        h = Histogram.new(lo, hi, nbins)
+        h.fill(columns[variable][mask], weights)
+        out.hists[(batch.dataset, variable)] = h
+    return out
+
+
+def accumulate(partials: list[HistogramSet]) -> HistogramSet:
+    """Merge partial histogram sets (accumulator stage)."""
+    if not partials:
+        return HistogramSet()
+    merged = partials[0]
+    for p in partials[1:]:
+        merged = merged + p
+    return merged

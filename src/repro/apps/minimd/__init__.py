@@ -1,0 +1,20 @@
+from repro.apps.minimd.md import MDResult, fingerprint, lj_energy, random_cluster, simulate
+from repro.apps.minimd.surrogate import MLP, TrainReport, train
+
+__all__ = [
+    "MDResult", "fingerprint", "lj_energy", "random_cluster", "simulate",
+    "MLP", "TrainReport", "train",
+]
+
+from repro.apps.minimd.observables import (  # noqa: E402
+    StructureReport,
+    analyze,
+    coordination_numbers,
+    radius_of_gyration,
+    rdf,
+)
+
+__all__ += [
+    "StructureReport", "analyze", "coordination_numbers",
+    "radius_of_gyration", "rdf",
+]

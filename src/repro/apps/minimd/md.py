@@ -1,0 +1,121 @@
+"""Toy molecular dynamics: Lennard-Jones clusters with velocity Verlet.
+
+The Colmena-XTB workflow runs semi-empirical quantum simulations of
+candidate molecules; the TaskVine-relevant shape is "many independent
+simulation tasks of moderate duration".  This substrate provides real
+numerical work with the same shape: energy minimization / dynamics of
+small Lennard-Jones particle clusters (vectorized numpy), returning a
+structure fingerprint and final energy usable by the surrogate model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MDResult", "random_cluster", "lj_energy", "simulate", "fingerprint"]
+
+
+@dataclass
+class MDResult:
+    """Outcome of one simulation."""
+
+    positions: np.ndarray
+    potential_energy: float
+    kinetic_energy: float
+    steps: int
+
+    @property
+    def total_energy(self) -> float:
+        """Conserved total energy (potential + kinetic)."""
+        return self.potential_energy + self.kinetic_energy
+
+
+def random_cluster(n_atoms: int, seed: int = 0, spread: float = 1.5) -> np.ndarray:
+    """Random initial positions for a cluster, shape (n_atoms, 3).
+
+    Atoms are spread widely enough that no pair starts deep inside the
+    repulsive core (which would blow up the integrator).
+    """
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(-spread, spread, size=(n_atoms, 3))
+    # push apart any catastrophically close pair
+    for _ in range(100):
+        delta = pos[:, None, :] - pos[None, :, :]
+        dist = np.sqrt((delta**2).sum(-1)) + np.eye(n_atoms) * 10
+        if dist.min() > 0.8:
+            break
+        i, j = np.unravel_index(np.argmin(dist), dist.shape)
+        pos[i] += rng.normal(0, 0.5, size=3)
+    return pos
+
+
+def _pairwise(positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Pair displacement vectors and distances (with self-pairs masked)."""
+    delta = positions[:, None, :] - positions[None, :, :]
+    dist = np.sqrt((delta**2).sum(-1))
+    np.fill_diagonal(dist, np.inf)
+    return delta, dist
+
+
+def lj_energy(positions: np.ndarray, epsilon: float = 1.0, sigma: float = 1.0) -> float:
+    """Total Lennard-Jones potential energy of a configuration."""
+    _, dist = _pairwise(positions)
+    sr6 = (sigma / dist) ** 6
+    pair = 4.0 * epsilon * (sr6**2 - sr6)
+    return float(pair.sum() / 2.0)
+
+
+def _lj_forces(positions: np.ndarray, epsilon: float = 1.0, sigma: float = 1.0) -> np.ndarray:
+    """Forces on each atom, shape (n_atoms, 3)."""
+    delta, dist = _pairwise(positions)
+    sr6 = (sigma / dist) ** 6
+    # dV/dr = 4ε(−12 σ¹²/r¹³ + 6 σ⁶/r⁷); force = −dV/dr · r̂
+    magnitude = 24.0 * epsilon * (2.0 * sr6**2 - sr6) / dist**2
+    return (magnitude[..., None] * delta).sum(axis=1)
+
+
+def simulate(
+    positions: np.ndarray,
+    steps: int = 200,
+    dt: float = 0.002,
+    damping: float = 0.995,
+    seed: int = 0,
+) -> MDResult:
+    """Velocity-Verlet dynamics with mild damping (quenched relaxation).
+
+    Damping < 1 bleeds kinetic energy so the cluster settles toward a
+    local minimum, which is the "optimize this candidate molecule" step
+    of the Colmena loop.
+    """
+    rng = np.random.default_rng(seed)
+    pos = positions.astype(float).copy()
+    vel = rng.normal(0.0, 0.05, size=pos.shape)
+    forces = _lj_forces(pos)
+    for _ in range(steps):
+        vel += 0.5 * dt * forces
+        pos += dt * vel
+        forces = _lj_forces(pos)
+        vel += 0.5 * dt * forces
+        vel *= damping
+    return MDResult(
+        positions=pos,
+        potential_energy=lj_energy(pos),
+        kinetic_energy=float(0.5 * (vel**2).sum()),
+        steps=steps,
+    )
+
+
+def fingerprint(positions: np.ndarray, n_features: int = 16) -> np.ndarray:
+    """A fixed-length rotational/translational-invariant descriptor.
+
+    A histogram of pair distances — the kind of cheap structure
+    fingerprint surrogate models consume.
+    """
+    _, dist = _pairwise(positions)
+    pairs = dist[np.triu_indices_from(dist, k=1)]
+    pairs = pairs[np.isfinite(pairs)]
+    hist, _ = np.histogram(pairs, bins=n_features, range=(0.5, 4.5))
+    total = hist.sum()
+    return hist / total if total else hist.astype(float)

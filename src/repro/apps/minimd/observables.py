@@ -1,0 +1,87 @@
+"""Structural observables of simulated clusters.
+
+The analysis half of a molecular-search campaign: given relaxed
+configurations from :mod:`repro.apps.minimd.md`, compute the structural
+quantities a steering loop ranks candidates by — radial distribution,
+coordination numbers, and a simple cluster-shape (gyration) measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["rdf", "coordination_numbers", "radius_of_gyration", "StructureReport", "analyze"]
+
+
+def _pair_distances(positions: np.ndarray) -> np.ndarray:
+    delta = positions[:, None, :] - positions[None, :, :]
+    dist = np.sqrt((delta**2).sum(-1))
+    return dist[np.triu_indices_from(dist, k=1)]
+
+
+def rdf(
+    positions: np.ndarray, nbins: int = 50, r_max: float = 5.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Radial distribution function g(r) of a finite cluster.
+
+    Normalized against the ideal-gas shell count for the same pair
+    density, so an uncorrelated cloud gives g(r) ≈ 1 at mid-range.
+    Returns (bin centers, g values).
+    """
+    pairs = _pair_distances(positions)
+    n_atoms = len(positions)
+    edges = np.linspace(0.0, r_max, nbins + 1)
+    counts, _ = np.histogram(pairs, bins=edges)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    shell_volumes = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    volume = 4.0 / 3.0 * np.pi * r_max**3
+    pair_density = len(pairs) / volume
+    expected = pair_density * shell_volumes
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(expected > 0, counts / expected, 0.0)
+    return centers, g
+
+
+def coordination_numbers(positions: np.ndarray, cutoff: float = 1.5) -> np.ndarray:
+    """Neighbours within ``cutoff`` of each atom (shape: n_atoms)."""
+    delta = positions[:, None, :] - positions[None, :, :]
+    dist = np.sqrt((delta**2).sum(-1))
+    np.fill_diagonal(dist, np.inf)
+    return (dist < cutoff).sum(axis=1)
+
+
+def radius_of_gyration(positions: np.ndarray) -> float:
+    """RMS distance of atoms from the cluster's center of mass."""
+    center = positions.mean(axis=0)
+    return float(np.sqrt(((positions - center) ** 2).sum(axis=1).mean()))
+
+
+@dataclass
+class StructureReport:
+    """Summary observables of one configuration."""
+
+    n_atoms: int
+    mean_coordination: float
+    max_coordination: int
+    radius_of_gyration: float
+    first_shell_peak: float
+
+    def is_compact(self, threshold: float = 4.0) -> bool:
+        """Heuristic: clusters with high mean coordination are compact."""
+        return self.mean_coordination >= threshold
+
+
+def analyze(positions: np.ndarray, cutoff: float = 1.5) -> StructureReport:
+    """Compute the full observable summary for one configuration."""
+    coord = coordination_numbers(positions, cutoff)
+    centers, g = rdf(positions)
+    peak = float(centers[np.argmax(g)]) if g.any() else 0.0
+    return StructureReport(
+        n_atoms=len(positions),
+        mean_coordination=float(coord.mean()),
+        max_coordination=int(coord.max()),
+        radius_of_gyration=radius_of_gyration(positions),
+        first_shell_peak=peak,
+    )

@@ -1,0 +1,96 @@
+"""Neural-network surrogate for simulation energies (numpy MLP).
+
+The Colmena loop interleaves expensive simulations with cheap neural
+inference that ranks candidates.  This is that surrogate: a small
+fully-connected network (from scratch on numpy — forward, backprop,
+SGD) mapping structure fingerprints to predicted energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MLP", "train", "TrainReport"]
+
+
+@dataclass
+class TrainReport:
+    """Loss trajectory of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Mean squared error after the last epoch."""
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class MLP:
+    """A two-hidden-layer tanh MLP for scalar regression."""
+
+    def __init__(self, n_inputs: int, hidden: int = 32, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        scale1 = 1.0 / np.sqrt(n_inputs)
+        scale2 = 1.0 / np.sqrt(hidden)
+        self.w1 = rng.normal(0, scale1, size=(n_inputs, hidden))
+        self.b1 = np.zeros(hidden)
+        self.w2 = rng.normal(0, scale2, size=(hidden, hidden))
+        self.b2 = np.zeros(hidden)
+        self.w3 = rng.normal(0, scale2, size=(hidden, 1))
+        self.b3 = np.zeros(1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Predict energies for a batch of fingerprints, shape (n,)."""
+        h1 = np.tanh(x @ self.w1 + self.b1)
+        h2 = np.tanh(h1 @ self.w2 + self.b2)
+        return (h2 @ self.w3 + self.b3).ravel()
+
+    # alias matching common model APIs
+    predict = forward
+
+    def gradients(self, x: np.ndarray, y: np.ndarray) -> tuple[dict, float]:
+        """Backprop MSE gradients; returns (grads, loss)."""
+        n = len(x)
+        a1 = x @ self.w1 + self.b1
+        h1 = np.tanh(a1)
+        a2 = h1 @ self.w2 + self.b2
+        h2 = np.tanh(a2)
+        pred = (h2 @ self.w3 + self.b3).ravel()
+        err = pred - y
+        loss = float((err**2).mean())
+        d_out = (2.0 * err / n)[:, None]
+        grads = {
+            "w3": h2.T @ d_out,
+            "b3": d_out.sum(0),
+        }
+        d_h2 = (d_out @ self.w3.T) * (1 - h2**2)
+        grads["w2"] = h1.T @ d_h2
+        grads["b2"] = d_h2.sum(0)
+        d_h1 = (d_h2 @ self.w2.T) * (1 - h1**2)
+        grads["w1"] = x.T @ d_h1
+        grads["b1"] = d_h1.sum(0)
+        return grads, loss
+
+    def apply_gradients(self, grads: dict, lr: float) -> None:
+        """One SGD step."""
+        for name, grad in grads.items():
+            param = getattr(self, name)
+            setattr(self, name, param - lr * grad)
+
+
+def train(
+    model: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 100,
+    lr: float = 0.05,
+) -> TrainReport:
+    """Full-batch gradient descent on MSE; returns the loss trajectory."""
+    report = TrainReport()
+    for _ in range(epochs):
+        grads, loss = model.gradients(x, y)
+        model.apply_gradients(grads, lr)
+        report.losses.append(loss)
+    return report

@@ -1,0 +1,175 @@
+"""Per-category resource learning and allocation suggestion.
+
+The paper's resource model (§2.1) declares a fixed allocation per task
+and retries with a larger one on overflow.  Production TaskVine goes
+further: tasks are grouped into *categories* and the manager learns
+each category's real usage to pick first allocations automatically —
+small enough to pack densely, large enough that retries are rare.
+
+:class:`CategoryTracker` implements that loop: record the measured
+usage of completed tasks, then suggest an allocation at a configurable
+percentile with headroom.  The expected cost model follows the
+"allocate at percentile p, retry at maximum" strategy: a task is first
+run at the p-th percentile of observed usage and, if it overflows,
+retried at the observed maximum times the growth factor.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.resources import Resources
+
+__all__ = ["CategoryStats", "CategoryTracker"]
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (empty → 0)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[rank]
+
+
+@dataclass
+class CategoryStats:
+    """Usage history of one task category (bounded window)."""
+
+    window: int = 1000
+    cores: collections.deque = field(default_factory=lambda: collections.deque(maxlen=1000))
+    memory: collections.deque = field(default_factory=lambda: collections.deque(maxlen=1000))
+    disk: collections.deque = field(default_factory=lambda: collections.deque(maxlen=1000))
+    completions: int = 0
+    overflows: int = 0
+
+    def record(self, measured: Resources, exceeded: bool = False) -> None:
+        """Add one completed task's observed usage."""
+        self.cores.append(measured.cores)
+        self.memory.append(measured.memory)
+        self.disk.append(measured.disk)
+        self.completions += 1
+        if exceeded:
+            self.overflows += 1
+
+    def suggest(
+        self,
+        fraction: float = 0.95,
+        headroom: float = 1.1,
+        floor: Optional[Resources] = None,
+    ) -> Resources:
+        """Allocation covering ``fraction`` of observed usage plus headroom.
+
+        ``floor`` provides minimums (defaults to one core); gpu demand
+        is never learned (it is a binary placement constraint).
+        """
+        floor = floor or Resources(cores=1)
+        suggestion = Resources(
+            cores=max(
+                floor.cores, _percentile(sorted(self.cores), fraction)
+            ),
+            memory=int(
+                max(floor.memory, _percentile(sorted(self.memory), fraction) * headroom)
+            ),
+            disk=int(
+                max(floor.disk, _percentile(sorted(self.disk), fraction) * headroom)
+            ),
+            gpus=floor.gpus,
+        )
+        return suggestion
+
+    def maximum(self) -> Resources:
+        """The largest usage ever observed (the safe retry allocation)."""
+        return Resources(
+            cores=max(self.cores, default=1),
+            memory=int(max(self.memory, default=0)),
+            disk=int(max(self.disk, default=0)),
+            gpus=0,
+        )
+
+    @property
+    def overflow_rate(self) -> float:
+        """Fraction of completions that exceeded their allocation."""
+        if self.completions == 0:
+            return 0.0
+        return self.overflows / self.completions
+
+
+class CategoryTracker:
+    """Learns allocations for every category seen in a workflow.
+
+    ``min_samples`` completions are required before suggestions replace
+    the declared default — before that, tasks run with whatever the
+    user (or the manager default) specified.
+    """
+
+    def __init__(
+        self,
+        fraction: float = 0.95,
+        headroom: float = 1.1,
+        min_samples: int = 5,
+        window: int = 1000,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self.headroom = headroom
+        self.min_samples = min_samples
+        self.window = window
+        self._stats: dict[str, CategoryStats] = {}
+
+    def stats(self, category: str) -> CategoryStats:
+        """The (created-on-demand) stats record for one category."""
+        if category not in self._stats:
+            s = CategoryStats(window=self.window)
+            s.cores = collections.deque(maxlen=self.window)
+            s.memory = collections.deque(maxlen=self.window)
+            s.disk = collections.deque(maxlen=self.window)
+            self._stats[category] = s
+        return self._stats[category]
+
+    def record(self, category: str, measured: Resources, exceeded: bool = False) -> None:
+        """Record one completed task's usage under its category."""
+        self.stats(category).record(measured, exceeded)
+
+    def first_allocation(self, category: str, declared: Resources) -> Resources:
+        """The allocation a new task of ``category`` should start with.
+
+        Returns ``declared`` until enough samples exist, then the
+        learned percentile suggestion (never below the declared cores
+        floor, so explicit user sizing is respected as a minimum shape).
+        """
+        s = self._stats.get(category)
+        if s is None or s.completions < self.min_samples:
+            return declared
+        return s.suggest(self.fraction, self.headroom, floor=declared)
+
+    def retry_allocation(self, category: str, declared: Resources) -> Resources:
+        """The allocation after an overflow: observed maximum with headroom."""
+        s = self._stats.get(category)
+        if s is None or s.completions == 0:
+            return declared.scaled(2.0)
+        peak = s.maximum()
+        return Resources(
+            cores=max(declared.cores, peak.cores),
+            memory=int(max(declared.memory, peak.memory * self.headroom)),
+            disk=int(max(declared.disk, peak.disk * self.headroom)),
+            gpus=declared.gpus,
+        )
+
+    def categories(self) -> list[str]:
+        """Categories with at least one recorded completion."""
+        return sorted(c for c, s in self._stats.items() if s.completions)
+
+    def summary(self) -> dict[str, dict]:
+        """Per-category report (counts, overflow rate, suggestion)."""
+        return {
+            c: {
+                "completions": s.completions,
+                "overflow_rate": s.overflow_rate,
+                "suggestion": s.suggest(self.fraction, self.headroom).to_dict(),
+                "maximum": s.maximum().to_dict(),
+            }
+            for c, s in self._stats.items()
+        }

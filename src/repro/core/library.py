@@ -1,0 +1,121 @@
+"""Serverless execution model: libraries and function calls (paper §3.4).
+
+Many workflows run near-identical short tasks thousands of times, and
+per-task environment setup (starting an interpreter, importing
+libraries, reading datasets) dominates runtime.  TaskVine amortizes it:
+
+* a :class:`LibraryTask` deploys a *library* — a named collection of
+  functions plus its execution environment — once per worker, where it
+  runs continuously as a Library Instance;
+* a :class:`FunctionCall` replaces the Unix command of a regular task
+  with the name of a library function to invoke; the worker forwards
+  the invocation to the resident instance, which forks to run the
+  already-loaded code.
+
+Resource management composes with normal tasks: the instance holds a
+static allocation for as long as it is installed, and each in-flight
+function call consumes its own allocation on top (paper §3.4), so both
+kinds pack into workers alongside plain tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.core.resources import Resources
+from repro.core.task import Task
+
+__all__ = ["Library", "LibraryTask", "FunctionCall"]
+
+
+class Library:
+    """A named collection of Python functions to deploy to workers.
+
+    Functions are captured by reference; the manager serializes them
+    (with dependencies) when building the deployment payload.  Function
+    names must be unique within a library.
+    """
+
+    def __init__(self, name: str, functions: Sequence[Callable]) -> None:
+        self.name = name
+        self.functions: dict[str, Callable] = {}
+        for fn in functions:
+            fname = fn.__name__
+            if fname in self.functions:
+                raise ValueError(f"duplicate function {fname!r} in library {name!r}")
+            self.functions[fname] = fn
+        if not self.functions:
+            raise ValueError(f"library {name!r} declares no functions")
+
+    def function_names(self) -> list[str]:
+        """Names invocable through this library, in declaration order."""
+        return list(self.functions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Library {self.name} funcs={list(self.functions)}>"
+
+
+class LibraryTask(Task):
+    """The task that hosts a library instance on one worker.
+
+    One LibraryTask is dispatched per worker during installation; it
+    carries the serialized functions (and any attached environment
+    files) as inputs, starts the instance, and then runs until removed
+    or until the workflow ends.  ``function_slots`` bounds how many
+    invocations the instance serves concurrently.
+    """
+
+    def __init__(
+        self,
+        library: Library,
+        resources: Optional[Resources] = None,
+        function_slots: int = 1,
+    ) -> None:
+        super().__init__(f"library:{library.name}")
+        self.library = library
+        self.category = "library"
+        self.function_slots = max(1, int(function_slots))
+        if resources is not None:
+            self.resources = resources
+
+    @property
+    def library_name(self) -> str:
+        """The name function calls use to address this library."""
+        return self.library.name
+
+
+class FunctionCall(Task):
+    """A lightweight invocation of a deployed library function.
+
+    Scheduled like a task, but executed by message-passing to the
+    resident library instance instead of spawning a fresh process tree.
+    The deserialized return value is available via :meth:`output` once
+    the call completes.
+    """
+
+    def __init__(
+        self,
+        library_name: str,
+        function_name: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(f"call:{library_name}.{function_name}")
+        self.library_name = library_name
+        self.function_name = function_name
+        self.args = args
+        self.kwargs: Mapping[str, Any] = kwargs
+        self.category = "function_call"
+        self._output: Any = None
+        self._output_set = False
+
+    def set_output_value(self, value: Any) -> None:
+        """Record the function's return value (called by the manager)."""
+        self._output = value
+        self._output_set = True
+
+    def output(self) -> Any:
+        """Return value of the invocation; raises if not yet complete."""
+        if not self._output_set:
+            raise RuntimeError(f"function call {self.task_id} has no output yet")
+        return self._output

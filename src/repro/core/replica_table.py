@@ -1,0 +1,120 @@
+"""File Replica Table: the manager's unified view of cluster storage.
+
+Files are located at workers through this table (paper §3.3): for every
+cache name it records which workers hold a replica and how large the
+object is.  The table is updated from worker ``cache-update`` and
+``cache-invalid`` messages and consulted by the scheduler both for task
+placement (locality) and for choosing peer transfer sources.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["ReplicaTable"]
+
+
+class ReplicaTable:
+    """Bidirectional index of (cache name ↔ worker) replica facts."""
+
+    def __init__(self) -> None:
+        self._workers_by_name: dict[str, set[str]] = {}
+        self._names_by_worker: dict[str, set[str]] = {}
+        self._sizes: dict[str, int] = {}
+
+    # -- mutation -------------------------------------------------------
+
+    def add_replica(self, cache_name: str, worker_id: str, size: Optional[int] = None) -> None:
+        """Record that ``worker_id`` now holds ``cache_name``.
+
+        Idempotent; ``size`` (bytes) is recorded the first time it is
+        learned and must not contradict a previously known size.
+        """
+        self._workers_by_name.setdefault(cache_name, set()).add(worker_id)
+        self._names_by_worker.setdefault(worker_id, set()).add(cache_name)
+        if size is not None:
+            known = self._sizes.get(cache_name)
+            if known is not None and known != size:
+                raise ValueError(
+                    f"size mismatch for {cache_name}: {known} vs {size} "
+                    "(files are immutable)"
+                )
+            self._sizes[cache_name] = size
+
+    def remove_replica(self, cache_name: str, worker_id: str) -> None:
+        """Forget one replica; idempotent if already absent."""
+        workers = self._workers_by_name.get(cache_name)
+        if workers is not None:
+            workers.discard(worker_id)
+            if not workers:
+                del self._workers_by_name[cache_name]
+        names = self._names_by_worker.get(worker_id)
+        if names is not None:
+            names.discard(cache_name)
+
+    def remove_worker(self, worker_id: str) -> set[str]:
+        """Drop every replica held by a departed worker; returns the names."""
+        names = self._names_by_worker.pop(worker_id, set())
+        for name in names:
+            workers = self._workers_by_name.get(name)
+            if workers is not None:
+                workers.discard(worker_id)
+                if not workers:
+                    del self._workers_by_name[name]
+        return names
+
+    def forget_name(self, cache_name: str) -> set[str]:
+        """Drop every replica of a file (e.g. after garbage collection)."""
+        workers = self._workers_by_name.pop(cache_name, set())
+        for w in workers:
+            self._names_by_worker.get(w, set()).discard(cache_name)
+        self._sizes.pop(cache_name, None)
+        return workers
+
+    # -- queries ----------------------------------------------------------
+
+    def locate(self, cache_name: str) -> set[str]:
+        """Workers currently holding a replica (copy; may be empty)."""
+        return set(self._workers_by_name.get(cache_name, ()))
+
+    def holdings(self, worker_id: str) -> set[str]:
+        """Cache names held by one worker (copy; may be empty)."""
+        return set(self._names_by_worker.get(worker_id, ()))
+
+    def has_replica(self, cache_name: str, worker_id: str) -> bool:
+        """True if the specific worker holds the file."""
+        return worker_id in self._workers_by_name.get(cache_name, ())
+
+    def replica_count(self, cache_name: str) -> int:
+        """Number of workers holding the file."""
+        return len(self._workers_by_name.get(cache_name, ()))
+
+    def size_of(self, cache_name: str, default: int = 0) -> int:
+        """Known size in bytes, or ``default`` if never reported."""
+        return self._sizes.get(cache_name, default)
+
+    def cached_bytes_at(self, worker_id: str, cache_names: Iterable[str]) -> int:
+        """Total known bytes of ``cache_names`` already present at a worker.
+
+        This is the locality score used for task placement: the worker
+        possessing the most input bytes wins (paper §3.3).
+        """
+        held = self._names_by_worker.get(worker_id, ())
+        return sum(self._sizes.get(n, 0) for n in cache_names if n in held)
+
+    def cached_count_at(self, worker_id: str, cache_names: Iterable[str]) -> int:
+        """How many of ``cache_names`` are present at a worker."""
+        held = self._names_by_worker.get(worker_id, ())
+        return sum(1 for n in cache_names if n in held)
+
+    def total_names(self) -> int:
+        """Number of distinct cache names with at least one replica."""
+        return len(self._workers_by_name)
+
+    def total_replicas(self) -> int:
+        """Number of (file, worker) replica pairs cluster-wide."""
+        return sum(len(w) for w in self._workers_by_name.values())
+
+    def names(self) -> set[str]:
+        """All cache names with at least one replica (copy)."""
+        return set(self._workers_by_name)

@@ -1,0 +1,218 @@
+"""Scheduling policy: task placement and transfer-source selection.
+
+This module is *pure policy* — no I/O, no clocks — so the real runtime
+(:mod:`repro.core.manager`) and the discrete-event simulator
+(:mod:`repro.sim`) drive the exact same decision code (paper §3.3):
+
+* **Placement** — tasks are scheduled primarily to match the cached
+  files present at each worker: among workers with free capacity, the
+  one possessing the most input bytes wins.  When no worker holds
+  anything, an arbitrary (least-loaded) worker is chosen and file
+  transfers are scheduled.
+* **Transfer sources** — for each missing input the scheduler first
+  tries a peer worker that holds a replica and is under the configured
+  concurrent-transfer limit (worker transfers are always preferred over
+  the original source); failing that, the file's *fixed* source
+  (manager or remote URL) if under its own limit; failing that the
+  transfer is deferred, which is what prevents hotspots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.core.replica_table import ReplicaTable
+from repro.core.resources import Resources
+from repro.core.task import Task
+from repro.core.transfer_table import MANAGER_SOURCE, TransferTable
+
+__all__ = ["WorkerView", "TransferPlan", "Scheduler"]
+
+
+@dataclass
+class WorkerView:
+    """The scheduler's summary of one connected worker."""
+
+    worker_id: str
+    capacity: Resources
+    allocated: Resources = field(default_factory=lambda: Resources(cores=0))
+    running_tasks: int = 0
+    #: set when the worker is draining and must not receive new work
+    draining: bool = False
+
+    def can_fit(self, request: Resources) -> bool:
+        """True if ``request`` fits in the unallocated remainder.
+
+        Hot path: called once per (ready task, worker) pair per pump,
+        so it compares componentwise instead of allocating a summed
+        :class:`Resources`.
+        """
+        a, c = self.allocated, self.capacity
+        return (
+            a.cores + request.cores <= c.cores
+            and a.memory + request.memory <= c.memory
+            and a.disk + request.disk <= c.disk
+            and a.gpus + request.gpus <= c.gpus
+        )
+
+
+@dataclass
+class TransferPlan:
+    """Outcome of planning one task's missing-input transfers.
+
+    ``transfers`` lists (cache_name, source) pairs to start now;
+    ``pending`` lists inputs already in flight to the worker; and
+    ``deferred`` lists inputs for which every source is currently at its
+    concurrency limit — the task stays dispatched and the manager
+    retries planning as transfers drain.
+    """
+
+    worker_id: str
+    transfers: list[tuple[str, str]] = field(default_factory=list)
+    pending: list[str] = field(default_factory=list)
+    deferred: list[str] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        """True when nothing was deferred (all inputs present/in motion)."""
+        return not self.deferred
+
+
+class Scheduler:
+    """Stateless decision procedures over the manager's state tables."""
+
+    def __init__(
+        self,
+        replicas: ReplicaTable,
+        transfers: TransferTable,
+        locality: bool = True,
+    ) -> None:
+        self.replicas = replicas
+        self.transfers = transfers
+        #: disable to get the random-placement baseline used in ablations
+        self.locality = locality
+
+    # -- placement -------------------------------------------------------
+
+    def choose_worker(
+        self,
+        task: Task,
+        workers: Mapping[str, WorkerView],
+    ) -> Optional[str]:
+        """Pick the worker to run ``task`` on, or None if none fits.
+
+        Ranking: most cached input bytes, then fewest running tasks (to
+        spread load), then worker id (for determinism).  With locality
+        disabled, only the load/ID keys apply.
+        """
+        eligible = [
+            w
+            for w in workers.values()
+            if not w.draining and w.can_fit(task.resources)
+        ]
+        if not eligible:
+            return None
+        input_names = task.input_cache_names()
+
+        def rank(w: WorkerView) -> tuple:
+            score = (
+                self.replicas.cached_bytes_at(w.worker_id, input_names)
+                if self.locality
+                else 0
+            )
+            return (-score, w.running_tasks, w.worker_id)
+
+        return min(eligible, key=rank).worker_id
+
+    # -- transfer planning --------------------------------------------------
+
+    def plan_transfers(
+        self,
+        task: Task,
+        worker_id: str,
+        fixed_sources: Mapping[str, str],
+    ) -> TransferPlan:
+        """Plan how the chosen worker obtains each missing input.
+
+        ``fixed_sources`` maps cache names to their original source key
+        (``MANAGER_SOURCE`` or ``url:<host>``); files producible locally
+        by a mini task map to the pseudo-source ``@minitask``.  The
+        returned plan never exceeds any source's concurrency limit and
+        never duplicates a transfer already in flight.
+
+        The plan reserves source slots *as it assigns them* so that one
+        planning round for a many-input task cannot overload a source.
+        """
+        plan = TransferPlan(worker_id=worker_id)
+        reserved: dict[str, int] = {}
+
+        def load(source: str) -> int:
+            return self.transfers.source_load(source) + reserved.get(source, 0)
+
+        def available(source: str) -> bool:
+            limit = self.transfers.limit_for(source)
+            return limit is None or load(source) < limit
+
+        for cache_name in task.input_cache_names():
+            if self.replicas.has_replica(cache_name, worker_id):
+                continue  # already present
+            if self.transfers.in_flight(cache_name, worker_id):
+                plan.pending.append(cache_name)
+                continue
+            source = self._pick_source(cache_name, worker_id, fixed_sources, load, available)
+            if source is None:
+                plan.deferred.append(cache_name)
+            else:
+                plan.transfers.append((cache_name, source))
+                reserved[source] = reserved.get(source, 0) + 1
+        return plan
+
+    def _pick_source(
+        self,
+        cache_name: str,
+        dest_worker: str,
+        fixed_sources: Mapping[str, str],
+        load,
+        available,
+    ) -> Optional[str]:
+        """Best source for one object, or None if all are saturated.
+
+        Peer replicas are preferred over the fixed source (paper §3.3:
+        "this conservative approach always prioritizes worker transfers
+        over the original task description"); among peers the
+        least-loaded one wins to equalize fan-out.
+        """
+        peers = [w for w in self.replicas.locate(cache_name) if w != dest_worker]
+        usable = [w for w in peers if available(w)]
+        if usable:
+            return min(usable, key=lambda w: (load(w), w))
+        peers_possible = (
+            self.transfers.worker_limit is None or self.transfers.worker_limit > 0
+        )
+        if peers and peers_possible:
+            # replicas exist in-cluster but every holder is at its limit:
+            # wait for a peer slot instead of re-reading the original
+            # source — this is what cuts shared-FS loads from one-per-
+            # worker down to the initial handful (paper §4.2, Colmena).
+            # (With peer transfers disabled outright, fall through.)
+            return None
+        fixed = fixed_sources.get(cache_name, MANAGER_SOURCE)
+        if fixed == "@minitask":
+            # materialized locally at the worker; no network source needed
+            return fixed
+        if fixed == "@none":
+            # exists only at workers (temp file); wait for a replica
+            return None
+        if available(fixed):
+            return fixed
+        return None
+
+    # -- dispatch ordering ---------------------------------------------
+
+    @staticmethod
+    def order_ready(tasks: Sequence[Task]) -> list[Task]:
+        """Dispatch consideration order: priority desc, then FIFO by id."""
+        return sorted(
+            tasks, key=lambda t: (-t.priority, int(t.task_id.lstrip("t")))
+        )

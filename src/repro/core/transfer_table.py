@@ -1,0 +1,147 @@
+"""Current Transfer Table: supervision of in-flight data movement.
+
+Every transfer the manager schedules is recorded here with a UUID that
+the worker echoes back in its ``cache-update`` message (paper §3.3).
+The table lets the scheduler observe how many concurrent connections
+each *source* (a worker, the manager itself, or a remote URL host) is
+serving, which is what enables the per-source concurrency limits that
+prevent network hotspots (paper Fig. 11).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Transfer", "TransferTable", "MANAGER_SOURCE"]
+
+#: pseudo-source id for transfers served by the manager process
+MANAGER_SOURCE = "@manager"
+
+_transfer_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """One scheduled transfer of a cache object to a worker."""
+
+    transfer_id: str
+    cache_name: str
+    #: worker id, ``MANAGER_SOURCE``, or a URL host key
+    source: str
+    dest_worker: str
+    size: int
+    started: float
+
+
+class TransferTable:
+    """Ledger of in-flight transfers with per-source concurrency limits.
+
+    ``worker_limit`` applies to each worker acting as a source and
+    ``source_limit`` to each "fixed" source (manager or URL host); both
+    are configurable by the user (paper §3.3).  ``None`` disables the
+    corresponding limit, which is exactly the unsupervised mode of
+    Fig. 11b.
+    """
+
+    def __init__(
+        self,
+        worker_limit: Optional[int] = 3,
+        source_limit: Optional[int] = 100,
+    ) -> None:
+        self.worker_limit = worker_limit
+        self.source_limit = source_limit
+        self._by_id: dict[str, Transfer] = {}
+        self._load_by_source: dict[str, int] = {}
+        self._inbound: dict[tuple[str, str], str] = {}
+
+    # -- limits ---------------------------------------------------------
+
+    def limit_for(self, source: str) -> Optional[int]:
+        """The concurrency limit that applies to ``source``."""
+        if source == MANAGER_SOURCE or source.startswith("url:"):
+            return self.source_limit
+        return self.worker_limit
+
+    def source_load(self, source: str) -> int:
+        """Transfers currently being served by ``source``."""
+        return self._load_by_source.get(source, 0)
+
+    def source_available(self, source: str) -> bool:
+        """True if ``source`` may serve one more transfer under its limit."""
+        limit = self.limit_for(source)
+        return limit is None or self.source_load(source) < limit
+
+    # -- lifecycle --------------------------------------------------------
+
+    def begin(
+        self,
+        cache_name: str,
+        source: str,
+        dest_worker: str,
+        size: int,
+        now: float = 0.0,
+    ) -> Transfer:
+        """Record a newly scheduled transfer and return its record.
+
+        Raises ``RuntimeError`` if an identical (file, destination)
+        transfer is already in flight — the scheduler must never request
+        the same object twice for one worker.
+        """
+        key = (cache_name, dest_worker)
+        if key in self._inbound:
+            raise RuntimeError(
+                f"duplicate transfer of {cache_name} to {dest_worker} already in flight"
+            )
+        t = Transfer(
+            transfer_id=f"x{next(_transfer_ids)}",
+            cache_name=cache_name,
+            source=source,
+            dest_worker=dest_worker,
+            size=size,
+            started=now,
+        )
+        self._by_id[t.transfer_id] = t
+        self._load_by_source[source] = self._load_by_source.get(source, 0) + 1
+        self._inbound[key] = t.transfer_id
+        return t
+
+    def complete(self, transfer_id: str) -> Transfer:
+        """Remove a finished (or failed) transfer and return its record."""
+        t = self._by_id.pop(transfer_id)
+        load = self._load_by_source.get(t.source, 0) - 1
+        if load > 0:
+            self._load_by_source[t.source] = load
+        else:
+            self._load_by_source.pop(t.source, None)
+        self._inbound.pop((t.cache_name, t.dest_worker), None)
+        return t
+
+    def cancel_for_worker(self, worker_id: str) -> list[Transfer]:
+        """Drop every transfer to or from a departed worker."""
+        dropped = [
+            t
+            for t in self._by_id.values()
+            if t.dest_worker == worker_id or t.source == worker_id
+        ]
+        for t in dropped:
+            self.complete(t.transfer_id)
+        return dropped
+
+    # -- queries -------------------------------------------------------
+
+    def in_flight(self, cache_name: str, dest_worker: str) -> bool:
+        """True if this object is already on its way to this worker."""
+        return (cache_name, dest_worker) in self._inbound
+
+    def get(self, transfer_id: str) -> Transfer:
+        """Look up an in-flight transfer (KeyError if unknown)."""
+        return self._by_id[transfer_id]
+
+    def active(self) -> list[Transfer]:
+        """Snapshot of all in-flight transfers."""
+        return list(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)

@@ -1,0 +1,146 @@
+"""Socket framing for the manager↔worker and worker↔worker protocols.
+
+All control traffic is length-prefixed JSON; bulk file content follows
+a control message as a raw byte stream of pre-announced size (so large
+objects never pass through the JSON encoder).  The same
+:class:`Connection` wrapper serves the manager's command channel and
+the per-worker peer-transfer channel.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+from typing import Optional
+
+__all__ = ["Connection", "ProtocolError", "listen"]
+
+#: frame header: unsigned 32-bit big-endian payload length
+_HEADER = struct.Struct(">I")
+
+#: refuse absurd frames rather than attempting a giant allocation
+MAX_MESSAGE_SIZE = 64 << 20
+
+#: chunk size for streaming file content through the socket
+IO_CHUNK = 1 << 20
+
+
+class ProtocolError(ConnectionError):
+    """Malformed frame, unexpected EOF, or oversized message."""
+
+
+def listen(host: str = "127.0.0.1", port: int = 0) -> socket.socket:
+    """Create a listening TCP socket; ``port=0`` picks a free port."""
+    s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    s.bind((host, port))
+    s.listen(128)
+    return s
+
+
+class Connection:
+    """A framed, bidirectional message channel over one TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: Optional[float] = 30.0) -> "Connection":
+        """Open a client connection to ``host:port``."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock)
+
+    # -- framed JSON --------------------------------------------------
+
+    def send_message(self, message: dict) -> None:
+        """Send one JSON control message as a length-prefixed frame."""
+        payload = json.dumps(message, separators=(",", ":")).encode()
+        if len(payload) > MAX_MESSAGE_SIZE:
+            raise ProtocolError(f"message too large: {len(payload)} bytes")
+        self.sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+    def recv_message(self) -> dict:
+        """Receive one JSON control message; raises on EOF/corruption."""
+        header = self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_MESSAGE_SIZE:
+            raise ProtocolError(f"incoming message too large: {length} bytes")
+        payload = self._recv_exact(length)
+        try:
+            message = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"corrupt frame: {exc}") from exc
+        if not isinstance(message, dict):
+            raise ProtocolError("control message must be a JSON object")
+        return message
+
+    # -- raw byte streams ----------------------------------------------
+
+    def send_bytes(self, data: bytes) -> None:
+        """Send a pre-announced raw byte payload."""
+        self.sock.sendall(data)
+
+    def recv_bytes(self, size: int) -> bytes:
+        """Receive exactly ``size`` raw bytes."""
+        return self._recv_exact(size)
+
+    def send_file(self, path: str | os.PathLike, size: int) -> None:
+        """Stream exactly ``size`` bytes of a file's content."""
+        remaining = size
+        with open(path, "rb") as f:
+            while remaining > 0:
+                chunk = f.read(min(IO_CHUNK, remaining))
+                if not chunk:
+                    raise ProtocolError(
+                        f"file {path} shorter than announced size {size}"
+                    )
+                self.sock.sendall(chunk)
+                remaining -= len(chunk)
+
+    def recv_to_file(self, path: str | os.PathLike, size: int) -> None:
+        """Receive exactly ``size`` bytes into a file (created/truncated)."""
+        remaining = size
+        with open(path, "wb") as f:
+            while remaining > 0:
+                chunk = self.sock.recv(min(IO_CHUNK, remaining))
+                if not chunk:
+                    raise ProtocolError(
+                        f"connection closed with {remaining} bytes outstanding"
+                    )
+                f.write(chunk)
+                remaining -= len(chunk)
+
+    # -- internals -------------------------------------------------------
+
+    def _recv_exact(self, size: int) -> bytes:
+        parts = []
+        remaining = size
+        while remaining > 0:
+            chunk = self.sock.recv(min(IO_CHUNK, remaining))
+            if not chunk:
+                raise ProtocolError(
+                    f"connection closed with {remaining} bytes outstanding"
+                )
+            parts.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(parts)
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Adjust the socket timeout for subsequent operations."""
+        self.sock.settimeout(timeout)
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+    def fileno(self) -> int:
+        """Underlying descriptor, for use with selectors."""
+        return self.sock.fileno()

@@ -1,0 +1,96 @@
+"""Wire message vocabulary for the TaskVine protocol.
+
+A thin schema layer over the JSON control frames: message *types* are
+named constants, and :func:`validate` checks required fields before a
+message is acted on, so protocol bugs fail loudly at the boundary
+rather than deep inside a runtime.
+
+Direction conventions (paper §2.2: "the manager directs all policy
+decisions, while the worker provides the mechanisms"):
+
+* manager → worker: commands (``put_file``, ``fetch_file``,
+  ``stage_minitask``, ``execute``, ``send_back``, ``unlink``,
+  ``install_library``, ``invoke``, ``shutdown``)
+* worker → manager: facts (``register``, ``cache_update``,
+  ``cache_invalid``, ``task_done``, ``library_ready``)
+* worker ↔ worker: the peer transfer protocol (``get`` /
+  ``file_data``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["M", "validate", "WireError"]
+
+
+class WireError(ValueError):
+    """A message failed schema validation."""
+
+
+class M:
+    """Message type constants (``msg["type"]`` values)."""
+
+    # manager -> worker
+    ACK = "ack"
+    PUT_FILE = "put_file"            # + raw bytes follow
+    FETCH_FILE = "fetch_file"        # worker pulls from url/peer
+    STAGE_MINITASK = "stage_minitask"
+    EXECUTE = "execute"
+    SEND_BACK = "send_back"
+    UNLINK = "unlink"
+    INSTALL_LIBRARY = "install_library"  # + raw payload bytes follow
+    INVOKE = "invoke"                # + raw args payload bytes follow
+    CANCEL_TASK = "cancel_task"
+    SHUTDOWN = "shutdown"
+
+    # worker -> manager
+    REGISTER = "register"
+    HEARTBEAT = "heartbeat"
+    CACHE_UPDATE = "cache_update"
+    CACHE_INVALID = "cache_invalid"
+    TASK_DONE = "task_done"
+    LIBRARY_READY = "library_ready"
+    FILE_DATA = "file_data"          # + raw bytes follow (send_back reply)
+
+    # worker <-> worker peer transfers
+    GET = "get"
+
+
+#: required fields per message type (beyond "type" itself)
+_SCHEMA: Mapping[str, tuple[str, ...]] = {
+    M.ACK: (),
+    M.PUT_FILE: ("cache_name", "size", "level"),
+    M.FETCH_FILE: ("cache_name", "source", "transfer_id", "level"),
+    M.STAGE_MINITASK: ("cache_name", "spec", "level", "transfer_id"),
+    M.EXECUTE: ("task_id", "command", "inputs", "outputs", "resources"),
+    M.SEND_BACK: ("cache_name",),
+    M.UNLINK: ("cache_name",),
+    M.INSTALL_LIBRARY: ("library", "functions", "payload_size", "task_id"),
+    M.INVOKE: ("task_id", "library", "function", "payload_size"),
+    M.CANCEL_TASK: ("task_id",),
+    M.SHUTDOWN: (),
+    M.REGISTER: ("capacity", "transfer_port"),
+    M.HEARTBEAT: (),
+    M.CACHE_UPDATE: ("cache_name", "size"),
+    M.CACHE_INVALID: ("cache_name", "reason"),
+    M.TASK_DONE: ("task_id", "exit_code"),
+    M.LIBRARY_READY: ("library", "task_id"),
+    M.FILE_DATA: ("cache_name", "found", "size"),
+    M.GET: ("cache_name",),
+}
+
+
+def validate(message: dict) -> str:
+    """Check a decoded control message; returns its type.
+
+    Raises :class:`WireError` if the type is unknown or any required
+    field is missing.
+    """
+    mtype = message.get("type")
+    if mtype not in _SCHEMA:
+        raise WireError(f"unknown message type {mtype!r}")
+    missing = [f for f in _SCHEMA[mtype] if f not in message]
+    if missing:
+        raise WireError(f"message {mtype!r} missing fields {missing}")
+    return mtype

@@ -1,0 +1,211 @@
+"""Function and argument serialization for PythonTasks and libraries.
+
+A :class:`~repro.core.task.PythonTask` ships "the function code ...
+serialized along with the needed Python dependencies" to the worker
+(paper §2.4).  Standard :mod:`pickle` serializes functions *by
+reference* (module + qualname), which breaks for functions defined in
+``__main__`` of an application script — precisely the common case for
+workflow code.  This module extends pickle to serialize such functions
+*by value*: the code object is marshaled, and the referenced globals,
+closure cells, defaults, and nested functions are captured recursively.
+
+Importable functions (from real installed modules) are still serialized
+by reference, keeping payloads small.  Recursive and mutually-recursive
+functions work: shells are created first and their state (including
+self-references) is filled afterwards through pickle's two-phase
+``__reduce__`` protocol, so cycles resolve through the pickle memo.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import marshal
+import pickle
+import sys
+import types
+from typing import Any
+
+__all__ = ["dumps", "loads", "SerializationError"]
+
+
+class SerializationError(Exception):
+    """Raised when an object cannot be serialized for shipping."""
+
+
+def _referenced_globals(code: types.CodeType, globals_dict: dict) -> dict:
+    """Collect the globals a code object (and its nested code) may read."""
+    names: set[str] = set()
+    stack = [code]
+    while stack:
+        c = stack.pop()
+        names.update(c.co_names)
+        for const in c.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+    return {n: globals_dict[n] for n in names if n in globals_dict}
+
+
+def _is_importable(fn: types.FunctionType) -> bool:
+    """True if ``fn`` can be recovered by (module, qualname) lookup."""
+    module = getattr(fn, "__module__", None)
+    if not module or module == "__main__":
+        return False
+    mod = sys.modules.get(module)
+    if mod is None:
+        return False
+    obj = mod
+    try:
+        for part in fn.__qualname__.split("."):
+            obj = getattr(obj, part)
+    except AttributeError:
+        return False
+    return obj is fn
+
+
+def _make_function_shell(code_bytes: bytes, name: str, n_freevars: int):
+    """Phase one of rebuilding a by-value function: an empty shell.
+
+    The shell has fresh (empty-contents) closure cells and a globals
+    dict containing only builtins; :func:`_fill_function` completes it.
+    """
+    code = marshal.loads(code_bytes)
+    cells = tuple(types.CellType() for _ in range(n_freevars))
+    fn_globals: dict = {"__builtins__": __builtins__}
+    return types.FunctionType(code, fn_globals, name, None, cells)
+
+
+def _fill_function(fn: types.FunctionType, state: dict) -> None:
+    """Phase two: install globals, defaults, and closure-cell contents."""
+    fn.__globals__.update(state["globals"])
+    fn.__defaults__ = state["defaults"]
+    fn.__kwdefaults__ = state["kwdefaults"]
+    fn.__qualname__ = state["qualname"]
+    fn.__doc__ = state["doc"]
+    if state["fn_dict"]:
+        fn.__dict__.update(state["fn_dict"])
+    for cell, contents in zip(fn.__closure__ or (), state["cells"]):
+        if contents is not _EMPTY_CELL:
+            cell.cell_contents = contents
+
+
+class _EmptyCellSentinel:
+    """Marker for a closure cell that was unset at serialization time."""
+
+    def __reduce__(self):
+        return (_get_empty_cell_sentinel, ())
+
+
+def _get_empty_cell_sentinel() -> "_EmptyCellSentinel":
+    return _EMPTY_CELL
+
+
+_EMPTY_CELL = _EmptyCellSentinel()
+
+
+def _import_module(name: str) -> types.ModuleType:
+    """Rebuild a module reference on the receiving side."""
+    return importlib.import_module(name)
+
+
+class _Pickler(pickle.Pickler):
+    """Pickler that serializes non-importable functions by value."""
+
+    def reducer_override(self, obj: Any):
+        if isinstance(obj, types.ModuleType):
+            return (_import_module, (obj.__name__,))
+        if isinstance(obj, types.FunctionType):
+            if _is_importable(obj):
+                # defer to pickle's standard by-reference handling; also
+                # breaks the recursion on our own reconstructor functions
+                return NotImplemented
+            return self._reduce_function(obj)
+        return NotImplemented
+
+    def _reduce_function(self, fn: types.FunctionType):
+        try:
+            code_bytes = marshal.dumps(fn.__code__)
+        except ValueError as exc:  # pragma: no cover - marshal edge cases
+            raise SerializationError(f"cannot marshal code of {fn!r}: {exc}") from exc
+        cells = []
+        for cell in fn.__closure__ or ():
+            try:
+                cells.append(cell.cell_contents)
+            except ValueError:  # unset cell (e.g. not-yet-defined recursion)
+                cells.append(_EMPTY_CELL)
+        state = {
+            "globals": _referenced_globals(fn.__code__, fn.__globals__),
+            "defaults": fn.__defaults__,
+            "kwdefaults": fn.__kwdefaults__,
+            "qualname": fn.__qualname__,
+            "doc": fn.__doc__,
+            "fn_dict": dict(fn.__dict__),
+            "cells": cells,
+        }
+        n_freevars = len(fn.__code__.co_freevars)
+        return (
+            _make_function_shell,
+            (code_bytes, fn.__name__, n_freevars),
+            state,
+            None,
+            None,
+            _fill_function,
+        )
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialize ``obj`` (which may be or contain functions) to bytes."""
+    buf = io.BytesIO()
+    try:
+        _Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+    return buf.getvalue()
+
+
+def loads(data: bytes) -> Any:
+    """Inverse of :func:`dumps`."""
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise SerializationError(f"cannot deserialize payload: {exc}") from exc
+
+
+def _path_hints() -> list[str]:
+    """The sender's importable locations, for same-host receivers.
+
+    By-reference functions (module + qualname) are only loadable if the
+    receiver can import the module.  On one machine — the deployment
+    this reproduction targets, like the paper's shared filesystem — the
+    sender's ``sys.path`` entries are valid hints for the receiving
+    interpreter.
+    """
+    import os
+
+    return [p for p in sys.path if p and os.path.isdir(p)]
+
+
+def dumps_portable(obj: Any) -> bytes:
+    """Serialize with import-path hints for fresh-interpreter receivers.
+
+    The outer envelope contains only primitives, so it can be decoded
+    *before* the inner payload needs any application module imported.
+    """
+    envelope = {"sys_path": _path_hints(), "blob": dumps(obj)}
+    return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_portable(data: bytes) -> Any:
+    """Inverse of :func:`dumps_portable`: extend ``sys.path``, then load."""
+    try:
+        envelope = pickle.loads(data)
+    except Exception as exc:
+        raise SerializationError(f"cannot decode payload envelope: {exc}") from exc
+    if not isinstance(envelope, dict) or "blob" not in envelope:
+        raise SerializationError("payload is not a portable envelope")
+    for path in envelope.get("sys_path", []):
+        if isinstance(path, str) and path not in sys.path:
+            sys.path.append(path)
+    return loads(envelope["blob"])

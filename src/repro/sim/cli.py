@@ -1,0 +1,164 @@
+"""Command-line driver for the simulated experiments.
+
+Regenerate any of the paper's evaluation scenarios without pytest::
+
+    python -m repro.sim.cli fig9            # BLAST cold vs hot cache
+    python -m repro.sim.cli fig10           # shared mini-tasks
+    python -m repro.sim.cli fig11 --mode managed --limit 3
+    python -m repro.sim.cli colmena
+    python -m repro.sim.cli bgd --calls 500
+    python -m repro.sim.cli topeft --shared-storage
+
+Each subcommand prints the figure's headline numbers plus ASCII task
+and worker views (the paper's Fig 12-style panels).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.trace import ascii_task_view, ascii_worker_view, run_summary
+from repro.sim.workloads import (
+    bgd_workflow,
+    blast_cluster,
+    blast_workflow,
+    colmena_workflow,
+    distribution_workflow,
+    envshare_workflow,
+    topeft_workflow,
+)
+
+__all__ = ["main"]
+
+
+def _print_views(log, label: str, width: int = 78) -> None:
+    print(f"\n--- {label}: worker view ---")
+    print(ascii_worker_view(log, width=width, max_workers=16))
+    summary = run_summary(log)
+    print(
+        f"tasks={summary['tasks']} workers={summary['workers']} "
+        f"makespan={summary['makespan']:.1f}s "
+        f"exec={summary['exec_fraction']:.0%} "
+        f"transfer={summary['transfer_fraction']:.0%} "
+        f"idle={summary['idle_fraction']:.0%}"
+    )
+
+
+def _cmd_fig9(args) -> None:
+    cluster = blast_cluster(n_workers=args.workers)
+    cold = blast_workflow(cluster, n_tasks=args.tasks, seed=0)
+    hot = blast_workflow(cluster, n_tasks=args.tasks, seed=1)
+    print(f"cold: {cold.makespan:.1f}s  transfers={dict(cold.transfer_counts)}")
+    print(f"hot:  {hot.makespan:.1f}s  transfers={dict(hot.transfer_counts)}")
+    _print_views(cold.log, "cold cache")
+    _print_views(hot.log, "hot cache")
+
+
+def _cmd_fig10(args) -> None:
+    independent = envshare_workflow(shared=False, n_tasks=args.tasks)
+    shared = envshare_workflow(shared=True, n_tasks=args.tasks)
+    print(f"independent: {independent.makespan:.1f}s")
+    print(
+        f"shared mini-task: {shared.makespan:.1f}s "
+        f"({shared.transfer_counts.get('stage', 0)} unpacks)"
+    )
+
+
+def _cmd_fig11(args) -> None:
+    result = distribution_workflow(
+        args.mode,
+        n_workers=args.workers,
+        limit=args.limit,
+        server_bps=5e9,
+        worker_bps=4e8,
+        transfer_latency=1.0,
+    )
+    times = result.completion_times
+    print(
+        f"mode={args.mode} limit={args.limit}: "
+        f"p50={times[len(times)//2]:.1f}s last={times[-1]:.1f}s "
+        f"sources={dict(result.stats.transfer_counts)}"
+    )
+    _print_views(result.stats.log, f"{args.mode} distribution")
+
+
+def _cmd_colmena(args) -> None:
+    result = colmena_workflow(peer_transfers=not args.no_peers)
+    print(
+        f"shared-FS loads: {result.sharedfs_loads}, "
+        f"peer transfers: {result.peer_loads}, "
+        f"makespan: {result.stats.makespan:.0f}s"
+    )
+    _print_views(result.stats.log, "colmena")
+
+
+def _cmd_bgd(args) -> None:
+    result = bgd_workflow(n_calls=args.calls, n_workers=args.workers)
+    ready = result.library_ready_times
+    print(
+        f"{args.calls} calls on {args.workers} workers: "
+        f"makespan={result.stats.makespan:.0f}s, "
+        f"libraries ready {ready[0]:.0f}s..{ready[-1]:.0f}s"
+    )
+    print("\n--- task view ---")
+    print(ascii_task_view(result.stats.log, width=78, max_tasks=24))
+    _print_views(result.stats.log, "bgd serverless")
+
+
+def _cmd_topeft(args) -> None:
+    result = topeft_workflow(
+        in_cluster=not args.shared_storage,
+        n_chunks=args.chunks,
+        manager_bps=0.125e9,
+        growth=4.0,
+    )
+    mode = "shared storage" if args.shared_storage else "in-cluster temps"
+    print(
+        f"{mode}: {result.n_tasks} tasks, makespan {result.stats.makespan:.0f}s, "
+        f"{result.stats.bytes_by_source.get('retrieve', 0)/1e9:.1f} GB via manager"
+    )
+    _print_views(result.stats.log, mode)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the simulated-experiment CLI."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig9", help="BLAST cold vs hot persistent cache")
+    p.add_argument("--workers", type=int, default=100)
+    p.add_argument("--tasks", type=int, default=1000)
+    p.set_defaults(func=_cmd_fig9)
+
+    p = sub.add_parser("fig10", help="independent tasks vs shared mini-tasks")
+    p.add_argument("--tasks", type=int, default=1000)
+    p.set_defaults(func=_cmd_fig10)
+
+    p = sub.add_parser("fig11", help="transfer method comparison")
+    p.add_argument("--mode", choices=["url", "unmanaged", "managed"], default="managed")
+    p.add_argument("--limit", type=int, default=3)
+    p.add_argument("--workers", type=int, default=500)
+    p.set_defaults(func=_cmd_fig11)
+
+    p = sub.add_parser("colmena", help="peer distribution of a software env")
+    p.add_argument("--no-peers", action="store_true")
+    p.set_defaults(func=_cmd_colmena)
+
+    p = sub.add_parser("bgd", help="serverless BGD ramp")
+    p.add_argument("--calls", type=int, default=2000)
+    p.add_argument("--workers", type=int, default=200)
+    p.set_defaults(func=_cmd_bgd)
+
+    p = sub.add_parser("topeft", help="histogram accumulation tree")
+    p.add_argument("--shared-storage", action="store_true")
+    p.add_argument("--chunks", type=int, default=256)
+    p.set_defaults(func=_cmd_topeft)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

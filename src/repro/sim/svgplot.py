@@ -1,0 +1,170 @@
+"""Dependency-free SVG rendering of task and worker views.
+
+Generates the paper's figure panels (Fig. 9/10/11/12/13 styles) as
+standalone SVG files straight from an :class:`~repro.core.events.EventLog`:
+the *task view* (one row per task, execution interval filled) and the
+*worker view* (per-worker timeline: blue = executing, orange =
+transfer/stage, light gray = idle).  Pure string assembly — no plotting
+library required — so figures regenerate anywhere the tests run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import EventLog, task_rows
+
+__all__ = ["svg_task_view", "svg_worker_view"]
+
+#: the figure legend's colors
+COLOR_EXEC = "#27517c"      # dark blue: task running
+COLOR_TRANSFER = "#e8833a"  # orange: data transfer / staging
+COLOR_IDLE = "#d9d9d9"      # light gray: connected but idle
+COLOR_BG = "#ffffff"
+
+#: rotating palette for per-category task-view coloring
+CATEGORY_PALETTE = [
+    "#27517c",  # blue
+    "#2e7d32",  # green
+    "#b23c17",  # rust
+    "#6a4c93",  # purple
+    "#00838f",  # teal
+    "#9e7b00",  # ochre
+]
+
+
+def _svg_header(width: int, height: int, title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<title>{title}</title>',
+        f'<rect width="{width}" height="{height}" fill="{COLOR_BG}"/>',
+    ]
+
+
+def _rect(x: float, y: float, w: float, h: float, color: str) -> str:
+    return (
+        f'<rect x="{x:.2f}" y="{y:.2f}" width="{max(w, 0.3):.2f}" '
+        f'height="{h:.2f}" fill="{color}"/>'
+    )
+
+
+def svg_task_view(
+    log: EventLog,
+    path: str,
+    width: int = 800,
+    row_height: int = 3,
+    max_tasks: int = 300,
+    t0: float = 0.0,
+    horizon: Optional[float] = None,
+    title: str = "task view",
+    color_by_category: bool = False,
+) -> str:
+    """Write the task view (paper Fig. 12 top row) as an SVG file.
+
+    Rows are tasks sorted by start time (sampled down to ``max_tasks``);
+    each row's filled span is the execution interval.  With
+    ``color_by_category`` each task category gets its own color (the
+    figures distinguish e.g. processors from accumulators).  Returns
+    ``path``.
+    """
+    rows = task_rows(log)
+    if horizon is None:
+        horizon = max((r.end for r in rows), default=1.0)
+    span = max(horizon - t0, 1e-9)
+    if len(rows) > max_tasks:
+        step = len(rows) / max_tasks
+        rows = [rows[int(i * step)] for i in range(max_tasks)]
+    height = row_height * max(1, len(rows)) + 2
+    scale = width / span
+    parts = _svg_header(width, height, title)
+    color_of: dict[str, str] = {}
+    for i, r in enumerate(rows):
+        if color_by_category:
+            if r.category not in color_of:
+                color_of[r.category] = CATEGORY_PALETTE[
+                    len(color_of) % len(CATEGORY_PALETTE)
+                ]
+            color = color_of[r.category]
+        else:
+            color = COLOR_EXEC
+        x = (r.start - t0) * scale
+        w = (r.end - r.start) * scale
+        parts.append(_rect(x, 1 + i * row_height, w, row_height * 0.85, color))
+    parts.append("</svg>")
+    with open(path, "w") as f:
+        f.write("\n".join(parts))
+    return path
+
+
+def svg_worker_view(
+    log: EventLog,
+    path: str,
+    width: int = 800,
+    row_height: int = 8,
+    max_workers: int = 120,
+    t0: float = 0.0,
+    horizon: Optional[float] = None,
+    title: str = "worker view",
+) -> str:
+    """Write the worker view (paper Fig. 12 bottom row) as an SVG file.
+
+    One band per worker: idle-gray from its join time, with orange
+    transfer/stage intervals and blue execution intervals painted on
+    top.  Returns ``path``.
+    """
+    if horizon is None:
+        horizon = max((e.time for e in log), default=1.0)
+    span = max(horizon - t0, 1e-9)
+    scale = width / span
+    joins: dict[str, float] = {}
+    spans: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    opens: dict[tuple[str, str], list[float]] = {}
+    kind_of = {
+        "task_start": "exec",
+        "transfer_start": "move",
+        "stage_start": "move",
+    }
+    enders = {
+        "task_end": "task_start",
+        "transfer_end": "transfer_start",
+        "stage_end": "stage_start",
+    }
+    for e in log:
+        if e.worker is None:
+            continue
+        if e.kind == "worker_join":
+            joins.setdefault(e.worker, e.time)
+        elif e.kind in kind_of:
+            joins.setdefault(e.worker, e.time)
+            opens.setdefault((e.worker, kind_of[e.kind]), []).append(e.time)
+        elif e.kind in enders:
+            stack = opens.get((e.worker, kind_of[enders[e.kind]]))
+            if stack:
+                start = stack.pop()
+                spans.setdefault(e.worker, {}).setdefault(
+                    kind_of[enders[e.kind]], []
+                ).append((start, e.time))
+    for (worker, kind), stack in opens.items():
+        for start in stack:
+            spans.setdefault(worker, {}).setdefault(kind, []).append((start, horizon))
+
+    workers = sorted(joins)
+    if len(workers) > max_workers:
+        step = len(workers) / max_workers
+        workers = [workers[int(i * step)] for i in range(max_workers)]
+    height = row_height * max(1, len(workers)) + 2
+    parts = _svg_header(width, height, title)
+    for i, worker in enumerate(workers):
+        y = 1 + i * row_height
+        h = row_height * 0.85
+        join_x = (joins[worker] - t0) * scale
+        parts.append(_rect(join_x, y, width - join_x, h, COLOR_IDLE))
+        for kind, color in (("move", COLOR_TRANSFER), ("exec", COLOR_EXEC)):
+            for start, end in spans.get(worker, {}).get(kind, []):
+                x = (start - t0) * scale
+                parts.append(_rect(x, y, (end - start) * scale, h, color))
+    parts.append("</svg>")
+    with open(path, "w") as f:
+        f.write("\n".join(parts))
+    return path

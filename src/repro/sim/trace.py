@@ -1,0 +1,158 @@
+"""Textual rendering of run traces in the paper's figure idioms.
+
+The paper's evaluation figures are (a) task views — one row per task,
+showing its execution interval, sorted by start time — and (b) worker
+views — one row per worker colored by activity (dark = task running,
+orange = transferring, gray = idle).  These helpers render both as
+ASCII timelines plus numeric series, so the benchmark harness can
+print directly comparable artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import EventLog, completion_series, task_rows, worker_busy
+
+__all__ = ["ascii_worker_view", "ascii_task_view", "run_summary", "series_table"]
+
+#: glyphs for the worker view, mirroring the figure legend
+GLYPH_EXEC = "#"      # dark blue: task running
+GLYPH_TRANSFER = "~"  # orange: data transfer / staging
+GLYPH_IDLE = "."      # light gray: connected but idle
+GLYPH_ABSENT = " "    # not yet joined
+
+
+def _paint(row: list[str], start: float, end: float, t0: float, scale: float, glyph: str, priority: dict) -> None:
+    width = len(row)
+    lo = max(0, int((start - t0) * scale))
+    hi = min(width, int((end - t0) * scale) + 1)
+    for i in range(lo, hi):
+        if priority[glyph] >= priority[row[i]]:
+            row[i] = glyph
+
+
+def ascii_worker_view(
+    log: EventLog,
+    width: int = 80,
+    t0: float = 0.0,
+    horizon: Optional[float] = None,
+    max_workers: int = 40,
+) -> str:
+    """Render the worker view (paper Fig. 9/10/11/12 bottom row).
+
+    One line per worker; execution paints over transfer paints over
+    idle.  ``max_workers`` rows are shown (evenly sampled) so huge
+    clusters stay readable.
+    """
+    if horizon is None:
+        horizon = max((e.time for e in log), default=1.0)
+    span = max(horizon - t0, 1e-9)
+    scale = width / span
+    priority = {GLYPH_ABSENT: 0, GLYPH_IDLE: 1, GLYPH_TRANSFER: 2, GLYPH_EXEC: 3}
+    rows: dict[str, list[str]] = {}
+    join_time: dict[str, float] = {}
+    opens: dict[tuple[str, str], list[float]] = {}
+    glyph_of = {
+        "task_start": GLYPH_EXEC,
+        "transfer_start": GLYPH_TRANSFER,
+        "stage_start": GLYPH_TRANSFER,
+    }
+    enders = {
+        "task_end": "task_start",
+        "transfer_end": "transfer_start",
+        "stage_end": "stage_start",
+    }
+    for e in log:
+        if e.worker is None:
+            continue
+        if e.worker not in rows:
+            rows[e.worker] = [GLYPH_ABSENT] * width
+            join_time[e.worker] = e.time
+        row = rows[e.worker]
+        if e.kind == "worker_join":
+            join_time[e.worker] = e.time
+            _paint(row, e.time, horizon, t0, scale, GLYPH_IDLE, priority)
+        elif e.kind in glyph_of:
+            opens.setdefault((e.worker, e.kind), []).append(e.time)
+        elif e.kind in enders:
+            stack = opens.get((e.worker, enders[e.kind]))
+            if stack:
+                start = stack.pop()
+                _paint(row, start, e.time, t0, scale, glyph_of[enders[e.kind]], priority)
+    # close dangling intervals at the horizon
+    for (worker, kind), stack in opens.items():
+        for start in stack:
+            _paint(rows[worker], start, horizon, t0, scale, glyph_of[kind], priority)
+    names = sorted(rows)
+    if len(names) > max_workers:
+        step = len(names) / max_workers
+        names = [names[int(i * step)] for i in range(max_workers)]
+    lines = [f"{name:>8s} |{''.join(rows[name])}|" for name in names]
+    legend = f"legend: '{GLYPH_EXEC}'=executing '{GLYPH_TRANSFER}'=transfer/stage '{GLYPH_IDLE}'=idle"
+    return "\n".join(lines + [legend])
+
+
+def ascii_task_view(
+    log: EventLog,
+    width: int = 80,
+    t0: float = 0.0,
+    horizon: Optional[float] = None,
+    max_tasks: int = 50,
+) -> str:
+    """Render the task view (paper Fig. 12 top row).
+
+    One row per task (sampled), sorted by start time; the painted span
+    is the execution interval.
+    """
+    rows = task_rows(log)
+    if not rows:
+        return "(no completed tasks)"
+    if horizon is None:
+        horizon = max(r.end for r in rows)
+    span = max(horizon - t0, 1e-9)
+    scale = width / span
+    if len(rows) > max_tasks:
+        step = len(rows) / max_tasks
+        rows = [rows[int(i * step)] for i in range(max_tasks)]
+    lines = []
+    for r in rows:
+        line = [" "] * width
+        lo = max(0, int((r.start - t0) * scale))
+        hi = min(width, int((r.end - t0) * scale) + 1)
+        for i in range(lo, hi):
+            line[i] = GLYPH_EXEC
+        lines.append(f"{r.task_id:>8s} |{''.join(line)}| {r.category}")
+    return "\n".join(lines)
+
+
+def run_summary(log: EventLog, horizon: Optional[float] = None) -> dict:
+    """Aggregate a run the way the paper's prose does.
+
+    Returns makespan, counts, and cluster-wide busy fractions
+    (execution / transfer / idle shares of total connected time).
+    """
+    rows = task_rows(log)
+    busy = worker_busy(log, horizon=horizon)
+    connected = sum(b.connected for b in busy.values()) or 1.0
+    return {
+        "tasks": len(rows),
+        "workers": len(busy),
+        "makespan": max((r.end for r in rows), default=0.0),
+        "exec_fraction": sum(b.executing for b in busy.values()) / connected,
+        "transfer_fraction": (
+            sum(b.transferring + b.staging for b in busy.values()) / connected
+        ),
+        "idle_fraction": sum(b.idle for b in busy.values()) / connected,
+    }
+
+
+def series_table(
+    log: EventLog, points: int = 20, category: Optional[str] = None
+) -> str:
+    """Cumulative completion curve as a printable two-column table."""
+    rows = completion_series(log, points=points, category=category)
+    lines = [f"{'time(s)':>10s} {'completed':>10s}"]
+    for t, n in rows:
+        lines.append(f"{t:10.1f} {n:10d}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Low-level content hashing helpers.
+
+TaskVine names cached objects by content (paper §3.2).  The paper uses
+MD5 for file content; we follow it for fidelity.  These helpers are the
+single place the digest algorithm is chosen so the naming layer
+(:mod:`repro.core.naming`) stays policy-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import BinaryIO
+
+#: Digest algorithm used for content-addressable names (paper uses MD5).
+DIGEST = "md5"
+
+#: Read size for streaming file hashes.  1 MiB balances syscall overhead
+#: against peak memory for multi-GB inputs.
+CHUNK_SIZE = 1 << 20
+
+
+def new_digest() -> "hashlib._Hash":
+    """Return a fresh digest object of the configured algorithm."""
+    return hashlib.new(DIGEST)
+
+
+def hash_bytes(data: bytes) -> str:
+    """Hash an in-memory byte string and return the hex digest."""
+    h = new_digest()
+    h.update(data)
+    return h.hexdigest()
+
+
+def hash_stream(stream: BinaryIO) -> str:
+    """Hash a readable binary stream in chunks and return the hex digest."""
+    h = new_digest()
+    while True:
+        chunk = stream.read(CHUNK_SIZE)
+        if not chunk:
+            break
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def hash_file(path: str | os.PathLike) -> str:
+    """Hash the contents of a regular file and return the hex digest.
+
+    Raises ``OSError`` if the path cannot be opened; symbolic links are
+    followed (their target content is what tasks will consume).
+    """
+    with open(path, "rb") as f:
+        return hash_stream(f)

@@ -1,0 +1,58 @@
+"""Logging setup for the runtimes.
+
+Both the manager and workers log through standard :mod:`logging` under
+the ``repro.*`` hierarchy.  Verbosity comes from the ``REPRO_LOG``
+environment variable (``debug``, ``info``, ``warning`` — default
+``warning`` so library users see nothing unless they ask), matching how
+the paper's system exposes its debug stream.
+
+Usage::
+
+    from repro.util.logging import get_logger
+    log = get_logger(__name__)
+    log.debug("dispatched %s to %s", task_id, worker_id)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["get_logger", "configure"]
+
+_configured = False
+
+
+def configure(level: str | int | None = None, stream=None) -> None:
+    """Install the handler/format for the ``repro`` logger hierarchy.
+
+    Idempotent; called automatically by :func:`get_logger`.  An explicit
+    ``level`` overrides ``REPRO_LOG``.
+    """
+    global _configured
+    root = logging.getLogger("repro")
+    if level is None:
+        level = os.environ.get("REPRO_LOG", "warning")
+    if isinstance(level, str):
+        level = getattr(logging, level.upper(), logging.WARNING)
+    root.setLevel(level)
+    if not _configured:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s.%(msecs)03d %(levelname).1s %(name)s: %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the configured ``repro`` hierarchy."""
+    configure()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,63 @@
+"""Command-line entry point for a TaskVine worker.
+
+Mirrors the paper's deployment model: workers are submitted as batch
+jobs pointing at the manager's address.  On one machine::
+
+    repro-worker --manager 127.0.0.1:9123 --workdir /tmp/w1 --cores 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.worker.worker import Worker
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, start the worker, and serve until shutdown."""
+    parser = argparse.ArgumentParser(description="TaskVine reproduction worker")
+    parser.add_argument(
+        "--manager",
+        required=True,
+        help="manager address as host:port",
+    )
+    parser.add_argument("--workdir", required=True, help="cache + sandbox directory")
+    parser.add_argument("--cores", type=float, default=4)
+    parser.add_argument("--memory", type=int, default=4000, help="MB")
+    parser.add_argument("--disk", type=int, default=10000, help="MB")
+    parser.add_argument("--gpus", type=int, default=0)
+    parser.add_argument(
+        "--task-timeout", type=float, default=600.0, help="seconds per task"
+    )
+    parser.add_argument(
+        "--max-cache-mb",
+        type=int,
+        default=None,
+        help="evict LRU cache objects beyond this bound (MB)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.manager.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error("--manager must be host:port")
+    worker = Worker(
+        host,
+        int(port),
+        args.workdir,
+        cores=args.cores,
+        memory=args.memory,
+        disk=args.disk,
+        gpus=args.gpus,
+        task_timeout=args.task_timeout,
+        max_cache_bytes=(
+            args.max_cache_mb * 1_000_000 if args.max_cache_mb else None
+        ),
+    )
+    worker.run()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

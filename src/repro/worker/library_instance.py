@@ -1,0 +1,217 @@
+"""Library instances: resident serverless processes at the worker.
+
+The paper's serverless model (§3.4, Fig. 8): after receiving a
+LibraryTask, the worker creates a pipe, forks a *Library Instance*,
+and waits for an initialization message describing its functions.  To
+run a FunctionCall, the worker sends an invocation message; the
+instance **forks** to run the already-loaded code so per-call state
+cannot pollute the resident process, and returns the serialized result.
+
+Implementation: :class:`LibraryInstanceHandle` lives in the worker and
+owns a ``multiprocessing`` child running :func:`_instance_main`.  The
+instance deserializes the function table once (the expensive
+initialization the model amortizes), then forks one short-lived
+process per invocation, with results flowing back over a shared queue.
+Multiple invocations run concurrently up to ``function_slots``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import traceback
+from typing import Any, Callable, Optional
+
+from repro.protocol import serialization as ser
+
+__all__ = ["LibraryInstanceHandle", "LibraryError"]
+
+#: fork start method gives true paper semantics (shared loaded state)
+_CTX = mp.get_context("fork")
+
+
+class LibraryError(RuntimeError):
+    """Library failed to initialize or died mid-workflow."""
+
+
+def _invoke_child(
+    functions_blob: bytes, function: str, args_blob: bytes, result_queue, invocation_id: str
+) -> None:  # pragma: no cover - runs in a forked child
+    """Run one invocation in a forked process and post the result."""
+    try:
+        functions = _invoke_child._cache  # populated pre-fork, see below
+    except AttributeError:
+        functions = ser.loads(functions_blob)
+    try:
+        payload = ser.loads(args_blob)
+        fn = functions[function]
+        value = fn(*payload.get("args", ()), **payload.get("kwargs", {}))
+        blob = ser.dumps({"ok": True, "value": value})
+    except BaseException as exc:
+        blob = ser.dumps(
+            {"ok": False, "error": exc, "traceback": traceback.format_exc()}
+        )
+    result_queue.put((invocation_id, blob))
+
+
+def _instance_main(
+    conn, result_queue, payload: bytes
+) -> None:  # pragma: no cover - separate process
+    """Main loop of the resident library process.
+
+    Loads the function table once, announces readiness, then forks a
+    child per invocation message until told to stop.
+    """
+    try:
+        functions: dict[str, Callable] = ser.loads_portable(payload)
+        _invoke_child._cache = functions  # type: ignore[attr-defined]
+        conn.send({"type": "init", "functions": sorted(functions)})
+    except Exception as exc:
+        conn.send({"type": "init_error", "error": repr(exc)})
+        return
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg.get("type") == "stop":
+            break
+        if msg.get("type") != "invoke":
+            continue
+        _CTX.active_children()  # reap finished invocation forks
+        child = _CTX.Process(
+            target=_invoke_child,
+            args=(b"", msg["function"], msg["args_blob"], result_queue, msg["id"]),
+        )
+        child.start()
+    for child in _CTX.active_children():
+        child.join(timeout=5)
+
+
+class LibraryInstanceHandle:
+    """Worker-side handle to one running library instance."""
+
+    def __init__(self, name: str, payload: bytes, function_slots: int = 1) -> None:
+        self.name = name
+        self.function_slots = max(1, function_slots)
+        self._parent_conn, child_conn = _CTX.Pipe()
+        self._results: mp.Queue = _CTX.Queue()
+        # not a daemon: the instance must be able to fork per invocation
+        self._proc = _CTX.Process(
+            target=_instance_main,
+            args=(child_conn, self._results, payload),
+        )
+        self._proc.start()
+        child_conn.close()
+        init = self._wait_init()
+        self.functions: list[str] = init
+        self._lock = threading.Lock()
+        self._waiters: dict[str, "threading.Event"] = {}
+        self._done: dict[str, bytes] = {}
+        self._in_flight = 0
+        self._collector = threading.Thread(target=self._collect, daemon=True)
+        self._collector.start()
+
+    def _wait_init(self, timeout: float = 60.0) -> list[str]:
+        if not self._parent_conn.poll(timeout):
+            self.stop()
+            raise LibraryError(f"library {self.name!r} did not initialize in time")
+        msg = self._parent_conn.recv()
+        if msg.get("type") != "init":
+            self.stop()
+            raise LibraryError(
+                f"library {self.name!r} failed to initialize: {msg.get('error')}"
+            )
+        return msg["functions"]
+
+    # -- invocation -------------------------------------------------------
+
+    def has_free_slot(self) -> bool:
+        """True if another invocation may start under the slot limit."""
+        with self._lock:
+            return self._in_flight < self.function_slots
+
+    def invoke(self, invocation_id: str, function: str, args_blob: bytes) -> None:
+        """Start an invocation; result arrives via :meth:`wait_result`."""
+        if function not in self.functions:
+            raise LibraryError(
+                f"library {self.name!r} has no function {function!r}"
+            )
+        with self._lock:
+            self._in_flight += 1
+            self._waiters[invocation_id] = threading.Event()
+        self._parent_conn.send(
+            {
+                "type": "invoke",
+                "id": invocation_id,
+                "function": function,
+                "args_blob": args_blob,
+            }
+        )
+
+    def wait_result(self, invocation_id: str, timeout: Optional[float] = None) -> bytes:
+        """Block until an invocation's serialized result is available."""
+        event = self._waiters[invocation_id]
+        if not event.wait(timeout):
+            raise LibraryError(f"invocation {invocation_id} timed out")
+        with self._lock:
+            del self._waiters[invocation_id]
+            return self._done.pop(invocation_id)
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                invocation_id, blob = self._results.get()
+            except (EOFError, OSError):
+                return
+            if invocation_id is None:
+                return
+            with self._lock:
+                self._done[invocation_id] = blob
+                self._in_flight -= 1
+                waiter = self._waiters.get(invocation_id)
+            if waiter is not None:
+                waiter.set()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def alive(self) -> bool:
+        """True while the resident process is running."""
+        return self._proc.is_alive()
+
+    def stop(self) -> None:
+        """Terminate the instance and its collector (idempotent)."""
+        try:
+            self._parent_conn.send({"type": "stop"})
+        except (OSError, BrokenPipeError):
+            pass
+        self._proc.join(timeout=2)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=2)
+        try:
+            self._results.put((None, b""))
+        except (OSError, ValueError):
+            pass
+
+
+def build_payload(functions: dict[str, Callable]) -> bytes:
+    """Serialize a function table for shipment to workers."""
+    return ser.dumps_portable(functions)
+
+
+def pack_invocation(args: tuple, kwargs: dict) -> bytes:
+    """Serialize one invocation's arguments."""
+    return ser.dumps({"args": args, "kwargs": kwargs})
+
+
+def unpack_result(blob: bytes) -> Any:
+    """Decode an invocation result; re-raises the remote exception."""
+    result = ser.loads(blob)
+    if result.get("ok"):
+        return result.get("value")
+    error = result.get("error")
+    if isinstance(error, BaseException):
+        raise error
+    raise LibraryError(f"remote invocation failed: {result.get('traceback')}")

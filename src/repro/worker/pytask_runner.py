@@ -1,0 +1,69 @@
+"""Sandbox-side runner for PythonTasks.
+
+Invoked by the task command line as::
+
+    python -m repro.worker.pytask_runner <payload> <result>
+
+The payload file contains the serialized function, args, and kwargs
+(:mod:`repro.protocol.serialization`); the result file receives the
+serialized return value, or the exception if the function raised.
+The process exit code tells the worker whether the function completed
+(0), raised (1), or the payload itself was unusable (2).
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+
+from repro.protocol import serialization as ser
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) != 2:
+        print("usage: pytask_runner <payload> <result>", file=sys.stderr)
+        return 2
+    payload_path, result_path = args
+    try:
+        with open(payload_path, "rb") as f:
+            payload = ser.loads_portable(f.read())
+        func = payload["func"]
+        call_args = payload.get("args", ())
+        call_kwargs = payload.get("kwargs", {})
+    except Exception as exc:
+        print(f"pytask payload unusable: {exc}", file=sys.stderr)
+        return 2
+    try:
+        value = func(*call_args, **call_kwargs)
+        result = {"ok": True, "value": value}
+        code = 0
+    except BaseException as exc:  # the exception itself is the result
+        result = {
+            "ok": False,
+            "error": exc,
+            "traceback": traceback.format_exc(),
+        }
+        code = 1
+    try:
+        blob = ser.dumps(result)
+    except ser.SerializationError:
+        # unpicklable return value: fall back to its repr
+        blob = ser.dumps(
+            {
+                "ok": result["ok"],
+                "value": repr(result.get("value")),
+                "error": repr(result.get("error")),
+                "unserializable": True,
+            }
+        )
+    with open(result_path, "wb") as f:
+        f.write(blob)
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

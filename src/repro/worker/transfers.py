@@ -1,0 +1,225 @@
+"""Worker-side data movement: the peer transfer server and fetch client.
+
+Workers can "fetch data from remote data services or from peer
+workers" (paper §2.1); transfers are *supervised by the manager* —
+a worker only ever fetches what a ``fetch_file`` command told it to,
+from the source the manager chose, so the per-source concurrency
+limits decided centrally are what actually happens on the wire.
+
+Objects may be files or directory trees; directories travel as tar
+streams.  Content-named objects (``file-md5-...``/``buffer-md5-...``)
+are verified against their embedded digest on receipt, so a corrupt or
+malicious peer cannot poison a cache.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tarfile
+import tempfile
+import threading
+import urllib.request
+from typing import Callable, Optional
+
+from repro.protocol.connection import Connection, ProtocolError, listen
+from repro.protocol.messages import M
+from repro.util.hashing import hash_file
+
+__all__ = [
+    "PeerTransferServer",
+    "fetch_from_peer",
+    "fetch_from_url",
+    "TransferFailed",
+    "verify_content_name",
+]
+
+
+class TransferFailed(RuntimeError):
+    """A commanded transfer could not be completed."""
+
+
+def pack_directory(path: str, dest_tar: str) -> None:
+    """Pack a directory tree into an uncompressed tar for streaming."""
+    with tarfile.open(dest_tar, "w") as tar:
+        tar.add(path, arcname=".")
+
+
+def unpack_directory(tar_path: str, dest_dir: str) -> None:
+    """Unpack a directory object received as a tar stream."""
+    os.makedirs(dest_dir, exist_ok=True)
+    with tarfile.open(tar_path, "r") as tar:
+        tar.extractall(dest_dir, filter="data")
+
+
+def verify_content_name(cache_name: str, path: str) -> bool:
+    """Check a received *file* object against its content-derived name.
+
+    Only names of the form ``file-md5-<digest>`` / ``buffer-md5-<digest>``
+    embed a content hash; all other names (url-meta, task-spec, random)
+    vacuously verify.  Directory objects are trusted from their tar
+    (re-deriving a Merkle root is possible but not done on the hot path).
+    """
+    for prefix in ("file-md5-", "buffer-md5-"):
+        if cache_name.startswith(prefix) and os.path.isfile(path):
+            return hash_file(path) == cache_name[len(prefix):]
+    return True
+
+
+class PeerTransferServer:
+    """Serves this worker's cache objects to peers over TCP.
+
+    One accept loop, one thread per request.  ``lookup`` resolves a
+    cache name to a local path (or None); the manager's scheduling
+    already throttles how many peers hit us concurrently.
+    """
+
+    def __init__(self, lookup: Callable[[str], Optional[str]], host: str = "127.0.0.1"):
+        self._lookup = lookup
+        self._sock = listen(host, 0)
+        self.host, self.port = self._sock.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, _ = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(Connection(sock),), daemon=True
+            ).start()
+
+    def _serve(self, conn: Connection) -> None:
+        try:
+            msg = conn.recv_message()
+            if msg.get("type") != M.GET:
+                conn.send_message({"type": M.FILE_DATA, "cache_name": "", "found": False, "size": 0})
+                return
+            cache_name = msg["cache_name"]
+            path = self._lookup(cache_name)
+            if path is None or not os.path.lexists(path):
+                conn.send_message(
+                    {"type": M.FILE_DATA, "cache_name": cache_name, "found": False, "size": 0}
+                )
+                return
+            if os.path.isdir(path):
+                with tempfile.NamedTemporaryFile(suffix=".tar", delete=False) as tf:
+                    tar_path = tf.name
+                try:
+                    pack_directory(path, tar_path)
+                    size = os.path.getsize(tar_path)
+                    conn.send_message(
+                        {
+                            "type": M.FILE_DATA,
+                            "cache_name": cache_name,
+                            "found": True,
+                            "size": size,
+                            "format": "tar",
+                        }
+                    )
+                    conn.send_file(tar_path, size)
+                finally:
+                    os.unlink(tar_path)
+            else:
+                size = os.path.getsize(path)
+                conn.send_message(
+                    {
+                        "type": M.FILE_DATA,
+                        "cache_name": cache_name,
+                        "found": True,
+                        "size": size,
+                        "format": "file",
+                    }
+                )
+                conn.send_file(path, size)
+        except (ProtocolError, OSError):
+            pass  # peer went away mid-transfer; manager will reschedule
+        finally:
+            conn.close()
+
+    def stop(self) -> None:
+        """Shut the server down (idempotent)."""
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def fetch_from_peer(
+    host: str,
+    port: int,
+    cache_name: str,
+    dest_path: str,
+    timeout: float = 60.0,
+) -> int:
+    """Download one object from a peer worker into ``dest_path``.
+
+    Returns the object's size in bytes.  Directory objects arrive as
+    tar and are unpacked at ``dest_path``.  Raises
+    :class:`TransferFailed` on any protocol error, absence, or hash
+    mismatch for content-named files.
+    """
+    try:
+        conn = Connection.connect(host, port, timeout=timeout)
+    except OSError as exc:
+        raise TransferFailed(f"cannot reach peer {host}:{port}: {exc}") from exc
+    try:
+        conn.send_message({"type": M.GET, "cache_name": cache_name})
+        reply = conn.recv_message()
+        if not reply.get("found"):
+            raise TransferFailed(f"peer {host}:{port} does not hold {cache_name}")
+        size = int(reply["size"])
+        if reply.get("format") == "tar":
+            with tempfile.NamedTemporaryFile(suffix=".tar", delete=False) as tf:
+                tar_path = tf.name
+            try:
+                conn.recv_to_file(tar_path, size)
+                unpack_directory(tar_path, dest_path)
+            finally:
+                os.unlink(tar_path)
+        else:
+            conn.recv_to_file(dest_path, size)
+            if not verify_content_name(cache_name, dest_path):
+                os.unlink(dest_path)
+                raise TransferFailed(
+                    f"content verification failed for {cache_name} from peer"
+                )
+        return size
+    except (ProtocolError, OSError) as exc:
+        raise TransferFailed(f"peer transfer of {cache_name} failed: {exc}") from exc
+    finally:
+        conn.close()
+
+
+def fetch_from_url(url: str, dest_path: str, timeout: float = 300.0) -> int:
+    """Download a URL into ``dest_path``; returns bytes received.
+
+    Supports ``file://`` (the offline archive used in tests/examples)
+    and ``http(s)://``.  A local *directory* behind ``file://`` is
+    copied recursively, standing in for an archive that serves trees.
+    """
+    if url.startswith("file://"):
+        src = url[len("file://"):]
+        if not os.path.exists(src):
+            raise TransferFailed(f"url source missing: {url}")
+        if os.path.isdir(src):
+            shutil.copytree(src, dest_path)
+            return sum(
+                os.path.getsize(os.path.join(r, f))
+                for r, _d, fs in os.walk(dest_path)
+                for f in fs
+            )
+        shutil.copyfile(src, dest_path)
+        return os.path.getsize(dest_path)
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp, open(
+            dest_path, "wb"
+        ) as out:
+            shutil.copyfileobj(resp, out)
+    except OSError as exc:
+        raise TransferFailed(f"url fetch of {url} failed: {exc}") from exc
+    return os.path.getsize(dest_path)

@@ -1,0 +1,516 @@
+"""The TaskVine worker process.
+
+A worker manages the resources of one node (paper §2.1): it keeps a
+flat cache of named objects, executes tasks in private sandboxes,
+performs transfers asynchronously as commanded, hosts library
+instances, and reports every status change of interest to the manager
+(``cache-update`` / ``cache-invalid`` / ``task-done`` messages).
+
+Structure: the main loop reads manager commands (and any attached byte
+payloads) from the command connection; long-running work — task
+execution, fetches, mini-task staging, function invocations — runs on
+worker threads; all outgoing messages are serialized under one send
+lock.  A :class:`~repro.worker.transfers.PeerTransferServer` serves
+this worker's cache to peers on a separate port.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from typing import Optional
+
+from repro.core.files import CacheLevel
+from repro.core.resources import Resources
+from repro.protocol.connection import Connection, ProtocolError
+from repro.protocol.messages import M, validate
+from repro.util.logging import get_logger
+from repro.worker.cache import WorkerCache
+from repro.worker.executor import run_command
+from repro.worker.library_instance import LibraryInstanceHandle
+from repro.worker.sandbox import Sandbox, SandboxError
+from repro.worker.transfers import (
+    PeerTransferServer,
+    TransferFailed,
+    fetch_from_peer,
+    fetch_from_url,
+)
+
+__all__ = ["Worker"]
+
+log = get_logger(__name__)
+
+
+class Worker:
+    """One worker node's mechanisms, driven by manager policy."""
+
+    def __init__(
+        self,
+        manager_host: str,
+        manager_port: int,
+        workdir: str,
+        cores: float = 4,
+        memory: int = 4_000,
+        disk: int = 10_000,
+        gpus: int = 0,
+        task_timeout: Optional[float] = 600.0,
+        max_cache_bytes: Optional[int] = None,
+        eviction_grace: float = 5.0,
+    ) -> None:
+        self.workdir = os.path.abspath(workdir)
+        os.makedirs(self.workdir, exist_ok=True)
+        self.cache = WorkerCache(os.path.join(self.workdir, "cache"))
+        self.sandbox_root = os.path.join(self.workdir, "sandboxes")
+        os.makedirs(self.sandbox_root, exist_ok=True)
+        self.capacity = Resources(cores=cores, memory=memory, disk=disk, gpus=gpus)
+        self.task_timeout = task_timeout
+        #: cache admission bound; exceeding it evicts LRU unpinned
+        #: objects (paper §2.2: cached files must not exhaust the disk)
+        self.max_cache_bytes = max_cache_bytes
+        #: objects younger than this are never evicted: they were just
+        #: transferred for a task whose EXECUTE (and pin) is in flight
+        self.eviction_grace = eviction_grace
+        self._peer_server = PeerTransferServer(self._lookup)
+        self._conn = Connection.connect(manager_host, manager_port)
+        self._send_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._libraries: dict[str, LibraryInstanceHandle] = {}
+        #: live subprocess handles by task id, for cancellation
+        self._procs: dict[str, "object"] = {}
+        self._procs_lock = threading.Lock()
+        #: cache names pinned by in-flight work (inputs being used)
+        self._pinned: dict[str, int] = {}
+        self._pin_lock = threading.Lock()
+        self._register()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def _heartbeat_loop(self, interval: float = 5.0) -> None:
+        """Periodic liveness signal so a silently hung worker is detectable."""
+        while not self._stop.wait(interval):
+            try:
+                self._send({"type": M.HEARTBEAT})
+            except (ProtocolError, OSError):
+                return
+
+    # -- cache pressure -----------------------------------------------------
+
+    def _pin(self, names: list[str]) -> None:
+        with self._pin_lock:
+            for n in names:
+                self._pinned[n] = self._pinned.get(n, 0) + 1
+
+    def _unpin(self, names: list[str]) -> None:
+        with self._pin_lock:
+            for n in names:
+                count = self._pinned.get(n, 0) - 1
+                if count > 0:
+                    self._pinned[n] = count
+                else:
+                    self._pinned.pop(n, None)
+
+    def _enforce_cache_bound(self) -> None:
+        """Evict least-valuable objects when over the admission bound.
+
+        The worker provides the mechanism; each eviction is reported
+        with a ``cache-invalid`` so the manager's replica table stays
+        truthful (the manager remains the policy authority for
+        everything it *directed*; local pressure relief is the one
+        autonomous action, exactly as a disk-full worker must behave).
+        """
+        if self.max_cache_bytes is None:
+            return
+        from repro.core.gc import plan_eviction
+
+        overflow = self.cache.total_bytes() - self.max_cache_bytes
+        if overflow <= 0:
+            return
+        now = time.time()
+        with self._pin_lock:
+            pinned = set(self._pinned)
+        pinned |= {
+            e.cache_name
+            for e in self.cache.entries()
+            if now - e.last_used < self.eviction_grace
+        }
+        for victim in plan_eviction(self.cache.eviction_view(), overflow, pinned):
+            if self.cache.remove(victim):
+                log.info("evicted %s under cache pressure", victim[:32])
+                self._cache_invalid(victim, "evicted: cache pressure")
+
+    # -- outbound ----------------------------------------------------------
+
+    def _send(self, message: dict, payload: Optional[bytes] = None) -> None:
+        with self._send_lock:
+            self._conn.send_message(message)
+            if payload is not None:
+                self._conn.send_bytes(payload)
+
+    def _send_with_file(self, message: dict, path: str, size: int) -> None:
+        with self._send_lock:
+            self._conn.send_message(message)
+            self._conn.send_file(path, size)
+
+    def _register(self) -> None:
+        cached = [
+            [e.cache_name, e.size, int(e.level)] for e in self.cache.entries()
+        ]
+        self._send(
+            {
+                "type": M.REGISTER,
+                "capacity": self.capacity.to_dict(),
+                "transfer_port": self._peer_server.port,
+                "transfer_host": self._peer_server.host,
+                "workdir": self.workdir,
+                "cached": cached,
+            }
+        )
+
+    def _lookup(self, cache_name: str) -> Optional[str]:
+        return self.cache.path_of(cache_name) if self.cache.has(cache_name) else None
+
+    def _cache_update(self, cache_name: str, size: int, transfer_id: Optional[str] = None) -> None:
+        msg = {"type": M.CACHE_UPDATE, "cache_name": cache_name, "size": size}
+        if transfer_id is not None:
+            msg["transfer_id"] = transfer_id
+        self._send(msg)
+        self._enforce_cache_bound()
+
+    def _cache_invalid(self, cache_name: str, reason: str, transfer_id: Optional[str] = None) -> None:
+        msg = {"type": M.CACHE_INVALID, "cache_name": cache_name, "reason": reason}
+        if transfer_id is not None:
+            msg["transfer_id"] = transfer_id
+        self._send(msg)
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve manager commands until shutdown or disconnect."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    msg = self._conn.recv_message()
+                except (ProtocolError, OSError):
+                    break
+                mtype = validate(msg)
+                # attached payloads must be drained on this thread to keep framing
+                payload: Optional[bytes] = None
+                if mtype in (M.INSTALL_LIBRARY, M.INVOKE):
+                    payload = self._conn.recv_bytes(int(msg["payload_size"]))
+                if mtype == M.PUT_FILE:
+                    self._handle_put_file(msg)  # streams to disk inline
+                    continue
+                if mtype == M.SHUTDOWN:
+                    break
+                self._dispatch(mtype, msg, payload)
+        finally:
+            self.shutdown()
+
+    def _dispatch(self, mtype: str, msg: dict, payload: Optional[bytes]) -> None:
+        handlers = {
+            M.FETCH_FILE: self._handle_fetch,
+            M.STAGE_MINITASK: self._handle_stage,
+            M.EXECUTE: self._handle_execute,
+            M.SEND_BACK: self._handle_send_back,
+            M.UNLINK: self._handle_unlink,
+            M.INSTALL_LIBRARY: self._handle_install_library,
+            M.INVOKE: self._handle_invoke,
+            M.CANCEL_TASK: self._handle_cancel,
+        }
+        handler = handlers.get(mtype)
+        if handler is None:
+            return
+        if mtype in (M.UNLINK, M.SEND_BACK, M.CANCEL_TASK):
+            handler(msg)  # quick, stay on the command thread
+        elif payload is not None:
+            threading.Thread(target=handler, args=(msg, payload), daemon=True).start()
+        else:
+            threading.Thread(target=handler, args=(msg,), daemon=True).start()
+
+    # -- file movement -----------------------------------------------------
+
+    def _handle_put_file(self, msg: dict) -> None:
+        """Receive manager-sourced bytes; must run inline for framing."""
+        cache_name = msg["cache_name"]
+        size = int(msg["size"])
+        level = CacheLevel(int(msg["level"]))
+        staged = self.cache.staging_path(cache_name)
+        self._conn.recv_to_file(staged, size)
+        if msg.get("format") == "tar":
+            from repro.worker.transfers import unpack_directory
+
+            unpacked = self.cache.staging_path(cache_name + ".dir")
+            unpack_directory(staged, unpacked)
+            os.unlink(staged)
+            staged = unpacked
+        entry = self.cache.insert_from(staged, cache_name, level, time.time())
+        self._cache_update(cache_name, entry.size, msg.get("transfer_id"))
+
+    def _handle_fetch(self, msg: dict) -> None:
+        cache_name = msg["cache_name"]
+        level = CacheLevel(int(msg["level"]))
+        source = msg["source"]
+        transfer_id = msg["transfer_id"]
+        staged = self.cache.staging_path(cache_name)
+        try:
+            if source["kind"] == "url":
+                fetch_from_url(source["url"], staged)
+            elif source["kind"] == "worker":
+                fetch_from_peer(source["host"], int(source["port"]), cache_name, staged)
+            else:
+                raise TransferFailed(f"unknown source kind {source['kind']!r}")
+            entry = self.cache.insert_from(staged, cache_name, level, time.time())
+            self._cache_update(cache_name, entry.size, transfer_id)
+        except (TransferFailed, OSError) as exc:
+            self._cache_invalid(cache_name, str(exc), transfer_id)
+
+    def _handle_send_back(self, msg: dict) -> None:
+        cache_name = msg["cache_name"]
+        path = self._lookup(cache_name)
+        if path is None:
+            self._send(
+                {"type": M.FILE_DATA, "cache_name": cache_name, "found": False, "size": 0}
+            )
+            return
+        if os.path.isdir(path):
+            import tempfile
+
+            from repro.worker.transfers import pack_directory
+
+            with tempfile.NamedTemporaryFile(suffix=".tar", delete=False) as tf:
+                tar_path = tf.name
+            try:
+                pack_directory(path, tar_path)
+                size = os.path.getsize(tar_path)
+                self._send_with_file(
+                    {
+                        "type": M.FILE_DATA,
+                        "cache_name": cache_name,
+                        "found": True,
+                        "size": size,
+                        "format": "tar",
+                    },
+                    tar_path,
+                    size,
+                )
+            finally:
+                os.unlink(tar_path)
+        else:
+            size = os.path.getsize(path)
+            self._send_with_file(
+                {
+                    "type": M.FILE_DATA,
+                    "cache_name": cache_name,
+                    "found": True,
+                    "size": size,
+                    "format": "file",
+                },
+                path,
+                size,
+            )
+
+    def _handle_unlink(self, msg: dict) -> None:
+        self.cache.remove(msg["cache_name"])
+
+    def _handle_cancel(self, msg: dict) -> None:
+        """Kill a running task's whole process group (it setsid'd)."""
+        import signal
+
+        with self._procs_lock:
+            proc = self._procs.get(msg["task_id"])
+        if proc is None:
+            return
+        try:
+            os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    # -- mini-task staging ------------------------------------------------
+
+    def _handle_stage(self, msg: dict) -> None:
+        """Materialize a file by running its mini-task (paper §2.4)."""
+        spec = msg["spec"]
+        cache_name = msg["cache_name"]
+        level = CacheLevel(int(msg["level"]))
+        transfer_id = msg["transfer_id"]
+        sandbox = Sandbox(self.sandbox_root, f"stage-{transfer_id}")
+        input_names = [p[1] for p in spec["inputs"]]
+        self._pin(input_names)
+        try:
+            sandbox.link_inputs(self.cache, [tuple(p) for p in spec["inputs"]])
+            outcome = run_command(
+                spec["command"],
+                sandbox.path,
+                spec.get("env", {}),
+                Resources.from_dict(spec.get("resources", {})),
+                timeout=self.task_timeout,
+            )
+            if outcome.exit_code != 0:
+                raise SandboxError(
+                    f"mini task exited {outcome.exit_code}: {outcome.output[:500]}"
+                )
+            sandbox.harvest_outputs(
+                self.cache, [(spec["output_name"], cache_name, level)], time.time()
+            )
+            entry = self.cache.entry(cache_name)
+            self._cache_update(cache_name, entry.size, transfer_id)
+        except (SandboxError, OSError) as exc:
+            self._cache_invalid(cache_name, str(exc), transfer_id)
+        finally:
+            self._unpin(input_names)
+            sandbox.destroy()
+
+    # -- task execution --------------------------------------------------
+
+    def _handle_execute(self, msg: dict) -> None:
+        task_id = msg["task_id"]
+        log.debug("execute %s: %s", task_id, msg["command"][:60])
+        sandbox = Sandbox(self.sandbox_root, task_id)
+        staging_started = time.time()
+        input_names = [p[1] for p in msg["inputs"]]
+        self._pin(input_names)
+        try:
+            sandbox.link_inputs(self.cache, [tuple(p) for p in msg["inputs"]])
+        except SandboxError as exc:
+            self._unpin(input_names)
+            sandbox.destroy()
+            self._send(
+                {
+                    "type": M.TASK_DONE,
+                    "task_id": task_id,
+                    "exit_code": 126,
+                    "output": str(exc),
+                    "failure": "sandbox",
+                }
+            )
+            return
+        allocation = Resources.from_dict(msg["resources"])
+
+        def register(proc):
+            with self._procs_lock:
+                self._procs[task_id] = proc
+
+        outcome = run_command(
+            msg["command"],
+            sandbox.path,
+            msg.get("env", {}),
+            allocation,
+            sandbox_usage=sandbox.disk_usage,
+            timeout=self.task_timeout,
+            on_start=register,
+        )
+        with self._procs_lock:
+            self._procs.pop(task_id, None)
+        failure = None
+        harvested: list[tuple[str, int]] = []
+        # exit code 1 may still produce declared outputs (e.g. a PythonTask
+        # whose function raised writes the serialized exception)
+        try:
+            for sandbox_name, cache_name, level in (
+                tuple(o) for o in msg["outputs"]
+            ):
+                self.cache.remove(cache_name)  # never trust a stale partial
+                sandbox.harvest_outputs(
+                    self.cache,
+                    [(sandbox_name, cache_name, CacheLevel(int(level)))],
+                    time.time(),
+                )
+                harvested.append((cache_name, self.cache.entry(cache_name).size))
+        except SandboxError as exc:
+            if outcome.exit_code == 0:
+                failure = f"missing output: {exc}"
+        self._unpin(input_names)
+        sandbox.destroy()
+        for cache_name, size in harvested:
+            self._cache_update(cache_name, size)
+        self._send(
+            {
+                "type": M.TASK_DONE,
+                "task_id": task_id,
+                "exit_code": outcome.exit_code,
+                "output": outcome.output,
+                "failure": failure,
+                "exceeded": outcome.exceeded,
+                "measured": outcome.measured.to_dict(),
+                "execution_time": outcome.execution_time,
+                "staging_time": max(0.0, time.time() - staging_started - outcome.execution_time),
+            }
+        )
+
+    # -- serverless -----------------------------------------------------
+
+    def _handle_install_library(self, msg: dict, payload: bytes) -> None:
+        name = msg["library"]
+        task_id = msg["task_id"]
+        try:
+            handle = LibraryInstanceHandle(
+                name, payload, function_slots=int(msg.get("slots", 1))
+            )
+            self._libraries[name] = handle
+            self._send({"type": M.LIBRARY_READY, "library": name, "task_id": task_id})
+        except Exception as exc:
+            self._send(
+                {
+                    "type": M.TASK_DONE,
+                    "task_id": task_id,
+                    "exit_code": 1,
+                    "output": f"library install failed: {exc}",
+                    "failure": "library",
+                }
+            )
+
+    def _handle_invoke(self, msg: dict, payload: bytes) -> None:
+        task_id = msg["task_id"]
+        library = msg["library"]
+        handle = self._libraries.get(library)
+        if handle is None or not handle.alive():
+            self._send(
+                {
+                    "type": M.TASK_DONE,
+                    "task_id": task_id,
+                    "exit_code": 1,
+                    "output": f"library {library!r} not running",
+                    "failure": "library",
+                }
+            )
+            return
+        try:
+            handle.invoke(task_id, msg["function"], payload)
+            result = handle.wait_result(task_id, timeout=self.task_timeout)
+            self._send(
+                {
+                    "type": M.TASK_DONE,
+                    "task_id": task_id,
+                    "exit_code": 0,
+                    "output": "",
+                    "result_size": len(result),
+                },
+                result,
+            )
+        except Exception as exc:
+            self._send(
+                {
+                    "type": M.TASK_DONE,
+                    "task_id": task_id,
+                    "exit_code": 1,
+                    "output": f"{exc}\n{traceback.format_exc()[:1000]}",
+                    "failure": "invoke",
+                }
+            )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop libraries, the peer server, and the command channel."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        for handle in self._libraries.values():
+            handle.stop()
+        self._libraries.clear()
+        self._peer_server.stop()
+        self._conn.close()

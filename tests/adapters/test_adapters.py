@@ -1,0 +1,127 @@
+"""End-to-end tests for the DAG and serverless adapters (paper §6)."""
+
+import pytest
+
+from repro.adapters.dag import GraphError, TaskGraph
+from repro.adapters.serverless import ServerlessMap
+from tests.integration.conftest import Cluster
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    c = Cluster(tmp_path, n_workers=2)
+    yield c
+    c.stop()
+
+
+def _double(x):
+    return x * 2
+
+
+def _add(a, b):
+    return a + b
+
+
+def _fail():
+    raise ValueError("deliberate")
+
+
+# -- TaskGraph ------------------------------------------------------------
+
+
+def test_dag_linear_chain(cluster):
+    g = TaskGraph(cluster.manager)
+    a = g.add(_double, 3)
+    b = g.add(_double, a)
+    c = g.add(_double, b)
+    assert c.result() == 24
+    assert a.result() == 6
+
+
+def test_dag_diamond(cluster):
+    g = TaskGraph(cluster.manager)
+    root = g.add(_double, 5)
+    left = g.add(_add, root, 1)
+    right = g.add(_add, root, 2)
+    top = g.add(_add, left, right)
+    assert top.result() == (10 + 1) + (10 + 2)
+
+
+def test_dag_parallel_branches_independent(cluster):
+    g = TaskGraph(cluster.manager)
+    futures = [g.add(_double, i) for i in range(6)]
+    total = g.add(_add, g.add(_add, futures[0], futures[1]), futures[2])
+    results = g.results()
+    assert total.result() == 0 + 2 + 4
+    assert len(results) == 8
+
+
+def test_dag_kwarg_dependencies(cluster):
+    g = TaskGraph(cluster.manager)
+    a = g.add(_double, 4)
+    b = g.add(_add, 1, b=a)
+    assert b.result() == 9
+
+
+def test_dag_failure_propagates_downstream_only(cluster):
+    g = TaskGraph(cluster.manager)
+    bad = g.add(_fail)
+    downstream = g.add(_double, bad)
+    independent = g.add(_double, 10)
+    g.run()
+    assert independent.result() == 20
+    with pytest.raises(GraphError):
+        bad.result()
+    with pytest.raises(GraphError, match="upstream"):
+        downstream.result()
+
+
+def test_dag_rejects_cross_graph_futures(cluster):
+    g1 = TaskGraph(cluster.manager)
+    g2 = TaskGraph(cluster.manager)
+    a = g1.add(_double, 1)
+    with pytest.raises(GraphError):
+        g2.add(_double, a)
+
+
+# -- ServerlessMap -------------------------------------------------------
+
+
+def test_serverless_map_promotes_hot_function(cluster):
+    ex = ServerlessMap(cluster.manager, threshold=3, slots=2)
+    futures = ex.map(_double, range(8))
+    assert ex.promoted(_double)
+    ex.wait_all(timeout=300)
+    assert [f.result() for f in futures] == [i * 2 for i in range(8)]
+    # the first (threshold-1) ran as plain PythonTasks, the rest serverless
+    from repro.core.library import FunctionCall
+
+    kinds = [isinstance(f.task, FunctionCall) for f in futures]
+    assert kinds[:2] == [False, False]
+    assert all(kinds[2:])
+
+
+def test_serverless_map_cold_function_stays_plain(cluster):
+    ex = ServerlessMap(cluster.manager, threshold=10)
+    futures = ex.map(_double, range(3))
+    assert not ex.promoted(_double)
+    ex.wait_all(timeout=300)
+    assert [f.result() for f in futures] == [0, 2, 4]
+
+
+def test_serverless_map_remote_exception(cluster):
+    ex = ServerlessMap(cluster.manager, threshold=1)
+    future = ex.submit(_fail)
+    ex.wait_all(timeout=300)
+    with pytest.raises((ValueError, RuntimeError)):
+        future.result()
+
+
+def test_future_result_before_completion_raises(cluster):
+    ex = ServerlessMap(cluster.manager, threshold=99)
+    future = ex.submit(_double, 2)
+    if not future.done:
+        with pytest.raises(RuntimeError, match="not complete"):
+            future.result()
+    ex.wait_all(timeout=300)
+    assert future.result() == 4

@@ -1,0 +1,119 @@
+"""Tests for the gapped Smith-Waterman refinement stage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.miniblast import build_db, generate_sequences, search
+from repro.apps.miniblast.align import (
+    GAP,
+    MATCH,
+    MISMATCH,
+    Alignment,
+    refine_hit,
+    smith_waterman,
+)
+
+
+def test_identical_sequences_align_perfectly():
+    a = smith_waterman("ACGTACGT", "ACGTACGT")
+    assert a.score == 8 * MATCH
+    assert a.identity == 1.0
+    assert a.gaps == 0
+    assert a.query_aligned == "ACGTACGT"
+
+
+def test_substring_found_within_longer_subject():
+    a = smith_waterman("GGCC", "AAAAGGCCTTTT")
+    assert a.score == 4 * MATCH
+    assert a.subject_start == 4
+    assert a.subject_end == 8
+
+
+def test_single_mismatch_scoring():
+    a = smith_waterman("ACGTACGT", "ACGAACGT")
+    # either align through the mismatch or take the best exact block
+    assert a.score == max(7 * MATCH + MISMATCH, 4 * MATCH)
+
+
+def test_insertion_produces_gap():
+    # query has one extra base relative to the subject
+    query = "ACGTTTACGT"
+    subject = "ACGTTACGT"
+    a = smith_waterman(query, subject)
+    assert a.gaps == 1
+    assert a.score == 9 * MATCH + GAP
+    assert "-" in a.subject_aligned
+
+
+def test_empty_inputs():
+    assert smith_waterman("", "ACGT").score == 0
+    assert smith_waterman("ACGT", "").score == 0
+
+
+def test_local_alignment_ignores_flanking_noise():
+    core = "ACGTACGTACGT"
+    a = smith_waterman("TTTT" + core + "AAAA", "GGGG" + core + "CCCC")
+    assert a.score >= len(core) * MATCH
+    assert core in a.query_aligned.replace("-", "")
+
+
+def test_gapped_beats_ungapped_on_indel(tmp_path):
+    """The refinement stage recovers alignments the X-drop cannot."""
+    seqs = generate_sequences(5, 300, seed=3)
+    db = build_db(seqs, k=11)
+    subject_name = "seq00002"
+    original = seqs[subject_name][50:200]
+    # delete 3 bases mid-fragment: an indel, fatal for ungapped extension
+    query = original[:70] + original[73:]
+    hits = search(db, query, max_hits=3)
+    assert hits, "seeding should still find the flanks"
+    top = hits[0]
+    refined = refine_hit(query, seqs[subject_name], top)
+    assert refined.score > top.score
+    assert refined.gaps >= 3
+    assert refined.identity > 0.95
+
+
+def test_refine_hit_coordinates_subject_absolute():
+    subject = "T" * 100 + "ACGTACGTACGTACGT" + "T" * 100
+    query = "ACGTACGTACGTACGT"
+
+    class FakeHit:
+        subject_start = 100
+        subject_end = 116
+
+    refined = refine_hit(query, subject, FakeHit())
+    assert refined.subject_start == 100
+    assert refined.subject_end == 116
+    assert refined.score == len(query) * MATCH
+
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna, dna)
+def test_property_score_nonnegative_and_symmetricish(a, b):
+    x = smith_waterman(a, b)
+    y = smith_waterman(b, a)
+    assert x.score >= 0
+    assert x.score == y.score  # local alignment score is symmetric
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna)
+def test_property_self_alignment_is_maximal(seq):
+    a = smith_waterman(seq, seq)
+    assert a.score == len(seq) * MATCH
+    assert a.identity == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna, dna)
+def test_property_aligned_strings_equal_length(a, b):
+    x = smith_waterman(a, b)
+    assert len(x.query_aligned) == len(x.subject_aligned)
+    # stripping gaps recovers substrings of the originals
+    assert x.query_aligned.replace("-", "") in a
+    assert x.subject_aligned.replace("-", "") in b

@@ -1,0 +1,83 @@
+"""Tests for Karlin-Altschul bit scores and E-values."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.miniblast import build_db, generate_sequences, search
+from repro.apps.miniblast.search import MATCH_SCORE, MISMATCH_SCORE
+from repro.apps.miniblast.stats import (
+    KarlinAltschul,
+    compute_lambda,
+    evaluate_hits,
+)
+
+
+def test_lambda_satisfies_normalization():
+    lam = compute_lambda(MATCH_SCORE, MISMATCH_SCORE)
+    total = 0.25 * math.exp(lam * MATCH_SCORE) + 0.75 * math.exp(lam * MISMATCH_SCORE)
+    assert total == pytest.approx(1.0, abs=1e-9)
+    assert lam > 0
+
+
+def test_lambda_rejects_positive_expected_score():
+    with pytest.raises(ValueError):
+        compute_lambda(match=2, mismatch=0)  # expected score > 0
+
+
+def test_bit_score_monotone_in_raw_score():
+    params = KarlinAltschul.for_scores()
+    bits = [params.bit_score(s) for s in (10, 50, 100, 200)]
+    assert bits == sorted(bits)
+
+
+def test_e_value_scales_with_database_size():
+    params = KarlinAltschul.for_scores()
+    small = params.e_value(100, query_len=100, db_len=10_000)
+    large = params.e_value(100, query_len=100, db_len=10_000_000)
+    assert large == pytest.approx(small * 1000)
+
+
+def test_long_exact_match_is_significant():
+    seqs = generate_sequences(10, 500, seed=2)
+    db = build_db(seqs, k=11)
+    query = seqs["seq00004"][100:220]
+    hits = search(db, query)
+    scored = evaluate_hits(hits, len(query), db)
+    assert scored
+    top = scored[0]
+    assert top.hit.subject == "seq00004"
+    assert top.significant
+    assert top.e_value < 1e-20  # a 120-base exact match is unambiguous
+
+
+def test_marginal_hits_filtered_by_max_e():
+    seqs = generate_sequences(10, 500, seed=3)
+    db = build_db(seqs, k=11)
+    # a foreign query produces only chance seed hits with low scores
+    foreign = generate_sequences(1, 200, seed=777)["seq00000"]
+    hits = search(db, foreign, max_hits=50)
+    strict = evaluate_hits(hits, len(foreign), db, max_e=1e-6)
+    loose = evaluate_hits(hits, len(foreign), db, max_e=1e6)
+    assert len(strict) <= len(loose)
+    assert all(s.e_value <= 1e-6 for s in strict)
+
+
+def test_sorted_most_significant_first():
+    seqs = generate_sequences(10, 400, seed=4)
+    db = build_db(seqs, k=11)
+    query = seqs["seq00001"][50:200]
+    scored = evaluate_hits(search(db, query, max_hits=20), len(query), db, max_e=1e9)
+    evalues = [s.e_value for s in scored]
+    assert evalues == sorted(evalues)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(20, 400), st.integers(1000, 10**7))
+def test_property_evalue_positive_and_decreasing_in_score(qlen, dblen):
+    params = KarlinAltschul.for_scores()
+    e_low = params.e_value(30, qlen, dblen)
+    e_high = params.e_value(120, qlen, dblen)
+    assert e_low > e_high > 0

@@ -1,0 +1,150 @@
+"""Tests for the BLAST-like search substrate."""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.miniblast import (
+    build_db,
+    generate_sequences,
+    load_db,
+    mutate,
+    save_db,
+    search,
+)
+from repro.apps.miniblast.search import MATCH_SCORE, format_hits
+
+
+@pytest.fixture(scope="module")
+def db():
+    seqs = generate_sequences(20, 400, seed=7)
+    return build_db(seqs, k=11)
+
+
+def test_generate_deterministic():
+    a = generate_sequences(3, 50, seed=1)
+    b = generate_sequences(3, 50, seed=1)
+    c = generate_sequences(3, 50, seed=2)
+    assert a == b != c
+    assert all(set(s) <= set("ACGT") for s in a.values())
+
+
+def test_exact_substring_found(db):
+    subject = "seq00003"
+    fragment = db.sequences[subject][100:180]
+    hits = search(db, fragment)
+    assert hits
+    top = hits[0]
+    assert top.subject == subject
+    assert top.score == len(fragment) * MATCH_SCORE
+    assert top.subject_start <= 100 and top.subject_end >= 180
+
+
+def test_mutated_query_still_finds_source(db):
+    subject = "seq00010"
+    fragment = mutate(db.sequences[subject][50:200], rate=0.05, seed=3)
+    hits = search(db, fragment)
+    assert hits
+    assert hits[0].subject == subject
+
+
+def test_unrelated_query_scores_low(db):
+    foreign = generate_sequences(1, 150, seed=999)["seq00000"]
+    hits = search(db, foreign, min_score=100)
+    # chance 11-mer collisions are possible but long high-scoring
+    # alignments to random foreign sequence are not
+    assert all(h.score < 150 * MATCH_SCORE // 2 for h in hits)
+
+
+def test_query_shorter_than_k_empty(db):
+    assert search(db, "ACGT") == []
+
+
+def test_hits_sorted_and_bounded(db):
+    fragment = db.sequences["seq00001"][0:300]
+    hits = search(db, fragment, max_hits=3)
+    assert len(hits) <= 3
+    scores = [h.score for h in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_min_score_filters(db):
+    fragment = db.sequences["seq00002"][10:60]
+    all_hits = search(db, fragment, max_hits=100)
+    strong = search(db, fragment, max_hits=100, min_score=90)
+    assert {h.score for h in strong} <= {h.score for h in all_hits}
+    assert all(h.score >= 90 for h in strong)
+
+
+def test_db_round_trip(tmp_path, db):
+    directory = tmp_path / "landmark"
+    save_db(db, str(directory))
+    loaded = load_db(str(directory))
+    assert loaded.k == db.k
+    assert loaded.sequences == db.sequences
+    fragment = db.sequences["seq00005"][30:120]
+    assert search(loaded, fragment)[0].subject == "seq00005"
+
+
+def test_format_hits_tabular(db):
+    fragment = db.sequences["seq00000"][0:60]
+    text = format_hits("q1", search(db, fragment, max_hits=2))
+    lines = text.strip().splitlines()
+    assert lines
+    assert all(line.split("\t")[0] == "q1" for line in lines)
+    assert format_hits("q", []) == ""
+
+
+def test_cli_end_to_end(tmp_path, db):
+    directory = tmp_path / "db"
+    save_db(db, str(directory))
+    query_file = tmp_path / "queries.txt"
+    query_file.write_text(
+        f"good {db.sequences['seq00004'][40:140]}\n"
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.apps.miniblast.cli",
+            "--db", str(directory), "--query", str(query_file),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "seq00004" in proc.stdout
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=19), st.integers(min_value=0, max_value=200))
+def test_property_any_long_fragment_is_its_own_best_hit(db, idx, start):
+    name = f"seq{idx:05d}"
+    fragment = db.sequences[name][start : start + 80]
+    if len(fragment) < 80:
+        return
+    hits = search(db, fragment)
+    assert hits and hits[0].subject == name
+    assert hits[0].score == 80 * MATCH_SCORE
+
+
+def test_cli_evalue_report(tmp_path, db):
+    from repro.apps.miniblast import save_db
+
+    directory = tmp_path / "db-e"
+    save_db(db, str(directory))
+    query_file = tmp_path / "q.txt"
+    query_file.write_text(f"q {db.sequences['seq00006'][20:140]}\n")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.apps.miniblast.cli",
+            "--db", str(directory), "--query", str(query_file), "--evalues",
+        ],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    top = proc.stdout.splitlines()[0].split("\t")
+    assert top[1] == "seq00006"
+    assert float(top[4]) < 1e-10  # E-value column

@@ -1,0 +1,201 @@
+"""Tests for the minihist, minimd, and bgd application substrates."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bgd import (
+    best_of_restarts,
+    make_classification,
+    make_regression,
+    run_bgd_linear,
+    run_bgd_logistic,
+)
+from repro.apps.minihist import (
+    HistogramSet,
+    accumulate,
+    from_bytes,
+    generate_batch,
+    preprocess,
+    process,
+    to_bytes,
+)
+from repro.apps.minihist.processor import Histogram
+from repro.apps.minimd import (
+    MLP,
+    fingerprint,
+    lj_energy,
+    random_cluster,
+    simulate,
+    train,
+)
+
+
+# -- minihist ------------------------------------------------------------
+
+
+def test_generate_batch_deterministic_and_typed():
+    a = generate_batch("data", 1000, seed=4)
+    b = generate_batch("data", 1000, seed=4)
+    assert np.array_equal(a.pt, b.pt)
+    assert not a.is_mc
+    assert np.all(a.weight == 1.0)
+    mc = generate_batch("ttbar", 1000, seed=4)
+    assert mc.is_mc
+    assert mc.weight.std() > 0
+
+
+def test_batch_round_trip_bytes():
+    batch = generate_batch("ttbar", 500, seed=1)
+    again = from_bytes(to_bytes(batch))
+    assert again.dataset == "ttbar"
+    assert np.allclose(again.pt, batch.pt)
+    assert np.allclose(again.weight, batch.weight)
+
+
+def test_preprocess_metadata():
+    batch = generate_batch("data", 200, seed=0)
+    meta = preprocess(batch)
+    assert meta["dataset"] == "data"
+    assert meta["n_events"] == 200
+    assert meta["sum_weights"] == pytest.approx(200.0)
+
+
+def test_process_selection_and_weights():
+    batch = generate_batch("ttbar", 5000, seed=2)
+    out = process(batch, selection_pt=25.0)
+    expected = int((batch.pt >= 25.0).sum())
+    assert out.n_events == expected
+    pt_hist = out.hists[("ttbar", "pt")]
+    selected_weight = batch.weight[batch.pt >= 25.0]
+    in_range = selected_weight[batch.pt[batch.pt >= 25.0] < 300.0]
+    assert pt_hist.total == pytest.approx(float(in_range.sum()))
+
+
+def test_accumulate_merges_and_grows():
+    partials = [
+        process(generate_batch(ds, 1000, seed=i))
+        for i, ds in enumerate(["data", "ttbar", "wjets"])
+    ]
+    merged = accumulate(partials)
+    # union of keys: growth with the number of distinct datasets
+    assert len(merged.hists) == 3 * 4
+    assert merged.n_events == sum(p.n_events for p in partials)
+    assert len(to_bytes_size := merged.to_bytes()) > len(partials[0].to_bytes())
+
+
+def test_accumulate_conserves_totals():
+    parts = [process(generate_batch("data", 1000, seed=i)) for i in range(4)]
+    merged = accumulate(parts)
+    key = ("data", "eta")
+    assert merged.hists[key].total == pytest.approx(
+        sum(p.hists[key].total for p in parts)
+    )
+
+
+def test_accumulate_empty_and_serialization():
+    assert accumulate([]).n_events == 0
+    blob = accumulate([process(generate_batch("data", 10, seed=0))]).to_bytes()
+    assert HistogramSet.from_bytes(blob).n_events >= 0
+    with pytest.raises(Exception):
+        HistogramSet.from_bytes(b"junk")
+
+
+def test_histogram_binning_mismatch_rejected():
+    a = Histogram.new(0, 1, 10)
+    b = Histogram.new(0, 2, 10)
+    with pytest.raises(ValueError):
+        a + b
+
+
+# -- minimd -----------------------------------------------------------------
+
+
+def test_cluster_generation_safe_distances():
+    pos = random_cluster(13, seed=5)
+    assert pos.shape == (13, 3)
+    delta = pos[:, None, :] - pos[None, :, :]
+    dist = np.sqrt((delta**2).sum(-1)) + np.eye(13) * 10
+    assert dist.min() > 0.5
+
+
+def test_lj_energy_two_atoms_at_minimum():
+    # LJ minimum at r = 2^(1/6) σ with energy −ε
+    r = 2 ** (1 / 6)
+    pos = np.array([[0.0, 0.0, 0.0], [r, 0.0, 0.0]])
+    assert lj_energy(pos) == pytest.approx(-1.0, abs=1e-9)
+
+
+def test_simulation_relaxes_energy():
+    pos = random_cluster(8, seed=3)
+    start = lj_energy(pos)
+    result = simulate(pos, steps=400, dt=0.002, seed=3)
+    assert result.potential_energy < start
+    assert result.steps == 400
+    assert np.isfinite(result.total_energy)
+
+
+def test_simulation_deterministic():
+    pos = random_cluster(6, seed=1)
+    a = simulate(pos, steps=50, seed=2)
+    b = simulate(pos, steps=50, seed=2)
+    assert np.allclose(a.positions, b.positions)
+
+
+def test_fingerprint_invariances():
+    pos = random_cluster(10, seed=8)
+    fp = fingerprint(pos)
+    assert fp.shape == (16,)
+    assert fp.sum() == pytest.approx(1.0)
+    shifted = pos + np.array([5.0, -3.0, 2.0])
+    assert np.allclose(fingerprint(shifted), fp)
+
+
+def test_surrogate_learns_energies():
+    rng = np.random.default_rng(0)
+    x_rows, y_rows = [], []
+    for i in range(40):
+        pos = random_cluster(7, seed=i)
+        result = simulate(pos, steps=100, seed=i)
+        x_rows.append(fingerprint(result.positions))
+        y_rows.append(result.potential_energy)
+    x = np.array(x_rows)
+    y = np.array(y_rows)
+    y_norm = (y - y.mean()) / (y.std() + 1e-9)
+    model = MLP(n_inputs=x.shape[1], hidden=24, seed=0)
+    report = train(model, x, y_norm, epochs=300, lr=0.05)
+    assert report.final_loss < report.losses[0]
+    assert report.final_loss < 0.9  # meaningfully below unit variance
+
+
+# -- bgd ----------------------------------------------------------------------
+
+
+def test_bgd_linear_converges():
+    x, y = make_regression(400, 8, noise=0.05, seed=0)
+    result = run_bgd_linear(x, y, iterations=300, lr=0.05, seed=1)
+    assert result.final_loss < 0.05
+    assert result.losses[0] > result.final_loss
+
+
+def test_bgd_logistic_converges():
+    x, y = make_classification(400, 6, seed=0)
+    result = run_bgd_logistic(x, y, iterations=300, lr=0.5, seed=1)
+    preds = (x @ result.weights + result.bias) > 0
+    accuracy = (preds == y.astype(bool)).mean()
+    assert accuracy > 0.85
+
+
+def test_bgd_different_seeds_different_trajectories():
+    x, y = make_regression(100, 5, seed=0)
+    a = run_bgd_linear(x, y, iterations=5, seed=1)
+    b = run_bgd_linear(x, y, iterations=5, seed=2)
+    assert a.losses[0] != b.losses[0]
+
+
+def test_best_of_restarts():
+    x, y = make_regression(200, 5, seed=0)
+    results = [run_bgd_linear(x, y, iterations=50, seed=s) for s in range(5)]
+    best = best_of_restarts(results)
+    assert best.final_loss == min(r.final_loss for r in results)
+    with pytest.raises(ValueError):
+        best_of_restarts([])

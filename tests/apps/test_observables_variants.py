@@ -1,0 +1,103 @@
+"""Tests for minimd observables and bgd optimizer variants."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bgd import make_regression
+from repro.apps.bgd.variants import (
+    compare_optimizers,
+    run_momentum,
+    run_nesterov,
+    run_sgd,
+)
+from repro.apps.minimd import random_cluster, simulate
+from repro.apps.minimd.observables import (
+    analyze,
+    coordination_numbers,
+    radius_of_gyration,
+    rdf,
+)
+
+
+# -- observables ----------------------------------------------------------
+
+
+def test_rdf_shape_and_peak_for_lattice_pair():
+    # two atoms at distance 1: all pair mass lands in one bin
+    pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    centers, g = rdf(pos, nbins=25, r_max=5.0)
+    assert centers.shape == g.shape == (25,)
+    assert centers[np.argmax(g)] == pytest.approx(1.0, abs=0.2)
+
+
+def test_coordination_counts_neighbours():
+    pos = np.array(
+        [[0, 0, 0], [1, 0, 0], [0, 1, 0], [10, 10, 10]], dtype=float
+    )
+    coord = coordination_numbers(pos, cutoff=1.5)
+    assert list(coord) == [2, 2, 2, 0]
+
+
+def test_radius_of_gyration_scales():
+    pos = random_cluster(10, seed=2)
+    rg1 = radius_of_gyration(pos)
+    rg2 = radius_of_gyration(pos * 2.0)
+    assert rg2 == pytest.approx(2.0 * rg1)
+    # translation invariant
+    assert radius_of_gyration(pos + 7.0) == pytest.approx(rg1)
+
+
+def test_relaxation_increases_coordination():
+    pos = random_cluster(12, seed=4, spread=2.5)
+    before = analyze(pos)
+    result = simulate(pos, steps=600, dt=0.002, seed=4)
+    after = analyze(result.positions)
+    assert after.mean_coordination >= before.mean_coordination
+    assert after.n_atoms == 12
+    assert after.first_shell_peak > 0
+
+
+def test_report_compactness_heuristic():
+    # a dense icosahedron-ish relaxed cluster should look compact
+    result = simulate(random_cluster(13, seed=0), steps=800, seed=0)
+    report = analyze(result.positions)
+    assert report.max_coordination >= report.mean_coordination
+    assert isinstance(report.is_compact(threshold=2.0), bool)
+
+
+# -- optimizer variants ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_regression(300, 8, noise=0.05, seed=1)
+
+
+def test_sgd_converges(dataset):
+    x, y = dataset
+    result = run_sgd(x, y, iterations=400, lr=0.05, seed=0)
+    assert result.final_loss < 0.1
+    assert result.losses[0] > result.final_loss
+
+
+def test_momentum_beats_plain_bgd_early(dataset):
+    x, y = dataset
+    from repro.apps.bgd import run_bgd_linear
+
+    plain = run_bgd_linear(x, y, iterations=60, lr=0.01, seed=0)
+    mom = run_momentum(x, y, iterations=60, lr=0.01, seed=0)
+    assert mom.final_loss < plain.final_loss
+
+
+def test_nesterov_converges(dataset):
+    x, y = dataset
+    result = run_nesterov(x, y, iterations=200, lr=0.01, seed=0)
+    assert result.final_loss < 0.1
+
+
+def test_compare_optimizers_runs_all(dataset):
+    x, y = dataset
+    results = compare_optimizers(x, y, iterations=100, seed=0)
+    assert set(results) == {"bgd", "sgd", "momentum", "nesterov"}
+    assert all(np.isfinite(r.final_loss) for r in results.values())
+    assert all(len(r.losses) == 100 for r in results.values())

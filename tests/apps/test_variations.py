@@ -1,0 +1,80 @@
+"""Tests for the EFT-style weight variations (minihist)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minihist import accumulate, generate_batch
+from repro.apps.minihist.variations import (
+    WeightSurface,
+    coupling_scan,
+    process_with_variations,
+)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return generate_batch("ttbar", 2000, seed=5)
+
+
+@pytest.fixture(scope="module")
+def surface(batch):
+    return WeightSurface.for_batch(batch, n_couplings=4, seed=1)
+
+
+def test_sm_point_recovers_base_weights(batch, surface):
+    sm = surface.weights_at(np.zeros(4))
+    assert np.allclose(sm, batch.weight)
+
+
+def test_weights_vary_with_couplings(batch, surface):
+    shifted = surface.weights_at(np.array([1.0, 0, 0, 0]))
+    assert not np.allclose(shifted, batch.weight)
+    assert np.all(shifted >= 0.0)  # clipped physical weights
+
+
+def test_weights_shape_validated(surface):
+    with pytest.raises(ValueError):
+        surface.weights_at(np.zeros(3))
+
+
+def test_coupling_scan_structure():
+    scan = coupling_scan(n_couplings=4, points_per_axis=3)
+    # 1 SM point + 4 axes x 2 magnitudes x 2 signs
+    assert len(scan) == 1 + 4 * 2 * 2
+    assert np.allclose(scan[0], 0.0)
+    for p in scan[1:]:
+        assert np.count_nonzero(p) == 1  # one axis at a time
+
+
+def test_process_with_variations_key_growth(batch, surface):
+    scan = coupling_scan(4, points_per_axis=2)
+    out = process_with_variations(batch, surface, scan)
+    # 4 variables per variation point
+    assert len(out.hists) == len(scan) * 4
+    # output size grows ~linearly with the number of variations
+    small = process_with_variations(batch, surface, scan[:3])
+    assert len(out.to_bytes()) > 2 * len(small.to_bytes()) * 0.8
+
+
+def test_variation_totals_differ_from_sm(batch, surface):
+    scan = [np.zeros(4), np.array([2.0, 0, 0, 0])]
+    out = process_with_variations(batch, surface, scan)
+    sm_total = out.hists[(f"{batch.dataset}/v0", "pt")].total
+    shifted_total = out.hists[(f"{batch.dataset}/v1", "pt")].total
+    assert sm_total != pytest.approx(shifted_total)
+
+
+def test_variation_sets_accumulate(batch, surface):
+    scan = coupling_scan(4, points_per_axis=2)
+    parts = [
+        process_with_variations(generate_batch("ttbar", 500, seed=i),
+                                WeightSurface.for_batch(generate_batch("ttbar", 500, seed=i), seed=i),
+                                scan)
+        for i in range(3)
+    ]
+    merged = accumulate(parts)
+    assert merged.n_events == sum(p.n_events for p in parts)
+    key = (f"ttbar/v0", "pt")
+    assert merged.hists[key].total == pytest.approx(
+        sum(p.hists[key].total for p in parts)
+    )

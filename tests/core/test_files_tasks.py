@@ -1,0 +1,196 @@
+"""Tests for file declarations, the registry, and task declarations."""
+
+import pytest
+
+from repro.core.files import (
+    BufferFile,
+    CacheLevel,
+    FileRegistry,
+    LocalFile,
+    TempFile,
+    URLFile,
+)
+from repro.core.library import FunctionCall, Library, LibraryTask
+from repro.core.resources import Resources
+from repro.core.task import MiniTask, PythonTask, Task, TaskState
+
+
+# -- files --------------------------------------------------------------
+
+
+def test_cache_level_parse():
+    assert CacheLevel.parse("worker") == CacheLevel.WORKER
+    assert CacheLevel.parse("TASK") == CacheLevel.TASK
+    assert CacheLevel.parse(CacheLevel.WORKFLOW) == CacheLevel.WORKFLOW
+    assert CacheLevel.parse(2) == CacheLevel.WORKER
+    with pytest.raises(KeyError):
+        CacheLevel.parse("forever")
+
+
+def test_cache_level_ordering():
+    assert CacheLevel.TASK < CacheLevel.WORKFLOW < CacheLevel.WORKER
+
+
+def test_file_ids_unique():
+    ids = {BufferFile(b"x").file_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_buffer_accepts_str():
+    f = BufferFile("text")
+    assert f.data == b"text"
+    assert f.size == 4
+
+
+def test_source_descriptions():
+    assert "local:" in LocalFile("/tmp/x").source_description()
+    assert "url:" in URLFile("http://x/y").source_description()
+    assert "buffer[3B]" in BufferFile(b"abc").source_description()
+
+
+def test_registry_requires_name():
+    reg = FileRegistry()
+    with pytest.raises(ValueError):
+        reg.register(BufferFile(b"x"))
+
+
+def test_registry_dedups_by_cache_name():
+    reg = FileRegistry()
+    f1, f2 = BufferFile(b"same"), BufferFile(b"same")
+    f1.cache_name = f2.cache_name = "buffer-md5-abc"
+    canonical = reg.register(f1)
+    assert reg.register(f2) is canonical is f1
+    assert len(reg) == 1
+    assert reg.by_id(f2.file_id) is f2  # ids still resolve individually
+
+
+def test_registry_collectable_names():
+    reg = FileRegistry()
+    for i, level in enumerate([CacheLevel.TASK, CacheLevel.WORKFLOW, CacheLevel.WORKER]):
+        f = BufferFile(f"{i}".encode(), cache=level)
+        f.cache_name = f"n{i}"
+        reg.register(f)
+    assert reg.collectable_names() == {"n0", "n1"}
+    assert reg.names_at_level(CacheLevel.WORKER) == {"n2"}
+
+
+# -- tasks ---------------------------------------------------------------
+
+
+def test_task_accumulates_io():
+    t = Task("prog in > out")
+    a, b = BufferFile(b"1"), TempFile()
+    t.add_input(a, "in").add_output(b, "out")
+    assert t.input_files() == [a]
+    assert t.output_files() == [b]
+    assert b.producer_task_id == t.task_id
+
+
+def test_task_duplicate_sandbox_names_rejected():
+    t = Task("x")
+    t.add_input(BufferFile(b"1"), "in")
+    with pytest.raises(ValueError):
+        t.add_input(BufferFile(b"2"), "in")
+    t.add_output(TempFile(), "out")
+    with pytest.raises(ValueError):
+        t.add_output(TempFile(), "out")
+
+
+def test_task_immutable_after_submission():
+    t = Task("x")
+    t.state = TaskState.READY
+    with pytest.raises(RuntimeError):
+        t.add_input(BufferFile(b"1"), "in")
+    with pytest.raises(RuntimeError):
+        t.set_env("A", "1")
+    with pytest.raises(RuntimeError):
+        t.set_resources(Resources(cores=2))
+
+
+def test_task_setters_chain_and_convert():
+    t = (
+        Task("x")
+        .set_env("KEY", 5)
+        .set_cores(4)
+        .set_category("blast")
+        .set_priority(2.5)
+    )
+    assert t.env == {"KEY": "5"}
+    assert t.resources.cores == 4
+    assert t.category == "blast"
+    assert t.priority == 2.5
+
+
+def test_set_cores_preserves_other_dimensions():
+    t = Task("x").set_resources(Resources(cores=1, memory=512, disk=100, gpus=1))
+    t.set_cores(8)
+    assert t.resources == Resources(cores=8, memory=512, disk=100, gpus=1)
+
+
+def test_input_cache_names_requires_naming():
+    t = Task("x").add_input(BufferFile(b"1"), "in")
+    with pytest.raises(RuntimeError):
+        t.input_cache_names()
+
+
+def test_python_task_command_mentions_runner():
+    t = PythonTask(len, [1, 2, 3])
+    assert "pytask_runner" in t.command
+    assert t.category == "python"
+    with pytest.raises(RuntimeError):
+        t.output()
+    t.set_output_value(3)
+    assert t.output() == 3
+
+
+def test_minitask_output_name():
+    mt = MiniTask("untar x").set_output_name("unpacked")
+    assert mt.output_name == "unpacked"
+    assert mt.category == "mini"
+
+
+# -- libraries -----------------------------------------------------------
+
+
+def _f(x):
+    return x + 1
+
+
+def _g(x):
+    return x * 2
+
+
+def test_library_collects_functions():
+    lib = Library("mylib", [_f, _g])
+    assert lib.function_names() == ["_f", "_g"]
+
+
+def test_library_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError):
+        Library("dup", [_f, _f])
+    with pytest.raises(ValueError):
+        Library("empty", [])
+
+
+def test_library_task_defaults():
+    lt = LibraryTask(Library("mylib", [_f]), function_slots=4)
+    assert lt.library_name == "mylib"
+    assert lt.function_slots == 4
+    assert lt.category == "library"
+
+
+def test_function_call_output_lifecycle():
+    fc = FunctionCall("mylib", "_f", 10)
+    assert fc.library_name == "mylib"
+    assert fc.function_name == "_f"
+    assert fc.args == (10,)
+    with pytest.raises(RuntimeError):
+        fc.output()
+    fc.set_output_value(11)
+    assert fc.output() == 11
+
+
+def test_add_env_alias_matches_paper_listing():
+    # paper Fig. 3 uses t.add_env("BLASTDB", "landmark")
+    t = Task("blast").add_env("BLASTDB", "landmark")
+    assert t.env == {"BLASTDB": "landmark"}

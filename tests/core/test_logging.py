@@ -1,0 +1,32 @@
+"""Tests for the logging configuration utility."""
+
+import logging
+
+from repro.util.logging import configure, get_logger
+
+
+def test_get_logger_namespaced():
+    log = get_logger("core.manager")
+    assert log.name == "repro.core.manager"
+    already = get_logger("repro.worker.worker")
+    assert already.name == "repro.worker.worker"
+
+
+def test_configure_level_override():
+    configure(level="debug")
+    assert logging.getLogger("repro").level == logging.DEBUG
+    configure(level=logging.ERROR)
+    assert logging.getLogger("repro").level == logging.ERROR
+    configure(level="warning")
+
+
+def test_configure_idempotent_single_handler():
+    configure()
+    configure()
+    handlers = logging.getLogger("repro").handlers
+    assert len(handlers) == 1
+
+
+def test_unknown_level_falls_back_to_warning():
+    configure(level="nonsense")
+    assert logging.getLogger("repro").level == logging.WARNING

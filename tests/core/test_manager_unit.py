@@ -1,0 +1,175 @@
+"""Unit tests for Manager behaviour that needs no worker processes."""
+
+import os
+
+import pytest
+
+from repro.core.files import CacheLevel
+from repro.core.library import FunctionCall
+from repro.core.manager import Manager, ManagerError
+from repro.core.task import PythonTask, Task
+from repro.core.transfer_table import MANAGER_SOURCE
+
+
+@pytest.fixture()
+def manager():
+    m = Manager()
+    yield m
+    m.close()
+
+
+def test_listens_on_localhost(manager):
+    assert manager.host == "127.0.0.1"
+    assert manager.port > 0
+
+
+def test_declare_buffer_names_and_sizes(manager):
+    f = manager.declare_buffer(b"payload")
+    assert f.cache_name.startswith("buffer-md5-")
+    assert manager.sizes[f.cache_name] == 7
+    assert manager.fixed_sources[f.cache_name] == MANAGER_SOURCE
+
+
+def test_declare_local_file_and_dir(manager, tmp_path):
+    p = tmp_path / "x.bin"
+    p.write_bytes(b"ab" * 500)
+    f = manager.declare_local(str(p))
+    assert manager.sizes[f.cache_name] == 1000
+    d = tmp_path / "tree"
+    d.mkdir()
+    (d / "member").write_bytes(b"xyz")
+    fd = manager.declare_local(str(d), cache="worker")
+    assert fd.cache_name.startswith("dir-md5-")
+    assert manager.sizes[fd.cache_name] == 3
+
+
+def test_declare_local_worker_level_content_named(manager, tmp_path):
+    p = tmp_path / "data"
+    p.write_bytes(b"stable content")
+    f1 = manager.declare_local(str(p), cache="worker")
+    m2 = Manager()
+    try:
+        f2 = m2.declare_local(str(p), cache="worker")
+        assert f1.cache_name == f2.cache_name
+    finally:
+        m2.close()
+
+
+def test_declare_url_sets_host_source(manager, tmp_path):
+    p = tmp_path / "remote.bin"
+    p.write_bytes(b"remote")
+    f = manager.declare_url(f"file://{p}")
+    assert manager.fixed_sources[f.cache_name] == "url:localfs"
+    assert manager.sizes[f.cache_name] == 6
+
+
+def test_declare_url_worker_level_uses_stat_headers(manager, tmp_path):
+    p = tmp_path / "remote.bin"
+    p.write_bytes(b"remote")
+    f = manager.declare_url(f"file://{p}", cache="worker")
+    assert f.cache_name.startswith("url-meta-")
+    # touching content changes the derived name for a fresh manager
+    p.write_bytes(b"remote2!")
+    m2 = Manager()
+    try:
+        f2 = m2.declare_url(f"file://{p}", cache="worker")
+        assert f2.cache_name != f.cache_name
+    finally:
+        m2.close()
+
+
+def test_declare_untar_builds_minitask(manager, tmp_path):
+    p = tmp_path / "pkg.tar"
+    p.write_bytes(b"not really a tar")
+    tarball = manager.declare_local(str(p))
+    env = manager.declare_untar(tarball)
+    assert env.cache_name.startswith("task-md5-")
+    assert manager.fixed_sources[env.cache_name] == "@minitask"
+    assert env.mini_task.inputs[0][1] is tarball
+
+
+def test_minitask_with_undeclared_input_rejected(manager):
+    from repro.core.files import BufferFile
+    from repro.core.task import MiniTask
+
+    mini = MiniTask("cmd").add_input(BufferFile(b"x"), "in")
+    with pytest.raises(ManagerError):
+        manager.declare_minitask(mini)
+
+
+def test_submit_undeclared_input_rejected(manager):
+    from repro.core.files import BufferFile
+
+    t = Task("cmd").add_input(BufferFile(b"x"), "in")
+    with pytest.raises(ManagerError):
+        manager.submit(t)
+    assert manager.empty()
+
+
+def test_submit_twice_rejected(manager):
+    t = Task("cmd")
+    manager.submit(t)
+    with pytest.raises(ManagerError):
+        manager.submit(t)
+
+
+def test_function_call_requires_known_library(manager):
+    with pytest.raises(ManagerError):
+        manager.submit(FunctionCall("ghost", "fn"))
+
+
+def test_create_library_twice_rejected(manager):
+    manager.create_library("lib", [len])
+    with pytest.raises(ManagerError):
+        manager.create_library("lib", [len])
+
+
+def test_python_task_gets_payload_and_result_files(manager):
+    t = PythonTask(len, [1, 2])
+    manager.submit(t)
+    names = [n for n, _ in t.inputs]
+    assert PythonTask.PAYLOAD_NAME in names
+    assert t.outputs[-1][0] == PythonTask.RESULT_NAME
+    # payload is task-lifetime: collected as soon as the task is done
+    payload_file = dict(t.inputs)[PythonTask.PAYLOAD_NAME]
+    assert payload_file.cache_level == CacheLevel.TASK
+
+
+def test_wait_timeout_and_empty(manager):
+    assert manager.empty()
+    assert manager.wait(timeout=0.05) is None
+    t = Task("cmd")
+    manager.submit(t)  # no workers: stays outstanding
+    assert not manager.empty()
+
+
+def test_fetch_bytes_of_buffer_and_local(manager, tmp_path):
+    b = manager.declare_buffer(b"direct")
+    assert manager.fetch_bytes(b) == b"direct"
+    p = tmp_path / "f"
+    p.write_bytes(b"from disk")
+    f = manager.declare_local(str(p))
+    assert manager.fetch_bytes(f) == b"from disk"
+
+
+def test_fetch_bytes_without_replica_raises(manager):
+    temp = manager.declare_temp()
+    with pytest.raises(ManagerError, match="no worker holds"):
+        manager.fetch_bytes(temp)
+
+
+def test_close_idempotent(manager):
+    manager.close()
+    manager.close()
+
+
+def test_context_manager():
+    with Manager() as m:
+        m.declare_buffer(b"x")
+    assert m._closed
+
+
+def test_run_until_done_times_out_without_workers(manager):
+    manager.submit(Task("cmd"))
+    with pytest.raises(ManagerError, match="did not finish"):
+        manager.run_until_done(timeout=0.3)

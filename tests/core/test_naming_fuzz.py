@@ -1,0 +1,57 @@
+"""Hypothesis fuzzing of the naming layer (collision and sensitivity)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.files import BufferFile, CacheLevel, TempFile
+from repro.core.naming import Namer, task_spec_hash
+from repro.util.hashing import hash_bytes
+
+
+@given(st.lists(st.binary(max_size=64), min_size=1, max_size=30))
+def test_buffer_names_collide_iff_content_equal(buffers):
+    namer = Namer(seed=0)
+    names = {}
+    for data in buffers:
+        f = BufferFile(data, CacheLevel.WORKER)
+        name = namer.assign(f)
+        if data in names:
+            assert names[data] == name
+        else:
+            # different content must not alias (md5 collision aside)
+            assert name not in set(names.values()) or names.get(data) == name
+            names[data] = name
+
+
+@given(st.integers(0, 2**32), st.integers(1, 50))
+def test_random_names_unique_within_run(seed, count):
+    namer = Namer(seed=seed)
+    names = [namer.assign(TempFile()) for _ in range(count)]
+    assert len(set(names)) == count
+
+
+@given(
+    st.text(min_size=1, max_size=60),
+    st.lists(
+        st.tuples(st.text(min_size=1, max_size=10), st.text(min_size=1, max_size=40)),
+        max_size=6,
+    ),
+    st.dictionaries(st.text(min_size=1, max_size=8), st.text(max_size=8), max_size=4),
+)
+def test_spec_hash_deterministic_and_env_sensitive(command, inputs, env):
+    base = task_spec_hash(command, inputs, {"cores": 1}, env)
+    assert task_spec_hash(command, list(reversed(inputs)), {"cores": 1}, env) == base
+    assert task_spec_hash(command + "!", inputs, {"cores": 1}, env) != base
+    if env:
+        changed = dict(env)
+        key = next(iter(changed))
+        changed[key] = changed[key] + "_x"
+        assert task_spec_hash(command, inputs, {"cores": 1}, changed) != base
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=4096))
+def test_hashing_matches_reference(data):
+    import hashlib
+
+    assert hash_bytes(data) == hashlib.md5(data).hexdigest()

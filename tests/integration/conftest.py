@@ -1,0 +1,74 @@
+"""Fixtures for end-to-end tests of the real multi-process runtime."""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.core.manager import Manager
+
+#: spawn avoids inheriting the manager's threads/locks into workers
+_CTX = mp.get_context("spawn")
+
+
+def _worker_main(host, port, workdir, cores, memory, disk):
+    from repro.worker.worker import Worker
+
+    worker = Worker(
+        host, port, workdir, cores=cores, memory=memory, disk=disk, task_timeout=120.0
+    )
+    worker.run()
+
+
+class Cluster:
+    """A manager plus real worker processes on localhost."""
+
+    def __init__(self, tmp_path, n_workers=2, cores=4, memory=2000, disk=2000, **mkw):
+        self.manager = Manager(**mkw)
+        self.tmp_path = tmp_path
+        self.procs = []
+        for i in range(n_workers):
+            self.start_worker(f"w{i}", cores=cores, memory=memory, disk=disk)
+        self.wait_workers(n_workers)
+
+    def start_worker(self, name, cores=4, memory=2000, disk=2000):
+        workdir = str(self.tmp_path / f"worker-{name}")
+        # not a daemon: workers must be able to fork library instances
+        proc = _CTX.Process(
+            target=_worker_main,
+            args=(self.manager.host, self.manager.port, workdir, cores, memory, disk),
+        )
+        proc.start()
+        self.procs.append(proc)
+        return proc
+
+    def wait_workers(self, count, timeout=30.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            with self.manager._lock:
+                if len(self.manager.workers) >= count:
+                    return
+            time.sleep(0.05)
+        raise TimeoutError(f"only {len(self.manager.workers)} workers joined")
+
+    def stop(self):
+        self.manager.close(shutdown_workers=True)
+        for proc in self.procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    c = Cluster(tmp_path, n_workers=2)
+    yield c
+    c.stop()
+
+
+@pytest.fixture()
+def single_worker_cluster(tmp_path):
+    c = Cluster(tmp_path, n_workers=1)
+    yield c
+    c.stop()

@@ -1,0 +1,78 @@
+"""Cross-runtime consistency: the same workflow on real vs simulated.
+
+Both runtimes drive identical policy code, so for the same declared
+workflow the *data-movement structure* must agree: how many transfers
+each kind of source serves, how often the environment is staged, and
+what ends up cached where — even though wall-clock and virtual time
+differ completely.
+"""
+
+import pytest
+
+from repro.core.task import Task, TaskState
+from repro.sim.cluster import SimCluster
+from repro.sim.simmanager import SimManager
+from tests.integration.conftest import Cluster
+
+N_TASKS = 8
+
+
+def _real_run(tmp_path):
+    c = Cluster(tmp_path, n_workers=2)
+    try:
+        m = c.manager
+        shared = m.declare_buffer(b"shared-dataset" * 100)
+        tasks = []
+        for i in range(N_TASKS):
+            t = Task(f"cat data > /dev/null && echo {i}")
+            t.add_input(shared, "data")
+            tasks.append(t)
+            m.submit(t)
+        m.run_until_done(timeout=120)
+        assert all(t.state == TaskState.DONE for t in tasks)
+        with m._lock:
+            pushes = sum(
+                1 for e in m.log.events("transfer_start")
+                if e.file == shared.cache_name
+            )
+            holders = len(m.replicas.locate(shared.cache_name))
+            by_worker = {}
+            for t in tasks:
+                by_worker[t.worker_id] = by_worker.get(t.worker_id, 0) + 1
+        return pushes, holders, by_worker
+    finally:
+        c.stop()
+
+
+def _sim_run():
+    cluster = SimCluster()
+    cluster.add_workers(2, cores=4)
+    m = SimManager(cluster)
+    shared = m.declare_dataset("shared-dataset", 1400)
+    tasks = []
+    for i in range(N_TASKS):
+        t = Task(f"cat {i}")
+        t.add_input(shared, "data")
+        tasks.append(t)
+        m.submit(t, duration=0.5)
+    m.run(finalize=False)
+    pushes = sum(
+        1 for e in m.log.events("transfer_start")
+        if e.file == shared.cache_name
+    )
+    holders = len(m.replicas.locate(shared.cache_name))
+    by_worker = {}
+    for t in tasks:
+        by_worker[t.worker_id] = by_worker.get(t.worker_id, 0) + 1
+    return pushes, holders, by_worker
+
+
+def test_same_workflow_same_movement_structure(tmp_path):
+    real_pushes, real_holders, real_spread = _real_run(tmp_path)
+    sim_pushes, sim_holders, sim_spread = _sim_run()
+    # the shared input reaches each worker exactly once in both runtimes
+    assert real_pushes == sim_pushes == 2
+    assert real_holders == sim_holders == 2
+    # both runtimes use both workers
+    assert len(real_spread) == len(sim_spread) == 2
+    assert sum(real_spread.values()) == sum(sim_spread.values()) == N_TASKS

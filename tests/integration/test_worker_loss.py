@@ -1,0 +1,101 @@
+"""Real-runtime fault tolerance: worker processes dying mid-workflow."""
+
+import time
+
+import pytest
+
+from repro.core.task import Task, TaskState
+from tests.integration.conftest import Cluster
+
+
+@pytest.fixture()
+def cluster3(tmp_path):
+    c = Cluster(tmp_path, n_workers=3)
+    yield c
+    c.stop()
+
+
+def _wait_running(manager, task, timeout=20.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        with manager._lock:
+            if task.state == TaskState.RUNNING:
+                return True
+        time.sleep(0.05)
+    return False
+
+
+def _proc_of_worker(cluster, manager, worker_id):
+    """Map a manager-side worker id to its OS process via the workdir."""
+    with manager._lock:
+        workdir = manager.workers[worker_id].workdir
+    for i, proc in enumerate(cluster.procs):
+        if workdir and workdir.endswith(f"worker-w{i}"):
+            return proc
+    raise LookupError(f"no process found for {worker_id} ({workdir})")
+
+
+def test_killed_worker_task_requeued_and_finishes(cluster3):
+    m = cluster3.manager
+    long_task = Task("sleep 3 && echo survived")
+    long_task.max_retries = 2
+    m.submit(long_task)
+    assert _wait_running(m, long_task)
+    victim_wid = long_task.worker_id
+    victim_proc = _proc_of_worker(cluster3, m, victim_wid)
+    victim_proc.terminate()
+    # the manager notices the departure and requeues onto a survivor
+    deadline = time.time() + 20
+    while time.time() < deadline:
+        with m._lock:
+            if victim_wid not in m.workers:
+                break
+        time.sleep(0.05)
+    m.run_until_done(timeout=120)
+    assert long_task.state == TaskState.DONE
+    assert "survived" in long_task.result.output
+    assert long_task.worker_id != victim_wid
+    assert long_task.retries_used >= 1
+
+
+def test_replicas_dropped_when_worker_leaves(cluster3):
+    m = cluster3.manager
+    data = m.declare_buffer(b"spread me" * 100)
+    tasks = [
+        Task(f"cat d > /dev/null && echo {i}").add_input(data, "d")
+        for i in range(6)
+    ]
+    for t in tasks:
+        m.submit(t)
+    m.run_until_done(timeout=120)
+    with m._lock:
+        holders_before = m.replicas.locate(data.cache_name)
+    assert holders_before
+    cluster3.procs[0].terminate()
+    deadline = time.time() + 20
+    while time.time() < deadline:
+        with m._lock:
+            if len(m.workers) == 2:
+                break
+        time.sleep(0.05)
+    with m._lock:
+        holders_after = m.replicas.locate(data.cache_name)
+        live = set(m.workers)
+    assert holders_after <= live
+
+
+def test_heartbeats_keep_idle_workers_alive(tmp_path):
+    """With a tight liveness timeout, heartbeats are the only traffic
+    from an idle worker — it must not be reaped."""
+    c = Cluster(tmp_path, n_workers=1, worker_liveness_timeout=12.0)
+    try:
+        m = c.manager
+        time.sleep(8)  # > heartbeat interval, below the timeout
+        with m._lock:
+            assert len(m.workers) == 1
+        t = Task("echo alive")
+        m.submit(t)
+        m.run_until_done(timeout=60)
+        assert t.state == TaskState.DONE
+    finally:
+        c.stop()

@@ -1,0 +1,130 @@
+"""Tests for socket framing and the wire message schema."""
+
+import threading
+
+import pytest
+
+from repro.protocol.connection import Connection, ProtocolError, listen
+from repro.protocol.messages import M, WireError, validate
+
+
+@pytest.fixture()
+def conn_pair():
+    """A connected (client, server) Connection pair over localhost."""
+    server_sock = listen()
+    host, port = server_sock.getsockname()
+    result = {}
+
+    def accept():
+        s, _ = server_sock.accept()
+        result["server"] = Connection(s)
+
+    t = threading.Thread(target=accept)
+    t.start()
+    client = Connection.connect(host, port)
+    t.join(timeout=5)
+    server = result["server"]
+    yield client, server
+    client.close()
+    server.close()
+    server_sock.close()
+
+
+def test_message_round_trip(conn_pair):
+    client, server = conn_pair
+    client.send_message({"type": "ack", "n": 42, "s": "héllo"})
+    msg = server.recv_message()
+    assert msg == {"type": "ack", "n": 42, "s": "héllo"}
+
+
+def test_multiple_messages_in_order(conn_pair):
+    client, server = conn_pair
+    for i in range(20):
+        client.send_message({"type": "ack", "i": i})
+    for i in range(20):
+        assert server.recv_message()["i"] == i
+
+
+def test_bytes_after_message(conn_pair):
+    client, server = conn_pair
+    payload = bytes(range(256)) * 1000
+    client.send_message({"type": "file_data", "size": len(payload)})
+    client.send_bytes(payload)
+    msg = server.recv_message()
+    assert server.recv_bytes(msg["size"]) == payload
+
+
+def test_file_streaming(conn_pair, tmp_path):
+    client, server = conn_pair
+    src = tmp_path / "src.bin"
+    dst = tmp_path / "dst.bin"
+    content = b"block" * 500_000  # 2.5 MB, crosses chunk boundaries
+    src.write_bytes(content)
+    client.send_message({"type": "file_data", "size": len(content)})
+    sender = threading.Thread(target=client.send_file, args=(src, len(content)))
+    sender.start()
+    msg = server.recv_message()
+    server.recv_to_file(dst, msg["size"])
+    sender.join(timeout=10)
+    assert dst.read_bytes() == content
+
+
+def test_send_file_shorter_than_announced(conn_pair, tmp_path):
+    client, _ = conn_pair
+    short = tmp_path / "short.bin"
+    short.write_bytes(b"123")
+    with pytest.raises(ProtocolError):
+        client.send_file(short, 10)
+
+
+def test_eof_raises_protocol_error(conn_pair):
+    client, server = conn_pair
+    client.close()
+    with pytest.raises(ProtocolError):
+        server.recv_message()
+
+
+def test_non_dict_message_rejected(conn_pair):
+    client, server = conn_pair
+    import json, struct
+
+    payload = json.dumps([1, 2, 3]).encode()
+    client.sock.sendall(struct.pack(">I", len(payload)) + payload)
+    with pytest.raises(ProtocolError):
+        server.recv_message()
+
+
+def test_corrupt_json_rejected(conn_pair):
+    client, server = conn_pair
+    import struct
+
+    client.sock.sendall(struct.pack(">I", 4) + b"{{{{")
+    with pytest.raises(ProtocolError):
+        server.recv_message()
+
+
+# -- schema ------------------------------------------------------------
+
+
+def test_validate_accepts_complete_message():
+    assert validate({"type": M.CACHE_UPDATE, "cache_name": "x", "size": 1}) == M.CACHE_UPDATE
+
+
+def test_validate_rejects_unknown_type():
+    with pytest.raises(WireError):
+        validate({"type": "nonsense"})
+    with pytest.raises(WireError):
+        validate({})
+
+
+def test_validate_reports_missing_fields():
+    with pytest.raises(WireError, match="cache_name"):
+        validate({"type": M.PUT_FILE, "size": 1, "level": 1})
+
+
+def test_all_schema_types_validate_with_required_fields():
+    from repro.protocol.messages import _SCHEMA
+
+    for mtype, fields in _SCHEMA.items():
+        msg = {"type": mtype, **{f: "x" for f in fields}}
+        assert validate(msg) == mtype

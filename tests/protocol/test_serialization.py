@@ -1,0 +1,207 @@
+"""Tests for by-value function serialization (mini-cloudpickle)."""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.protocol import serialization as ser
+
+
+def test_round_trip_plain_data():
+    obj = {"a": [1, 2.5, "x"], "b": (None, True)}
+    assert ser.loads(ser.dumps(obj)) == obj
+
+
+def test_importable_function_by_reference():
+    data = ser.dumps(os.path.join)
+    fn = ser.loads(data)
+    assert fn is os.path.join
+    assert len(data) < 200  # by reference, not by value
+
+
+def test_local_function_by_value():
+    def adder(x, y=10):
+        return x + y
+
+    fn = ser.loads(ser.dumps(adder))
+    assert fn(5) == 15
+    assert fn(5, y=1) == 6
+    assert fn.__name__ == "adder"
+
+
+def test_closure_captured():
+    base = 100
+
+    def offset(x):
+        return x + base
+
+    fn = ser.loads(ser.dumps(offset))
+    assert fn(1) == 101
+
+
+def test_globals_captured_transitively():
+    # module-level helper referenced through a local function
+    fn = ser.loads(ser.dumps(_uses_helper))
+    assert fn(3) == 9
+
+
+def test_recursive_function():
+    def fact(n):
+        return 1 if n <= 1 else n * fact(n - 1)
+
+    fn = ser.loads(ser.dumps(fact))
+    assert fn(5) == 120
+
+
+def test_mutually_recursive_functions():
+    def is_even(n):
+        return True if n == 0 else is_odd(n - 1)
+
+    def is_odd(n):
+        return False if n == 0 else is_even(n - 1)
+
+    # closure over each other happens via enclosing scope cells
+    fn = ser.loads(ser.dumps(is_even))
+    assert fn(10) is True
+    assert fn(7) is False
+
+
+def test_lambda():
+    fn = ser.loads(ser.dumps(lambda x: x * 3))
+    assert fn(4) == 12
+
+
+def test_function_referencing_module():
+    import math
+
+    def area(r):
+        return math.pi * r * r
+
+    fn = ser.loads(ser.dumps(area))
+    assert fn(1) == pytest.approx(3.14159, abs=1e-4)
+
+
+def test_function_with_kwdefaults_and_doc():
+    def f(*, k=7):
+        """docstring survives"""
+        return k
+
+    fn = ser.loads(ser.dumps(f))
+    assert fn() == 7
+    assert fn.__doc__ == "docstring survives"
+
+
+def test_nested_function_factory():
+    def make_mult(n):
+        def mult(x):
+            return x * n
+
+        return mult
+
+    fn = ser.loads(ser.dumps(make_mult(6)))
+    assert fn(7) == 42
+
+
+def test_functions_inside_containers():
+    payload = {"f": lambda x: x + 1, "g": [lambda: 5]}
+    out = ser.loads(ser.dumps(payload))
+    assert out["f"](1) == 2
+    assert out["g"][0]() == 5
+
+
+def test_unserializable_raises_clean_error():
+    with pytest.raises(ser.SerializationError):
+        ser.dumps(open(os.devnull))
+
+
+def test_cross_process_main_function():
+    """A function defined in __main__ must load in a fresh interpreter."""
+    script = textwrap.dedent(
+        """
+        import sys
+        from repro.protocol import serialization as ser
+
+        CONSTANT = 5
+
+        def main_fn(x):
+            return x * CONSTANT
+
+        blob = ser.dumps(main_fn)
+        sys.stdout.buffer.write(blob)
+        """
+    )
+    produced = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, check=True
+    ).stdout
+    fn = ser.loads(produced)
+    assert fn(3) == 15
+
+
+def _helper(x):
+    return x * x
+
+
+def _uses_helper(x):
+    return _helper(x)
+
+
+def test_portable_round_trip():
+    def fn(x):
+        return x + 1
+
+    blob = ser.dumps_portable({"func": fn, "n": 3})
+    out = ser.loads_portable(blob)
+    assert out["func"](out["n"]) == 4
+
+
+def test_portable_carries_path_hints():
+    import pickle
+
+    blob = ser.dumps_portable(42)
+    envelope = pickle.loads(blob)
+    assert "sys_path" in envelope and envelope["sys_path"]
+    assert all(isinstance(p, str) for p in envelope["sys_path"])
+
+
+def test_portable_extends_receiver_path(tmp_path):
+    """A fresh interpreter can import sender-local modules via hints."""
+    import subprocess
+    import textwrap
+
+    module_dir = tmp_path / "site"
+    module_dir.mkdir()
+    (module_dir / "sender_local_mod.py").write_text("def trip(x):\n    return x * 3\n")
+    producer = textwrap.dedent(
+        f"""
+        import sys
+        sys.path.insert(0, {str(module_dir)!r})
+        import sender_local_mod
+        from repro.protocol import serialization as ser
+        sys.stdout.buffer.write(ser.dumps_portable(sender_local_mod.trip))
+        """
+    )
+    blob = subprocess.run(
+        [sys.executable, "-c", producer], capture_output=True, check=True
+    ).stdout
+    consumer = textwrap.dedent(
+        """
+        import sys
+        from repro.protocol import serialization as ser
+        fn = ser.loads_portable(sys.stdin.buffer.read())
+        print(fn(7))
+        """
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", consumer], input=blob, capture_output=True, check=True
+    ).stdout
+    assert out.strip() == b"21"
+
+
+def test_portable_rejects_non_envelope():
+    with pytest.raises(ser.SerializationError):
+        ser.loads_portable(ser.dumps({"no": "blob"}))
+    with pytest.raises(ser.SerializationError):
+        ser.loads_portable(b"garbage")

@@ -1,0 +1,55 @@
+"""Tests for the simulated-experiment CLI."""
+
+import pytest
+
+from repro.sim import cli
+
+
+def run_cli(capsys, *argv):
+    code = cli.main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_fig9_small(capsys):
+    code, out = run_cli(capsys, "fig9", "--workers", "5", "--tasks", "40")
+    assert code == 0
+    assert "cold:" in out and "hot:" in out
+    assert "worker view" in out
+
+
+def test_fig10_small(capsys):
+    code, out = run_cli(capsys, "fig10", "--tasks", "120")
+    assert code == 0
+    assert "independent:" in out
+    assert "unpacks" in out
+
+
+def test_fig11_modes(capsys):
+    code, out = run_cli(
+        capsys, "fig11", "--mode", "managed", "--limit", "3", "--workers", "40"
+    )
+    assert code == 0
+    assert "mode=managed limit=3" in out
+    assert "p50=" in out
+
+
+def test_bgd_small(capsys):
+    code, out = run_cli(capsys, "bgd", "--calls", "60", "--workers", "10")
+    assert code == 0
+    assert "libraries ready" in out
+    assert "task view" in out
+
+
+def test_topeft_both_modes(capsys):
+    code, out = run_cli(capsys, "topeft", "--chunks", "32")
+    assert code == 0
+    assert "in-cluster temps" in out
+    code, out = run_cli(capsys, "topeft", "--chunks", "32", "--shared-storage")
+    assert "shared storage" in out
+    assert "GB via manager" in out
+
+
+def test_unknown_command_rejected(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["nonsense"])

@@ -1,0 +1,158 @@
+"""Behavioural tests of scheduling policies in the simulated runtime."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import EventLog, worker_busy
+from repro.core.resources import Resources
+from repro.core.task import Task, TaskState
+from repro.sim.cluster import SimCluster
+from repro.sim.simmanager import SimManager
+
+MB = 1_000_000
+
+
+def test_priority_tasks_dispatch_first():
+    c = SimCluster()
+    c.add_worker(cores=1, worker_id="only")
+    m = SimManager(c)
+    low = [Task(f"low{i}") for i in range(3)]
+    high = Task("urgent").set_priority(10)
+    for t in low:
+        m.submit(t, duration=5.0)
+    m.submit(high, duration=5.0)
+    m.run(finalize=False)
+    # despite being submitted last, the priority task ran first
+    assert high.started_at < min(t.started_at for t in low)
+
+
+def test_fifo_among_equal_priority():
+    c = SimCluster()
+    c.add_worker(cores=1)
+    m = SimManager(c)
+    tasks = [Task(f"t{i}") for i in range(4)]
+    for t in tasks:
+        m.submit(t, duration=2.0)
+    m.run(finalize=False)
+    starts = [t.started_at for t in tasks]
+    assert starts == sorted(starts)
+
+
+def test_gpu_tasks_only_on_gpu_workers():
+    c = SimCluster()
+    c.add_worker(cores=4, gpus=0, worker_id="cpu")
+    c.add_worker(cores=4, gpus=2, worker_id="gpu")
+    m = SimManager(c)
+    t = Task("train").set_resources(Resources(cores=1, gpus=1))
+    m.submit(t, duration=1.0)
+    m.run(finalize=False)
+    assert t.worker_id == "gpu"
+
+
+def test_memory_packing_respected():
+    c = SimCluster()
+    c.add_worker(cores=8, memory=1000, worker_id="w")
+    m = SimManager(c)
+    tasks = [
+        Task(f"m{i}").set_resources(Resources(cores=1, memory=400))
+        for i in range(4)
+    ]
+    for t in tasks:
+        m.submit(t, duration=10.0)
+    stats = m.run(finalize=False)
+    # only 2 fit concurrently (memory-bound despite 8 cores)
+    assert stats.makespan == pytest.approx(20.0, abs=0.5)
+
+
+def test_draining_is_respected_via_capacity():
+    # a worker fully allocated by a library cannot take plain tasks
+    c = SimCluster()
+    c.add_worker(cores=1, worker_id="tiny")
+    c.add_worker(cores=4, worker_id="big")
+    m = SimManager(c)
+    m.create_library("hog", resources=Resources(cores=1), startup_time=0.1)
+    m.install_library("hog")
+    t = Task("work")
+    m.submit(t, duration=1.0)
+    m.run(finalize=False)
+    assert t.worker_id == "big"  # tiny is fully held by the library
+
+
+# -- event-log properties --------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100),  # start
+            st.floats(min_value=0.01, max_value=50),  # duration
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_worker_busy_never_exceeds_connected(intervals):
+    log = EventLog()
+    log.emit(0.0, "worker_join", worker="w")
+    horizon = 0.0
+    for i, (start, duration) in enumerate(intervals):
+        end = start + duration
+        horizon = max(horizon, end)
+        log.emit(start, "task_start", worker="w", task=f"t{i}")
+        log.emit(end, "task_end", worker="w", task=f"t{i}")
+    busy = worker_busy(log, horizon=horizon)["w"]
+    assert busy.executing <= busy.connected + 1e-6
+    assert busy.idle >= -1e-6
+    assert busy.executing + busy.idle <= busy.connected + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 30), st.integers(1, 4), st.integers(1, 8))
+def test_property_sim_conserves_tasks(n_tasks, n_workers, cores):
+    """Every submitted task completes exactly once, regardless of shape."""
+    c = SimCluster()
+    c.add_workers(n_workers, cores=cores)
+    m = SimManager(c)
+    tasks = [Task(f"t{i}") for i in range(n_tasks)]
+    for t in tasks:
+        m.submit(t, duration=1.0)
+    stats = m.run(finalize=False)
+    assert stats.tasks_done == n_tasks
+    assert all(t.state == TaskState.DONE for t in tasks)
+    ends = stats.log.events("task_end")
+    assert len(ends) == n_tasks
+
+
+def test_heterogeneous_cluster_mixed_hardware():
+    """The paper's testbed mixes 12-64 core nodes; packing must adapt."""
+    c = SimCluster()
+    sizes = [12, 16, 32, 64]
+    for i, cores in enumerate(sizes):
+        c.add_worker(cores=cores, memory=cores * 4000, worker_id=f"n{cores}")
+    m = SimManager(c)
+    tasks = [Task(f"t{i}") for i in range(sum(sizes))]
+    for t in tasks:
+        m.submit(t, duration=10.0)
+    stats = m.run(finalize=False)
+    # exactly one wave: total slots equal total tasks
+    assert stats.makespan == pytest.approx(10.0, abs=0.3)
+    by_worker = {}
+    for t in tasks:
+        by_worker[t.worker_id] = by_worker.get(t.worker_id, 0) + 1
+    assert by_worker == {f"n{s}": s for s in sizes}
+
+
+def test_wide_tasks_fill_remaining_capacity():
+    c = SimCluster()
+    c.add_worker(cores=16, worker_id="big")
+    m = SimManager(c)
+    wide = Task("wide").set_resources(Resources(cores=12))
+    narrow = [Task(f"n{i}") for i in range(4)]
+    m.submit(wide, duration=10.0)
+    for t in narrow:
+        m.submit(t, duration=10.0)
+    stats = m.run(finalize=False)
+    # 12 + 4x1 = 16 cores: everything runs in one wave
+    assert stats.makespan == pytest.approx(10.0, abs=0.3)

@@ -1,0 +1,87 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.events import EventLog
+from repro.sim.svgplot import COLOR_EXEC, COLOR_TRANSFER, svg_task_view, svg_worker_view
+from repro.sim.workloads import blast_cluster, blast_workflow
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def run_log():
+    cluster = blast_cluster(n_workers=4)
+    return blast_workflow(cluster, n_tasks=20, seed=1).log
+
+
+def _rects(path):
+    tree = ET.parse(path)
+    return tree.getroot().findall(f".//{SVG_NS}rect")
+
+
+def test_task_view_svg_well_formed(tmp_path, run_log):
+    out = tmp_path / "tasks.svg"
+    svg_task_view(run_log, str(out))
+    rects = _rects(out)
+    exec_rects = [r for r in rects if r.get("fill") == COLOR_EXEC]
+    assert len(exec_rects) == 20  # one bar per completed task
+
+
+def test_worker_view_svg_well_formed(tmp_path, run_log):
+    out = tmp_path / "workers.svg"
+    svg_worker_view(run_log, str(out))
+    rects = _rects(out)
+    fills = {r.get("fill") for r in rects}
+    assert COLOR_EXEC in fills
+    assert COLOR_TRANSFER in fills  # cold-start staging is visible
+
+
+def test_task_view_sampling(tmp_path, run_log):
+    out = tmp_path / "sampled.svg"
+    svg_task_view(run_log, str(out), max_tasks=5)
+    exec_rects = [r for r in _rects(out) if r.get("fill") == COLOR_EXEC]
+    assert len(exec_rects) == 5
+
+
+def test_empty_log_produces_valid_svg(tmp_path):
+    out = tmp_path / "empty.svg"
+    svg_task_view(EventLog(), str(out))
+    assert _rects(out)  # at least the background
+    svg_worker_view(EventLog(), str(out))
+    assert _rects(out)
+
+
+def test_rect_coordinates_within_canvas(tmp_path, run_log):
+    out = tmp_path / "bounds.svg"
+    svg_worker_view(run_log, str(out), width=400)
+    for r in _rects(out):
+        x = float(r.get("x", 0))
+        w = float(r.get("width"))
+        assert x >= 0
+        assert x + w <= 400 + 1.0  # minimum-width nudge tolerance
+
+
+def test_task_view_category_coloring(tmp_path, run_log):
+    from repro.sim.svgplot import CATEGORY_PALETTE
+
+    out = tmp_path / "colored.svg"
+    svg_task_view(run_log, str(out), color_by_category=True)
+    fills = {r.get("fill") for r in _rects(out)}
+    # blast tasks are one category: exactly one palette color used
+    assert CATEGORY_PALETTE[0] in fills
+
+
+def test_task_view_multiple_categories_distinct_colors(tmp_path):
+    from repro.sim.svgplot import CATEGORY_PALETTE
+    from repro.sim.workloads import topeft_workflow
+
+    result = topeft_workflow(in_cluster=True, n_chunks=16, fan_in=4,
+                             n_workers=4, process_time=5.0)
+    out = tmp_path / "topeft.svg"
+    svg_task_view(result.stats.log, str(out), color_by_category=True)
+    fills = {r.get("fill") for r in _rects(out)}
+    # process-data / process-mc / accumulate → at least 3 palette colors
+    assert len(fills & set(CATEGORY_PALETTE)) >= 3

@@ -1,0 +1,242 @@
+"""Tests for the worker cache, sandboxes, and the task executor."""
+
+import os
+
+import pytest
+
+from repro.core.files import CacheLevel
+from repro.core.resources import Resources
+from repro.worker.cache import WorkerCache
+from repro.worker.executor import run_command
+from repro.worker.sandbox import Sandbox, SandboxError
+
+
+# -- cache ---------------------------------------------------------------
+
+
+def test_insert_bytes_and_query(tmp_path):
+    cache = WorkerCache(str(tmp_path / "c"))
+    entry = cache.insert_bytes(b"hello", "file-1", CacheLevel.WORKFLOW, now=5.0)
+    assert cache.has("file-1")
+    assert entry.size == 5
+    assert not entry.is_dir
+    assert cache.total_bytes() == 5
+    with open(cache.path_of("file-1"), "rb") as f:
+        assert f.read() == b"hello"
+
+
+def test_insert_from_moves_staged_file(tmp_path):
+    cache = WorkerCache(str(tmp_path / "c"))
+    staged = cache.staging_path("dl")
+    with open(staged, "wb") as f:
+        f.write(b"x" * 100)
+    cache.insert_from(staged, "obj", CacheLevel.WORKER)
+    assert not os.path.exists(staged)
+    assert cache.entry("obj").size == 100
+
+
+def test_insert_directory_object(tmp_path):
+    cache = WorkerCache(str(tmp_path / "c"))
+    staged = cache.staging_path("dir")
+    os.makedirs(os.path.join(staged, "sub"))
+    with open(os.path.join(staged, "sub", "f"), "w") as f:
+        f.write("abc")
+    entry = cache.insert_from(staged, "mydir", CacheLevel.WORKER)
+    assert entry.is_dir
+    assert entry.size == 3
+
+
+def test_insert_idempotent(tmp_path):
+    cache = WorkerCache(str(tmp_path / "c"))
+    cache.insert_bytes(b"one", "n", CacheLevel.WORKFLOW)
+    cache.insert_bytes(b"one", "n", CacheLevel.WORKFLOW)
+    assert cache.total_bytes() == 3
+
+
+def test_remove(tmp_path):
+    cache = WorkerCache(str(tmp_path / "c"))
+    cache.insert_bytes(b"x", "n", CacheLevel.WORKFLOW)
+    assert cache.remove("n")
+    assert not cache.has("n")
+    assert not os.path.exists(cache.path_of("n"))
+    assert not cache.remove("n")
+
+
+def test_worker_level_survives_restart(tmp_path):
+    root = str(tmp_path / "c")
+    cache = WorkerCache(root)
+    cache.insert_bytes(b"keep", "keep-me", CacheLevel.WORKER)
+    cache.insert_bytes(b"drop", "drop-me", CacheLevel.WORKFLOW)
+    reopened = WorkerCache(root)
+    assert reopened.has("keep-me")
+    assert not reopened.has("drop-me")
+    assert not os.path.exists(reopened.path_of("drop-me"))
+
+
+def test_restart_clears_staging(tmp_path):
+    root = str(tmp_path / "c")
+    cache = WorkerCache(root)
+    staged = cache.staging_path("partial")
+    with open(staged, "wb") as f:
+        f.write(b"partial download")
+    reopened = WorkerCache(root)
+    assert os.listdir(reopened.staging_dir) == []
+
+
+def test_illegal_cache_names_rejected(tmp_path):
+    cache = WorkerCache(str(tmp_path / "c"))
+    with pytest.raises(ValueError):
+        cache.path_of("../escape")
+    with pytest.raises(ValueError):
+        cache.path_of("a/b")
+
+
+def test_staging_paths_unique(tmp_path):
+    cache = WorkerCache(str(tmp_path / "c"))
+    p1 = cache.staging_path("same")
+    with open(p1, "w") as f:
+        f.write("x")
+    p2 = cache.staging_path("same")
+    assert p1 != p2
+
+
+def test_eviction_view_shapes(tmp_path):
+    cache = WorkerCache(str(tmp_path / "c"))
+    cache.insert_bytes(b"abc", "n", CacheLevel.WORKER, now=9.0)
+    info = cache.eviction_view()[0]
+    assert (info.cache_name, info.size, info.level, info.last_used) == (
+        "n", 3, CacheLevel.WORKER, 9.0,
+    )
+
+
+# -- sandbox ------------------------------------------------------------
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return WorkerCache(str(tmp_path / "cache"))
+
+
+def test_link_inputs_and_read(tmp_path, cache):
+    cache.insert_bytes(b"data!", "obj-a", CacheLevel.WORKFLOW)
+    sb = Sandbox(str(tmp_path / "sb"), "t1")
+    sb.link_inputs(cache, [("input.txt", "obj-a"), ("nested/d.txt", "obj-a")])
+    assert open(os.path.join(sb.path, "input.txt")).read() == "data!"
+    assert open(os.path.join(sb.path, "nested/d.txt")).read() == "data!"
+    sb.destroy()
+    assert not os.path.exists(sb.path)
+    assert cache.has("obj-a")  # destroying the sandbox never hurts the cache
+
+
+def test_link_directory_input(tmp_path, cache):
+    staged = cache.staging_path("d")
+    os.makedirs(staged)
+    with open(os.path.join(staged, "member"), "w") as f:
+        f.write("m")
+    cache.insert_from(staged, "dir-obj", CacheLevel.WORKFLOW)
+    sb = Sandbox(str(tmp_path / "sb"), "t2")
+    sb.link_inputs(cache, [("software", "dir-obj")])
+    assert open(os.path.join(sb.path, "software", "member")).read() == "m"
+
+
+def test_missing_input_raises(tmp_path, cache):
+    sb = Sandbox(str(tmp_path / "sb"), "t3")
+    with pytest.raises(SandboxError):
+        sb.link_inputs(cache, [("x", "not-there")])
+
+
+def test_escape_rejected(tmp_path, cache):
+    cache.insert_bytes(b"x", "o", CacheLevel.WORKFLOW)
+    sb = Sandbox(str(tmp_path / "sb"), "t4")
+    with pytest.raises(SandboxError):
+        sb.link_inputs(cache, [("../../evil", "o")])
+
+
+def test_harvest_outputs(tmp_path, cache):
+    sb = Sandbox(str(tmp_path / "sb"), "t5")
+    with open(os.path.join(sb.path, "out.txt"), "w") as f:
+        f.write("result")
+    names = sb.harvest_outputs(cache, [("out.txt", "temp-xyz", CacheLevel.WORKFLOW)])
+    assert names == ["temp-xyz"]
+    assert cache.has("temp-xyz")
+    assert open(cache.path_of("temp-xyz")).read() == "result"
+
+
+def test_harvest_missing_output_raises(tmp_path, cache):
+    sb = Sandbox(str(tmp_path / "sb"), "t6")
+    with pytest.raises(SandboxError, match="did not produce"):
+        sb.harvest_outputs(cache, [("never.txt", "n", CacheLevel.WORKFLOW)])
+
+
+def test_disk_usage_counts_only_task_data(tmp_path, cache):
+    cache.insert_bytes(b"i" * 1000, "in", CacheLevel.WORKFLOW)
+    sb = Sandbox(str(tmp_path / "sb"), "t7")
+    sb.link_inputs(cache, [("input", "in")])
+    with open(os.path.join(sb.path, "produced"), "wb") as f:
+        f.write(b"o" * 500)
+    assert sb.disk_usage() == 500
+
+
+# -- executor ----------------------------------------------------------
+
+
+def test_run_command_success(tmp_path):
+    out = run_command(
+        "echo hello", str(tmp_path), {}, Resources(cores=1)
+    )
+    assert out.exit_code == 0
+    assert out.output.strip() == "hello"
+    assert out.execution_time >= 0
+
+
+def test_run_command_env_extends(tmp_path):
+    out = run_command(
+        "echo $MY_VAR", str(tmp_path), {"MY_VAR": "42"}, Resources(cores=1)
+    )
+    assert out.output.strip() == "42"
+
+
+def test_run_command_failure_code(tmp_path):
+    out = run_command("exit 3", str(tmp_path), {}, Resources(cores=1))
+    assert out.exit_code == 3
+
+
+def test_run_command_cwd_is_sandbox(tmp_path):
+    out = run_command("pwd", str(tmp_path), {}, Resources(cores=1))
+    assert out.output.strip() == os.path.realpath(str(tmp_path))
+
+
+def test_run_command_timeout_kills(tmp_path):
+    out = run_command(
+        "sleep 30", str(tmp_path), {}, Resources(cores=1), timeout=0.3
+    )
+    assert out.exit_code == -9
+    assert "wall_time" in out.exceeded
+
+
+def test_run_command_disk_exceeded(tmp_path):
+    out = run_command(
+        "dd if=/dev/zero of=big bs=1M count=3 2>/dev/null",
+        str(tmp_path),
+        {},
+        Resources(cores=1, disk=1),
+        sandbox_usage=lambda: 3_000_000,
+    )
+    assert "disk" in out.exceeded
+
+
+def test_run_command_memory_limit(tmp_path):
+    # allocating ~200 MB under a 50 MB RLIMIT_AS must fail
+    code = "import ctypes; b = bytearray(200_000_000); print(len(b))"
+    out = run_command(
+        f'python3 -c "{code}"',
+        str(tmp_path),
+        {},
+        Resources(cores=1, memory=50),
+    )
+    assert out.exit_code != 0
+
+
+def test_run_command_bad_spawn(tmp_path):
+    out = run_command("echo x", str(tmp_path / "missing-dir"), {}, Resources())
+    assert out.exit_code == 127
