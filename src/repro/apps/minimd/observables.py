@@ -31,7 +31,6 @@ def rdf(
     Returns (bin centers, g values).
     """
     pairs = _pair_distances(positions)
-    n_atoms = len(positions)
     edges = np.linspace(0.0, r_max, nbins + 1)
     counts, _ = np.histogram(pairs, bins=edges)
     centers = 0.5 * (edges[:-1] + edges[1:])

@@ -1,0 +1,1082 @@
+"""The shared control plane: one policy engine for every runtime.
+
+The paper's manager is a *policy* layer — the File Replica Table,
+Current Transfer Table, locality placement, per-source transfer limits,
+mini-task staging, library deployment, retry/regeneration, replication
+and garbage collection (paper §2.2/§3.3).  Historically this repo had
+two copies of that layer: the threaded/socket :class:`~repro.core.manager.Manager`
+and the discrete-event :class:`~repro.sim.simmanager.SimManager`.  This
+module extracts the policy into a single runtime-agnostic state machine,
+:class:`ControlPlane`, expressed against a small :class:`RuntimePort`
+protocol that each runtime implements with its own mechanisms (sockets
+and sender threads, or simulated networks and virtual clocks).
+
+Rules of the split:
+
+* **Policy changes go here, and only here.**  If a change affects which
+  worker runs a task, which source serves a transfer, when a file is
+  replicated, regenerated or collected — it belongs in this file, and
+  both runtimes pick it up automatically.
+* Adapters own *mechanisms only*: wire formats, threads, virtual-time
+  scheduling, payload (de)serialization, and result retrieval.
+* The control plane never does I/O and never reads a clock directly;
+  time comes from :meth:`RuntimePort.now`, effects go out through the
+  other port methods.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol, Sequence
+
+from repro.core.categories import CategoryTracker
+from repro.core.events import EventLog
+from repro.core.files import CacheLevel, File, FileRegistry, MiniTaskFile
+from repro.core.library import FunctionCall
+from repro.core.replica_table import ReplicaTable
+from repro.core.resources import ResourcePool, Resources
+from repro.core.scheduler import Scheduler, WorkerView
+from repro.core.task import PythonTask, Task, TaskResult, TaskState
+from repro.core.transfer_table import MANAGER_SOURCE, Transfer, TransferTable
+
+__all__ = [
+    "NO_SOURCE",
+    "MINITASK_SOURCE",
+    "source_kind",
+    "RuntimePort",
+    "WorkerState",
+    "StagingJob",
+    "LibraryState",
+    "ControlPlane",
+]
+
+#: fixed-source marker for files that only ever exist at workers (temps)
+NO_SOURCE = "@none"
+#: fixed-source marker for files materialized by a mini task at the worker
+MINITASK_SOURCE = "@minitask"
+
+
+def source_kind(source: str) -> str:
+    """Classify a transfer source key for accounting and figures."""
+    if source == MANAGER_SOURCE:
+        return "manager"
+    if source.startswith("url:"):
+        return "url"
+    if source == MINITASK_SOURCE:
+        return "stage"
+    return "peer"
+
+
+class RuntimePort(Protocol):
+    """Mechanisms a runtime provides to the control plane.
+
+    Every method is an *effect*: the control plane has already updated
+    its tables and emitted events when a port method is called, so
+    implementations only move bytes / schedule callbacks and then feed
+    outcomes back through the ``ControlPlane.on_*`` entry points.
+    """
+
+    def now(self) -> float:
+        """Current time on the runtime's clock (wall or virtual)."""
+        ...
+
+    def worker_connected(self, worker_id: str) -> bool:
+        """True while the worker can receive commands."""
+        ...
+
+    def push_object(self, record: Transfer, level: CacheLevel) -> None:
+        """Send a manager-held object to ``record.dest_worker``."""
+        ...
+
+    def send_fetch(self, record: Transfer, level: CacheLevel) -> None:
+        """Tell ``record.dest_worker`` to pull from a URL or peer source."""
+        ...
+
+    def run_minitask(self, job: "StagingJob") -> None:
+        """Materialize a mini-task product at ``job.worker_id``."""
+        ...
+
+    def start_task(self, task: Task) -> None:
+        """Begin executing a dispatched task whose inputs are all present."""
+        ...
+
+    def cancel_task(self, task: Task) -> None:
+        """Abort a running task at its (still live) worker."""
+        ...
+
+    def task_preempted(self, task: Task) -> None:
+        """The task's worker vanished; discard any pending completion."""
+        ...
+
+    def launch_library(self, lib: "LibraryState", worker_id: str) -> None:
+        """Start a library instance whose environment is fully staged."""
+        ...
+
+    def store_replica(
+        self, worker_id: str, cache_name: str, size: int, level: CacheLevel
+    ) -> None:
+        """Persist a new replica into the worker's cache model (may evict)."""
+        ...
+
+    def delete_replica(self, worker_id: str, cache_name: str) -> None:
+        """Remove a garbage-collected object from the worker's cache."""
+        ...
+
+    def deliver(self, task: Task, regenerated: bool) -> None:
+        """Hand a terminal task back to the application layer."""
+        ...
+
+    def request_pump(self) -> None:
+        """Ask the runtime to (re)run :meth:`ControlPlane.pump` soon."""
+        ...
+
+
+@dataclass
+class WorkerState:
+    """The control plane's bookkeeping for one connected worker."""
+
+    worker_id: str
+    pool: ResourcePool
+    #: ids of tasks dispatched to or running at this worker
+    running: set = field(default_factory=set)
+
+
+@dataclass
+class StagingJob:
+    """A pending mini-task materialization at one worker."""
+
+    file: MiniTaskFile
+    worker_id: str
+    transfer_id: str
+    started: bool = False
+
+
+class LibraryState:
+    """Deployment state of one library across workers.
+
+    Runtimes subclass this to carry their own launch mechanisms (a
+    serialized function payload, a simulated startup time).  Phases per
+    worker: ``staging`` (environment files in flight) → ``starting``
+    (instance launching) → ``ready`` | ``failed``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        env_files: Sequence[File] = (),
+        resources: Optional[Resources] = None,
+        slots: int = 1,
+    ) -> None:
+        self.name = name
+        self.env_files = list(env_files)
+        self.resources = resources if resources is not None else Resources(cores=1)
+        self.slots = slots
+        self.installed = False
+        #: worker_id -> "staging" | "starting" | "ready" | "failed"
+        self.state: dict[str, str] = {}
+        #: internal pseudo-tasks used for environment staging, by worker
+        self.staging_tasks: dict[str, Task] = {}
+
+
+class ControlPlane:
+    """Runtime-agnostic manager state machine (paper Fig. 1 policy box).
+
+    Owns the ready queue, the replica/transfer tables, the placement
+    pump, staging and library state machines, retry/regeneration policy
+    and garbage collection.  All effects flow through ``port``; all
+    outcomes come back through the ``on_*`` methods.  The control plane
+    is not thread-safe — the threaded runtime serializes calls under its
+    own lock, the simulator is single-threaded by construction.
+    """
+
+    def __init__(
+        self,
+        port: RuntimePort,
+        worker_transfer_limit: Optional[int] = 3,
+        source_transfer_limit: Optional[int] = 100,
+        locality: bool = True,
+        transfer_retries: int = 3,
+        temp_replica_count: int = 1,
+        loss_retries: Optional[int] = None,
+        strict_loss: bool = False,
+        resource_learning: bool = False,
+    ) -> None:
+        self.port = port
+        self.registry = FileRegistry()
+        self.replicas = ReplicaTable()
+        self.transfers = TransferTable(
+            worker_limit=worker_transfer_limit, source_limit=source_transfer_limit
+        )
+        self.scheduler = Scheduler(self.replicas, self.transfers, locality=locality)
+        self.log = EventLog()
+        self.categories = CategoryTracker()
+        self.resource_learning = resource_learning
+        self.transfer_retries = transfer_retries
+        #: target replica count for task-produced files (paper §2.2:
+        #: "duplicating items for reliability"); 1 disables replication
+        self.temp_replica_count = max(1, temp_replica_count)
+        #: worker-loss retry budget; None uses each task's ``max_retries``
+        self.loss_retries = loss_retries
+        #: raise instead of failing the task when the loss budget is spent
+        self.strict_loss = strict_loss
+
+        self.tasks: dict[str, Task] = {}
+        self._ready: list[Task] = []
+        self._dispatched: dict[str, Task] = {}
+        self._running: dict[str, Task] = {}
+        #: tasks whose completion awaits runtime-side retrieval
+        self._finishing: dict[str, Task] = {}
+        self.workers: dict[str, WorkerState] = {}
+
+        self.fixed_sources: dict[str, str] = {}
+        self.sizes: dict[str, int] = {}
+        self.libraries: dict[str, LibraryState] = {}
+        self._lib_load: collections.Counter = collections.Counter()
+        self._staging: list[StagingJob] = []
+        self._pinned: dict[str, collections.Counter] = collections.defaultdict(
+            collections.Counter
+        )
+        self._input_refs: collections.Counter = collections.Counter()
+        self._transfer_attempts: collections.Counter = collections.Counter()
+        #: ids of regenerated producers: redelivery to wait() is suppressed
+        self._regenerated: set[str] = set()
+
+        self.outstanding = 0
+        self.done_count = 0
+        self.tasks_requeued = 0
+        self.transfer_counts: collections.Counter = collections.Counter()
+        self.bytes_by_source: collections.Counter = collections.Counter()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+
+    def declare(self, f: File, source: str, size: Optional[int] = None) -> File:
+        """Register a named file with its fixed source and size."""
+        canonical = self.registry.register(f)
+        self.fixed_sources[f.cache_name] = source
+        self.sizes[f.cache_name] = size if size is not None else (f.size or 0)
+        return canonical
+
+    def declare_output_file(self, f: File) -> None:
+        """Register a task output that exists only once produced."""
+        self.registry.register(f)
+        self.fixed_sources[f.cache_name] = NO_SOURCE
+        self.sizes.setdefault(f.cache_name, f.size or 0)
+
+    def adopt_replica(self, worker_id: str, cache_name: str, size: int) -> None:
+        """Adopt a pre-existing cache entry announced by a joining worker."""
+        self.replicas.add_replica(cache_name, worker_id, size)
+        self.sizes.setdefault(cache_name, size)
+        self.fixed_sources.setdefault(cache_name, NO_SOURCE)
+
+    # ------------------------------------------------------------------
+    # task lifecycle: submission, cancellation, completion
+    # ------------------------------------------------------------------
+
+    def submit(self, task: Task) -> str:
+        """Accept a validated, fully-named task into the ready queue."""
+        for _, f in task.inputs:
+            self._input_refs[f.cache_name] += 1
+        for _, f in task.outputs:
+            # record lineage for regeneration after replica loss
+            setattr(f, "producer_task_id", task.task_id)
+        if self.resource_learning and not task.resources_explicit:
+            task.resources = self.categories.first_allocation(
+                task.category, task.resources
+            )
+        task.state = TaskState.READY
+        task.submitted_at = self.port.now()
+        self.tasks[task.task_id] = task
+        self._ready.append(task)
+        self.outstanding += 1
+        self.port.request_pump()
+        return task.task_id
+
+    def cancel(self, task: Task) -> bool:
+        """Withdraw a submitted task; False if already terminal."""
+        if task.is_done or task.task_id not in self.tasks:
+            return False
+        if task.state == TaskState.READY:
+            self._ready = [t for t in self._ready if t.task_id != task.task_id]
+            self._gc_task_inputs(task)
+        elif task.state in (TaskState.DISPATCHED, TaskState.RUNNING):
+            if task.state == TaskState.RUNNING and self.port.worker_connected(
+                task.worker_id or ""
+            ):
+                self.port.cancel_task(task)
+            self._abort_placement(task)
+            self._dispatched.pop(task.task_id, None)
+            self._running.pop(task.task_id, None)
+            self._gc_task_inputs(task)
+        task.state = TaskState.CANCELLED
+        task.result = TaskResult(exit_code=-1, failure="cancelled")
+        self.outstanding -= 1
+        self.port.deliver(task, regenerated=False)
+        self.port.request_pump()
+        return True
+
+    def idle(self) -> bool:
+        """True when no submitted task remains in any non-terminal stage."""
+        return not (
+            self._ready or self._dispatched or self._running or self._finishing
+        )
+
+    def on_task_result(
+        self, worker_id: str, task_id: str, result: TaskResult
+    ) -> Optional[Task]:
+        """A worker reported a task attempt's outcome.
+
+        Releases the placement, applies the sandbox/resource retry
+        policies, and returns the task if it is ready to complete (the
+        adapter then decodes payloads / registers outputs and calls
+        :meth:`complete_task`).  Returns None for stale reports and for
+        attempts that were requeued by a retry policy.
+        """
+        task = self._running.pop(task_id, None)
+        if task is None:
+            return None
+        state = self.workers.get(worker_id)
+        if state is not None:
+            state.running.discard(task_id)
+            try:
+                state.pool.release(task_id)
+            except KeyError:
+                pass
+        if isinstance(task, FunctionCall):
+            self._lib_load[(worker_id, task.library_name)] -= 1
+        # inputs stay pinned until complete_task/_requeue so that output
+        # registration cannot evict the inputs the task just consumed
+        task.finished_at = self.port.now()
+        self.log.emit(
+            self.port.now(), "task_end",
+            worker=worker_id, task=task_id, category=task.category,
+        )
+        self.categories.record(
+            task.category,
+            result.measured or task.resources,
+            exceeded=bool(result.exceeded),
+        )
+        # sandbox failures mean an input vanished between dispatch and
+        # execution (e.g. autonomous cache eviction won a race): replan
+        # the transfers and retry rather than failing the task
+        if result.failure == "sandbox" and task.retries_used < task.max_retries:
+            self._requeue(task)
+            return None
+        # resource-exceeded retry policy (paper §2.1): grow to the
+        # category's observed peak when learning, else scale the request
+        if (
+            result.exceeded
+            and result.exit_code != 0
+            and task.retries_used < task.max_retries
+        ):
+            if self.resource_learning:
+                task.resources = self.categories.retry_allocation(
+                    task.category, task.resources
+                )
+            else:
+                task.resources = task.resources.scaled(task.retry_resource_growth)
+            self._requeue(task)
+            return None
+        return task
+
+    def _requeue(self, task: Task) -> None:
+        self._unpin(task)
+        task.retries_used += 1
+        task.state = TaskState.READY
+        task.worker_id = None
+        self._ready.append(task)
+        self.port.request_pump()
+
+    def _unpin(self, task: Task) -> None:
+        wid = task.worker_id
+        if wid is None:
+            return
+        pinned = self._pinned[wid]
+        for name in task.input_cache_names():
+            pinned[name] -= 1
+
+    def complete_task(self, task: Task, result: TaskResult, defer: bool = False) -> None:
+        """Finish a task whose outputs are registered (or being retrieved).
+
+        With ``defer`` the task parks in ``WAITING_RETRIEVAL`` until the
+        adapter calls :meth:`finish_deferred` (result value coming back
+        over the wire, bring-back transfers still in flight).
+        """
+        self._unpin(task)
+        self._gc_task_inputs(task)
+        for _, f in task.outputs:
+            if f.cache_name and self.replicas.replica_count(f.cache_name) > 0:
+                self._ensure_replication(f.cache_name)
+        if defer:
+            task.state = TaskState.WAITING_RETRIEVAL
+            task.result = result
+            self._finishing[task.task_id] = task
+        else:
+            self._finish_task(task, result)
+        self.port.request_pump()
+
+    def finish_deferred(self, task: Task, result: TaskResult) -> None:
+        """Complete a task that was parked pending retrieval."""
+        self._finishing.pop(task.task_id, None)
+        self._finish_task(task, result)
+        self.port.request_pump()
+
+    def _finish_task(self, task: Task, result: TaskResult) -> None:
+        if task.is_done:
+            return
+        task.result = result
+        ok = result.ok
+        if (
+            isinstance(task, PythonTask)
+            and result.exit_code == 1
+            and task._output_set
+        ):
+            ok = True  # the function's exception is delivered through output()
+        task.state = TaskState.DONE if ok else TaskState.FAILED
+        self._ready = [t for t in self._ready if t.task_id != task.task_id]
+        self._dispatched.pop(task.task_id, None)
+        self._running.pop(task.task_id, None)
+        self._finishing.pop(task.task_id, None)
+        self.outstanding -= 1
+        if task.state == TaskState.DONE:
+            self.done_count += 1
+        regenerated = task.task_id in self._regenerated
+        self._regenerated.discard(task.task_id)
+        self.port.deliver(task, regenerated=regenerated)
+
+    def _abort_placement(self, task: Task) -> None:
+        """Undo a dispatch: release pool, slots and pins at the worker."""
+        wid = task.worker_id
+        state = self.workers.get(wid or "")
+        if state is None:
+            return
+        try:
+            state.pool.release(task.task_id)
+        except KeyError:
+            pass
+        state.running.discard(task.task_id)
+        if isinstance(task, FunctionCall):
+            self._lib_load[(wid, task.library_name)] -= 1
+        self._unpin(task)
+
+    def _gc_task_inputs(self, task: Task) -> None:
+        """Drop input references; collect task-lifetime files at zero."""
+        for name in task.input_cache_names():
+            self._input_refs[name] -= 1
+            if (
+                self._input_refs[name] <= 0
+                and name in self.registry
+                and self.registry.by_name(name).cache_level == CacheLevel.TASK
+            ):
+                for holder in self.replicas.forget_name(name):
+                    self.port.delete_replica(holder, name)
+                    self.log.emit(
+                        self.port.now(), "file_deleted", worker=holder, file=name
+                    )
+
+    def fail_tasks_needing(self, cache_name: str, reason: str) -> None:
+        """Terminally fail every queued/staged task that needs a dead input."""
+        doomed = [
+            t
+            for t in list(self._ready) + list(self._dispatched.values())
+            if cache_name in t.input_cache_names()
+        ]
+        for t in doomed:
+            if t.state == TaskState.DISPATCHED:
+                self._abort_placement(t)
+            self._gc_task_inputs(t)
+            self._finish_task(
+                t,
+                TaskResult(
+                    exit_code=-1, failure=f"input {cache_name} unavailable: {reason}"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # replica and transfer bookkeeping
+    # ------------------------------------------------------------------
+
+    def register_replica(
+        self, worker_id: str, cache_name: str, size: int, store: bool = False
+    ) -> None:
+        """Record that a worker now holds an object; wake waiting stages.
+
+        ``store`` asks the runtime to persist the replica into its cache
+        model first (the simulator inserts and may evict; the real
+        worker already wrote it to disk before reporting).
+        """
+        level = (
+            self.registry.by_name(cache_name).cache_level
+            if cache_name in self.registry
+            else CacheLevel.WORKFLOW
+        )
+        if store:
+            self.port.store_replica(worker_id, cache_name, size, level)
+        try:
+            self.replicas.add_replica(cache_name, worker_id, size)
+        except ValueError:
+            # a regenerated producer may emit a slightly different size;
+            # keep the first-learned one rather than killing the runtime
+            self.replicas.add_replica(cache_name, worker_id)
+        self.log.emit(
+            self.port.now(), "file_cached",
+            worker=worker_id, file=cache_name, size=size,
+        )
+        for job in self._staging:
+            if job.worker_id == worker_id and not job.started:
+                self._advance_staging(job)
+
+    def replica_evicted(self, worker_id: str, cache_name: str) -> None:
+        """A worker dropped a replica on its own (cache pressure)."""
+        self.replicas.remove_replica(cache_name, worker_id)
+        self.log.emit(
+            self.port.now(), "file_deleted", worker=worker_id, file=cache_name
+        )
+
+    def on_cache_update(
+        self,
+        worker_id: str,
+        cache_name: str,
+        size: int,
+        transfer_id: Optional[str] = None,
+    ) -> None:
+        """A worker reported a newly cached object (possibly a transfer)."""
+        self.sizes[cache_name] = size
+        if cache_name in self.registry:
+            self.registry.by_name(cache_name).size = size
+        if transfer_id is not None:
+            self._finish_transfer(transfer_id, size=size)
+        self.register_replica(worker_id, cache_name, size, store=False)
+        self.port.request_pump()
+
+    def on_cache_invalid(
+        self,
+        worker_id: str,
+        cache_name: str,
+        transfer_id: Optional[str] = None,
+        reason: str = "transfer failed",
+    ) -> None:
+        """A worker lost or failed to obtain an object."""
+        self.replicas.remove_replica(cache_name, worker_id)
+        if transfer_id is None:
+            self.port.request_pump()
+            return  # autonomous eviction, not a failed command
+        try:
+            self.transfers.complete(transfer_id)
+        except KeyError:
+            pass
+        self._staging = [j for j in self._staging if j.transfer_id != transfer_id]
+        self._transfer_attempts[cache_name] += 1
+        if self._transfer_attempts[cache_name] > self.transfer_retries:
+            self.fail_tasks_needing(cache_name, reason)
+        self.port.request_pump()
+
+    def on_transfer_complete(self, transfer_id: str) -> None:
+        """A runtime-tracked transfer delivered its bytes (simulator path)."""
+        record = self._finish_transfer(transfer_id)
+        if record is None:
+            return  # cancelled (e.g. destination worker departed mid-flight)
+        if self.port.worker_connected(record.dest_worker):
+            size = self.sizes.get(record.cache_name, record.size)
+            self.register_replica(
+                record.dest_worker, record.cache_name, size, store=True
+            )
+        self.port.request_pump()
+
+    def _finish_transfer(
+        self, transfer_id: str, size: Optional[int] = None
+    ) -> Optional[Transfer]:
+        """Close out a transfer record: accounting plus end events."""
+        try:
+            record = self.transfers.complete(transfer_id)
+        except KeyError:
+            return None
+        reported = size if size is not None else record.size
+        if record.source == MINITASK_SOURCE:
+            self._staging = [
+                j for j in self._staging if j.transfer_id != transfer_id
+            ]
+            self.transfer_counts["stage"] += 1
+            self.log.emit(
+                self.port.now(), "stage_end",
+                worker=record.dest_worker, file=record.cache_name, size=reported,
+            )
+        else:
+            kind = source_kind(record.source)
+            self.transfer_counts[kind] += 1
+            self.bytes_by_source[kind] += record.size
+            self.log.emit(
+                self.port.now(), "transfer_end",
+                worker=record.dest_worker, file=record.cache_name,
+                size=reported, category=record.source,
+            )
+        return record
+
+    def count_retrieval(self, worker_id: str, cache_name: str, size: int) -> None:
+        """Account a completed output retrieval to the manager."""
+        self.transfer_counts["retrieve"] += 1
+        self.bytes_by_source["retrieve"] += size
+        self.log.emit(
+            self.port.now(), "transfer_end",
+            worker=worker_id, file=cache_name, size=size, category="@retrieve",
+        )
+
+    # ------------------------------------------------------------------
+    # worker membership
+    # ------------------------------------------------------------------
+
+    def worker_joined(
+        self,
+        worker_id: str,
+        pool: ResourcePool,
+        cached: Iterable[tuple[str, int]] = (),
+    ) -> WorkerState:
+        """Register a new worker and adopt its pre-existing cache."""
+        state = WorkerState(worker_id=worker_id, pool=pool)
+        self.workers[worker_id] = state
+        self.log.emit(self.port.now(), "worker_join", worker=worker_id)
+        for cache_name, size in cached:
+            self.adopt_replica(worker_id, cache_name, int(size))
+        for lib in self.libraries.values():
+            if lib.installed:
+                self._deploy_library(lib, worker_id)
+        self.port.request_pump()
+        return state
+
+    def worker_left(self, worker_id: str) -> None:
+        """Recover from a departing worker: requeue its tasks, drop its
+        replicas, and restore replication targets for surviving temps."""
+        state = self.workers.pop(worker_id, None)
+        if state is None:
+            return
+        self.log.emit(self.port.now(), "worker_leave", worker=worker_id)
+        lost_names = self.replicas.remove_worker(worker_id)
+        self.transfers.cancel_for_worker(worker_id)
+        self._staging = [j for j in self._staging if j.worker_id != worker_id]
+        self._pinned.pop(worker_id, None)
+        for lib in self.libraries.values():
+            if lib.state.pop(worker_id, None) == "ready":
+                self.log.emit(
+                    self.port.now(), "task_end",
+                    worker=worker_id, task=f"{lib.name}@{worker_id}",
+                    category="library",
+                )
+            lib.staging_tasks.pop(worker_id, None)
+        lost_tasks = [
+            t
+            for t in list(self._dispatched.values()) + list(self._running.values())
+            if t.worker_id == worker_id
+        ]
+        for task in lost_tasks:
+            self._dispatched.pop(task.task_id, None)
+            self._running.pop(task.task_id, None)
+            self.port.task_preempted(task)
+            if isinstance(task, FunctionCall):
+                self._lib_load[(worker_id, task.library_name)] -= 1
+            budget = (
+                task.max_retries if self.loss_retries is None else self.loss_retries
+            )
+            if task.retries_used >= budget:
+                if self.strict_loss:
+                    raise RuntimeError(
+                        f"task {task.task_id} lost {task.retries_used + 1} workers; "
+                        "giving up"
+                    )
+                self._gc_task_inputs(task)
+                self._finish_task(
+                    task, TaskResult(exit_code=-1, failure="worker lost")
+                )
+                continue
+            task.retries_used += 1
+            task.worker_id = None
+            task.state = TaskState.READY
+            self._ready.append(task)
+            self.tasks_requeued += 1
+        # restore the replication target of still-needed produced files,
+        # and regenerate any that lost their final replica (lineage)
+        for name in lost_names:
+            if self._input_refs.get(name, 0) > 0:
+                if self.replicas.replica_count(name) > 0:
+                    self._ensure_replication(name)
+                else:
+                    self._regenerate(name)
+        self.port.request_pump()
+
+    # ------------------------------------------------------------------
+    # fault recovery: regeneration and replication (paper §2.2/§3.2)
+    # ------------------------------------------------------------------
+
+    def _regenerate(self, cache_name: str) -> None:
+        """Re-execute the producer of a lost, still-needed temp file.
+
+        Temp files record their producing task (paper §3.2 names them by
+        the producer's spec); when every replica of one is lost and
+        downstream tasks still reference it, the manager resubmits the
+        producer.  Recursion through deeper lost lineage happens
+        naturally: the resubmitted producer's own missing inputs are
+        regenerated when it fails to find them.
+        """
+        if self.fixed_sources.get(cache_name) != NO_SOURCE:
+            return  # refetchable: normal transfer planning recovers it
+        f = self.registry.by_name(cache_name) if cache_name in self.registry else None
+        producer_id = getattr(f, "producer_task_id", None)
+        producer = self.tasks.get(producer_id) if producer_id else None
+        if producer is None:
+            return  # no lineage known; consumers will report a stall
+        if not producer.is_done or producer.state != TaskState.DONE:
+            return  # still running/queued: its outputs will (re)appear
+        budget = (
+            producer.max_retries if self.loss_retries is None else self.loss_retries
+        )
+        if producer.retries_used >= budget:
+            if self.strict_loss:
+                raise RuntimeError(
+                    f"cannot regenerate {cache_name}: producer {producer_id} "
+                    "exhausted its retries"
+                )
+            return  # consumers needing it will stall and time out loudly
+        producer.retries_used += 1
+        producer.state = TaskState.READY
+        producer.worker_id = None
+        self.done_count -= 1
+        self.outstanding += 1
+        self.tasks_requeued += 1
+        self._regenerated.add(producer.task_id)
+        for name in producer.input_cache_names():
+            self._input_refs[name] += 1
+            if (
+                self.replicas.replica_count(name) == 0
+                and self.fixed_sources.get(name) == NO_SOURCE
+            ):
+                self._regenerate(name)
+        self._ready.append(producer)
+
+    def _ensure_replication(self, cache_name: str) -> None:
+        """Start transfers until ``cache_name`` meets its replica target.
+
+        Applies only to task-produced files (temps/outputs): inputs with
+        an external source can always be refetched, produced data cannot.
+        """
+        if self.temp_replica_count <= 1:
+            return
+        if self.fixed_sources.get(cache_name) != NO_SOURCE:
+            return  # refetchable from its source, or already at the manager
+        have = self.replicas.locate(cache_name)
+        needed = self.temp_replica_count - len(have)
+        if needed <= 0 or not have:
+            return
+        candidates = sorted(
+            (
+                wid
+                for wid in self.workers
+                if self.port.worker_connected(wid)
+                and wid not in have
+                and not self.transfers.in_flight(cache_name, wid)
+            ),
+            key=lambda wid: (self._cached_bytes(wid), wid),
+        )
+        source = min(have)
+        for wid in candidates[:needed]:
+            if not self.transfers.source_available(source):
+                break
+            self._start_transfer(cache_name, source, wid)
+
+    def _cached_bytes(self, worker_id: str) -> int:
+        return sum(
+            self.replicas.size_of(n) for n in self.replicas.holdings(worker_id)
+        )
+
+    # ------------------------------------------------------------------
+    # the scheduling pump
+    # ------------------------------------------------------------------
+
+    def _view_of(self, worker_id: str, library: Optional[str]) -> Optional[WorkerView]:
+        """Current scheduler view of one worker, or None if ineligible."""
+        state = self.workers.get(worker_id)
+        if state is None or not self.port.worker_connected(worker_id):
+            return None
+        if library is not None:
+            lib = self.libraries[library]
+            if lib.state.get(worker_id) != "ready":
+                return None
+            if self._lib_load[(worker_id, library)] >= lib.slots:
+                return None
+        return WorkerView(
+            worker_id=worker_id,
+            capacity=state.pool.capacity,
+            allocated=state.pool.allocated,
+            running_tasks=len(state.running),
+        )
+
+    def pump(self) -> None:
+        """Advance scheduling: place ready tasks, plan missing transfers."""
+        if self.closed:
+            return
+        # 1. placement — view dicts are built lazily per library key and
+        # updated in place after each dispatch, so a pump over thousands
+        # of ready tasks touches each worker once, not once per task
+        views_cache: dict[Optional[str], dict[str, WorkerView]] = {}
+
+        def get_views(key: Optional[str]) -> dict[str, WorkerView]:
+            if key not in views_cache:
+                views = {}
+                for wid in self.workers:
+                    v = self._view_of(wid, key)
+                    if v is not None:
+                        views[wid] = v
+                views_cache[key] = views
+            return views_cache[key]
+
+        placed = []
+        failures = 0
+        recovered = False
+        for task in Scheduler.order_ready(self._ready):
+            if not self._inputs_obtainable(task):
+                before = len(self._ready)
+                self._recover_lost_inputs(task)
+                recovered |= len(self._ready) > before
+                continue
+            key = task.library_name if isinstance(task, FunctionCall) else None
+            wid = self.scheduler.choose_worker(task, get_views(key))
+            if wid is None:
+                failures += 1
+                if failures >= 64:
+                    break
+                continue
+            self._dispatch(task, wid)
+            placed.append(task)
+            for k, vdict in views_cache.items():
+                fresh = self._view_of(wid, k)
+                if fresh is None:
+                    vdict.pop(wid, None)
+                else:
+                    vdict[wid] = fresh
+        if placed:
+            placed_ids = {t.task_id for t in placed}
+            self._ready = [t for t in self._ready if t.task_id not in placed_ids]
+
+        # 2. input staging for dispatched tasks
+        for task in list(self._dispatched.values()):
+            self._stage_inputs(task)
+
+        # 3. library deployments: start ones that could not fit earlier
+        # (e.g. plain tasks held every core at install time) and advance
+        # ones still waiting on environment files
+        for lib in self.libraries.values():
+            if lib.installed:
+                for wid in list(self.workers):
+                    if wid not in lib.state:
+                        self._deploy_library(lib, wid)
+            for wid, phase in list(lib.state.items()):
+                if phase == "staging":
+                    self._advance_library(lib, wid)
+
+        # 4. mini-task staging jobs waiting on their own inputs
+        for job in list(self._staging):
+            if not job.started:
+                self._advance_staging(job)
+
+        # lineage producers resurrected mid-pump joined _ready after the
+        # placement loop snapshot; place them now rather than waiting on
+        # the next external event (recursion is bounded by lineage depth)
+        if recovered:
+            self.pump()
+
+    def _inputs_obtainable(self, task: Task) -> bool:
+        """True when every input exists somewhere or can be produced."""
+        for name in task.input_cache_names():
+            if self.replicas.replica_count(name) > 0:
+                continue
+            if self.fixed_sources.get(name, MANAGER_SOURCE) == NO_SOURCE:
+                return False
+        return True
+
+    def _recover_lost_inputs(self, task: Task) -> None:
+        """Resurrect producers of temp inputs with no surviving replica.
+
+        ``worker_left`` regenerates temps that were referenced at loss
+        time, but a task submitted (or made ready) afterwards can still
+        name a temp whose replicas are all gone — the pump re-triggers
+        lineage for those here.  ``_regenerate`` is a no-op while the
+        producer is already queued or running, so repeated pumps don't
+        compound retries.
+        """
+        for name in task.input_cache_names():
+            if (
+                self.replicas.replica_count(name) == 0
+                and self.fixed_sources.get(name, MANAGER_SOURCE) == NO_SOURCE
+            ):
+                self._regenerate(name)
+
+    def _dispatch(self, task: Task, worker_id: str) -> None:
+        state = self.workers[worker_id]
+        state.pool.allocate(task.task_id, task.resources)
+        state.running.add(task.task_id)
+        task.worker_id = worker_id
+        task.state = TaskState.DISPATCHED
+        self._dispatched[task.task_id] = task
+        if isinstance(task, FunctionCall):
+            self._lib_load[(worker_id, task.library_name)] += 1
+        for name in task.input_cache_names():
+            self._pinned[worker_id][name] += 1
+        self._stage_inputs(task)
+
+    def pinned_at(self, worker_id: str) -> set[str]:
+        """Cache names pinned by dispatched/running tasks at a worker."""
+        return {n for n, c in self._pinned[worker_id].items() if c > 0}
+
+    def _stage_inputs(self, task: Task) -> None:
+        wid = task.worker_id
+        assert wid is not None
+        if isinstance(task, FunctionCall) and not task.inputs:
+            self._start_execution(task)
+            return
+        plan = self.scheduler.plan_transfers(task, wid, self.fixed_sources)
+        for cache_name, source in plan.transfers:
+            self._start_transfer(cache_name, source, wid)
+        if all(self.replicas.has_replica(n, wid) for n in task.input_cache_names()):
+            self._start_execution(task)
+
+    def _start_transfer(self, cache_name: str, source: str, dst_wid: str) -> None:
+        size = self.sizes.get(cache_name, 0)
+        record = self.transfers.begin(cache_name, source, dst_wid, size, self.port.now())
+        if source == MINITASK_SOURCE:
+            f = self.registry.by_name(cache_name)
+            assert isinstance(f, MiniTaskFile)
+            job = StagingJob(
+                file=f, worker_id=dst_wid, transfer_id=record.transfer_id
+            )
+            self._staging.append(job)
+            self._advance_staging(job)
+            return
+        self.log.emit(
+            self.port.now(), "transfer_start",
+            worker=dst_wid, file=cache_name, size=size, category=source,
+        )
+        level = (
+            self.registry.by_name(cache_name).cache_level
+            if cache_name in self.registry
+            else CacheLevel.WORKFLOW
+        )
+        if source == MANAGER_SOURCE:
+            self.port.push_object(record, level)
+        else:
+            self.port.send_fetch(record, level)
+
+    def _advance_staging(self, job: StagingJob) -> None:
+        wid = job.worker_id
+        mini = job.file.mini_task
+        missing = [
+            n for n in mini.input_cache_names() if not self.replicas.has_replica(n, wid)
+        ]
+        if missing:
+            plan = self.scheduler.plan_transfers(mini, wid, self.fixed_sources)
+            for cache_name, source in plan.transfers:
+                self._start_transfer(cache_name, source, wid)
+            return
+        job.started = True
+        self.log.emit(
+            self.port.now(), "stage_start", worker=wid, file=job.file.cache_name
+        )
+        self.port.run_minitask(job)
+
+    def on_stage_done(self, job: StagingJob) -> None:
+        """A runtime-timed mini-task materialization finished (simulator)."""
+        if job not in self._staging:
+            return  # the worker departed; the job was already dropped
+        record = self._finish_transfer(job.transfer_id)
+        if record is None:
+            return
+        if self.port.worker_connected(job.worker_id):
+            size = self.sizes.get(record.cache_name, record.size)
+            self.register_replica(job.worker_id, job.file.cache_name, size, store=True)
+        self.port.request_pump()
+
+    def _start_execution(self, task: Task) -> None:
+        if task.state != TaskState.DISPATCHED:
+            return
+        self._dispatched.pop(task.task_id, None)
+        self._running[task.task_id] = task
+        task.state = TaskState.RUNNING
+        task.started_at = self.port.now()
+        self.log.emit(
+            self.port.now(), "task_start",
+            worker=task.worker_id, task=task.task_id, category=task.category,
+        )
+        self.port.start_task(task)
+
+    # ------------------------------------------------------------------
+    # libraries (serverless hosts)
+    # ------------------------------------------------------------------
+
+    def install_library(self, name: str) -> None:
+        """Deploy a created library to every current and future worker."""
+        lib = self.libraries[name]
+        lib.installed = True
+        for wid in list(self.workers):
+            self._deploy_library(lib, wid)
+        self.port.request_pump()
+
+    def _deploy_library(self, lib: LibraryState, worker_id: str) -> None:
+        if worker_id in lib.state:
+            return
+        state = self.workers[worker_id]
+        if not state.pool.can_fit(lib.resources):
+            return  # retried if the worker rejoins with room / never, by design
+        state.pool.allocate(f"lib:{lib.name}", lib.resources)
+        lib.state[worker_id] = "staging"
+        pseudo = Task(f"deploy:{lib.name}")
+        for i, f in enumerate(lib.env_files):
+            pseudo.inputs.append((f"env{i}", f))
+        pseudo.worker_id = worker_id
+        lib.staging_tasks[worker_id] = pseudo
+        self._advance_library(lib, worker_id)
+
+    def _advance_library(self, lib: LibraryState, worker_id: str) -> None:
+        pseudo = lib.staging_tasks.get(worker_id)
+        if pseudo is None:
+            return
+        missing = [
+            n
+            for n in pseudo.input_cache_names()
+            if not self.replicas.has_replica(n, worker_id)
+        ]
+        if missing:
+            plan = self.scheduler.plan_transfers(pseudo, worker_id, self.fixed_sources)
+            for cache_name, source in plan.transfers:
+                self._start_transfer(cache_name, source, worker_id)
+            return
+        lib.state[worker_id] = "starting"
+        self.log.emit(
+            self.port.now(), "task_start",
+            worker=worker_id, task=f"{lib.name}@{worker_id}", category="library",
+        )
+        self.port.launch_library(lib, worker_id)
+
+    def on_library_ready(self, worker_id: str, name: str) -> None:
+        """A library instance came up at a worker."""
+        lib = self.libraries.get(name)
+        if lib is None or lib.state.get(worker_id) != "starting":
+            return
+        lib.state[worker_id] = "ready"
+        self.log.emit(
+            self.port.now(), "library_ready", worker=worker_id, category=name
+        )
+        self.port.request_pump()
+
+    def on_library_failed(self, worker_id: str, name: str) -> None:
+        """A library failed to start at a worker."""
+        lib = self.libraries.get(name)
+        if lib is None:
+            return
+        lib.state[worker_id] = "failed"
+        state = self.workers.get(worker_id)
+        if state is not None:
+            try:
+                state.pool.release(f"lib:{name}")
+            except KeyError:
+                pass
+        self.port.request_pump()

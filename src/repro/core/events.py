@@ -11,7 +11,7 @@ an :class:`EventLog`, so the analysis here is runtime-agnostic.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "worker_busy",
     "completion_series",
     "makespan",
+    "peak_transfer_concurrency",
 ]
 
 #: canonical event kinds emitted by the runtimes
@@ -247,6 +248,32 @@ def completion_series(
         t = horizon * i / points
         samples.append((t, bisect.bisect_right(end_times, t)))
     return samples
+
+
+def peak_transfer_concurrency(log: EventLog) -> dict[str, int]:
+    """Replay transfer events into per-source peak concurrency.
+
+    ``transfer_start``/``transfer_end`` carry the serving source in
+    their ``category`` field (a worker id, ``@manager``, or a URL host
+    key).  The peak is the largest number of simultaneously open
+    transfers each source ever served — the quantity the Current
+    Transfer Table's per-source limits bound (paper Fig. 11).  Events
+    are replayed in *emission* order so same-timestamp start/end pairs
+    resolve exactly as the control plane saw them; sources such as
+    ``@retrieve`` (result bring-back, not limit-governed) appear in the
+    result and can be filtered by the caller.
+    """
+    open_now: dict[str, int] = {}
+    peak: dict[str, int] = {}
+    for e in log:
+        if e.category is None:
+            continue
+        if e.kind == "transfer_start":
+            open_now[e.category] = open_now.get(e.category, 0) + 1
+            peak[e.category] = max(peak.get(e.category, 0), open_now[e.category])
+        elif e.kind == "transfer_end":
+            open_now[e.category] = max(0, open_now.get(e.category, 0) - 1)
+    return peak
 
 
 def makespan(log: EventLog) -> float:

@@ -1,20 +1,23 @@
-"""The TaskVine manager: policy engine for the real multi-process runtime.
+"""The TaskVine manager: threaded/socket adapter over the control plane.
 
-The manager directs the overall execution (paper §2.2): it accepts the
-workflow definition, names every file, dispatches tasks to workers,
-directs file transfers (manager→worker, peer-to-peer, URL, mini-task
-staging), collects results, and performs garbage collection.  As a
-general rule the manager makes all *policy* decisions while workers
-provide the *mechanisms* — and the policy here is the very same code
-the simulator runs: :class:`~repro.core.scheduler.Scheduler` over the
-File Replica Table and Current Transfer Table.
+All *policy* — placement, transfer planning, replica and staging state
+machines, retry/replication/regeneration — lives in
+:class:`~repro.core.control_plane.ControlPlane`; this module only
+provides the real runtime's *mechanisms* as a
+:class:`~repro.core.control_plane.RuntimePort`: socket connections and
+per-worker sender threads, wire message encoding, payload
+(de)serialization, and result retrieval back to the application.  The
+simulator drives the very same control plane with virtual-time
+mechanisms, so any behavioural change belongs in ``control_plane.py``,
+never here.
 
 Concurrency model: one listening/accept thread admits workers; each
 worker connection gets a reader thread; all shared state is guarded by
-a single re-entrant lock, and every outbound command is sent while
-holding it.  Application threads interact through the public API
-(declare/submit/wait/fetch) which takes the same lock, so the manager
-is safe to drive from ordinary sequential application code.
+a single re-entrant lock, and every outbound command is enqueued to a
+per-worker sender thread while holding it.  Application threads
+interact through the public API (declare/submit/wait/fetch) which takes
+the same lock, so the manager is safe to drive from ordinary sequential
+application code.
 """
 
 from __future__ import annotations
@@ -29,12 +32,17 @@ import time
 import urllib.parse
 from typing import Callable, Optional, Sequence
 
-from repro.core.events import EventLog
+from repro.core.control_plane import (
+    MINITASK_SOURCE,
+    NO_SOURCE,
+    ControlPlane,
+    LibraryState,
+    StagingJob,
+)
 from repro.core.files import (
     BufferFile,
     CacheLevel,
     File,
-    FileRegistry,
     LocalFile,
     MiniTaskFile,
     TempFile,
@@ -43,11 +51,9 @@ from repro.core.files import (
 from repro.core.gc import collect_workflow
 from repro.core.library import FunctionCall, Library
 from repro.core.naming import Namer
-from repro.core.replica_table import ReplicaTable
 from repro.core.resources import ResourcePool, Resources
-from repro.core.scheduler import Scheduler, WorkerView
 from repro.core.task import MiniTask, PythonTask, Task, TaskResult, TaskState
-from repro.core.transfer_table import MANAGER_SOURCE, TransferTable
+from repro.core.transfer_table import MANAGER_SOURCE, Transfer
 from repro.protocol import serialization as ser
 from repro.protocol.connection import Connection, ProtocolError, listen
 from repro.protocol.messages import M, validate
@@ -57,17 +63,13 @@ __all__ = ["Manager", "ManagerError"]
 
 log = get_logger(__name__)
 
-#: fixed-source marker for worker-resident-only files (temps)
-NO_SOURCE = "@none"
-MINITASK_SOURCE = "@minitask"
-
 
 class ManagerError(RuntimeError):
     """Workflow-level failure raised to the application."""
 
 
 class _WorkerHandle:
-    """Manager-side state for one connected worker.
+    """Manager-side connection state for one worker.
 
     Outbound traffic goes through a per-worker sender thread fed by an
     outbox of closures, so large object pushes never execute while the
@@ -90,6 +92,7 @@ class _WorkerHandle:
         self.pool = ResourcePool(capacity)
         self.transfer_host = transfer_host
         self.transfer_port = transfer_port
+        #: shared with the control plane's WorkerState after admission
         self.running: set[str] = set()
         self.libraries: set[str] = set()
         self.alive = True
@@ -118,27 +121,13 @@ class _WorkerHandle:
         self.outbox.put(None)
 
 
-class _StagingJob:
-    """A pending mini-task materialization at one worker."""
-
-    def __init__(self, file: MiniTaskFile, worker_id: str, transfer_id: str) -> None:
-        self.file = file
-        self.worker_id = worker_id
-        self.transfer_id = transfer_id
-        self.started = False
-
-
-class _LibraryState:
-    """Install state of one library across workers."""
+class _LibraryState(LibraryState):
+    """Control-plane library state plus the real runtime's payload."""
 
     def __init__(self, library: Library, resources: Resources, slots: int) -> None:
+        super().__init__(library.name, (), resources, slots)
         self.library = library
-        self.resources = resources
-        self.slots = slots
         self.payload = ser.dumps_portable(dict(library.functions))
-        self.installed = False
-        #: worker_id -> "installing" | "ready" | "failed"
-        self.state: dict[str, str] = {}
 
 
 class Manager:
@@ -155,47 +144,29 @@ class Manager:
         transfer_retries: int = 3,
         resource_learning: bool = False,
         worker_liveness_timeout: Optional[float] = 60.0,
+        temp_replica_count: int = 1,
     ) -> None:
         self._lock = threading.RLock()
-        #: per-category usage learning; when enabled, tasks that did not
-        #: size themselves explicitly start at the learned allocation
-        from repro.core.categories import CategoryTracker
-
-        self.resource_learning = resource_learning
-        self.categories = CategoryTracker()
+        self._t0 = time.time()
+        self.control = ControlPlane(
+            self,
+            worker_transfer_limit=worker_transfer_limit,
+            source_transfer_limit=source_transfer_limit,
+            locality=locality,
+            transfer_retries=transfer_retries,
+            temp_replica_count=temp_replica_count,
+            resource_learning=resource_learning,
+        )
         self.namer = Namer(seed=seed)
         self.namer.header_fetcher = self._url_headers
-        self.registry = FileRegistry()
-        self.replicas = ReplicaTable()
-        self.transfers = TransferTable(
-            worker_limit=worker_transfer_limit, source_limit=source_transfer_limit
-        )
-        self.scheduler = Scheduler(self.replicas, self.transfers, locality=locality)
-        self.log = EventLog()
-        self._t0 = time.time()
-        self.transfer_retries = transfer_retries
-
-        self.tasks: dict[str, Task] = {}
-        self._ready: list[Task] = []
-        self._dispatched: dict[str, Task] = {}
-        self._running: dict[str, Task] = {}
-        self._completed: "queue.Queue[Task]" = queue.Queue()
-        self._outstanding = 0
 
         self.workers: dict[str, _WorkerHandle] = {}
-        self.fixed_sources: dict[str, str] = {}
-        self.sizes: dict[str, int] = {}
+        self._completed: "queue.Queue[Task]" = queue.Queue()
         self._retrieving: dict[str, Task] = {}  # result cache_name -> python task
+        #: result names whose cache-update must trigger a SEND_BACK: the
+        #: worker announced the harvest but the update had not landed yet
+        self._awaiting_result: dict[str, Task] = {}
         self._fetch_waiters: dict[str, list[queue.Queue]] = collections.defaultdict(list)
-        self._staging: list[_StagingJob] = []
-        self._transfer_attempts: collections.Counter = collections.Counter()
-        self._pinned: dict[str, collections.Counter] = collections.defaultdict(
-            collections.Counter
-        )
-        self._input_refs: collections.Counter = collections.Counter()
-        self.libraries: dict[str, _LibraryState] = {}
-        self._lib_load: collections.Counter = collections.Counter()
-        self._closed = False
 
         self._listener = listen(host, port)
         self.host, self.port = self._listener.getsockname()
@@ -207,39 +178,178 @@ class Manager:
         if worker_liveness_timeout is not None:
             threading.Thread(target=self._reaper_loop, daemon=True).start()
 
-    def _reaper_loop(self) -> None:
-        """Close connections of workers that stopped talking entirely."""
-        interval = max(1.0, (self.worker_liveness_timeout or 60.0) / 4)
-        while not self._closed:
-            time.sleep(interval)
-            now = time.time()
-            with self._lock:
-                stale = [
-                    h for h in self.workers.values()
-                    if h.alive and now - h.last_seen > self.worker_liveness_timeout
-                ]
-            for handle in stale:
-                log.warning(
-                    "worker %s silent for %.0fs; declaring it dead",
-                    handle.worker_id, now - handle.last_seen,
-                )
-                handle.conn.close()  # reader thread unwinds into _on_worker_gone
+    # -- control-plane state views (single source of truth) --------------
+
+    registry = property(lambda self: self.control.registry)
+    replicas = property(lambda self: self.control.replicas)
+    transfers = property(lambda self: self.control.transfers)
+    scheduler = property(lambda self: self.control.scheduler)
+    log = property(lambda self: self.control.log)
+    categories = property(lambda self: self.control.categories)
+    tasks = property(lambda self: self.control.tasks)
+    fixed_sources = property(lambda self: self.control.fixed_sources)
+    sizes = property(lambda self: self.control.sizes)
+    libraries = property(lambda self: self.control.libraries)
+    _closed = property(lambda self: self.control.closed)
+
+    # ------------------------------------------------------------------
+    # RuntimePort: real-runtime mechanisms behind the control plane
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        return time.time() - self._t0
+
+    def worker_connected(self, worker_id: str) -> bool:
+        handle = self.workers.get(worker_id)
+        return handle is not None and handle.alive
+
+    def request_pump(self) -> None:
+        # callers already hold the state lock; pump synchronously
+        self.control.pump()
+
+    def push_object(self, record: Transfer, level: CacheLevel) -> None:
+        handle = self.workers.get(record.dest_worker)
+        if handle is None:
+            return
+        self._send_object(handle, record.cache_name, level, record.transfer_id)
+
+    def send_fetch(self, record: Transfer, level: CacheLevel) -> None:
+        handle = self.workers.get(record.dest_worker)
+        if handle is None:
+            return
+        if record.source.startswith("url:"):
+            f = self.registry.by_name(record.cache_name)
+            assert isinstance(f, URLFile)
+            source = {"kind": "url", "url": f.url}
+        else:
+            src = self.workers[record.source]
+            source = {
+                "kind": "worker",
+                "host": src.transfer_host,
+                "port": src.transfer_port,
+            }
+        self._send(
+            handle,
+            {
+                "type": M.FETCH_FILE,
+                "cache_name": record.cache_name,
+                "source": source,
+                "transfer_id": record.transfer_id,
+                "level": int(level),
+            },
+        )
+
+    def run_minitask(self, job: StagingJob) -> None:
+        handle = self.workers.get(job.worker_id)
+        if handle is None:
+            return
+        mini = job.file.mini_task
+        spec = {
+            "command": mini.command,
+            "inputs": [
+                [sandbox_name, dep.cache_name] for sandbox_name, dep in mini.inputs
+            ],
+            "output_name": mini.output_name,
+            "env": mini.env,
+            "resources": mini.resources.to_dict(),
+        }
+        self._send(
+            handle,
+            {
+                "type": M.STAGE_MINITASK,
+                "cache_name": job.file.cache_name,
+                "spec": spec,
+                "level": int(job.file.cache_level),
+                "transfer_id": job.transfer_id,
+            },
+        )
+
+    def start_task(self, task: Task) -> None:
+        handle = self.workers.get(task.worker_id or "")
+        if handle is None:
+            return
+        if isinstance(task, FunctionCall):
+            from repro.worker.library_instance import pack_invocation
+
+            blob = pack_invocation(task.args, dict(task.kwargs))
+            self._send(
+                handle,
+                {
+                    "type": M.INVOKE,
+                    "task_id": task.task_id,
+                    "library": task.library_name,
+                    "function": task.function_name,
+                    "payload_size": len(blob),
+                },
+                blob,
+            )
+            return
+        self._send(
+            handle,
+            {
+                "type": M.EXECUTE,
+                "task_id": task.task_id,
+                "command": task.command,
+                "inputs": [[name, f.cache_name] for name, f in task.inputs],
+                "outputs": [
+                    [name, f.cache_name, int(f.cache_level)]
+                    for name, f in task.outputs
+                ],
+                "env": task.env,
+                "resources": task.resources.to_dict(),
+            },
+        )
+
+    def cancel_task(self, task: Task) -> None:
+        handle = self.workers.get(task.worker_id or "")
+        if handle is not None:
+            self._send(handle, {"type": M.CANCEL_TASK, "task_id": task.task_id})
+
+    def task_preempted(self, task: Task) -> None:
+        pass  # nothing buffered outside the control plane for a lost task
+
+    def launch_library(self, lib: LibraryState, worker_id: str) -> None:
+        assert isinstance(lib, _LibraryState)
+        handle = self.workers.get(worker_id)
+        if handle is None:
+            return
+        self._send(
+            handle,
+            {
+                "type": M.INSTALL_LIBRARY,
+                "library": lib.library.name,
+                "functions": lib.library.function_names(),
+                "payload_size": len(lib.payload),
+                "task_id": f"lib:{lib.library.name}",
+                "slots": lib.slots,
+            },
+            lib.payload,
+        )
+
+    def store_replica(
+        self, worker_id: str, cache_name: str, size: int, level: CacheLevel
+    ) -> None:
+        pass  # real workers persist to disk before reporting cache-update
+
+    def delete_replica(self, worker_id: str, cache_name: str) -> None:
+        handle = self.workers.get(worker_id)
+        if handle is not None and handle.alive:
+            self._send(handle, {"type": M.UNLINK, "cache_name": cache_name})
+
+    def deliver(self, task: Task, regenerated: bool) -> None:
+        if not regenerated:  # regeneration reruns were already delivered
+            self._completed.put(task)
 
     # ------------------------------------------------------------------
     # public API: declarations
     # ------------------------------------------------------------------
-
-    def _now(self) -> float:
-        return time.time() - self._t0
 
     def declare_local(self, path: str, cache: "CacheLevel | str" = CacheLevel.WORKFLOW) -> LocalFile:
         """Declare a file or directory from the shared filesystem."""
         f = LocalFile(os.path.abspath(path), cache)
         with self._lock:
             self.namer.assign(f)
-            self.registry.register(f)
-            self.fixed_sources[f.cache_name] = MANAGER_SOURCE
-            self.sizes[f.cache_name] = f.size or self._local_size(f.path)
+            self.control.declare(f, MANAGER_SOURCE, f.size or self._local_size(f.path))
         return f
 
     @staticmethod
@@ -259,9 +369,7 @@ class Manager:
         f = BufferFile(data, cache)
         with self._lock:
             self.namer.assign(f)
-            self.registry.register(f)
-            self.fixed_sources[f.cache_name] = MANAGER_SOURCE
-            self.sizes[f.cache_name] = f.size or 0
+            self.control.declare(f, MANAGER_SOURCE, f.size or 0)
         return f
 
     def declare_url(self, url: str, cache: "CacheLevel | str" = CacheLevel.WORKFLOW) -> URLFile:
@@ -269,10 +377,8 @@ class Manager:
         f = URLFile(url, cache)
         with self._lock:
             self.namer.assign(f)
-            self.registry.register(f)
             host = urllib.parse.urlparse(url).netloc or "localfs"
-            self.fixed_sources[f.cache_name] = f"url:{host}"
-            self.sizes[f.cache_name] = self._url_size(url)
+            self.control.declare(f, f"url:{host}", self._url_size(url))
         return f
 
     @staticmethod
@@ -306,9 +412,7 @@ class Manager:
         f = TempFile()
         with self._lock:
             self.namer.assign(f)
-            self.registry.register(f)
-            self.fixed_sources[f.cache_name] = NO_SOURCE
-            self.sizes[f.cache_name] = 0
+            self.control.declare(f, NO_SOURCE, 0)
         return f
 
     def declare_minitask(
@@ -323,9 +427,7 @@ class Manager:
         f = MiniTaskFile(mini, cache)
         with self._lock:
             self.namer.assign(f)
-            self.registry.register(f)
-            self.fixed_sources[f.cache_name] = MINITASK_SOURCE
-            self.sizes[f.cache_name] = 0
+            self.control.declare(f, MINITASK_SOURCE, 0)
         return f
 
     def declare_untar(
@@ -349,33 +451,20 @@ class Manager:
             if isinstance(task, PythonTask):
                 self._prepare_python_task(task)
             if isinstance(task, FunctionCall):
-                if task.library_name not in self.libraries:
+                if task.library_name not in self.control.libraries:
                     raise ManagerError(
                         f"function call names unknown library {task.library_name!r}"
                     )
             for _, f in task.inputs:
-                if f.cache_name is None or f.cache_name not in self.fixed_sources:
+                if f.cache_name is None or f.cache_name not in self.control.fixed_sources:
                     raise ManagerError(
                         f"input {f.file_id} of {task.task_id} was not declared"
                     )
-                self._input_refs[f.cache_name] += 1
             for _, f in task.outputs:
                 if f.cache_name is None:
                     self.namer.assign(f)
-                    self.registry.register(f)
-                    self.fixed_sources[f.cache_name] = NO_SOURCE
-                    self.sizes.setdefault(f.cache_name, 0)
-            if self.resource_learning and not task.resources_explicit:
-                task.resources = self.categories.first_allocation(
-                    task.category, task.resources
-                )
-            task.state = TaskState.READY
-            task.submitted_at = self._now()
-            self.tasks[task.task_id] = task
-            self._ready.append(task)
-            self._outstanding += 1
-            self._pump()
-            return task.task_id
+                    self.control.declare_output_file(f)
+            return self.control.submit(task)
 
     def _prepare_python_task(self, task: PythonTask) -> None:
         payload = ser.dumps_portable(
@@ -383,15 +472,11 @@ class Manager:
         )
         pf = BufferFile(payload, CacheLevel.TASK)
         self.namer.assign(pf)
-        self.registry.register(pf)
-        self.fixed_sources[pf.cache_name] = MANAGER_SOURCE
-        self.sizes[pf.cache_name] = len(payload)
+        self.control.declare(pf, MANAGER_SOURCE, len(payload))
         task.inputs.append((task.PAYLOAD_NAME, pf))
         result = TempFile()
         self.namer.assign(result)
-        self.registry.register(result)
-        self.fixed_sources[result.cache_name] = NO_SOURCE
-        self.sizes[result.cache_name] = 0
+        self.control.declare(result, NO_SOURCE, 0)
         task.outputs.append((task.RESULT_NAME, result))
         self._retrieving[result.cache_name] = task
 
@@ -409,7 +494,7 @@ class Manager:
     def empty(self) -> bool:
         """True when no submitted task remains incomplete."""
         with self._lock:
-            return self._outstanding == 0
+            return self.control.outstanding == 0
 
     def cancel(self, task: Task) -> bool:
         """Cancel a submitted task; returns False if already terminal.
@@ -419,30 +504,7 @@ class Manager:
         delivered through :meth:`wait` with state ``CANCELLED``.
         """
         with self._lock:
-            if task.is_done or task.task_id not in self.tasks:
-                return False
-            if task.state == TaskState.READY:
-                self._ready = [t for t in self._ready if t.task_id != task.task_id]
-                for name in task.input_cache_names():
-                    self._input_refs[name] -= 1
-            elif task.state in (TaskState.DISPATCHED, TaskState.RUNNING):
-                handle = self.workers.get(task.worker_id or "")
-                if handle is not None:
-                    self._release_task(task, handle)
-                    handle.running.discard(task.task_id)
-                    if task.state == TaskState.RUNNING:
-                        self._send(
-                            handle,
-                            {"type": M.CANCEL_TASK, "task_id": task.task_id},
-                        )
-                self._dispatched.pop(task.task_id, None)
-                self._running.pop(task.task_id, None)
-            task.state = TaskState.CANCELLED
-            task.result = TaskResult(exit_code=-1, failure="cancelled")
-            self._outstanding -= 1
-            self._completed.put(task)
-            self._pump()
-            return True
+            return self.control.cancel(task)
 
     def run_until_done(self, timeout: float = 300.0) -> list[Task]:
         """Convenience driver: wait for every outstanding task.
@@ -456,7 +518,7 @@ class Manager:
             if remaining <= 0:
                 raise ManagerError(
                     f"workflow did not finish within {timeout}s "
-                    f"({self._outstanding} tasks outstanding)"
+                    f"({self.control.outstanding} tasks outstanding)"
                 )
             t = self.wait(timeout=min(1.0, remaining))
             if t is not None:
@@ -480,43 +542,17 @@ class Manager:
         """Define a library of Python functions for serverless calls."""
         library = Library(name, functions)
         with self._lock:
-            if name in self.libraries:
+            if name in self.control.libraries:
                 raise ManagerError(f"library {name!r} already created")
-            self.libraries[name] = _LibraryState(library, resources, function_slots)
+            self.control.libraries[name] = _LibraryState(
+                library, resources, function_slots
+            )
         return library
 
     def install_library(self, name: str) -> None:
         """Deploy the library to every current and future worker."""
         with self._lock:
-            state = self.libraries[name]
-            state.installed = True
-            for handle in self.workers.values():
-                self._install_on(state, handle)
-
-    def _install_on(self, state: _LibraryState, handle: _WorkerHandle) -> None:
-        wid = handle.worker_id
-        if wid in state.state:
-            return
-        if not handle.pool.can_fit(state.resources):
-            return
-        handle.pool.allocate(f"lib:{state.library.name}", state.resources)
-        state.state[wid] = "installing"
-        self.log.emit(
-            self._now(), "task_start",
-            worker=wid, task=f"{state.library.name}@{wid}", category="library",
-        )
-        self._send(
-            handle,
-            {
-                "type": M.INSTALL_LIBRARY,
-                "library": state.library.name,
-                "functions": state.library.function_names(),
-                "payload_size": len(state.payload),
-                "task_id": f"lib:{state.library.name}",
-                "slots": state.slots,
-            },
-            state.payload,
-        )
+            self.control.install_library(name)
 
     # -- data retrieval ---------------------------------------------------
 
@@ -557,10 +593,10 @@ class Manager:
     def close(self, shutdown_workers: bool = True) -> None:
         """Garbage-collect workflow files and release all connections."""
         with self._lock:
-            if self._closed:
+            if self.control.closed:
                 return
-            self._closed = True
-            deletions = collect_workflow(self.registry, self.replicas)
+            self.control.closed = True
+            deletions = collect_workflow(self.control.registry, self.control.replicas)
             for wid, names in deletions.items():
                 handle = self.workers.get(wid)
                 if handle is None or not handle.alive:
@@ -580,7 +616,7 @@ class Manager:
             handle._sender.join(timeout=10)
             handle.conn.close()
         with self._lock:
-            self.log.emit(self._now(), "workflow_done")
+            self.control.log.emit(self.now(), "workflow_done")
             try:
                 self._listener.close()
             except OSError:
@@ -595,6 +631,24 @@ class Manager:
     # ------------------------------------------------------------------
     # worker admission and message handling
     # ------------------------------------------------------------------
+
+    def _reaper_loop(self) -> None:
+        """Close connections of workers that stopped talking entirely."""
+        interval = max(1.0, (self.worker_liveness_timeout or 60.0) / 4)
+        while not self.control.closed:
+            time.sleep(interval)
+            now = time.time()
+            with self._lock:
+                stale = [
+                    h for h in self.workers.values()
+                    if h.alive and now - h.last_seen > self.worker_liveness_timeout
+                ]
+            for handle in stale:
+                log.warning(
+                    "worker %s silent for %.0fs; declaring it dead",
+                    handle.worker_id, now - handle.last_seen,
+                )
+                handle.conn.close()  # reader thread unwinds into _on_worker_gone
 
     def _accept_loop(self) -> None:
         while True:
@@ -629,16 +683,15 @@ class Manager:
                 handle.worker_id, handle.capacity.cores,
                 handle.transfer_port, len(msg.get("cached", [])),
             )
-            self.log.emit(self._now(), "worker_join", worker=handle.worker_id)
             # adopt persisted worker-lifetime cache contents (hot cache)
-            for name, size, _level in msg.get("cached", []):
-                self.replicas.add_replica(name, handle.worker_id, int(size))
-                self.sizes.setdefault(name, int(size))
-                self.fixed_sources.setdefault(name, NO_SOURCE)
-            for state in self.libraries.values():
-                if state.installed:
-                    self._install_on(state, handle)
-            self._pump()
+            state = self.control.worker_joined(
+                handle.worker_id,
+                handle.pool,
+                cached=[
+                    (name, int(size)) for name, size, _level in msg.get("cached", [])
+                ],
+            )
+            handle.running = state.running
         reader = threading.Thread(
             target=self._reader_loop, args=(handle,), daemon=True
         )
@@ -668,67 +721,29 @@ class Manager:
         if mtype == M.CACHE_UPDATE:
             self._on_cache_update(handle, msg)
         elif mtype == M.CACHE_INVALID:
-            self._on_cache_invalid(handle, msg)
+            self.control.on_cache_invalid(
+                handle.worker_id,
+                msg["cache_name"],
+                msg.get("transfer_id"),
+                msg.get("reason", "transfer failed"),
+            )
         elif mtype == M.TASK_DONE:
             self._on_task_done(handle, msg, payload)
         elif mtype == M.LIBRARY_READY:
             self._on_library_ready(handle, msg)
         elif mtype == M.FILE_DATA:
             self._on_file_data(msg, payload)
-        self._pump()
-
-    # -- cache updates ----------------------------------------------------
 
     def _on_cache_update(self, handle: _WorkerHandle, msg: dict) -> None:
         name = msg["cache_name"]
-        size = int(msg["size"])
-        transfer_id = msg.get("transfer_id")
-        self.sizes[name] = size
-        if name in self.registry:
-            self.registry.by_name(name).size = size
-        self.replicas.add_replica(name, handle.worker_id, size)
-        self.log.emit(
-            self._now(), "file_cached", worker=handle.worker_id, file=name, size=size
+        self.control.on_cache_update(
+            handle.worker_id, name, int(msg["size"]), msg.get("transfer_id")
         )
-        if transfer_id is not None:
-            try:
-                record = self.transfers.complete(transfer_id)
-                self.log.emit(
-                    self._now(), "transfer_end",
-                    worker=handle.worker_id, file=name, size=size,
-                )
-            except KeyError:
-                pass
-            self._staging = [
-                j for j in self._staging if j.transfer_id != transfer_id
-            ]
-
-    def _on_cache_invalid(self, handle: _WorkerHandle, msg: dict) -> None:
-        name = msg["cache_name"]
-        transfer_id = msg.get("transfer_id")
-        self.replicas.remove_replica(name, handle.worker_id)
-        if transfer_id is None:
-            return  # autonomous eviction, not a failed command
-        try:
-            self.transfers.complete(transfer_id)
-        except KeyError:
-            pass
-        self._staging = [j for j in self._staging if j.transfer_id != transfer_id]
-        self._transfer_attempts[name] += 1
-        if self._transfer_attempts[name] > self.transfer_retries:
-            self._fail_tasks_needing(name, msg.get("reason", "transfer failed"))
-
-    def _fail_tasks_needing(self, name: str, reason: str) -> None:
-        doomed = [
-            t
-            for t in list(self._ready) + list(self._dispatched.values())
-            if name in t.input_cache_names()
-        ]
-        for t in doomed:
-            self._finish_task(
-                t,
-                TaskResult(exit_code=-1, failure=f"input {name} unavailable: {reason}"),
-            )
+        # a python task finished before its result replica registered;
+        # now that the replica exists, pull the value back
+        task = self._awaiting_result.pop(name, None)
+        if task is not None:
+            self._send(handle, {"type": M.SEND_BACK, "cache_name": name})
 
     # -- task completion --------------------------------------------------
 
@@ -737,19 +752,8 @@ class Manager:
     ) -> None:
         task_id = msg["task_id"]
         if task_id.startswith("lib:"):
-            name = task_id[len("lib:"):]
-            state = self.libraries.get(name)
-            if state is not None:
-                state.state[handle.worker_id] = "failed"
-                try:
-                    handle.pool.release(task_id)
-                except KeyError:
-                    pass
+            self.control.on_library_failed(handle.worker_id, task_id[len("lib:"):])
             return
-        task = self._running.pop(task_id, None)
-        if task is None:
-            return
-        handle.running.discard(task_id)
         result = TaskResult(
             exit_code=int(msg["exit_code"]),
             output=msg.get("output", ""),
@@ -761,63 +765,43 @@ class Manager:
             execution_time=float(msg.get("execution_time", 0.0)),
             staging_time=float(msg.get("staging_time", 0.0)),
         )
-        task.finished_at = self._now()
-        self.log.emit(
-            self._now(), "task_end",
-            worker=handle.worker_id, task=task_id, category=task.category,
-        )
-        self._release_task(task, handle)
-        self.categories.record(
-            task.category,
-            result.measured or task.resources,
-            exceeded=bool(result.exceeded),
-        )
-        # sandbox failures mean an input vanished between dispatch and
-        # execution (e.g. autonomous cache eviction won a race): replan
-        # the transfers and retry rather than failing the task
-        if (
-            result.failure == "sandbox"
-            and task.retries_used < task.max_retries
-        ):
-            task.retries_used += 1
-            task.state = TaskState.READY
-            task.worker_id = None
-            self._ready.append(task)
-            return
-        # resource-exceeded retry policy (paper §2.1): grow to the
-        # category's observed peak when learning, else scale the request
-        if (
-            result.exceeded
-            and result.exit_code != 0
-            and task.retries_used < task.max_retries
-        ):
-            task.retries_used += 1
-            if self.resource_learning:
-                task.resources = self.categories.retry_allocation(
-                    task.category, task.resources
-                )
-            else:
-                task.resources = task.resources.scaled(task.retry_resource_growth)
-            task.state = TaskState.READY
-            task.worker_id = None
-            self._ready.append(task)
-            return
+        task = self.control.on_task_result(handle.worker_id, task_id, result)
+        if task is None:
+            return  # stale report, or requeued by a retry policy
         if isinstance(task, FunctionCall) and payload is not None:
             self._set_call_output(task, result, payload)
-            self._finish_task(task, result)
+            self.control.complete_task(task, result)
             return
-        if isinstance(task, PythonTask):
-            # result value comes back via SEND_BACK of the result file
+        if isinstance(task, PythonTask) and result.exit_code in (0, 1):
+            if task._output_set:
+                # regeneration rerun: the value was already retrieved
+                self.control.complete_task(task, task.result or result)
+                return
             result_name = task.outputs[-1][1].cache_name
-            if result.exit_code in (0, 1) and self.replicas.replica_count(result_name):
+            if self.replicas.replica_count(result_name):
                 task.result = result
                 holders = list(self.replicas.locate(result_name))
                 self._send(
                     self.workers[holders[0]],
                     {"type": M.SEND_BACK, "cache_name": result_name},
                 )
-                return  # completion deferred to _on_file_data
-        self._finish_task(task, result)
+                self.control.complete_task(task, result, defer=True)
+                return  # completion finishes in _on_file_data
+            if result_name in msg.get("harvested", ()):
+                # the worker harvested the result but its cache-update is
+                # still in flight behind this message; defer until it lands
+                task.result = result
+                self._awaiting_result[result_name] = task
+                self.control.complete_task(task, result, defer=True)
+                return
+            # no result file anywhere: fail loudly instead of handing the
+            # application a DONE task whose output() raises
+            tail = (result.output or "").strip()[-500:]
+            result.failure = result.failure or (
+                f"result file never produced (exit {result.exit_code})"
+                + (f": {tail}" if tail else "")
+            )
+        self.control.complete_task(task, result)
 
     def _set_call_output(self, task: FunctionCall, result: TaskResult, blob: bytes) -> None:
         try:
@@ -831,56 +815,11 @@ class Manager:
             result.failure = decoded.get("traceback") or repr(decoded.get("error"))
             result.exit_code = result.exit_code or 1
 
-    def _release_task(self, task: Task, handle: _WorkerHandle) -> None:
-        try:
-            handle.pool.release(task.task_id)
-        except KeyError:
-            pass
-        if isinstance(task, FunctionCall):
-            self._lib_load[(handle.worker_id, task.library_name)] -= 1
-        pinned = self._pinned[handle.worker_id]
-        for name in task.input_cache_names():
-            pinned[name] -= 1
-            self._input_refs[name] -= 1
-            if (
-                self._input_refs[name] <= 0
-                and name in self.registry
-                and self.registry.by_name(name).cache_level == CacheLevel.TASK
-            ):
-                for wid in self.replicas.forget_name(name):
-                    w = self.workers.get(wid)
-                    if w is not None and w.alive:
-                        self._send(w, {"type": M.UNLINK, "cache_name": name})
-                        self.log.emit(
-                            self._now(), "file_deleted", worker=wid, file=name
-                        )
-
-    def _finish_task(self, task: Task, result: TaskResult) -> None:
-        if task.is_done:
-            return
-        task.result = result
-        ok = result.ok
-        if isinstance(task, PythonTask) and result.exit_code == 1:
-            ok = True  # the exception is delivered through output()
-        task.state = TaskState.DONE if ok else TaskState.FAILED
-        for collection in (self._ready, ):
-            if task in collection:
-                collection.remove(task)
-        self._dispatched.pop(task.task_id, None)
-        self._running.pop(task.task_id, None)
-        self._outstanding -= 1
-        self._completed.put(task)
-
     def _on_library_ready(self, handle: _WorkerHandle, msg: dict) -> None:
         name = msg["library"]
-        state = self.libraries.get(name)
-        if state is None:
-            return
-        state.state[handle.worker_id] = "ready"
-        handle.libraries.add(name)
-        self.log.emit(
-            self._now(), "library_ready", worker=handle.worker_id, category=name
-        )
+        if name in self.control.libraries:
+            handle.libraries.add(name)
+        self.control.on_library_ready(handle.worker_id, name)
 
     def _on_file_data(self, msg: dict, payload: Optional[bytes]) -> None:
         name = msg["cache_name"]
@@ -902,7 +841,7 @@ class Manager:
                             task.set_output_value(err)
                 except ser.SerializationError as exc:
                     result.failure = f"result decode failed: {exc}"
-            self._finish_task(task, result)
+            self.control.finish_deferred(task, result)
         waiters = self._fetch_waiters.pop(name, [])
         for waiter in waiters:
             waiter.put(payload)
@@ -913,187 +852,10 @@ class Manager:
         handle.alive = False
         log.warning("worker %s disconnected", handle.worker_id)
         self.workers.pop(handle.worker_id, None)
-        self.replicas.remove_worker(handle.worker_id)
-        self.transfers.cancel_for_worker(handle.worker_id)
-        self._staging = [j for j in self._staging if j.worker_id != handle.worker_id]
-        self._pinned.pop(handle.worker_id, None)
-        self.log.emit(self._now(), "worker_leave", worker=handle.worker_id)
-        # requeue or fail every task that was on this worker
-        lost = [
-            t
-            for t in list(self._dispatched.values()) + list(self._running.values())
-            if t.worker_id == handle.worker_id
-        ]
-        for task in lost:
-            self._dispatched.pop(task.task_id, None)
-            self._running.pop(task.task_id, None)
-            if isinstance(task, FunctionCall):
-                self._lib_load[(handle.worker_id, task.library_name)] -= 1
-            if task.retries_used < task.max_retries:
-                task.retries_used += 1
-                task.state = TaskState.READY
-                task.worker_id = None
-                self._ready.append(task)
-            else:
-                self._finish_task(
-                    task, TaskResult(exit_code=-1, failure="worker lost")
-                )
         handle.stop_sender()
-        for state in self.libraries.values():
-            state.state.pop(handle.worker_id, None)
-        self._pump()
+        self.control.worker_left(handle.worker_id)
 
-    # ------------------------------------------------------------------
-    # scheduling pump (the same structure the simulator uses)
-    # ------------------------------------------------------------------
-
-    def _view_of(self, handle: _WorkerHandle, library: Optional[str]) -> Optional[WorkerView]:
-        if not handle.alive:
-            return None
-        if library is not None:
-            state = self.libraries[library]
-            if state.state.get(handle.worker_id) != "ready":
-                return None
-            if self._lib_load[(handle.worker_id, library)] >= state.slots:
-                return None
-        return WorkerView(
-            worker_id=handle.worker_id,
-            capacity=handle.capacity,
-            allocated=handle.pool.allocated,
-            running_tasks=len(handle.running),
-        )
-
-    def _pump(self) -> None:
-        if self._closed:
-            return
-        views_cache: dict[Optional[str], dict[str, WorkerView]] = {}
-
-        def get_views(key: Optional[str]) -> dict[str, WorkerView]:
-            if key not in views_cache:
-                views = {}
-                for handle in self.workers.values():
-                    v = self._view_of(handle, key)
-                    if v is not None:
-                        views[handle.worker_id] = v
-                views_cache[key] = views
-            return views_cache[key]
-
-        placed = []
-        failures = 0
-        for task in Scheduler.order_ready(self._ready):
-            if not self._inputs_obtainable(task):
-                continue
-            key = task.library_name if isinstance(task, FunctionCall) else None
-            wid = self.scheduler.choose_worker(task, get_views(key))
-            if wid is None:
-                failures += 1
-                if failures >= 64:
-                    break
-                continue
-            self._dispatch(task, wid)
-            placed.append(task)
-            for k, vdict in views_cache.items():
-                fresh = self._view_of(self.workers[wid], k)
-                if fresh is None:
-                    vdict.pop(wid, None)
-                else:
-                    vdict[wid] = fresh
-        if placed:
-            placed_ids = {t.task_id for t in placed}
-            self._ready = [t for t in self._ready if t.task_id not in placed_ids]
-        for task in list(self._dispatched.values()):
-            self._stage_inputs(task)
-        for job in list(self._staging):
-            if not job.started:
-                self._advance_staging(job)
-
-    def _inputs_obtainable(self, task: Task) -> bool:
-        for name in task.input_cache_names():
-            if self.replicas.replica_count(name) > 0:
-                continue
-            if self.fixed_sources.get(name, MANAGER_SOURCE) == NO_SOURCE:
-                return False
-        return True
-
-    def _dispatch(self, task: Task, wid: str) -> None:
-        log.debug("dispatch %s -> %s (%s)", task.task_id, wid, task.category)
-        handle = self.workers[wid]
-        handle.pool.allocate(task.task_id, task.resources)
-        handle.running.add(task.task_id)
-        task.worker_id = wid
-        task.state = TaskState.DISPATCHED
-        self._dispatched[task.task_id] = task
-        if isinstance(task, FunctionCall):
-            self._lib_load[(wid, task.library_name)] += 1
-        for name in task.input_cache_names():
-            self._pinned[wid][name] += 1
-        self._stage_inputs(task)
-
-    def _stage_inputs(self, task: Task) -> None:
-        wid = task.worker_id
-        assert wid is not None
-        if isinstance(task, FunctionCall) and not task.inputs:
-            self._start_execution(task)
-            return
-        plan = self.scheduler.plan_transfers(task, wid, self.fixed_sources)
-        for cache_name, source in plan.transfers:
-            self._start_transfer(cache_name, source, wid)
-        if all(self.replicas.has_replica(n, wid) for n in task.input_cache_names()):
-            self._start_execution(task)
-
-    def _start_transfer(self, cache_name: str, source: str, dst_wid: str) -> None:
-        log.debug("transfer %s: %s -> %s", cache_name[:24], source, dst_wid)
-        handle = self.workers[dst_wid]
-        size = self.sizes.get(cache_name, 0)
-        record = self.transfers.begin(cache_name, source, dst_wid, size, self._now())
-        self.log.emit(
-            self._now(), "transfer_start", worker=dst_wid, file=cache_name, size=size
-        )
-        level = (
-            self.registry.by_name(cache_name).cache_level
-            if cache_name in self.registry
-            else CacheLevel.WORKFLOW
-        )
-        if source == MINITASK_SOURCE:
-            f = self.registry.by_name(cache_name)
-            assert isinstance(f, MiniTaskFile)
-            job = _StagingJob(f, dst_wid, record.transfer_id)
-            self._staging.append(job)
-            self._advance_staging(job)
-            return
-        if source == MANAGER_SOURCE:
-            self._send_object(handle, cache_name, level, record.transfer_id)
-            return
-        if source.startswith("url:"):
-            f = self.registry.by_name(cache_name)
-            assert isinstance(f, URLFile)
-            self._send(
-                handle,
-                {
-                    "type": M.FETCH_FILE,
-                    "cache_name": cache_name,
-                    "source": {"kind": "url", "url": f.url},
-                    "transfer_id": record.transfer_id,
-                    "level": int(level),
-                },
-            )
-            return
-        # peer worker source
-        src = self.workers[source]
-        self._send(
-            handle,
-            {
-                "type": M.FETCH_FILE,
-                "cache_name": cache_name,
-                "source": {
-                    "kind": "worker",
-                    "host": src.transfer_host,
-                    "port": src.transfer_port,
-                },
-                "transfer_id": record.transfer_id,
-                "level": int(level),
-            },
-        )
+    # -- low-level send -------------------------------------------------------
 
     def _send_object(
         self, handle: _WorkerHandle, cache_name: str, level: CacheLevel, transfer_id: str
@@ -1140,89 +902,6 @@ class Manager:
             raise ManagerError(
                 f"{type(f).__name__} {cache_name} cannot be manager-sourced"
             )
-
-    def _advance_staging(self, job: _StagingJob) -> None:
-        wid = job.worker_id
-        mini = job.file.mini_task
-        missing = [
-            n for n in mini.input_cache_names() if not self.replicas.has_replica(n, wid)
-        ]
-        if missing:
-            plan = self.scheduler.plan_transfers(mini, wid, self.fixed_sources)
-            for cache_name, source in plan.transfers:
-                self._start_transfer(cache_name, source, wid)
-            return
-        job.started = True
-        level = job.file.cache_level
-        spec = {
-            "command": mini.command,
-            "inputs": [
-                [sandbox_name, dep.cache_name] for sandbox_name, dep in mini.inputs
-            ],
-            "output_name": mini.output_name,
-            "env": mini.env,
-            "resources": mini.resources.to_dict(),
-        }
-        self.log.emit(
-            self._now(), "stage_start", worker=wid, file=job.file.cache_name
-        )
-        self._send(
-            self.workers[wid],
-            {
-                "type": M.STAGE_MINITASK,
-                "cache_name": job.file.cache_name,
-                "spec": spec,
-                "level": int(level),
-                "transfer_id": job.transfer_id,
-            },
-        )
-
-    def _start_execution(self, task: Task) -> None:
-        if task.state != TaskState.DISPATCHED:
-            return
-        wid = task.worker_id
-        handle = self.workers[wid]
-        self._dispatched.pop(task.task_id, None)
-        self._running[task.task_id] = task
-        task.state = TaskState.RUNNING
-        task.started_at = self._now()
-        self.log.emit(
-            self._now(), "task_start", worker=wid, task=task.task_id,
-            category=task.category,
-        )
-        if isinstance(task, FunctionCall):
-            from repro.worker.library_instance import pack_invocation
-
-            blob = pack_invocation(task.args, dict(task.kwargs))
-            self._send(
-                handle,
-                {
-                    "type": M.INVOKE,
-                    "task_id": task.task_id,
-                    "library": task.library_name,
-                    "function": task.function_name,
-                    "payload_size": len(blob),
-                },
-                blob,
-            )
-            return
-        self._send(
-            handle,
-            {
-                "type": M.EXECUTE,
-                "task_id": task.task_id,
-                "command": task.command,
-                "inputs": [[name, f.cache_name] for name, f in task.inputs],
-                "outputs": [
-                    [name, f.cache_name, int(f.cache_level)]
-                    for name, f in task.outputs
-                ],
-                "env": task.env,
-                "resources": task.resources.to_dict(),
-            },
-        )
-
-    # -- low-level send -------------------------------------------------------
 
     @staticmethod
     def _send(handle: _WorkerHandle, message: dict, payload: Optional[bytes] = None) -> None:

@@ -1,54 +1,51 @@
-"""Simulated TaskVine manager: the paper's policy engine over virtual time.
+"""Simulated TaskVine manager: discrete-event adapter over the control plane.
 
 :class:`SimManager` mirrors the real manager's API (declare files,
 submit tasks, install libraries, run) but executes against a
 :class:`~repro.sim.cluster.SimCluster`.  Crucially it drives the *same*
-policy code as the real runtime — :class:`~repro.core.scheduler.Scheduler`,
+policy engine as the real runtime — the shared
+:class:`~repro.core.control_plane.ControlPlane` over
+:class:`~repro.core.scheduler.Scheduler`,
 :class:`~repro.core.replica_table.ReplicaTable`,
-:class:`~repro.core.transfer_table.TransferTable`,
-:class:`~repro.core.naming.Namer`, and :mod:`repro.core.gc` — so the
-figure benchmarks exercise the policies the paper evaluates, with only
-task execution and byte movement virtualized.
+:class:`~repro.core.transfer_table.TransferTable` and
+:mod:`repro.core.gc` — so the figure benchmarks exercise exactly the
+policies the paper evaluates.  This module only provides virtual-time
+*mechanisms* as a :class:`~repro.core.control_plane.RuntimePort`:
+simulated byte movement over :class:`~repro.sim.network.SimNetwork`,
+scheduled execution/staging/startup delays, and simulated cache
+insertion with capacity eviction.  Any behavioural change belongs in
+``control_plane.py``, never here.
 
 Simulation-specific file declarations carry explicit sizes (and stage
 times for mini tasks) instead of real content; tasks carry explicit
 durations.  Everything else — placement, peer transfer selection,
-per-source concurrency limits, caching, eviction, garbage collection —
-is the production logic.
+per-source concurrency limits, caching, eviction, garbage collection,
+retry/replication/regeneration — is the production logic.
 """
 
 from __future__ import annotations
 
-import collections
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.events import EventLog, makespan
-from repro.core.files import (
-    CacheLevel,
-    File,
-    FileRegistry,
-    MiniTaskFile,
-    TempFile,
-    URLFile,
+from repro.core.control_plane import (
+    MINITASK_SOURCE,
+    NO_SOURCE,
+    ControlPlane,
+    LibraryState,
+    StagingJob,
 )
+from repro.core.events import EventLog, makespan
+from repro.core.files import CacheLevel, File, MiniTaskFile, TempFile, URLFile
 from repro.core.gc import CacheEntryInfo, collect_workflow, plan_eviction
-from repro.core.library import FunctionCall
 from repro.core.naming import Namer
-from repro.core.replica_table import ReplicaTable
 from repro.core.resources import Resources
-from repro.core.scheduler import Scheduler, WorkerView
-from repro.core.task import MiniTask, Task, TaskState
-from repro.core.transfer_table import MANAGER_SOURCE, TransferTable
+from repro.core.task import MiniTask, Task, TaskResult, TaskState
+from repro.core.transfer_table import MANAGER_SOURCE, Transfer
 from repro.sim.cluster import MANAGER_NODE, SimCluster, SimWorker
 from repro.util.hashing import hash_bytes
 
 __all__ = ["SimManager", "SimLibrary", "SimRunStats", "NO_SOURCE"]
-
-#: fixed-source marker for files that only ever exist at workers (temps)
-NO_SOURCE = "@none"
-#: fixed-source marker for files materialized by a mini task at the worker
-MINITASK_SOURCE = "@minitask"
 
 
 @dataclass
@@ -60,20 +57,24 @@ class _FileMeta:
     mini: Optional[MiniTaskFile] = None
 
 
-@dataclass
-class SimLibrary:
-    """A library definition plus its deployment state."""
+class SimLibrary(LibraryState):
+    """Control-plane library state plus the simulated startup delay."""
 
-    name: str
-    env_files: list[File]
-    resources: Resources
-    startup_time: float
-    slots: int
-    installed: bool = False
-    #: worker id -> deployment phase ("staging" | "starting" | "ready")
-    deployments: dict[str, str] = field(default_factory=dict)
-    #: internal pseudo-tasks used for input staging, by worker id
-    staging_tasks: dict[str, Task] = field(default_factory=dict)
+    def __init__(
+        self,
+        name: str,
+        env_files: Sequence[File] = (),
+        resources: Optional[Resources] = None,
+        startup_time: float = 1.0,
+        slots: int = 1,
+    ) -> None:
+        super().__init__(name, env_files, resources, slots)
+        self.startup_time = startup_time
+
+    @property
+    def deployments(self) -> dict[str, str]:
+        """Worker id -> deployment phase (alias of the shared state)."""
+        return self.state
 
 
 @dataclass
@@ -95,16 +96,6 @@ class SimRunStats:
         return self.finished - self.started
 
 
-@dataclass
-class _StagingJob:
-    """An in-progress mini-task materialization at one worker."""
-
-    file: MiniTaskFile
-    worker_id: str
-    transfer_id: str
-    started: bool = False
-
-
 class SimManager:
     """One workflow run executing on a simulated cluster."""
 
@@ -124,51 +115,174 @@ class SimManager:
         self.network = cluster.network
         self.namer = Namer(seed=seed, run_nonce=run_nonce)
         # stable pseudo-headers: URL content never changes inside a sim
-        self.namer.header_fetcher = lambda url: {"ETag": f"sim:{url}"}
-        self.registry = FileRegistry()
-        self.replicas = ReplicaTable()
-        self.transfers = TransferTable(
-            worker_limit=worker_transfer_limit, source_limit=source_transfer_limit
+        def _sim_headers(url: str) -> dict:
+            return {"ETag": f"sim:{url}"}
+
+        self.namer.header_fetcher = _sim_headers
+        self.control = ControlPlane(
+            self,
+            worker_transfer_limit=worker_transfer_limit,
+            source_transfer_limit=source_transfer_limit,
+            locality=locality,
+            temp_replica_count=temp_replica_count,
+            loss_retries=max_task_retries,
+            strict_loss=True,
         )
-        self.scheduler = Scheduler(self.replicas, self.transfers, locality=locality)
-        self.log = EventLog()
+        self.max_task_retries = max_task_retries
 
-        self.tasks: dict[str, Task] = {}
-        self._ready: list[Task] = []
-        self._dispatched: dict[str, Task] = {}
-        self._running: dict[str, Task] = {}
-        self._retrieval_pending: dict[str, int] = {}
-        self._done = 0
-
-        self.fixed_sources: dict[str, str] = {}
         self.meta: dict[str, _FileMeta] = {}
-        self.libraries: dict[str, SimLibrary] = {}
-        self._lib_load: dict[tuple[str, str], int] = collections.Counter()
-
-        self._running_at: dict[str, int] = collections.Counter()
-        self._pinned: dict[str, collections.Counter] = collections.defaultdict(
-            collections.Counter
-        )
-        self._input_refs: collections.Counter = collections.Counter()
-        self._staging: list[_StagingJob] = []
+        self._retrieval_pending: dict[str, int] = {}
         self.evictions = 0
-        self._transfer_counts: dict[str, int] = collections.Counter()
-        self._bytes_by_source: dict[str, float] = collections.Counter()
         self._pump_scheduled = False
         self._finalized = False
-        #: target replica count for task-produced (temp) files — "the
-        #: manager has a detailed picture ... duplicating items for
-        #: reliability" (paper §2.2); 1 disables proactive replication
-        self.temp_replica_count = max(1, temp_replica_count)
-        #: times a task lost to a departing worker is re-dispatched
-        self.max_task_retries = max_task_retries
-        self.tasks_requeued = 0
 
         # adopt pre-existing worker-level cache contents (hot cache, Fig 9)
         for worker in cluster.workers.values():
-            self._adopt_worker(worker)
+            if worker.connected:
+                self._join(worker)
+            else:
+                for name, size in self._worker_level_cache(worker):
+                    self.control.adopt_replica(worker.worker_id, name, size)
         cluster.join_callbacks.append(self._on_worker_join)
         cluster.leave_callbacks.append(self._on_worker_leave)
+
+    # -- control-plane state views (single source of truth) --------------
+
+    @property
+    def registry(self):
+        return self.control.registry
+
+    @property
+    def replicas(self):
+        return self.control.replicas
+
+    @property
+    def transfers(self):
+        return self.control.transfers
+
+    @property
+    def scheduler(self):
+        return self.control.scheduler
+
+    @property
+    def log(self):
+        return self.control.log
+
+    @property
+    def tasks(self):
+        return self.control.tasks
+
+    @property
+    def fixed_sources(self):
+        return self.control.fixed_sources
+
+    @property
+    def libraries(self):
+        return self.control.libraries
+
+    @property
+    def tasks_requeued(self) -> int:
+        return self.control.tasks_requeued
+
+    @property
+    def temp_replica_count(self) -> int:
+        return self.control.temp_replica_count
+
+    # ------------------------------------------------------------------
+    # RuntimePort: virtual-time mechanisms behind the control plane
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        return self.sim.now
+
+    def worker_connected(self, worker_id: str) -> bool:
+        worker = self.cluster.workers.get(worker_id)
+        return worker is not None and worker.connected
+
+    def request_pump(self) -> None:
+        """Coalesce pump requests into one zero-delay event."""
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            self.sim.schedule(0.0, self._fire_coalesced_pump)
+
+    def _fire_coalesced_pump(self) -> None:
+        self._pump_scheduled = False
+        self.control.pump()
+
+    def _start_network_transfer(self, record: Transfer) -> None:
+        if record.source not in self.network.nodes:
+            raise RuntimeError(f"unknown transfer source {record.source!r}")
+        self.network.start(
+            record.source,
+            record.dest_worker,
+            record.size,
+            lambda _t, tid=record.transfer_id: self.control.on_transfer_complete(tid),
+        )
+
+    def push_object(self, record: Transfer, level: CacheLevel) -> None:
+        self._start_network_transfer(record)  # the manager is a network node
+
+    def send_fetch(self, record: Transfer, level: CacheLevel) -> None:
+        self._start_network_transfer(record)
+
+    def run_minitask(self, job: StagingJob) -> None:
+        stage_time = self.meta[job.file.cache_name].stage_time
+        self.sim.schedule(stage_time, self.control.on_stage_done, job)
+
+    def start_task(self, task: Task) -> None:
+        worker = self.cluster.workers[task.worker_id]
+        for name in task.input_cache_names():
+            worker.touch(name, self.sim.now)
+        task._sim_finish_event = self.sim.schedule(  # type: ignore[attr-defined]
+            task.sim_duration, self._finish_execution, task  # type: ignore[attr-defined]
+        )
+
+    def cancel_task(self, task: Task) -> None:
+        event = getattr(task, "_sim_finish_event", None)
+        if event is not None:
+            event.cancel()
+
+    def task_preempted(self, task: Task) -> None:
+        event = getattr(task, "_sim_finish_event", None)
+        if event is not None:
+            event.cancel()
+
+    def launch_library(self, lib: LibraryState, worker_id: str) -> None:
+        assert isinstance(lib, SimLibrary)
+        self.sim.schedule(lib.startup_time, self._library_up, lib, worker_id)
+
+    def _library_up(self, lib: "SimLibrary", worker_id: str) -> None:
+        # the control plane ignores stale reports (worker left meanwhile)
+        self.control.on_library_ready(worker_id, lib.name)
+        worker = self.cluster.workers.get(worker_id)
+        if worker is not None and lib.state.get(worker_id) == "ready":
+            worker.libraries.add(lib.name)
+
+    def store_replica(
+        self, worker_id: str, cache_name: str, size: int, level: CacheLevel
+    ) -> None:
+        """Insert into the simulated cache, evicting under disk pressure."""
+        worker = self.cluster.workers[worker_id]
+        overflow = worker.cache_bytes() + size - worker.disk_capacity
+        if overflow > 0:
+            pinned = self.control.pinned_at(worker_id)
+            entries = [
+                CacheEntryInfo(o.cache_name, o.size, o.level, o.last_used)
+                for o in worker.cache.values()
+            ]
+            for victim in plan_eviction(entries, overflow, pinned):
+                worker.remove(victim)
+                self.control.replica_evicted(worker_id, victim)
+                self.evictions += 1
+        worker.insert(cache_name, size, level, self.sim.now)
+
+    def delete_replica(self, worker_id: str, cache_name: str) -> None:
+        worker = self.cluster.workers.get(worker_id)
+        if worker is not None:
+            worker.remove(cache_name)
+
+    def deliver(self, task: Task, regenerated: bool) -> None:
+        pass  # applications read task state directly after run()
 
     # ------------------------------------------------------------------
     # declarations
@@ -193,8 +307,7 @@ class SimManager:
         else:
             self.namer.assign(f)
         f.size = size
-        self.registry.register(f)
-        self.fixed_sources[f.cache_name] = source
+        self.control.declare(f, source, size)
         self.meta[f.cache_name] = _FileMeta(size=size)
         return f
 
@@ -211,8 +324,7 @@ class SimManager:
         source = self.cluster.add_url_server(host, up_bps=server_bps)
         self.namer.assign(f)
         f.size = size
-        self.registry.register(f)
-        self.fixed_sources[f.cache_name] = source
+        self.control.declare(f, source, size)
         self.meta[f.cache_name] = _FileMeta(size=size)
         return f
 
@@ -230,12 +342,11 @@ class SimManager:
         """
         f = MiniTaskFile(mini, cache)
         self.namer.assign(f)
-        self.registry.register(f)
-        self.fixed_sources[f.cache_name] = MINITASK_SOURCE
+        f.size = output_size
+        self.control.declare(f, MINITASK_SOURCE, output_size)
         self.meta[f.cache_name] = _FileMeta(
             size=output_size, stage_time=stage_time, mini=f
         )
-        f.size = output_size
         return f
 
     def declare_untar(
@@ -256,10 +367,9 @@ class SimManager:
         """Declare an ephemeral in-cluster file (paper §2.3 TempFile)."""
         f = TempFile()
         self.namer.assign(f)
-        self.registry.register(f)
-        self.fixed_sources[f.cache_name] = NO_SOURCE
-        self.meta[f.cache_name] = _FileMeta(size=size)
         f.size = size
+        self.control.declare(f, NO_SOURCE, size)
+        self.meta[f.cache_name] = _FileMeta(size=size)
         return f
 
     def declare_output(
@@ -275,12 +385,11 @@ class SimManager:
         """
         f = File(CacheLevel.WORKFLOW)
         self.namer.assign(f)
-        self.registry.register(f)
         f.bring_back = bring_back  # type: ignore[attr-defined]
         f.keep_at_worker = keep_at_worker  # type: ignore[attr-defined]
-        self.fixed_sources[f.cache_name] = NO_SOURCE
-        self.meta[f.cache_name] = _FileMeta(size=size)
         f.size = size
+        self.control.declare(f, NO_SOURCE, size)
+        self.meta[f.cache_name] = _FileMeta(size=size)
         return f
 
     # ------------------------------------------------------------------
@@ -304,20 +413,12 @@ class SimManager:
         task.sim_output_sizes = dict(output_sizes or {})  # type: ignore[attr-defined]
         for _, f in task.inputs:
             self._require_declared(f)
-            self._input_refs[f.cache_name] += 1
         for _, f in task.outputs:
             if f.cache_name is None:
                 self.namer.assign(f)
-                self.registry.register(f)
-                self.fixed_sources[f.cache_name] = NO_SOURCE
-                self.meta.setdefault(f.cache_name, _FileMeta(size=f.size or 0))
-            # record lineage for regeneration after replica loss
-            f.producer_task_id = task.task_id  # type: ignore[attr-defined]
-        task.state = TaskState.READY
-        task.submitted_at = self.sim.now
-        self.tasks[task.task_id] = task
-        self._ready.append(task)
-        self._schedule_pump()
+                self.control.declare_output_file(f)
+            self.meta.setdefault(f.cache_name, _FileMeta(size=f.size or 0))
+        self.control.submit(task)
         return task
 
     def _require_declared(self, f: File) -> None:
@@ -338,7 +439,7 @@ class SimManager:
         slots: int = 1,
     ) -> SimLibrary:
         """Define a library (serverless host) for later installation."""
-        if name in self.libraries:
+        if name in self.control.libraries:
             raise ValueError(f"library {name!r} already created")
         lib = SimLibrary(
             name=name,
@@ -349,16 +450,12 @@ class SimManager:
         )
         for f in lib.env_files:
             self._require_declared(f)
-        self.libraries[name] = lib
+        self.control.libraries[name] = lib
         return lib
 
     def install_library(self, name: str) -> None:
         """Begin deploying the library to every (current and future) worker."""
-        lib = self.libraries[name]
-        lib.installed = True
-        for worker in self.cluster.connected_workers():
-            self._deploy_library(lib, worker)
-        self._schedule_pump()
+        self.control.install_library(name)
 
     # ------------------------------------------------------------------
     # run driver
@@ -367,12 +464,13 @@ class SimManager:
     def run(self, until: Optional[float] = None, finalize: bool = True) -> SimRunStats:
         """Execute until every submitted task completes; return statistics."""
         started = self.sim.now
-        self._pump()
+        self.control.pump()
         self.sim.run(until=until, stop_when=self._workflow_done)
         if not self._workflow_done():
             raise RuntimeError(
-                f"workflow stalled: {len(self._ready)} ready, "
-                f"{len(self._dispatched)} dispatched, {len(self._running)} running, "
+                f"workflow stalled: {len(self.control._ready)} ready, "
+                f"{len(self.control._dispatched)} dispatched, "
+                f"{len(self.control._running)} running, "
                 f"{sum(self._retrieval_pending.values())} retrievals outstanding "
                 f"at t={self.sim.now:.1f}"
             )
@@ -382,58 +480,27 @@ class SimManager:
         return SimRunStats(
             started=started,
             finished=finished,
-            tasks_done=self._done,
-            log=self.log,
-            transfer_counts=dict(self._transfer_counts),
-            bytes_by_source=dict(self._bytes_by_source),
+            tasks_done=self.control.done_count,
+            log=self.control.log,
+            transfer_counts=dict(self.control.transfer_counts),
+            bytes_by_source=dict(self.control.bytes_by_source),
             evictions=self.evictions,
         )
 
     def cancel(self, task: Task) -> bool:
         """Cancel a submitted task; returns False if already terminal."""
-        if task.is_done or task.task_id not in self.tasks:
-            return False
-        if task.state == TaskState.READY:
-            self._ready = [t for t in self._ready if t.task_id != task.task_id]
-        elif task.state in (TaskState.DISPATCHED, TaskState.RUNNING):
-            self._dispatched.pop(task.task_id, None)
-            self._running.pop(task.task_id, None)
-            event = getattr(task, "_sim_finish_event", None)
-            if event is not None:
-                event.cancel()
-            wid = task.worker_id
-            if wid is not None:
-                worker = self.cluster.workers[wid]
-                try:
-                    worker.pool.release(task.task_id)
-                except KeyError:
-                    pass
-                self._running_at[wid] -= 1
-                if isinstance(task, FunctionCall):
-                    self._lib_load[(wid, task.library_name)] -= 1
-                for name in task.input_cache_names():
-                    self._pinned[wid][name] -= 1
-        for name in task.input_cache_names():
-            self._input_refs[name] -= 1
-        task.state = TaskState.CANCELLED
-        self._schedule_pump()
-        return True
+        return self.control.cancel(task)
 
     def _workflow_done(self) -> bool:
-        return (
-            not self._ready
-            and not self._dispatched
-            and not self._running
-            and not any(self._retrieval_pending.values())
-        )
+        return self.control.idle() and not any(self._retrieval_pending.values())
 
     def finalize(self) -> None:
         """End-of-workflow cleanup: stop libraries, collect garbage."""
         if self._finalized:
             return
         self._finalized = True
-        for lib in self.libraries.values():
-            for wid, phase in list(lib.deployments.items()):
+        for lib in self.control.libraries.values():
+            for wid, phase in list(lib.state.items()):
                 worker = self.cluster.workers[wid]
                 if phase == "ready":
                     worker.libraries.discard(lib.name)
@@ -445,7 +512,7 @@ class SimManager:
                     worker.pool.release(f"lib:{lib.name}")
                 except KeyError:
                     pass
-            lib.deployments.clear()
+            lib.state.clear()
         deletions = collect_workflow(self.registry, self.replicas)
         for wid, names in deletions.items():
             worker = self.cluster.workers[wid]
@@ -456,295 +523,35 @@ class SimManager:
         self.log.emit(self.sim.now, "workflow_done")
 
     # ------------------------------------------------------------------
-    # internal machinery
+    # execution and retrieval mechanisms
     # ------------------------------------------------------------------
-
-    def _schedule_pump(self) -> None:
-        """Coalesce pump requests into one zero-delay event."""
-        if not self._pump_scheduled:
-            self._pump_scheduled = True
-            self.sim.schedule(0.0, self._pump_event)
-
-    def _pump_event(self) -> None:
-        self._pump_scheduled = False
-        self._pump()
-
-    def _view_of(self, wid: str, library: Optional[str]) -> Optional[WorkerView]:
-        """Current scheduler view of one worker, or None if ineligible."""
-        w = self.cluster.workers[wid]
-        if not w.connected:
-            return None
-        if library is not None:
-            lib = self.libraries[library]
-            if lib.deployments.get(wid) != "ready":
-                return None
-            if self._lib_load[(wid, library)] >= lib.slots:
-                return None
-        return WorkerView(
-            worker_id=wid,
-            capacity=w.pool.capacity,
-            allocated=w.pool.allocated,
-            running_tasks=self._running_at.get(wid, 0),
-        )
-
-    def _views(self, library: Optional[str] = None) -> dict[str, WorkerView]:
-        views = {}
-        for wid in self.cluster.workers:
-            v = self._view_of(wid, library)
-            if v is not None:
-                views[wid] = v
-        return views
-
-    def _inputs_obtainable(self, task: Task) -> bool:
-        """True when every input exists somewhere or can be produced."""
-        for name in task.input_cache_names():
-            if self.replicas.replica_count(name) > 0:
-                continue
-            if self.fixed_sources.get(name, MANAGER_SOURCE) == NO_SOURCE:
-                return False
-        return True
-
-    def _pump(self) -> None:
-        """Advance scheduling: place ready tasks, plan missing transfers."""
-        # 1. placement — view dicts are built lazily per library key and
-        # updated in place after each dispatch, so a pump over thousands
-        # of ready tasks touches each worker once, not once per task
-        placed = []
-        failures = 0
-        views_cache: dict[Optional[str], dict[str, WorkerView]] = {}
-
-        def get_views(key: Optional[str]) -> dict[str, WorkerView]:
-            if key not in views_cache:
-                views_cache[key] = self._views(library=key)
-            return views_cache[key]
-
-        for task in Scheduler.order_ready(self._ready):
-            if not self._inputs_obtainable(task):
-                continue
-            key = task.library_name if isinstance(task, FunctionCall) else None
-            wid = self.scheduler.choose_worker(task, get_views(key))
-            if wid is None:
-                failures += 1
-                if failures >= 64:
-                    break
-                continue
-            self._dispatch(task, wid)
-            placed.append(task)
-            for k, vdict in views_cache.items():
-                fresh = self._view_of(wid, k)
-                if fresh is None:
-                    vdict.pop(wid, None)
-                else:
-                    vdict[wid] = fresh
-        if placed:
-            ready_ids = {t.task_id for t in placed}
-            self._ready = [t for t in self._ready if t.task_id not in ready_ids]
-
-        # 2. input staging for dispatched tasks
-        for task in list(self._dispatched.values()):
-            self._stage_inputs(task)
-
-        # 3. library deployments waiting on inputs
-        for lib in self.libraries.values():
-            for wid, phase in list(lib.deployments.items()):
-                if phase == "staging":
-                    self._advance_library(lib, wid)
-
-        # 4. mini-task staging jobs waiting on their own inputs
-        for job in list(self._staging):
-            if not job.started:
-                self._advance_staging(job)
-
-    # -- placement & staging ------------------------------------------------
-
-    def _dispatch(self, task: Task, wid: str) -> None:
-        worker = self.cluster.workers[wid]
-        worker.pool.allocate(task.task_id, task.resources)
-        task.worker_id = wid
-        task.state = TaskState.DISPATCHED
-        self._dispatched[task.task_id] = task
-        self._running_at[wid] += 1
-        if isinstance(task, FunctionCall):
-            self._lib_load[(wid, task.library_name)] += 1
-        for name in task.input_cache_names():
-            self._pinned[wid][name] += 1
-        self._stage_inputs(task)
-
-    def _stage_inputs(self, task: Task) -> None:
-        wid = task.worker_id
-        assert wid is not None
-        plan = self.scheduler.plan_transfers(task, wid, self.fixed_sources)
-        for cache_name, source in plan.transfers:
-            self._start_fetch(cache_name, source, wid)
-        worker = self.cluster.workers[wid]
-        if all(worker.has(n) for n in task.input_cache_names()):
-            self._start_execution(task)
-
-    def _start_fetch(self, cache_name: str, source: str, dst_wid: str) -> None:
-        size = self.meta[cache_name].size
-        record = self.transfers.begin(cache_name, source, dst_wid, size, self.sim.now)
-        if source == MINITASK_SOURCE:
-            mini_file = self.meta[cache_name].mini
-            assert mini_file is not None
-            job = _StagingJob(
-                file=mini_file, worker_id=dst_wid, transfer_id=record.transfer_id
-            )
-            self._staging.append(job)
-            self._advance_staging(job)
-            return
-        src_node = source if source in self.network.nodes else None
-        if src_node is None:
-            raise RuntimeError(f"unknown transfer source {source!r}")
-        self.log.emit(
-            self.sim.now, "transfer_start",
-            worker=dst_wid, file=cache_name, size=size,
-        )
-        self.network.start(
-            src_node,
-            dst_wid,
-            size,
-            lambda _t, tid=record.transfer_id: self._on_transfer_done(tid),
-        )
-
-    def _source_kind(self, source: str) -> str:
-        if source == MANAGER_SOURCE:
-            return "manager"
-        if source.startswith("url:"):
-            return "url"
-        if source == MINITASK_SOURCE:
-            return "stage"
-        return "peer"
-
-    def _on_transfer_done(self, transfer_id: str) -> None:
-        try:
-            record = self.transfers.complete(transfer_id)
-        except KeyError:
-            return  # cancelled (e.g. destination worker departed mid-flight)
-        kind = self._source_kind(record.source)
-        self._transfer_counts[kind] += 1
-        self._bytes_by_source[kind] += record.size
-        self.log.emit(
-            self.sim.now, "transfer_end",
-            worker=record.dest_worker, file=record.cache_name, size=record.size,
-        )
-        if self.cluster.workers[record.dest_worker].connected:
-            self._insert_cached(record.dest_worker, record.cache_name)
-        self._schedule_pump()
-
-    def _insert_cached(self, wid: str, cache_name: str) -> None:
-        worker = self.cluster.workers[wid]
-        meta = self.meta[cache_name]
-        level = (
-            self.registry.by_name(cache_name).cache_level
-            if cache_name in self.registry
-            else CacheLevel.WORKFLOW
-        )
-        overflow = worker.cache_bytes() + meta.size - worker.disk_capacity
-        if overflow > 0:
-            pinned = {n for n, c in self._pinned[wid].items() if c > 0}
-            entries = [
-                CacheEntryInfo(o.cache_name, o.size, o.level, o.last_used)
-                for o in worker.cache.values()
-            ]
-            for victim in plan_eviction(entries, overflow, pinned):
-                worker.remove(victim)
-                self.replicas.remove_replica(victim, wid)
-                self.log.emit(self.sim.now, "file_deleted", worker=wid, file=victim)
-                self.evictions += 1
-        worker.insert(cache_name, meta.size, level, self.sim.now)
-        self.replicas.add_replica(cache_name, wid, meta.size)
-        self.log.emit(
-            self.sim.now, "file_cached", worker=wid, file=cache_name, size=meta.size
-        )
-        self._on_file_available(wid, cache_name)
-
-    def _on_file_available(self, wid: str, cache_name: str) -> None:
-        """A new object landed at a worker: wake dependent staging jobs."""
-        for job in self._staging:
-            if job.worker_id == wid and not job.started:
-                self._advance_staging(job)
-
-    # -- mini-task staging -------------------------------------------------
-
-    def _advance_staging(self, job: _StagingJob) -> None:
-        worker = self.cluster.workers[job.worker_id]
-        mini = job.file.mini_task
-        missing = [n for n in mini.input_cache_names() if not worker.has(n)]
-        if missing:
-            plan = self.scheduler.plan_transfers(mini, job.worker_id, self.fixed_sources)
-            for cache_name, source in plan.transfers:
-                self._start_fetch(cache_name, source, job.worker_id)
-            return
-        job.started = True
-        stage_time = self.meta[job.file.cache_name].stage_time
-        self.log.emit(
-            self.sim.now, "stage_start",
-            worker=job.worker_id, file=job.file.cache_name,
-        )
-        self.sim.schedule(stage_time, self._finish_staging, job)
-
-    def _finish_staging(self, job: _StagingJob) -> None:
-        self._staging.remove(job)
-        record = self.transfers.complete(job.transfer_id)
-        self._transfer_counts["stage"] += 1
-        self.log.emit(
-            self.sim.now, "stage_end",
-            worker=job.worker_id, file=job.file.cache_name, size=record.size,
-        )
-        self._insert_cached(job.worker_id, job.file.cache_name)
-        self._schedule_pump()
-
-    # -- execution -------------------------------------------------------
-
-    def _start_execution(self, task: Task) -> None:
-        if task.state != TaskState.DISPATCHED:
-            return
-        self._dispatched.pop(task.task_id, None)
-        self._running[task.task_id] = task
-        task.state = TaskState.RUNNING
-        task.started_at = self.sim.now
-        worker = self.cluster.workers[task.worker_id]
-        for name in task.input_cache_names():
-            worker.touch(name, self.sim.now)
-        self.log.emit(
-            self.sim.now, "task_start",
-            worker=task.worker_id, task=task.task_id, category=task.category,
-        )
-        task._sim_finish_event = self.sim.schedule(  # type: ignore[attr-defined]
-            task.sim_duration, self._finish_execution, task  # type: ignore[attr-defined]
-        )
 
     def _finish_execution(self, task: Task) -> None:
         if task.state != TaskState.RUNNING:
             return  # stale completion: the task was requeued after a loss
         wid = task.worker_id
         assert wid is not None
-        worker = self.cluster.workers[wid]
-        self._running.pop(task.task_id, None)
-        task.finished_at = self.sim.now
-        worker.pool.release(task.task_id)
-        self._running_at[wid] -= 1
-        if isinstance(task, FunctionCall):
-            self._lib_load[(wid, task.library_name)] -= 1
-        self.log.emit(
-            self.sim.now, "task_end",
-            worker=wid, task=task.task_id, category=task.category,
-        )
-        # register outputs
+        result = TaskResult(exit_code=0)
+        got = self.control.on_task_result(wid, task.task_id, result)
+        if got is None:
+            return
+        # register outputs into the simulated caches at their final sizes
         output_sizes = getattr(task, "sim_output_sizes", {})
+        defer = False
         for sandbox_name, f in task.outputs:
             size = output_sizes.get(sandbox_name, self.meta[f.cache_name].size)
             self.meta[f.cache_name].size = size
             f.size = size
-            self._insert_cached(wid, f.cache_name)
-            self._ensure_replication(f.cache_name)
+            self.control.sizes[f.cache_name] = size
+            self.control.register_replica(wid, f.cache_name, size, store=True)
             if getattr(f, "bring_back", False):
+                defer = True
                 self._retrieval_pending[task.task_id] = (
                     self._retrieval_pending.get(task.task_id, 0) + 1
                 )
                 self.log.emit(
                     self.sim.now, "transfer_start",
-                    worker=wid, file=f.cache_name, size=size,
+                    worker=wid, file=f.cache_name, size=size, category="@retrieve",
                 )
                 self.network.start(
                     wid,
@@ -754,228 +561,55 @@ class SimManager:
                         self._on_retrieved(tid, name, w)
                     ),
                 )
-        # unpin and garbage-collect task-lifetime inputs
-        for name in task.input_cache_names():
-            self._pinned[wid][name] -= 1
-            self._input_refs[name] -= 1
-            if (
-                self._input_refs[name] <= 0
-                and name in self.registry
-                and self.registry.by_name(name).cache_level == CacheLevel.TASK
-            ):
-                for holder in self.replicas.forget_name(name):
-                    self.cluster.workers[holder].remove(name)
-                    self.log.emit(
-                        self.sim.now, "file_deleted", worker=holder, file=name
-                    )
-        if not self._retrieval_pending.get(task.task_id):
-            task.state = TaskState.DONE
-            self._done += 1
-        self._schedule_pump()
+        self.control.complete_task(task, result, defer=defer)
 
     def _on_retrieved(self, task_id: str, cache_name: str, wid: str) -> None:
-        self._transfer_counts["retrieve"] += 1
-        self._bytes_by_source["retrieve"] += self.meta[cache_name].size
-        self.log.emit(
-            self.sim.now, "transfer_end",
-            worker=wid, file=cache_name, size=self.meta[cache_name].size,
-        )
+        size = self.meta[cache_name].size
+        self.control.count_retrieval(wid, cache_name, size)
         # the manager now holds the data and can serve downstream readers
-        self.fixed_sources[cache_name] = MANAGER_SOURCE
+        self.control.fixed_sources[cache_name] = MANAGER_SOURCE
         f = self.registry.by_name(cache_name) if cache_name in self.registry else None
         if f is not None and not getattr(f, "keep_at_worker", True):
             # shared-storage semantics: the result left the cluster
             worker = self.cluster.workers.get(wid)
             if worker is not None and worker.remove(cache_name) is not None:
-                self.replicas.remove_replica(cache_name, wid)
-                self.log.emit(self.sim.now, "file_deleted", worker=wid, file=cache_name)
+                self.control.replica_evicted(wid, cache_name)
         remaining = self._retrieval_pending.get(task_id, 0) - 1
         self._retrieval_pending[task_id] = remaining
         if remaining <= 0:
             self._retrieval_pending.pop(task_id, None)
-            task = self.tasks[task_id]
-            if task.state != TaskState.DONE:
-                task.state = TaskState.DONE
-                self._done += 1
-        self._schedule_pump()
-
-    # -- libraries ----------------------------------------------------------
-
-    def _deploy_library(self, lib: SimLibrary, worker: SimWorker) -> None:
-        wid = worker.worker_id
-        if wid in lib.deployments:
-            return
-        if not worker.pool.can_fit(lib.resources):
-            return  # retried when the worker joins with room / never, by design
-        worker.pool.allocate(f"lib:{lib.name}", lib.resources)
-        lib.deployments[wid] = "staging"
-        pseudo = Task(f"deploy:{lib.name}")
-        for i, f in enumerate(lib.env_files):
-            pseudo.inputs.append((f"env{i}", f))
-        lib.staging_tasks[wid] = pseudo
-        pseudo.worker_id = wid
-        self._advance_library(lib, wid)
-
-    def _advance_library(self, lib: SimLibrary, wid: str) -> None:
-        worker = self.cluster.workers[wid]
-        pseudo = lib.staging_tasks[wid]
-        missing = [n for n in pseudo.input_cache_names() if not worker.has(n)]
-        if missing:
-            plan = self.scheduler.plan_transfers(pseudo, wid, self.fixed_sources)
-            for cache_name, source in plan.transfers:
-                self._start_fetch(cache_name, source, wid)
-            return
-        lib.deployments[wid] = "starting"
-        self.log.emit(
-            self.sim.now, "task_start",
-            worker=wid, task=f"{lib.name}@{wid}", category="library",
-        )
-        self.sim.schedule(lib.startup_time, self._library_ready, lib, wid)
-
-    def _library_ready(self, lib: SimLibrary, wid: str) -> None:
-        lib.deployments[wid] = "ready"
-        self.cluster.workers[wid].libraries.add(lib.name)
-        self.log.emit(self.sim.now, "library_ready", worker=wid, category=lib.name)
-        self._schedule_pump()
+            task = self.control.tasks[task_id]
+            if task.state == TaskState.WAITING_RETRIEVAL:
+                self.control.finish_deferred(
+                    task, task.result or TaskResult(exit_code=0)
+                )
+        self.request_pump()
 
     # -- worker membership ------------------------------------------------
 
-    def _adopt_worker(self, worker: SimWorker, announce: bool = True) -> None:
-        """Register a worker's pre-existing cache contents with this run."""
-        for obj in worker.cache.values():
-            if obj.level == CacheLevel.WORKER:
-                self.replicas.add_replica(obj.cache_name, worker.worker_id, obj.size)
-                self.meta.setdefault(obj.cache_name, _FileMeta(size=obj.size))
-        if announce and worker.connected:
-            self.log.emit(self.sim.now, "worker_join", worker=worker.worker_id)
+    @staticmethod
+    def _worker_level_cache(worker: SimWorker) -> list[tuple[str, int]]:
+        """Pre-existing worker-lifetime cache entries to adopt."""
+        return [
+            (obj.cache_name, obj.size)
+            for obj in worker.cache.values()
+            if obj.level == CacheLevel.WORKER
+        ]
+
+    def _join(self, worker: SimWorker) -> None:
+        cached = self._worker_level_cache(worker)
+        for name, size in cached:
+            self.meta.setdefault(name, _FileMeta(size=size))
+        self.control.worker_joined(worker.worker_id, worker.pool, cached=cached)
 
     def _on_worker_join(self, worker: SimWorker) -> None:
-        self._adopt_worker(worker, announce=False)
-        self.log.emit(self.sim.now, "worker_join", worker=worker.worker_id)
-        for lib in self.libraries.values():
-            if lib.installed:
-                self._deploy_library(lib, worker)
-        self._schedule_pump()
+        self._join(worker)
 
     def _on_worker_leave(self, worker: SimWorker) -> None:
-        """Recover from a departing worker: requeue its tasks, drop its
-        replicas, and restore replication targets for surviving temps."""
-        wid = worker.worker_id
-        self.log.emit(self.sim.now, "worker_leave", worker=wid)
-        lost_names = self.replicas.remove_worker(wid)
-        self.transfers.cancel_for_worker(wid)
-        self._staging = [j for j in self._staging if j.worker_id != wid]
-        self._pinned.pop(wid, None)
-        self._running_at.pop(wid, None)
-        for lib in self.libraries.values():
-            if lib.deployments.pop(wid, None) == "ready":
-                self.log.emit(
-                    self.sim.now, "task_end",
-                    worker=wid, task=f"{lib.name}@{wid}", category="library",
-                )
-            lib.staging_tasks.pop(wid, None)
-        lost_tasks = [
-            t
-            for t in list(self._dispatched.values()) + list(self._running.values())
-            if t.worker_id == wid
-        ]
-        for task in lost_tasks:
-            self._dispatched.pop(task.task_id, None)
-            self._running.pop(task.task_id, None)
-            event = getattr(task, "_sim_finish_event", None)
-            if event is not None:
-                event.cancel()
-            if isinstance(task, FunctionCall):
-                self._lib_load[(wid, task.library_name)] -= 1
-            if task.retries_used >= self.max_task_retries:
-                raise RuntimeError(
-                    f"task {task.task_id} lost {task.retries_used + 1} workers; "
-                    "giving up"
-                )
-            task.retries_used += 1
-            task.worker_id = None
-            task.state = TaskState.READY
-            self._ready.append(task)
-            self.tasks_requeued += 1
-        # restore the replication target of still-needed produced files,
-        # and regenerate any that lost their final replica (lineage)
-        for name in lost_names:
-            if self._input_refs.get(name, 0) > 0:
-                if self.replicas.replica_count(name) > 0:
-                    self._ensure_replication(name)
-                else:
-                    self._regenerate(name)
-        self._schedule_pump()
-
-    def _regenerate(self, cache_name: str) -> None:
-        """Re-execute the producer of a lost, still-needed temp file.
-
-        Temp files record their producing task (paper §3.2 names them
-        by the producer's spec); when every replica of one is lost and
-        downstream tasks still reference it, the manager resubmits the
-        producer.  Recursion through deeper lost lineage happens
-        naturally: the resubmitted producer's own missing inputs are
-        regenerated when it fails to find them.
-        """
-        if self.fixed_sources.get(cache_name) != NO_SOURCE:
-            return  # refetchable: normal transfer planning recovers it
-        f = self.registry.by_name(cache_name) if cache_name in self.registry else None
-        producer_id = getattr(f, "producer_task_id", None)
-        producer = self.tasks.get(producer_id) if producer_id else None
-        if producer is None:
-            return  # no lineage known; consumers will report a stall
-        if not producer.is_done or producer.state != TaskState.DONE:
-            return  # still running/queued: its outputs will (re)appear
-        if producer.retries_used >= self.max_task_retries:
-            raise RuntimeError(
-                f"cannot regenerate {cache_name}: producer {producer_id} "
-                "exhausted its retries"
-            )
-        producer.retries_used += 1
-        producer.state = TaskState.READY
-        producer.worker_id = None
-        self._done -= 1
-        self.tasks_requeued += 1
-        for name in producer.input_cache_names():
-            self._input_refs[name] += 1
-            if (
-                self.replicas.replica_count(name) == 0
-                and self.fixed_sources.get(name) == NO_SOURCE
-            ):
-                self._regenerate(name)
-        self._ready.append(producer)
-
-    def _ensure_replication(self, cache_name: str) -> None:
-        """Start transfers until ``cache_name`` meets its replica target.
-
-        Applies only to task-produced files (temps/outputs): inputs with
-        an external source can always be refetched, produced data cannot.
-        """
-        if self.temp_replica_count <= 1:
-            return
-        if self.fixed_sources.get(cache_name) != NO_SOURCE:
-            return  # refetchable from its source, or already at the manager
-        have = self.replicas.locate(cache_name)
-        needed = self.temp_replica_count - len(have)
-        if needed <= 0 or not have:
-            return
-        candidates = sorted(
-            (
-                w
-                for w in self.cluster.connected_workers()
-                if w.worker_id not in have
-                and not self.transfers.in_flight(cache_name, w.worker_id)
-            ),
-            key=lambda w: w.cache_bytes(),
-        )
-        for worker in candidates[:needed]:
-            source = next(iter(have))
-            if not self.transfers.source_available(source):
-                break
-            self._start_fetch(cache_name, source, worker.worker_id)
+        self.control.worker_left(worker.worker_id)
 
     # -- reporting -------------------------------------------------------
 
     def makespan(self) -> float:
         """Time of the last task completion in this run's log."""
-        return makespan(self.log)
+        return makespan(self.control.log)

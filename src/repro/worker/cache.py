@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import threading
 from dataclasses import dataclass
 from repro.core.files import CacheLevel
 from repro.core.gc import CacheEntryInfo
@@ -56,6 +57,11 @@ class WorkerCache:
         os.makedirs(self.objects_dir, exist_ok=True)
         os.makedirs(self.staging_dir, exist_ok=True)
         self._entries: dict[str, CacheEntry] = {}
+        # the worker mutates the cache from its control-message reader
+        # thread (unlink, put) and from per-task execution threads
+        # (output harvest) concurrently
+        self._lock = threading.RLock()
+        self._staging_seq = 0
         self._load_index()
 
     # -- index persistence -----------------------------------------------
@@ -94,18 +100,19 @@ class WorkerCache:
         self._save_index()
 
     def _save_index(self) -> None:
-        data = {
-            name: {
-                "size": e.size,
-                "level": int(e.level),
-                "last_used": e.last_used,
+        with self._lock:
+            data = {
+                name: {
+                    "size": e.size,
+                    "level": int(e.level),
+                    "last_used": e.last_used,
+                }
+                for name, e in self._entries.items()
             }
-            for name, e in self._entries.items()
-        }
-        tmp = self._index_path() + ".tmp"
-        with open(tmp, "w") as f:
-            json.dump(data, f)
-        os.replace(tmp, self._index_path())
+            tmp = self._index_path() + ".tmp"
+            with open(tmp, "w") as f:
+                json.dump(data, f)
+            os.replace(tmp, self._index_path())
 
     # -- queries ------------------------------------------------------
 
@@ -146,12 +153,18 @@ class WorkerCache:
 
     def staging_path(self, hint: str) -> str:
         """A fresh path in the staging area for an in-progress download."""
-        base = os.path.join(self.staging_dir, hint.replace("/", "_"))
-        path, n = base, 0
-        while os.path.exists(path):
-            n += 1
-            path = f"{base}.{n}"
-        return path
+        with self._lock:
+            # a process-unique suffix keeps concurrent downloads of the
+            # same object from colliding on one in-progress path
+            self._staging_seq += 1
+            base = os.path.join(
+                self.staging_dir, f"{hint.replace('/', '_')}.{self._staging_seq}"
+            )
+            path, n = base, 0
+            while os.path.exists(path):
+                n += 1
+                path = f"{base}.{n}"
+            return path
 
     def insert_from(
         self, src_path: str, cache_name: str, level: CacheLevel, now: float = 0.0
@@ -161,23 +174,24 @@ class WorkerCache:
         The source must be on the same filesystem (the staging area
         guarantees this).  Idempotent if the object already exists.
         """
-        if self.has(cache_name):
-            self._delete_path(src_path)
-            return self._entries[cache_name]
-        dst = self.path_of(cache_name)
-        os.replace(src_path, dst) if not os.path.isdir(src_path) else shutil.move(
-            src_path, dst
-        )
-        entry = CacheEntry(
-            cache_name=cache_name,
-            size=_tree_size(dst),
-            level=level,
-            last_used=now,
-            is_dir=os.path.isdir(dst),
-        )
-        self._entries[cache_name] = entry
-        self._save_index()
-        return entry
+        with self._lock:
+            if self.has(cache_name):
+                self._delete_path(src_path)
+                return self._entries[cache_name]
+            dst = self.path_of(cache_name)
+            os.replace(src_path, dst) if not os.path.isdir(src_path) else shutil.move(
+                src_path, dst
+            )
+            entry = CacheEntry(
+                cache_name=cache_name,
+                size=_tree_size(dst),
+                level=level,
+                last_used=now,
+                is_dir=os.path.isdir(dst),
+            )
+            self._entries[cache_name] = entry
+            self._save_index()
+            return entry
 
     def insert_bytes(
         self, data: bytes, cache_name: str, level: CacheLevel, now: float = 0.0
@@ -196,12 +210,13 @@ class WorkerCache:
 
     def remove(self, cache_name: str) -> bool:
         """Delete an object; returns False if it was absent."""
-        entry = self._entries.pop(cache_name, None)
-        if entry is None:
-            return False
-        self._delete_path(self.path_of(cache_name))
-        self._save_index()
-        return True
+        with self._lock:
+            entry = self._entries.pop(cache_name, None)
+            if entry is None:
+                return False
+            self._delete_path(self.path_of(cache_name))
+            self._save_index()
+            return True
 
     @staticmethod
     def _delete_path(path: str) -> None:

@@ -25,6 +25,11 @@ __all__ = ["ExecutionOutcome", "run_command"]
 #: cap captured stdout/stderr so a chatty task cannot exhaust manager memory
 MAX_OUTPUT_BYTES = 1 << 20
 
+#: the source tree this worker is running from; tasks execute with the
+#: sandbox as cwd, so a relative PYTHONPATH inherited from the harness
+#: (e.g. ``PYTHONPATH=src``) would no longer resolve — make it absolute
+_SRC_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
 
 @dataclass
 class ExecutionOutcome:
@@ -81,6 +86,11 @@ def run_command(
     """
     full_env = dict(os.environ)
     full_env.update(env)
+    existing = full_env.get("PYTHONPATH", "")
+    if _SRC_ROOT not in existing.split(os.pathsep):
+        full_env["PYTHONPATH"] = (
+            _SRC_ROOT + os.pathsep + existing if existing else _SRC_ROOT
+        )
     start = time.monotonic()
     exceeded: list[str] = []
     try:

@@ -18,7 +18,6 @@ Multiple invocations run concurrently up to ``function_slots``.
 from __future__ import annotations
 
 import multiprocessing as mp
-import os
 import threading
 import traceback
 from typing import Any, Callable, Optional

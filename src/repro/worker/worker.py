@@ -423,6 +423,9 @@ class Worker:
         except SandboxError as exc:
             if outcome.exit_code == 0:
                 failure = f"missing output: {exc}"
+        except OSError as exc:
+            # a harvest that dies without TASK_DONE stalls the workflow
+            failure = f"output harvest failed: {exc}"
         self._unpin(input_names)
         sandbox.destroy()
         for cache_name, size in harvested:
@@ -436,6 +439,10 @@ class Worker:
                 "failure": failure,
                 "exceeded": outcome.exceeded,
                 "measured": outcome.measured.to_dict(),
+                # outputs whose cache updates were sent (in order) just
+                # above on this same connection — the manager can rely
+                # on having seen them before this message
+                "harvested": [name for name, _ in harvested],
                 "execution_time": outcome.execution_time,
                 "staging_time": max(0.0, time.time() - staging_started - outcome.execution_time),
             }

@@ -1,6 +1,5 @@
 """Tests for the gapped Smith-Waterman refinement stage."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,7 +8,6 @@ from repro.apps.miniblast.align import (
     GAP,
     MATCH,
     MISMATCH,
-    Alignment,
     refine_hit,
     smith_waterman,
 )

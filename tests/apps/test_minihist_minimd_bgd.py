@@ -151,7 +151,6 @@ def test_fingerprint_invariances():
 
 
 def test_surrogate_learns_energies():
-    rng = np.random.default_rng(0)
     x_rows, y_rows = [], []
     for i in range(40):
         pos = random_cluster(7, seed=i)

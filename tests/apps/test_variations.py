@@ -74,7 +74,7 @@ def test_variation_sets_accumulate(batch, surface):
     ]
     merged = accumulate(parts)
     assert merged.n_events == sum(p.n_events for p in parts)
-    key = (f"ttbar/v0", "pt")
+    key = ("ttbar/v0", "pt")
     assert merged.hists[key].total == pytest.approx(
         sum(p.hists[key].total for p in parts)
     )

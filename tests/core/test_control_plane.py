@@ -1,0 +1,429 @@
+"""Unit tests for the shared control plane against a scripted fake port.
+
+The :class:`FakePort` records every effect the control plane requests
+(transfers, executions, staging, deletions) without moving any bytes,
+so each policy behaviour — placement, per-source limits, mini-task
+staging, regeneration, replication, retries, garbage collection — can
+be driven step by step and observed directly.
+"""
+
+import pytest
+
+from repro.core.control_plane import (
+    MINITASK_SOURCE,
+    NO_SOURCE,
+    ControlPlane,
+    source_kind,
+)
+from repro.core.files import CacheLevel, File, MiniTaskFile, TempFile
+from repro.core.resources import ResourcePool, Resources
+from repro.core.task import MiniTask, Task, TaskResult, TaskState
+from repro.core.transfer_table import MANAGER_SOURCE
+
+
+class FakePort:
+    """Records control-plane effects; advances time only when told."""
+
+    def __init__(self):
+        self.time = 0.0
+        self.connected = set()
+        self.pushes = []       # Transfer records for manager-sourced sends
+        self.fetches = []      # Transfer records for url/peer fetches
+        self.minitasks = []    # StagingJob
+        self.started = []      # Task
+        self.cancelled = []    # Task
+        self.preempted = []    # Task
+        self.launched = []     # (lib name, worker_id)
+        self.stored = []       # (worker_id, cache_name, size)
+        self.deleted = []      # (worker_id, cache_name)
+        self.delivered = []    # (task, regenerated)
+
+    def now(self):
+        return self.time
+
+    def worker_connected(self, worker_id):
+        return worker_id in self.connected
+
+    def push_object(self, record, level):
+        self.pushes.append(record)
+
+    def send_fetch(self, record, level):
+        self.fetches.append(record)
+
+    def run_minitask(self, job):
+        self.minitasks.append(job)
+
+    def start_task(self, task):
+        self.started.append(task)
+
+    def cancel_task(self, task):
+        self.cancelled.append(task)
+
+    def task_preempted(self, task):
+        self.preempted.append(task)
+
+    def launch_library(self, lib, worker_id):
+        self.launched.append((lib.name, worker_id))
+
+    def store_replica(self, worker_id, cache_name, size, level):
+        self.stored.append((worker_id, cache_name, size))
+
+    def delete_replica(self, worker_id, cache_name):
+        self.deleted.append((worker_id, cache_name))
+
+    def deliver(self, task, regenerated):
+        self.delivered.append((task, regenerated))
+
+    def request_pump(self):
+        pass  # tests call control.pump() explicitly for determinism
+
+
+def make_control(**kwargs):
+    port = FakePort()
+    control = ControlPlane(port, **kwargs)
+    return port, control
+
+
+def add_worker(port, control, wid, cores=4, memory=1000):
+    port.connected.add(wid)
+    return control.worker_joined(
+        wid, ResourcePool(Resources(cores=cores, memory=memory))
+    )
+
+
+def declared(control, name, source=MANAGER_SOURCE, size=100, cache=CacheLevel.WORKFLOW):
+    f = File(cache)
+    f.cache_name = name
+    control.declare(f, source, size)
+    return f
+
+
+def finish(port, control, task, exit_code=0, register_outputs=True, **result_kw):
+    """Drive one task through result + output registration + completion."""
+    wid = task.worker_id
+    result = TaskResult(exit_code=exit_code, **result_kw)
+    got = control.on_task_result(wid, task.task_id, result)
+    if got is None:
+        return None
+    if register_outputs:
+        for _, f in task.outputs:
+            control.register_replica(wid, f.cache_name, 10, store=True)
+    control.complete_task(got, result)
+    return got
+
+
+def test_dispatch_places_and_pushes_manager_input():
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    f = declared(control, "data", MANAGER_SOURCE, 100)
+    t = Task("cat data")
+    t.add_input(f, "data")
+    control.submit(t)
+    control.pump()
+    assert t.state == TaskState.DISPATCHED
+    assert t.worker_id == "wA"
+    assert [r.cache_name for r in port.pushes] == ["data"]
+    # the transfer lands: replica registers and the task starts
+    control.on_cache_update("wA", "data", 100, port.pushes[0].transfer_id)
+    control.pump()
+    assert t.state == TaskState.RUNNING
+    assert port.started == [t]
+    finish(port, control, t)
+    assert t.state == TaskState.DONE
+    assert control.transfer_counts["manager"] == 1
+
+
+def test_placement_prefers_worker_with_cached_bytes():
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    add_worker(port, control, "wB")
+    f = declared(control, "big", MANAGER_SOURCE, 10_000)
+    control.register_replica("wB", "big", 10_000)
+    t = Task("use big")
+    t.add_input(f, "big")
+    control.submit(t)
+    control.pump()
+    assert t.worker_id == "wB"
+    assert port.pushes == []  # input already local: no transfer at all
+
+
+def test_per_source_limit_defers_excess_transfers():
+    port, control = make_control(source_transfer_limit=2)
+    for wid in ("w1", "w2", "w3"):
+        add_worker(port, control, wid)
+    f = declared(control, "shared", MANAGER_SOURCE, 100)
+    tasks = []
+    for i in range(3):
+        t = Task(f"use {i}")
+        t.add_input(f, "shared")
+        control.submit(t)
+        tasks.append(t)
+    control.pump()
+    # three tasks on three workers, but the manager only serves 2 at once
+    assert len(port.pushes) == 2
+    first = port.pushes[0]
+    control.on_cache_update(first.dest_worker, "shared", 100, first.transfer_id)
+    control.pump()
+    # a slot freed: the third transfer starts (from the manager or a peer)
+    assert len(port.pushes) + len(port.fetches) == 3
+
+
+def test_peer_source_preferred_over_manager():
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    add_worker(port, control, "wB")
+    f = declared(control, "warm", MANAGER_SOURCE, 100)
+    control.register_replica("wA", "warm", 100)
+    t = Task("use warm")
+    t.set_cores(5)  # cannot fit anywhere but wB after wA... force wB
+    t.resources = Resources(cores=1)
+    t.add_input(f, "warm")
+    # occupy wA completely so placement must pick wB
+    blocker = Task("sleep")
+    blocker.set_cores(4)
+    control.submit(blocker)
+    control.pump()
+    assert blocker.worker_id == "wA" or blocker.worker_id == "wB"
+    other = "wB" if blocker.worker_id == "wA" else "wA"
+    control.register_replica(blocker.worker_id, "warm", 100)
+    control.submit(t)
+    control.pump()
+    assert t.worker_id == other
+    assert len(port.fetches) == 1
+    assert source_kind(port.fetches[0].source) == "peer"
+
+
+def test_minitask_staging_waits_for_dependency_then_runs():
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    tarball = declared(control, "tarball", MANAGER_SOURCE, 500)
+    mini = MiniTask("tar -xf input.tar").set_output_name("unpacked")
+    mini.add_input(tarball, "input.tar")
+    mf = MiniTaskFile(mini)
+    mf.cache_name = "unpacked-object"
+    control.declare(mf, MINITASK_SOURCE, 0)
+    t = Task("use unpacked")
+    t.add_input(mf, "unpacked")
+    control.submit(t)
+    control.pump()
+    # the mini task cannot run yet: its own input is still in flight
+    assert port.minitasks == []
+    assert [r.cache_name for r in port.pushes] == ["tarball"]
+    control.on_cache_update("wA", "tarball", 500, port.pushes[0].transfer_id)
+    control.pump()
+    assert [j.file.cache_name for j in port.minitasks] == ["unpacked-object"]
+    job = port.minitasks[0]
+    control.on_stage_done(job)
+    control.pump()
+    assert t.state == TaskState.RUNNING
+    assert control.transfer_counts["stage"] == 1
+
+
+def test_temp_output_gc_after_last_consumer():
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    # TASK-level files are collected as soon as their refcount drains;
+    # WORKFLOW-level ones wait for workflow close
+    temp = TempFile(CacheLevel.TASK)
+    temp.cache_name = "intermediate"
+    control.declare(temp, NO_SOURCE, 0)
+    producer = Task("make").add_output(temp, "out")
+    consumer = Task("use").add_input(temp, "out")
+    control.submit(producer)
+    control.submit(consumer)
+    control.pump()
+    finish(port, control, producer)
+    control.pump()
+    assert consumer.state == TaskState.RUNNING
+    finish(port, control, consumer)
+    # last reference dropped: the replica is collected from the worker
+    assert ("wA", "intermediate") in port.deleted
+    assert control.replicas.replica_count("intermediate") == 0
+
+
+def test_worker_loss_requeues_and_regenerates_lineage():
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    add_worker(port, control, "wB")
+    temp = TempFile()
+    temp.cache_name = "mid"
+    control.declare(temp, NO_SOURCE, 0)
+    producer = Task("make").add_output(temp, "out")
+    consumer = Task("use").add_input(temp, "out")
+    control.submit(producer)
+    control.pump()
+    finish(port, control, producer)
+    control.pump()
+    control.submit(consumer)
+    control.pump()
+    assert consumer.state == TaskState.RUNNING
+    # locality put the consumer where the only replica of "mid" lives;
+    # that worker dies mid-run, taking the replica and the consumer
+    lost = consumer.worker_id
+    assert lost == producer.worker_id
+    port.connected.discard(lost)
+    control.worker_left(lost)
+    # the consumer is requeued and the producer resurrected to
+    # regenerate the lost intermediate
+    assert consumer.state == TaskState.READY
+    assert producer.state == TaskState.READY
+    assert producer.retries_used == 1
+    assert control.tasks_requeued >= 1
+    control.pump()
+    assert producer.state == TaskState.RUNNING
+    assert producer.worker_id == "wB"
+    finish(port, control, producer)
+    control.pump()
+    assert consumer.state == TaskState.RUNNING
+    finish(port, control, consumer)
+    assert consumer.state == TaskState.DONE
+    # the rerun is flagged as a regeneration so the adapter can
+    # suppress re-delivery to the application
+    assert [
+        r for t, r in port.delivered if t.task_id == producer.task_id
+    ] == [False, True]
+
+
+def test_consumer_submitted_after_loss_regenerates_lineage():
+    # the temp's last replica dies while NOTHING references it; a
+    # consumer submitted afterwards must still trigger regeneration
+    # (worker_left cannot have seen the need — the pump recovers it)
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    add_worker(port, control, "wB")
+    temp = TempFile()
+    temp.cache_name = "mid"
+    control.declare(temp, NO_SOURCE, 0)
+    producer = Task("make").add_output(temp, "out")
+    control.submit(producer)
+    control.pump()
+    finish(port, control, producer)
+    lost = producer.worker_id
+    port.connected.discard(lost)
+    control.worker_left(lost)
+    assert control.replicas.replica_count("mid") == 0
+    assert producer.state == TaskState.DONE  # nothing needed mid yet
+    consumer = Task("use").add_input(temp, "out")
+    control.submit(consumer)
+    control.pump()
+    assert producer.state == TaskState.RUNNING  # resurrected by the pump
+    finish(port, control, producer)
+    control.pump()
+    assert consumer.state == TaskState.RUNNING
+    finish(port, control, consumer)
+    assert consumer.state == TaskState.DONE
+
+
+def test_strict_loss_raises_when_budget_spent():
+    port, control = make_control(loss_retries=0, strict_loss=True)
+    add_worker(port, control, "wA")
+    t = Task("fragile")
+    control.submit(t)
+    control.pump()
+    assert t.state == TaskState.RUNNING
+    port.connected.discard("wA")
+    with pytest.raises(RuntimeError, match="lost 1 workers"):
+        control.worker_left("wA")
+
+
+def test_replication_tops_up_temp_replicas():
+    port, control = make_control(temp_replica_count=2)
+    add_worker(port, control, "wA")
+    add_worker(port, control, "wB")
+    temp = TempFile()
+    temp.cache_name = "precious"
+    control.declare(temp, NO_SOURCE, 0)
+    producer = Task("make").add_output(temp, "out")
+    consumer = Task("use").add_input(temp, "out")  # keeps refs alive
+    control.submit(producer)
+    control.submit(consumer)
+    control.pump()
+    finish(port, control, producer)
+    # a replication transfer to the second worker was planned
+    assert len(port.fetches) == 1
+    rec = port.fetches[0]
+    assert rec.cache_name == "precious"
+    assert {rec.source, rec.dest_worker} == {"wA", "wB"}
+
+
+def test_resource_exceeded_retry_grows_allocation():
+    port, control = make_control()
+    add_worker(port, control, "wA", cores=8)
+    t = Task("hog")
+    t.set_resources(Resources(cores=1, memory=100))
+    control.submit(t)
+    control.pump()
+    assert t.state == TaskState.RUNNING
+    got = control.on_task_result(
+        "wA", t.task_id, TaskResult(exit_code=137, exceeded=["memory"])
+    )
+    assert got is None  # requeued, not completed
+    assert t.state == TaskState.READY
+    assert t.resources.memory == 200  # default growth factor 2.0
+    control.pump()
+    assert t.state == TaskState.RUNNING
+
+
+def test_sandbox_failure_retries_without_growth():
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    t = Task("flaky")
+    control.submit(t)
+    control.pump()
+    got = control.on_task_result(
+        "wA", t.task_id, TaskResult(exit_code=126, failure="sandbox")
+    )
+    assert got is None
+    assert t.state == TaskState.READY
+    assert t.retries_used == 1
+
+
+def test_transfer_failure_exhaustion_fails_waiting_tasks():
+    port, control = make_control(transfer_retries=1)
+    add_worker(port, control, "wA")
+    f = declared(control, "cursed", "url:dead.example", 100)
+    t = Task("use cursed")
+    t.add_input(f, "cursed")
+    control.submit(t)
+    control.pump()
+    assert len(port.fetches) == 1
+    control.on_cache_invalid("wA", "cursed", port.fetches[0].transfer_id)
+    control.pump()
+    assert len(port.fetches) == 2  # one retry allowed
+    control.on_cache_invalid("wA", "cursed", port.fetches[1].transfer_id)
+    assert t.state == TaskState.FAILED
+    assert "cursed" in (t.result.failure or "")
+
+
+def test_cancel_running_task_reaches_worker():
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    t = Task("long")
+    control.submit(t)
+    control.pump()
+    assert t.state == TaskState.RUNNING
+    assert control.cancel(t) is True
+    assert port.cancelled == [t]
+    assert t.state == TaskState.CANCELLED
+    assert control.cancel(t) is False
+    assert control.outstanding == 0
+
+
+def test_library_deploy_retries_when_capacity_frees():
+    port, control = make_control()
+    from repro.core.control_plane import LibraryState
+
+    add_worker(port, control, "wA", cores=1)
+    blocker = Task("sleep")
+    control.submit(blocker)
+    control.pump()
+    assert blocker.state == TaskState.RUNNING
+    control.libraries["lib"] = LibraryState("lib", resources=Resources(cores=1))
+    control.install_library("lib")
+    # no room while the blocker runs
+    assert port.launched == []
+    finish(port, control, blocker)
+    control.pump()
+    assert port.launched == [("lib", "wA")]
+    control.on_library_ready("wA", "lib")
+    assert control.libraries["lib"].state["wA"] == "ready"

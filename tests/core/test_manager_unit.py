@@ -1,6 +1,5 @@
 """Unit tests for Manager behaviour that needs no worker processes."""
 
-import os
 
 import pytest
 

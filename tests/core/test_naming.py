@@ -1,6 +1,5 @@
 """Tests for content-addressable cache naming (paper §3.2, Fig. 7)."""
 
-import os
 
 import pytest
 from hypothesis import given
@@ -222,7 +221,11 @@ def test_assign_idempotent():
 
 def test_url_worker_level_uses_header_fetcher():
     n = Namer(seed=1)
-    n.header_fetcher = lambda url: {"ETag": "tag-1"}
+
+    def fetch(url):
+        return {"ETag": "tag-1"}
+
+    n.header_fetcher = fetch
     f = URLFile("http://host/file", cache=CacheLevel.WORKER)
     assert n.assign(f).startswith("url-meta-")
 

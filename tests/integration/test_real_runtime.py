@@ -1,8 +1,6 @@
 """End-to-end tests: Manager + real worker processes on one machine."""
 
-import os
 
-import pytest
 
 from repro.core.files import CacheLevel
 from repro.core.library import FunctionCall
@@ -245,10 +243,9 @@ def test_worker_level_cache_survives_manager_restart(tmp_path):
     """The paper's persistent-cache mechanism, end to end (Fig 9)."""
     from tests.integration.conftest import Cluster
 
-    workdir = tmp_path / "persist"
     c1 = Cluster(tmp_path / "run1", n_workers=0)
     c1.tmp_path = tmp_path  # reuse one workdir across clusters
-    proc = c1.start_worker("persistent")
+    c1.start_worker("persistent")
     c1.wait_workers(1)
     m1 = c1.manager
     big = m1.declare_buffer(b"reference-db" * 1000, cache=CacheLevel.WORKER)
@@ -282,7 +279,6 @@ def test_peer_transfer_between_workers(cluster):
     m.submit(t1)
     run_all(m)
     wid1 = t1.worker_id
-    other = next(w for w in m.workers if w != wid1)
     # force consumption on the other worker by saturating the producer
     blocker = Task("sleep 2").set_resources(Resources(cores=4))
     consumer = Task("cat inp").add_input(mid, "inp")
@@ -331,7 +327,7 @@ def test_cancel_running_task(cluster):
                 break
         _time.sleep(0.05)
     assert m.cancel(victim)
-    finished = run_all(m, timeout=60)
+    run_all(m, timeout=60)
     assert victim.state == TaskState.CANCELLED
     assert quick.state == TaskState.DONE
     assert not m.cancel(victim)  # already terminal

@@ -55,7 +55,7 @@ def test_lost_dataset_input_refetched_from_source():
     c.remove_worker(first.worker_id, at=m.sim.now)
     later = Task("b").add_input(data, "d")
     m.submit(later, duration=1.0)
-    stats = m.run()
+    m.run()
     assert later.state == TaskState.DONE
 
 
@@ -76,7 +76,7 @@ def test_replication_keeps_temp_alive_across_loss():
     consumer = Task("consume").add_input(temp, "in")
     m.submit(consumer, duration=1.0)
     c.remove_worker(producer.worker_id, at=m.sim.now)
-    stats = m.run(finalize=False)
+    m.run(finalize=False)
     assert consumer.state == TaskState.DONE
     # re-replication restored the target count on the remaining workers
     assert m.replicas.replica_count(temp.cache_name) >= 1
@@ -110,7 +110,6 @@ def test_repeated_losses_exhaust_retries():
 
 def test_library_redeployed_is_not_ready_on_departed_worker():
     from repro.core.library import FunctionCall
-    from repro.core.resources import Resources
 
     c = SimCluster()
     c.add_worker(cores=4, worker_id="w1")

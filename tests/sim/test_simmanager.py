@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.events import task_rows, worker_busy
-from repro.core.files import CacheLevel
 from repro.core.library import FunctionCall
 from repro.core.resources import Resources
 from repro.core.task import Task, TaskState
@@ -88,7 +87,6 @@ def test_peer_transfer_preferred_over_manager():
     m.run(finalize=False)
     # force the second task onto the other worker by filling the first
     filler = Task("filler").set_resources(Resources(cores=4))
-    wid1 = t1.worker_id
     t2 = Task("b").add_input(data, "d")
     m.submit(filler, duration=30.0)
     m.submit(t2, duration=1.0)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.events import task_rows
 from repro.sim.trace import (
     ascii_task_view,
     ascii_worker_view,
@@ -136,10 +135,6 @@ def test_run_summary_fractions(small_run):
     summary = run_summary(small_run.log)
     assert summary["tasks"] == 20
     assert summary["workers"] == 4
-    total = (
-        summary["exec_fraction"]
-        + summary["idle_fraction"]
-    )
     assert 0.0 < summary["exec_fraction"] <= 1.0
     assert summary["makespan"] > 0
 

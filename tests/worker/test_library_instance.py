@@ -87,8 +87,6 @@ def test_broken_payload_raises():
 
 def test_function_state_loaded_once():
     """Initialization happens in the instance, not per invocation."""
-    counter_file = None  # loading side effects belong to the instance
-
     def probe():
         return os.getpid()
 
