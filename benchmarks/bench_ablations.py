@@ -54,7 +54,7 @@ def _locality_workload(locality: bool, seed: int = 0):
     return stats
 
 
-def test_ablation_locality_placement(once):
+def test_ablation_locality_placement(once, bench_report):
     from repro.core.events import makespan
 
     def both():
@@ -62,6 +62,10 @@ def test_ablation_locality_placement(once):
 
     with_locality, without = once(both)
     bytes_moved = lambda s: sum(s.bytes_by_source.values())
+    bench_report.record("locality_bytes_moved", bytes_moved(with_locality))
+    bench_report.record("random_bytes_moved", bytes_moved(without))
+    bench_report.record("locality_makespan_s", makespan(with_locality.log))
+    bench_report.record("random_makespan_s", makespan(without.log))
     print("\n=== ablation: data-locality placement ===")
     print(f"{'mode':>10s} {'makespan(s)':>12s} {'GB moved':>9s} {'transfers':>10s}")
     for label, s in [("locality", with_locality), ("random", without)]:
@@ -74,7 +78,7 @@ def test_ablation_locality_placement(once):
     assert bytes_moved(with_locality) < bytes_moved(without) / 1.5
 
 
-def test_ablation_serverless_vs_plain_tasks(once):
+def test_ablation_serverless_vs_plain_tasks(once, bench_report):
     """The BGD experiment with and without the serverless model.
 
     Plain tasks pay environment startup (interpreter + imports) per
@@ -107,6 +111,8 @@ def test_ablation_serverless_vs_plain_tasks(once):
         )
 
     plain_run, sls = once(lambda: (plain(), serverless()))
+    bench_report.record("plain_makespan_s", plain_run.makespan)
+    bench_report.record("serverless_makespan_s", sls.stats.makespan)
     print("\n=== ablation: serverless vs plain tasks (BGD, 500 short calls) ===")
     print(f"{'mode':>11s} {'makespan(s)':>12s}")
     print(f"{'plain':>11s} {plain_run.makespan:12.1f}")
@@ -115,7 +121,7 @@ def test_ablation_serverless_vs_plain_tasks(once):
     assert sls.stats.makespan < plain_run.makespan
 
 
-def test_ablation_replication_single_vs_double(once):
+def test_ablation_replication_single_vs_double(once, bench_report):
     """Temp replication lets a pipeline survive worker departures."""
     def both():
         results = {}
@@ -144,6 +150,9 @@ def test_ablation_replication_single_vs_double(once):
         return results
 
     results = once(both)
+    for replicas, (stats, _tasks, requeued) in sorted(results.items()):
+        bench_report.record(f"replicas_{replicas}_makespan_s", stats.makespan)
+        bench_report.record(f"replicas_{replicas}_requeued", requeued)
     print("\n=== ablation: temp replication under worker churn ===")
     print(f"{'replicas':>9s} {'makespan(s)':>12s} {'requeued':>9s}")
     for replicas, (stats, tasks, requeued) in sorted(results.items()):
@@ -154,7 +163,7 @@ def test_ablation_replication_single_vs_double(once):
     assert results[2][0].makespan <= results[1][0].makespan
 
 
-def test_ablation_peer_transfers_off(once):
+def test_ablation_peer_transfers_off(once, bench_report):
     """Manager-only distribution vs peer transfers for a shared asset."""
 
     def run(worker_limit):
@@ -174,6 +183,8 @@ def test_ablation_peer_transfers_off(once):
         return run(3), run(0)
 
     with_peers, without = once(both)
+    bench_report.from_stats(with_peers, prefix="peers")
+    bench_report.from_stats(without, prefix="nopeers")
     print("\n=== ablation: peer transfers for a 1 GB shared asset ===")
     print(f"{'mode':>9s} {'makespan(s)':>12s} {'via manager':>12s} {'via peers':>10s}")
     for label, s in [("peers", with_peers), ("none", without)]:

@@ -29,7 +29,7 @@ def _cold_and_hot():
     return cold, hot
 
 
-def test_fig09_blast_cold_vs_hot_cache(once):
+def test_fig09_blast_cold_vs_hot_cache(once, bench_report):
     cold, hot = once(_cold_and_hot)
 
     def overhead_fraction(stats):
@@ -40,6 +40,10 @@ def test_fig09_blast_cold_vs_hot_cache(once):
 
     cold_overhead = overhead_fraction(cold)
     hot_overhead = overhead_fraction(hot)
+    bench_report.from_stats(cold, prefix="cold")
+    bench_report.from_stats(hot, prefix="hot")
+    bench_report.record("cold_overhead_fraction", cold_overhead)
+    bench_report.record("hot_overhead_fraction", hot_overhead)
 
     print("\n=== Fig 9: BLAST cold vs hot cache ===")
     print(f"{'run':>6s} {'makespan(s)':>12s} {'url xfers':>10s} {'stages':>8s} {'overhead':>9s}")

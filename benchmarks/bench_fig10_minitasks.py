@@ -20,8 +20,11 @@ def _both_modes():
     return independent, shared
 
 
-def test_fig10_shared_minitasks_vs_independent(once):
+def test_fig10_shared_minitasks_vs_independent(once, bench_report):
     independent, shared = once(_both_modes)
+    bench_report.from_stats(independent, prefix="independent")
+    bench_report.from_stats(shared, prefix="shared")
+    bench_report.record("speedup", independent.makespan / shared.makespan)
 
     print("\n=== Fig 10: independent tasks vs shared mini-tasks ===")
     print(f"{'mode':>12s} {'makespan(s)':>12s} {'unpacks':>8s}")

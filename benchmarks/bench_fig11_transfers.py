@@ -39,8 +39,13 @@ def _percentiles(times):
     return times[n // 2], times[(9 * n) // 10], times[-1]
 
 
-def test_fig11_transfer_method_comparison(once):
+def test_fig11_transfer_method_comparison(once, bench_report):
     results = once(_run_all_modes)
+    for mode, r in results.items():
+        bench_report.record(f"{mode}_makespan_s", r.makespan)
+        bench_report.record(
+            f"{mode}_peer_transfers", r.stats.transfer_counts.get("peer", 0)
+        )
 
     print("\n=== Fig 11: transfer methods, 200MB file -> 500 workers ===")
     print(f"{'mode':>12s} {'p50(s)':>8s} {'p90(s)':>8s} {'last(s)':>8s} {'url loads':>10s} {'peer':>6s}")

@@ -18,7 +18,7 @@ from repro.sim.trace import ascii_task_view, ascii_worker_view
 from repro.sim.workloads import bgd_workflow, colmena_workflow, topeft_workflow
 
 
-def test_fig12ad_topeft_task_and_worker_view(once):
+def test_fig12ad_topeft_task_and_worker_view(once, bench_report):
     result = once(
         topeft_workflow,
         in_cluster=True,
@@ -30,6 +30,8 @@ def test_fig12ad_topeft_task_and_worker_view(once):
     )
     stats = result.stats
     rows = task_rows(stats.log)
+    bench_report.from_stats(stats, prefix="topeft")
+    bench_report.record("final_output_bytes", result.final_output_bytes)
 
     print("\n=== Fig 12 a/d: TopEFT ===")
     print(f"tasks={result.n_tasks} makespan={stats.makespan:.0f}s "
@@ -61,7 +63,7 @@ def test_fig12ad_topeft_task_and_worker_view(once):
     assert max(joins) - min(joins) > 100.0
 
 
-def test_fig12be_colmena_peer_distribution(once):
+def test_fig12be_colmena_peer_distribution(once, bench_report):
     def both():
         return (
             colmena_workflow(peer_transfers=True, seed=0),
@@ -69,6 +71,11 @@ def test_fig12be_colmena_peer_distribution(once):
         )
 
     with_peers, without_peers = once(both)
+    bench_report.record("peers_sharedfs_loads", with_peers.sharedfs_loads)
+    bench_report.record("peers_peer_loads", with_peers.peer_loads)
+    bench_report.record("peers_makespan_s", with_peers.stats.makespan)
+    bench_report.record("nopeers_sharedfs_loads", without_peers.sharedfs_loads)
+    bench_report.record("nopeers_makespan_s", without_peers.stats.makespan)
 
     print("\n=== Fig 12 b/e: Colmena-XTB ===")
     print(f"{'mode':>10s} {'sharedfs loads':>15s} {'peer xfers':>11s} {'makespan':>9s}")
@@ -99,11 +106,14 @@ def test_fig12be_colmena_peer_distribution(once):
     assert with_peers.peer_loads == 105
 
 
-def test_fig12cf_bgd_serverless_ramp(once):
+def test_fig12cf_bgd_serverless_ramp(once, bench_report):
     result = once(
         bgd_workflow, n_calls=2000, n_workers=200, function_slots=3, seed=0
     )
     stats = result.stats
+    bench_report.from_stats(stats, prefix="bgd")
+    bench_report.record("first_library_ready_s", result.library_ready_times[0])
+    bench_report.record("last_library_ready_s", result.library_ready_times[-1])
 
     print("\n=== Fig 12 c/f: BGD serverless ===")
     ready = result.library_ready_times

@@ -36,7 +36,7 @@ def _both_modes():
     return in_cluster, shared
 
 
-def test_fig13_shared_vs_in_cluster_storage(once):
+def test_fig13_shared_vs_in_cluster_storage(once, bench_report):
     in_cluster, shared = once(_both_modes)
 
     def tail(result):
@@ -44,6 +44,11 @@ def test_fig13_shared_vs_in_cluster_storage(once):
         (the data-retrieval delay of Fig 13a)."""
         last_end = max(r.end for r in task_rows(result.stats.log))
         return result.stats.finished - last_end
+
+    bench_report.from_stats(in_cluster.stats, prefix="in_cluster")
+    bench_report.from_stats(shared.stats, prefix="shared")
+    bench_report.record("in_cluster_tail_s", tail(in_cluster))
+    bench_report.record("shared_tail_s", tail(shared))
 
     print("\n=== Fig 13: TopEFT shared storage vs in-cluster storage ===")
     print(f"{'mode':>12s} {'makespan(s)':>12s} {'retrievals':>11s} {'GB via mgr':>11s} {'tail(s)':>8s}")
@@ -75,7 +80,7 @@ def test_fig13_shared_vs_in_cluster_storage(once):
     assert tail(shared) > tail(in_cluster) + 5.0
 
 
-def test_fig13_growth_sensitivity(once):
+def test_fig13_growth_sensitivity(once, bench_report):
     """Ablation: the shared-storage penalty grows with accumulation size."""
 
     def sweep():
@@ -88,6 +93,8 @@ def test_fig13_growth_sensitivity(once):
         return ratios
 
     ratios = once(sweep)
+    for growth, ratio in ratios:
+        bench_report.record(f"slowdown_at_growth_{growth:g}", ratio)
     print("\naccumulation growth vs shared-storage slowdown:")
     print(f"{'growth':>8s} {'shared/in-cluster':>18s}")
     for growth, ratio in ratios:

@@ -20,7 +20,7 @@ from repro.core.transfer_table import TransferTable
 from repro.protocol import serialization as ser
 
 
-def test_bench_buffer_naming_throughput(benchmark):
+def test_bench_buffer_naming_throughput(benchmark, bench_report):
     """Content-addressing 1 MB buffers (MD5-bound)."""
     data = os.urandom(1 << 20)
 
@@ -30,9 +30,10 @@ def test_bench_buffer_naming_throughput(benchmark):
 
     name = benchmark(name_one)
     assert name.startswith("buffer-md5-")
+    bench_report.record("mean_seconds", benchmark.stats.stats.mean)
 
 
-def test_bench_directory_merkle(benchmark, tmp_path):
+def test_bench_directory_merkle(benchmark, tmp_path, bench_report):
     """Merkle-naming a 200-file directory tree (paper Fig 7)."""
     rng = random.Random(0)
     for d in range(10):
@@ -42,15 +43,17 @@ def test_bench_directory_merkle(benchmark, tmp_path):
             (sub / f"f{i}").write_bytes(rng.randbytes(2048))
     digest = benchmark(directory_merkle, str(tmp_path))
     assert len(digest) == 32
+    bench_report.record("mean_seconds", benchmark.stats.stats.mean)
 
 
-def test_bench_task_spec_hash(benchmark):
+def test_bench_task_spec_hash(benchmark, bench_report):
     """Spec-hashing a mini task with 20 inputs."""
     inputs = [(f"in{i}", f"file-md5-{i:032x}") for i in range(20)]
     digest = benchmark(
         task_spec_hash, "tar -xf input.tar", inputs, {"cores": 1}, {"X": "1"}
     )
     assert len(digest) == 32
+    bench_report.record("mean_seconds", benchmark.stats.stats.mean)
 
 
 def _make_scheduler(n_workers, n_files):
@@ -83,7 +86,7 @@ def _named_task(n_inputs, rng, n_files):
     return t
 
 
-def test_bench_scheduler_placement_100_workers(benchmark):
+def test_bench_scheduler_placement_100_workers(benchmark, bench_report):
     """Locality placement against 100 workers (the §6 dispatch-rate concern)."""
     sched, views = _make_scheduler(100, 500)
     rng = random.Random(1)
@@ -95,9 +98,11 @@ def test_bench_scheduler_placement_100_workers(benchmark):
 
     chosen = benchmark(place_batch)
     assert all(c is not None for c in chosen)
+    bench_report.record("mean_seconds", benchmark.stats.stats.mean)
+    bench_report.record("placements_per_second", 64 / benchmark.stats.stats.mean)
 
 
-def test_bench_transfer_planning(benchmark):
+def test_bench_transfer_planning(benchmark, bench_report):
     """Source selection under per-source limits for a 6-input task."""
     sched, views = _make_scheduler(50, 200)
     rng = random.Random(2)
@@ -105,9 +110,10 @@ def test_bench_transfer_planning(benchmark):
 
     plan = benchmark(sched.plan_transfers, task, "w0001", {})
     assert plan is not None
+    bench_report.record("mean_seconds", benchmark.stats.stats.mean)
 
 
-def test_bench_replica_table_updates(benchmark):
+def test_bench_replica_table_updates(benchmark, bench_report):
     """Cache-update ingestion rate (one per transfer in a real run)."""
     def ingest():
         rt = ReplicaTable()
@@ -117,9 +123,11 @@ def test_bench_replica_table_updates(benchmark):
 
     total = benchmark(ingest)
     assert total > 0
+    bench_report.record("mean_seconds", benchmark.stats.stats.mean)
+    bench_report.record("updates_per_second", 5000 / benchmark.stats.stats.mean)
 
 
-def test_bench_function_serialization(benchmark):
+def test_bench_function_serialization(benchmark, bench_report):
     """PythonTask payload round trip for a closure over module state."""
     offset = 17
 
@@ -130,9 +138,10 @@ def test_bench_function_serialization(benchmark):
         return ser.loads(ser.dumps(fn))(5)
 
     assert benchmark(round_trip) == (5 + 3) * 17
+    bench_report.record("mean_seconds", benchmark.stats.stats.mean)
 
 
-def test_bench_sim_end_to_end_dispatch(benchmark):
+def test_bench_sim_end_to_end_dispatch(benchmark, bench_report):
     """Whole-loop dispatch rate: 2000 tiny tasks through the simulated
     manager on 100 workers (the paper §6 scheduling-scale concern,
     measured through the full pump/transfer/execute cycle)."""
@@ -155,3 +164,5 @@ def test_bench_sim_end_to_end_dispatch(benchmark):
 
     stats = benchmark.pedantic(run, iterations=1, rounds=1)
     assert stats.tasks_done == 2000
+    bench_report.record("wall_seconds", benchmark.stats.stats.mean)
+    bench_report.record("tasks_per_second", 2000 / benchmark.stats.stats.mean)

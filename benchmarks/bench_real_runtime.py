@@ -93,7 +93,7 @@ def _blast_like_run(tar_path, workdirs):
         _stop(m, procs)
 
 
-def test_real_fig09_persistent_cache_across_managers(benchmark, tmp_path):
+def test_real_fig09_persistent_cache_across_managers(benchmark, tmp_path, bench_report):
     """Cold vs hot cache with real workers surviving a manager restart."""
     tar_path = _make_asset_tar(tmp_path)
     workdirs = [str(tmp_path / "w0"), str(tmp_path / "w1")]
@@ -106,6 +106,10 @@ def test_real_fig09_persistent_cache_across_managers(benchmark, tmp_path):
     hot_elapsed, hot_stages, hot_pushes = benchmark.pedantic(
         hot_run, iterations=1, rounds=1
     )
+    bench_report.record("cold_elapsed_s", cold_elapsed)
+    bench_report.record("hot_elapsed_s", hot_elapsed)
+    bench_report.record("cold_stages", cold_stages)
+    bench_report.record("hot_stages", hot_stages)
     print(
         f"\nreal Fig 9: cold {cold_elapsed:.2f}s "
         f"({cold_pushes} pushes, {cold_stages} unpacks) vs "
@@ -118,7 +122,7 @@ def test_real_fig09_persistent_cache_across_managers(benchmark, tmp_path):
     assert hot_elapsed < cold_elapsed
 
 
-def test_real_fig10_shared_unpack_once_per_worker(benchmark, tmp_path):
+def test_real_fig10_shared_unpack_once_per_worker(benchmark, tmp_path, bench_report):
     """The mini-task product is staged once per worker, shared by all tasks."""
     tar_path = _make_asset_tar(tmp_path)
     m = Manager()
@@ -140,6 +144,8 @@ def test_real_fig10_shared_unpack_once_per_worker(benchmark, tmp_path):
         tasks = benchmark.pedantic(run_tasks, iterations=1, rounds=1)
         assert all(t.state == TaskState.DONE for t in tasks)
         stages = len(m.log.events("stage_start"))
+        bench_report.record("wall_seconds", benchmark.stats.stats.mean)
+        bench_report.record("stages", stages)
         print(f"\nreal Fig 10: {N_TASKS} tasks, {stages} unpacks (one per worker)")
         assert stages <= 2
     finally:

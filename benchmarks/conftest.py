@@ -9,10 +9,37 @@ the figure (run with ``-s`` to see it).
 Simulation experiments are deterministic, so each is measured as a
 single round — the "benchmark time" is the wall-clock cost of the
 simulation itself, while the scientific results live in the printed
-series and extra_info.
+series, extra_info, and the machine-readable ``BENCH_<name>.json``
+written through the :func:`bench_report` fixture (see
+:mod:`repro.observe.bench_report`; ``REPRO_BENCH_DIR`` overrides the
+output directory).
+
+All RNGs are re-seeded before every benchmark so runs are bit-for-bit
+reproducible regardless of execution order or ``-k`` selection.
 """
 
+import random
+
 import pytest
+
+from repro.observe.bench_report import BenchReporter
+
+#: one fixed seed for the whole suite; simulations derive their own
+#: seeds from explicit parameters, this pins any residual global use
+BENCH_SEED = 20230601
+
+
+@pytest.fixture(autouse=True)
+def _seed_rngs():
+    """Deterministically seed every RNG a benchmark might touch."""
+    random.seed(BENCH_SEED)
+    try:
+        import numpy
+
+        numpy.random.seed(BENCH_SEED % 2**32)
+    except ImportError:
+        pass
+    yield
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -28,3 +55,19 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+@pytest.fixture
+def bench_report(request):
+    """A :class:`BenchReporter` named after the test, written on teardown.
+
+    Benchmarks record their headline series on it (or call
+    ``from_stats``); the report lands as ``BENCH_<test_name>.json`` only
+    if at least one metric was recorded, so failing benchmarks that
+    bailed early don't publish empty reports.
+    """
+    name = request.node.name.replace("test_", "", 1)
+    reporter = BenchReporter(name)
+    yield reporter
+    if reporter.metrics:
+        reporter.write()

@@ -27,6 +27,7 @@ Rules of the split:
 from __future__ import annotations
 
 import collections
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Protocol, Sequence
 
@@ -39,6 +40,7 @@ from repro.core.resources import ResourcePool, Resources
 from repro.core.scheduler import Scheduler, WorkerView
 from repro.core.task import PythonTask, Task, TaskResult, TaskState
 from repro.core.transfer_table import MANAGER_SOURCE, Transfer, TransferTable
+from repro.observe.metrics import MetricsRegistry
 
 __all__ = [
     "NO_SOURCE",
@@ -201,6 +203,7 @@ class ControlPlane:
         loss_retries: Optional[int] = None,
         strict_loss: bool = False,
         resource_learning: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.port = port
         self.registry = FileRegistry()
@@ -248,6 +251,24 @@ class ControlPlane:
         self.transfer_counts: collections.Counter = collections.Counter()
         self.bytes_by_source: collections.Counter = collections.Counter()
         self.closed = False
+
+        # observability: instrument handles are resolved once here so the
+        # hot paths below touch no registry locks, only the instruments'
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_pump = self.metrics.histogram("pump.latency_seconds")
+        self._m_ready_depth = self.metrics.gauge("queue.ready_depth")
+        self._m_transfers_open = self.metrics.gauge("transfers.in_flight")
+        self._m_staging_open = self.metrics.gauge("staging.in_flight")
+        self._m_cache_hits = self.metrics.counter("cache.hits")
+        self._m_cache_misses = self.metrics.counter("cache.misses")
+        self._m_evictions = self.metrics.counter("cache.evictions")
+        self._m_eviction_bytes = self.metrics.counter("cache.eviction_bytes")
+        self._m_sandbox = self.metrics.histogram("task.sandbox_setup_seconds")
+        self._m_exec = self.metrics.histogram("task.execution_seconds")
+        self._m_invoke = self.metrics.histogram("library.invoke_seconds")
+        #: per-source-kind concurrency gauges, created as kinds appear
+        self._kind_gauges: dict[str, "object"] = {}
+        self._pump_depth = 0
 
     # ------------------------------------------------------------------
     # declarations
@@ -359,6 +380,12 @@ class ControlPlane:
             result.measured or task.resources,
             exceeded=bool(result.exceeded),
         )
+        if result.staging_time is not None:
+            self._m_sandbox.observe(result.staging_time)
+        if result.execution_time is not None:
+            self._m_exec.observe(result.execution_time)
+            if isinstance(task, FunctionCall):
+                self._m_invoke.observe(result.execution_time)
         # sandbox failures mean an input vanished between dispatch and
         # execution (e.g. autonomous cache eviction won a race): replan
         # the transfers and retry rather than failing the task
@@ -531,9 +558,13 @@ class ControlPlane:
 
     def replica_evicted(self, worker_id: str, cache_name: str) -> None:
         """A worker dropped a replica on its own (cache pressure)."""
+        size = self.replicas.size_of(cache_name)
         self.replicas.remove_replica(cache_name, worker_id)
+        self._m_evictions.inc()
+        self._m_eviction_bytes.inc(size)
         self.log.emit(
-            self.port.now(), "file_deleted", worker=worker_id, file=cache_name
+            self.port.now(), "file_deleted",
+            worker=worker_id, file=cache_name, size=size, category="evicted",
         )
 
     def on_cache_update(
@@ -568,6 +599,7 @@ class ControlPlane:
             self.transfers.complete(transfer_id)
         except KeyError:
             pass
+        self._sync_transfer_gauges()
         self._staging = [j for j in self._staging if j.transfer_id != transfer_id]
         self._transfer_attempts[cache_name] += 1
         if self._transfer_attempts[cache_name] > self.transfer_retries:
@@ -594,6 +626,7 @@ class ControlPlane:
             record = self.transfers.complete(transfer_id)
         except KeyError:
             return None
+        self._sync_transfer_gauges()
         reported = size if size is not None else record.size
         if record.source == MINITASK_SOURCE:
             self._staging = [
@@ -614,6 +647,31 @@ class ControlPlane:
                 size=reported, category=record.source,
             )
         return record
+
+    def _sync_transfer_gauges(self) -> None:
+        """Refresh queue-depth gauges from the authoritative table.
+
+        Derived (not incremented) so cancellation paths — a departed
+        worker dropping its in-flight transfers — can never leak a
+        phantom open transfer into the metrics.  Per-source gauges are
+        keyed by source *kind* to keep cardinality bounded; peaks land
+        in each gauge's ``max``.
+        """
+        by_kind: collections.Counter = collections.Counter()
+        staging = 0
+        for t in self.transfers.active():
+            if t.source == MINITASK_SOURCE:
+                staging += 1
+            else:
+                by_kind[source_kind(t.source)] += 1
+        self._m_transfers_open.set(len(self.transfers) - staging)
+        self._m_staging_open.set(staging)
+        for kind in set(self._kind_gauges) | set(by_kind):
+            gauge = self._kind_gauges.get(kind)
+            if gauge is None:
+                gauge = self.metrics.gauge(f"transfers.per_source.{kind}")
+                self._kind_gauges[kind] = gauge
+            gauge.set(by_kind.get(kind, 0))
 
     def count_retrieval(self, worker_id: str, cache_name: str, size: int) -> None:
         """Account a completed output retrieval to the manager."""
@@ -655,6 +713,7 @@ class ControlPlane:
         self.log.emit(self.port.now(), "worker_leave", worker=worker_id)
         lost_names = self.replicas.remove_worker(worker_id)
         self.transfers.cancel_for_worker(worker_id)
+        self._sync_transfer_gauges()
         self._staging = [j for j in self._staging if j.worker_id != worker_id]
         self._pinned.pop(worker_id, None)
         for lib in self.libraries.values():
@@ -812,9 +871,28 @@ class ControlPlane:
         )
 
     def pump(self) -> None:
-        """Advance scheduling: place ready tasks, plan missing transfers."""
+        """Advance scheduling: place ready tasks, plan missing transfers.
+
+        Each outermost call's latency lands in ``pump.latency_seconds``
+        (wall clock by design: it measures the policy code itself, not
+        workflow time, so it is meaningful under both runtimes).
+        Recursive pumps — lineage recovery — count inside their parent.
+        """
         if self.closed:
             return
+        if self._pump_depth:
+            self._pump_body()
+            return
+        self._pump_depth = 1
+        started = time.perf_counter()
+        try:
+            self._pump_body()
+        finally:
+            self._pump_depth = 0
+            self._m_pump.observe(time.perf_counter() - started)
+            self._m_ready_depth.set(len(self._ready))
+
+    def _pump_body(self) -> None:
         # 1. placement — view dicts are built lazily per library key and
         # updated in place after each dispatch, so a pump over thousands
         # of ready tasks touches each worker once, not once per task
@@ -918,6 +996,13 @@ class ControlPlane:
         task.worker_id = worker_id
         task.state = TaskState.DISPATCHED
         self._dispatched[task.task_id] = task
+        # hit/miss is judged once, at placement: did locality put the
+        # task where its inputs already live, or must bytes move?
+        for name in task.input_cache_names():
+            if self.replicas.has_replica(name, worker_id):
+                self._m_cache_hits.inc()
+            else:
+                self._m_cache_misses.inc()
         if isinstance(task, FunctionCall):
             self._lib_load[(worker_id, task.library_name)] += 1
         for name in task.input_cache_names():
@@ -943,6 +1028,7 @@ class ControlPlane:
     def _start_transfer(self, cache_name: str, source: str, dst_wid: str) -> None:
         size = self.sizes.get(cache_name, 0)
         record = self.transfers.begin(cache_name, source, dst_wid, size, self.port.now())
+        self._sync_transfer_gauges()
         if source == MINITASK_SOURCE:
             f = self.registry.by_name(cache_name)
             assert isinstance(f, MiniTaskFile)
@@ -1073,6 +1159,9 @@ class ControlPlane:
         if lib is None:
             return
         lib.state[worker_id] = "failed"
+        self.log.emit(
+            self.port.now(), "library_failed", worker=worker_id, category=name
+        )
         state = self.workers.get(worker_id)
         if state is not None:
             try:

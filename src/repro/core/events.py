@@ -40,6 +40,7 @@ KINDS = frozenset(
         "file_cached",
         "file_deleted",
         "library_ready",
+        "library_failed",
         "workflow_done",
     }
 )
@@ -59,10 +60,32 @@ class Event:
 
 
 class EventLog:
-    """Append-only, time-ordered record of workflow events."""
+    """Append-only, time-ordered record of workflow events.
+
+    Sinks attached via :meth:`attach` see each event as it is emitted —
+    this is how a :class:`~repro.observe.txnlog.TransactionLogWriter`
+    streams the log to disk while the run is still in flight.  Sinks
+    run inline under the emitter's lock, so they must be cheap and must
+    not re-enter the control plane.
+    """
 
     def __init__(self) -> None:
         self._events: list[Event] = []
+        self._sinks: list = []
+
+    @classmethod
+    def from_events(cls, events) -> "EventLog":
+        """Rebuild a log from an event iterable (e.g. a parsed file)."""
+        log = cls()
+        for e in events:
+            if e.kind not in KINDS:
+                raise ValueError(f"unknown event kind {e.kind!r}")
+            log._events.append(e)
+        return log
+
+    def attach(self, sink) -> None:
+        """Register a callable invoked with each subsequently emitted event."""
+        self._sinks.append(sink)
 
     def emit(self, time: float, kind: str, **fields) -> Event:
         """Append an event; ``kind`` must be one of the canonical kinds."""
@@ -70,6 +93,8 @@ class EventLog:
             raise ValueError(f"unknown event kind {kind!r}")
         e = Event(time=time, kind=kind, **fields)
         self._events.append(e)
+        for sink in self._sinks:
+            sink(e)
         return e
 
     def events(self, kind: Optional[str] = None) -> list[Event]:

@@ -54,6 +54,8 @@ from repro.core.naming import Namer
 from repro.core.resources import ResourcePool, Resources
 from repro.core.task import MiniTask, PythonTask, Task, TaskResult, TaskState
 from repro.core.transfer_table import MANAGER_SOURCE, Transfer
+from repro.observe.metrics import MetricsRegistry, SnapshotDumper
+from repro.observe.txnlog import TransactionLogWriter
 from repro.protocol import serialization as ser
 from repro.protocol.connection import Connection, ProtocolError, listen
 from repro.protocol.messages import M, validate
@@ -145,6 +147,9 @@ class Manager:
         resource_learning: bool = False,
         worker_liveness_timeout: Optional[float] = 60.0,
         temp_replica_count: int = 1,
+        txn_log_path: Optional[str] = None,
+        metrics_dump_path: Optional[str] = None,
+        metrics_dump_interval: float = 5.0,
     ) -> None:
         self._lock = threading.RLock()
         self._t0 = time.time()
@@ -156,7 +161,18 @@ class Manager:
             transfer_retries=transfer_retries,
             temp_replica_count=temp_replica_count,
             resource_learning=resource_learning,
+            metrics=MetricsRegistry(),
         )
+        #: streams every event to disk as it is emitted (live tailable)
+        self._txn_writer: Optional[TransactionLogWriter] = None
+        if txn_log_path is not None:
+            self._txn_writer = TransactionLogWriter(txn_log_path, runtime="real")
+            self.control.log.attach(self._txn_writer)
+        self._metrics_dumper: Optional[SnapshotDumper] = None
+        if metrics_dump_path is not None:
+            self._metrics_dumper = SnapshotDumper(
+                self.control.metrics, metrics_dump_path, metrics_dump_interval
+            ).start()
         self.namer = Namer(seed=seed)
         self.namer.header_fetcher = self._url_headers
 
@@ -185,6 +201,7 @@ class Manager:
     transfers = property(lambda self: self.control.transfers)
     scheduler = property(lambda self: self.control.scheduler)
     log = property(lambda self: self.control.log)
+    metrics = property(lambda self: self.control.metrics)
     categories = property(lambda self: self.control.categories)
     tasks = property(lambda self: self.control.tasks)
     fixed_sources = property(lambda self: self.control.fixed_sources)
@@ -621,6 +638,10 @@ class Manager:
                 self._listener.close()
             except OSError:
                 pass
+        if self._metrics_dumper is not None:
+            self._metrics_dumper.stop()
+        if self._txn_writer is not None:
+            self._txn_writer.close()
 
     def __enter__(self) -> "Manager":
         return self

@@ -50,36 +50,23 @@ class ManagerStatus:
 
 
 def _worker_rows(manager) -> list[WorkerStatus]:
+    # one code path for both runtimes: everything needed lives in the
+    # shared ControlPlane (WorkerState pools, the replica table) and its
+    # RuntimePort (liveness) — no duck-typing on runtime internals
+    control = manager.control
     rows = []
-    # real manager: _WorkerHandle objects under .workers
-    # simulator: SimWorker objects under .cluster.workers
-    handles = getattr(manager, "workers", None)
-    cluster = getattr(manager, "cluster", None)
-    if cluster is not None:
-        for worker in cluster.connected_workers():
-            rows.append(
-                WorkerStatus(
-                    worker_id=worker.worker_id,
-                    cores_total=worker.pool.capacity.cores,
-                    cores_allocated=worker.pool.allocated.cores,
-                    running_tasks=len(worker.pool),
-                    cached_objects=len(worker.cache),
-                    cached_bytes=worker.cache_bytes(),
-                )
-            )
-        return rows
-    for handle in (handles or {}).values():
-        if not handle.alive:
+    for worker_id, state in sorted(control.workers.items()):
+        if not control.port.worker_connected(worker_id):
             continue
-        cached = manager.replicas.holdings(handle.worker_id)
+        cached = control.replicas.holdings(worker_id)
         rows.append(
             WorkerStatus(
-                worker_id=handle.worker_id,
-                cores_total=handle.capacity.cores,
-                cores_allocated=handle.pool.allocated.cores,
-                running_tasks=len(handle.running),
+                worker_id=worker_id,
+                cores_total=state.pool.capacity.cores,
+                cores_allocated=state.pool.allocated.cores,
+                running_tasks=len(state.running),
                 cached_objects=len(cached),
-                cached_bytes=sum(manager.replicas.size_of(n) for n in cached),
+                cached_bytes=sum(control.replicas.size_of(n) for n in cached),
             )
         )
     return rows

@@ -1,0 +1,234 @@
+"""``repro-status``: a live status table over a transaction log.
+
+The real manager and the simulator both stream their events to a
+transaction log (see :mod:`repro.observe.txnlog`); this CLI replays
+that file into the current world state — connected workers, running
+tasks, open transfers, cached bytes — and renders an aligned table.
+Because the log is append-only JSONL, pointing the CLI at the file a
+*running* manager is writing gives a live view (``--follow`` re-reads
+and redraws), and pointing it at a finished log summarizes the run::
+
+    repro-status /tmp/run.jsonl              # one snapshot
+    repro-status /tmp/run.jsonl --follow     # live table, ^C to stop
+    repro-status /tmp/run.jsonl --metrics /tmp/metrics.json
+
+This is the ``vine_status`` idiom: read-only, zero coupling to the
+manager process, works the same for both runtimes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.control_plane import source_kind
+from repro.core.events import Event
+from repro.observe.txnlog import read_transactions
+
+__all__ = ["LogStatus", "replay_status", "format_log_status", "main"]
+
+
+@dataclass
+class _WorkerReplay:
+    connected: bool = True
+    running: set = field(default_factory=set)
+    cached_objects: int = 0
+    cached_bytes: int = 0
+
+
+@dataclass
+class LogStatus:
+    """World state reconstructed from a transaction log prefix."""
+
+    runtime: str = "unknown"
+    horizon: float = 0.0
+    workers: dict[str, _WorkerReplay] = field(default_factory=dict)
+    tasks_running: int = 0
+    tasks_done: int = 0
+    transfers_open: int = 0
+    transfers_done: int = 0
+    stages_open: int = 0
+    stages_done: int = 0
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    libraries_ready: dict[str, int] = field(default_factory=dict)
+    workflow_done: bool = False
+
+    @property
+    def workers_connected(self) -> int:
+        return sum(1 for w in self.workers.values() if w.connected)
+
+
+def replay_status(events: list[Event], runtime: str = "unknown") -> LogStatus:
+    """Fold an event sequence into the state at its horizon."""
+    st = LogStatus(runtime=runtime)
+    open_tasks: set[str] = set()
+    for e in events:
+        st.horizon = max(st.horizon, e.time)
+        w = st.workers.get(e.worker) if e.worker else None
+        if e.kind == "worker_join":
+            st.workers[e.worker] = _WorkerReplay()
+        elif e.kind == "worker_leave" and w is not None:
+            w.connected = False
+            open_tasks -= w.running
+            w.running = set()
+        elif e.kind == "task_start":
+            if e.category == "library":
+                st.libraries_ready.setdefault(e.category, 0)
+            open_tasks.add(e.task)
+            if w is not None:
+                w.running.add(e.task)
+        elif e.kind == "task_end":
+            if e.task in open_tasks:
+                open_tasks.discard(e.task)
+                st.tasks_done += 1
+            if w is not None:
+                w.running.discard(e.task)
+            if e.category == "library" and e.category in st.libraries_ready:
+                pass  # library teardown; ready count handled below
+        elif e.kind == "transfer_start":
+            st.transfers_open += 1
+        elif e.kind == "transfer_end":
+            st.transfers_open = max(0, st.transfers_open - 1)
+            st.transfers_done += 1
+            if e.category is not None:
+                kind = (
+                    "retrieve" if e.category == "@retrieve"
+                    else source_kind(e.category)
+                )
+                st.bytes_by_kind[kind] = st.bytes_by_kind.get(kind, 0) + e.size
+        elif e.kind == "stage_start":
+            st.stages_open += 1
+        elif e.kind == "stage_end":
+            st.stages_open = max(0, st.stages_open - 1)
+            st.stages_done += 1
+        elif e.kind == "file_cached" and w is not None:
+            w.cached_objects += 1
+            w.cached_bytes += e.size
+        elif e.kind == "file_deleted" and w is not None:
+            w.cached_objects = max(0, w.cached_objects - 1)
+            w.cached_bytes = max(0, w.cached_bytes - e.size)
+        elif e.kind == "library_ready" and e.category is not None:
+            st.libraries_ready[e.category] = (
+                st.libraries_ready.get(e.category, 0) + 1
+            )
+        elif e.kind == "workflow_done":
+            st.workflow_done = True
+    st.tasks_running = len(open_tasks)
+    return st
+
+
+def format_log_status(st: LogStatus, max_workers: int = 20) -> str:
+    """Render the replayed state as an aligned text table."""
+    lines = [
+        f"runtime {st.runtime}  t={st.horizon:.1f}s"
+        + ("  [workflow done]" if st.workflow_done else ""),
+        f"tasks: {st.tasks_running} running, {st.tasks_done} done",
+        f"transfers: {st.transfers_open} open, {st.transfers_done} done; "
+        f"stages: {st.stages_open} open, {st.stages_done} done",
+    ]
+    if st.bytes_by_kind:
+        moved = "  ".join(
+            f"{kind}={nbytes / 1e6:.1f}MB"
+            for kind, nbytes in sorted(st.bytes_by_kind.items())
+        )
+        lines.append(f"bytes moved: {moved}")
+    if st.libraries_ready:
+        ready = "  ".join(
+            f"{name}:{n}" for name, n in sorted(st.libraries_ready.items())
+        )
+        lines.append(f"libraries ready: {ready}")
+    lines.append(f"workers connected: {st.workers_connected}")
+    shown = 0
+    for wid in sorted(st.workers):
+        w = st.workers[wid]
+        if not w.connected:
+            continue
+        if shown >= max_workers:
+            lines.append(f"  ... and {st.workers_connected - shown} more")
+            break
+        shown += 1
+        lines.append(
+            f"  {wid:>8s} tasks {len(w.running):3d}  "
+            f"cache {w.cached_objects:4d} objs {w.cached_bytes / 1e6:9.1f} MB"
+        )
+    return "\n".join(lines)
+
+
+def _format_metrics(path: str) -> str:
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return f"(metrics unreadable: {exc})"
+    lines = ["metrics:"]
+    for name, inst in sorted(payload.get("metrics", {}).items()):
+        if inst.get("type") == "histogram":
+            if not inst.get("count"):
+                continue
+            lines.append(
+                f"  {name:<36s} n={inst['count']:<8d} "
+                f"mean={inst['mean']:.4g} p90={inst['p90']:.4g} "
+                f"max={inst['max']:.4g}"
+            )
+        elif inst.get("type") == "gauge":
+            lines.append(
+                f"  {name:<36s} {inst['value']:.6g} (peak {inst['max']:.6g})"
+            )
+        else:
+            lines.append(f"  {name:<36s} {inst.get('value', 0):.6g}")
+    return "\n".join(lines)
+
+
+def _render_once(args) -> int:
+    header, events = read_transactions(args.log)
+    st = replay_status(events, runtime=header.get("runtime", "unknown"))
+    print(format_log_status(st, max_workers=args.workers))
+    if args.metrics:
+        print(_format_metrics(args.metrics))
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-status",
+        description="Render a status table from a transaction log "
+        "(live while a manager writes it, or after the fact).",
+    )
+    parser.add_argument("log", help="path to a transaction log (JSONL)")
+    parser.add_argument(
+        "-f", "--follow", action="store_true",
+        help="redraw every --interval seconds until workflow_done or ^C",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period for --follow"
+    )
+    parser.add_argument(
+        "--metrics", help="also render a metrics snapshot JSON (see SnapshotDumper)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=20, help="max worker rows to show"
+    )
+    args = parser.parse_args(argv)
+    try:
+        if not args.follow:
+            return _render_once(args)
+        while True:
+            print("\033[2J\033[H", end="")  # clear screen, home cursor
+            _render_once(args)
+            header, events = read_transactions(args.log)
+            if any(e.kind == "workflow_done" for e in events):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
+    except (OSError, ValueError) as exc:
+        print(f"repro-status: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

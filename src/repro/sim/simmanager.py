@@ -42,6 +42,7 @@ from repro.core.naming import Namer
 from repro.core.resources import Resources
 from repro.core.task import MiniTask, Task, TaskResult, TaskState
 from repro.core.transfer_table import MANAGER_SOURCE, Transfer
+from repro.observe.txnlog import TransactionLogWriter
 from repro.sim.cluster import MANAGER_NODE, SimCluster, SimWorker
 from repro.util.hashing import hash_bytes
 
@@ -109,6 +110,7 @@ class SimManager:
         run_nonce: Optional[str] = None,
         temp_replica_count: int = 1,
         max_task_retries: int = 3,
+        txn_log_path: Optional[str] = None,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
@@ -129,6 +131,11 @@ class SimManager:
             strict_loss=True,
         )
         self.max_task_retries = max_task_retries
+        #: same telemetry artifact as the real manager's, in virtual time
+        self._txn_writer: Optional[TransactionLogWriter] = None
+        if txn_log_path is not None:
+            self._txn_writer = TransactionLogWriter(txn_log_path, runtime="sim")
+            self.control.log.attach(self._txn_writer)
 
         self.meta: dict[str, _FileMeta] = {}
         self._retrieval_pending: dict[str, int] = {}
@@ -167,6 +174,10 @@ class SimManager:
     @property
     def log(self):
         return self.control.log
+
+    @property
+    def metrics(self):
+        return self.control.metrics
 
     @property
     def tasks(self):
@@ -521,6 +532,8 @@ class SimManager:
                     self.log.emit(self.sim.now, "file_deleted", worker=wid, file=name)
                 self.replicas.remove_replica(name, wid)
         self.log.emit(self.sim.now, "workflow_done")
+        if self._txn_writer is not None:
+            self._txn_writer.close()
 
     # ------------------------------------------------------------------
     # execution and retrieval mechanisms

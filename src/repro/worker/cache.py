@@ -48,9 +48,14 @@ def _tree_size(path: str) -> int:
 
 
 class WorkerCache:
-    """A directory of cache objects plus a persisted metadata index."""
+    """A directory of cache objects plus a persisted metadata index.
 
-    def __init__(self, root: str) -> None:
+    With a ``metrics`` registry the cache keeps ``cache.objects`` and
+    ``cache.bytes`` gauges current, so a metrics snapshot shows cache
+    occupancy (and its peak) without walking the disk.
+    """
+
+    def __init__(self, root: str, metrics=None) -> None:
         self.root = os.path.abspath(root)
         self.objects_dir = os.path.join(self.root, "objects")
         self.staging_dir = os.path.join(self.root, "staging")
@@ -62,7 +67,14 @@ class WorkerCache:
         # (output harvest) concurrently
         self._lock = threading.RLock()
         self._staging_seq = 0
+        self._g_objects = metrics.gauge("cache.objects") if metrics else None
+        self._g_bytes = metrics.gauge("cache.bytes") if metrics else None
         self._load_index()
+
+    def _sync_metrics(self) -> None:
+        if self._g_objects is not None:
+            self._g_objects.set(len(self._entries))
+            self._g_bytes.set(self.total_bytes())
 
     # -- index persistence -----------------------------------------------
 
@@ -98,6 +110,7 @@ class WorkerCache:
         shutil.rmtree(self.staging_dir, ignore_errors=True)
         os.makedirs(self.staging_dir, exist_ok=True)
         self._save_index()
+        self._sync_metrics()
 
     def _save_index(self) -> None:
         with self._lock:
@@ -191,6 +204,7 @@ class WorkerCache:
             )
             self._entries[cache_name] = entry
             self._save_index()
+            self._sync_metrics()
             return entry
 
     def insert_bytes(
@@ -216,6 +230,7 @@ class WorkerCache:
                 return False
             self._delete_path(self.path_of(cache_name))
             self._save_index()
+            self._sync_metrics()
             return True
 
     @staticmethod

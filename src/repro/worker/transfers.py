@@ -74,8 +74,16 @@ class PeerTransferServer:
     already throttles how many peers hit us concurrently.
     """
 
-    def __init__(self, lookup: Callable[[str], Optional[str]], host: str = "127.0.0.1"):
+    def __init__(
+        self,
+        lookup: Callable[[str], Optional[str]],
+        host: str = "127.0.0.1",
+        metrics=None,
+    ):
         self._lookup = lookup
+        self._c_serves = metrics.counter("peer.serves") if metrics else None
+        self._c_bytes = metrics.counter("peer.bytes_served") if metrics else None
+        self._g_open = metrics.gauge("peer.serving") if metrics else None
         self._sock = listen(host, 0)
         self.host, self.port = self._sock.getsockname()
         self._stop = threading.Event()
@@ -92,7 +100,14 @@ class PeerTransferServer:
                 target=self._serve, args=(Connection(sock),), daemon=True
             ).start()
 
+    def _count_served(self, size: int) -> None:
+        if self._c_serves is not None:
+            self._c_serves.inc()
+            self._c_bytes.inc(size)
+
     def _serve(self, conn: Connection) -> None:
+        if self._g_open is not None:
+            self._g_open.inc()
         try:
             msg = conn.recv_message()
             if msg.get("type") != M.GET:
@@ -121,6 +136,7 @@ class PeerTransferServer:
                         }
                     )
                     conn.send_file(tar_path, size)
+                    self._count_served(size)
                 finally:
                     os.unlink(tar_path)
             else:
@@ -135,9 +151,12 @@ class PeerTransferServer:
                     }
                 )
                 conn.send_file(path, size)
+                self._count_served(size)
         except (ProtocolError, OSError):
             pass  # peer went away mid-transfer; manager will reschedule
         finally:
+            if self._g_open is not None:
+                self._g_open.dec()
             conn.close()
 
     def stop(self) -> None:

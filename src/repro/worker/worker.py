@@ -26,6 +26,7 @@ from repro.core.files import CacheLevel
 from repro.core.resources import Resources
 from repro.protocol.connection import Connection, ProtocolError
 from repro.protocol.messages import M, validate
+from repro.observe.metrics import MetricsRegistry, SnapshotDumper
 from repro.util.logging import get_logger
 from repro.worker.cache import WorkerCache
 from repro.worker.executor import run_command
@@ -61,7 +62,21 @@ class Worker:
     ) -> None:
         self.workdir = os.path.abspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
-        self.cache = WorkerCache(os.path.join(self.workdir, "cache"))
+        # the worker is a separate process from the manager, so it keeps
+        # its own registry; snapshots land in <workdir>/metrics.json for
+        # repro-status --metrics and post-mortem inspection
+        self.metrics = MetricsRegistry()
+        self._m_fetch_url = self.metrics.histogram("fetch.url_seconds")
+        self._m_fetch_peer = self.metrics.histogram("fetch.peer_seconds")
+        self._m_fetch_failures = self.metrics.counter("fetch.failures")
+        self._m_sandbox = self.metrics.histogram("sandbox.setup_seconds")
+        self._m_exec = self.metrics.histogram("task.execution_seconds")
+        self._m_invoke = self.metrics.histogram("library.invoke_seconds")
+        self._m_evictions = self.metrics.counter("cache.evictions")
+        self._m_eviction_bytes = self.metrics.counter("cache.eviction_bytes")
+        self.cache = WorkerCache(
+            os.path.join(self.workdir, "cache"), metrics=self.metrics
+        )
         self.sandbox_root = os.path.join(self.workdir, "sandboxes")
         os.makedirs(self.sandbox_root, exist_ok=True)
         self.capacity = Resources(cores=cores, memory=memory, disk=disk, gpus=gpus)
@@ -72,7 +87,10 @@ class Worker:
         #: objects younger than this are never evicted: they were just
         #: transferred for a task whose EXECUTE (and pin) is in flight
         self.eviction_grace = eviction_grace
-        self._peer_server = PeerTransferServer(self._lookup)
+        self._peer_server = PeerTransferServer(self._lookup, metrics=self.metrics)
+        self._metrics_dumper = SnapshotDumper(
+            self.metrics, os.path.join(self.workdir, "metrics.json")
+        ).start()
         self._conn = Connection.connect(manager_host, manager_port)
         self._send_lock = threading.Lock()
         self._stop = threading.Event()
@@ -138,8 +156,11 @@ class Worker:
             if now - e.last_used < self.eviction_grace
         }
         for victim in plan_eviction(self.cache.eviction_view(), overflow, pinned):
+            size = self.cache.entry(victim).size if self.cache.has(victim) else 0
             if self.cache.remove(victim):
                 log.info("evicted %s under cache pressure", victim[:32])
+                self._m_evictions.inc()
+                self._m_eviction_bytes.inc(size)
                 self._cache_invalid(victim, "evicted: cache pressure")
 
     # -- outbound ----------------------------------------------------------
@@ -256,16 +277,20 @@ class Worker:
         source = msg["source"]
         transfer_id = msg["transfer_id"]
         staged = self.cache.staging_path(cache_name)
+        fetch_started = time.monotonic()
         try:
             if source["kind"] == "url":
                 fetch_from_url(source["url"], staged)
+                self._m_fetch_url.observe(time.monotonic() - fetch_started)
             elif source["kind"] == "worker":
                 fetch_from_peer(source["host"], int(source["port"]), cache_name, staged)
+                self._m_fetch_peer.observe(time.monotonic() - fetch_started)
             else:
                 raise TransferFailed(f"unknown source kind {source['kind']!r}")
             entry = self.cache.insert_from(staged, cache_name, level, time.time())
             self._cache_update(cache_name, entry.size, transfer_id)
         except (TransferFailed, OSError) as exc:
+            self._m_fetch_failures.inc()
             self._cache_invalid(cache_name, str(exc), transfer_id)
 
     def _handle_send_back(self, msg: dict) -> None:
@@ -430,6 +455,9 @@ class Worker:
         sandbox.destroy()
         for cache_name, size in harvested:
             self._cache_update(cache_name, size)
+        staging_time = max(0.0, time.time() - staging_started - outcome.execution_time)
+        self._m_sandbox.observe(staging_time)
+        self._m_exec.observe(outcome.execution_time)
         self._send(
             {
                 "type": M.TASK_DONE,
@@ -444,7 +472,7 @@ class Worker:
                 # on having seen them before this message
                 "harvested": [name for name, _ in harvested],
                 "execution_time": outcome.execution_time,
-                "staging_time": max(0.0, time.time() - staging_started - outcome.execution_time),
+                "staging_time": staging_time,
             }
         )
 
@@ -486,8 +514,10 @@ class Worker:
             )
             return
         try:
+            invoke_started = time.monotonic()
             handle.invoke(task_id, msg["function"], payload)
             result = handle.wait_result(task_id, timeout=self.task_timeout)
+            self._m_invoke.observe(time.monotonic() - invoke_started)
             self._send(
                 {
                     "type": M.TASK_DONE,
@@ -520,4 +550,5 @@ class Worker:
             handle.stop()
         self._libraries.clear()
         self._peer_server.stop()
+        self._metrics_dumper.stop()
         self._conn.close()

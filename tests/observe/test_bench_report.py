@@ -1,0 +1,104 @@
+"""BENCH_*.json reports: writing, validation, and the CLI contract."""
+
+import json
+
+import pytest
+
+from repro.observe.bench_report import (
+    BENCH_SCHEMA_VERSION,
+    BenchReporter,
+    main,
+    validate_report,
+)
+
+
+def test_write_and_validate_round_trip(tmp_path):
+    r = BenchReporter("demo", out_dir=str(tmp_path))
+    r.record("makespan_s", 12.5)
+    r.record("tasks_done", 100)
+    path = r.write()
+    payload = validate_report(path)
+    assert payload["schema"] == BENCH_SCHEMA_VERSION
+    assert payload["metrics"] == {"makespan_s": 12.5, "tasks_done": 100}
+    assert payload["wall_time_s"] >= 0
+
+
+def test_record_rejects_non_numeric_and_non_finite(tmp_path):
+    r = BenchReporter("demo", out_dir=str(tmp_path))
+    with pytest.raises(TypeError):
+        r.record("flag", True)
+    with pytest.raises(TypeError):
+        r.record("label", "fast")
+    with pytest.raises(ValueError):
+        r.record("rate", float("inf"))
+
+
+def test_invalid_name_rejected():
+    with pytest.raises(ValueError):
+        BenchReporter("has space")
+    with pytest.raises(ValueError):
+        BenchReporter("has/slash")
+
+
+def test_validate_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({
+        "schema": 999, "name": "x", "wall_time_s": 0.1,
+        "metrics": {"a": 1},
+    }))
+    with pytest.raises(ValueError, match="schema"):
+        validate_report(str(path))
+
+
+def test_validate_rejects_name_filename_mismatch(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({
+        "schema": BENCH_SCHEMA_VERSION, "name": "y", "wall_time_s": 0.1,
+        "metrics": {"a": 1},
+    }))
+    with pytest.raises(ValueError, match="name"):
+        validate_report(str(path))
+
+
+def test_validate_rejects_empty_or_bad_metrics(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({
+        "schema": BENCH_SCHEMA_VERSION, "name": "x", "wall_time_s": 0.1,
+        "metrics": {},
+    }))
+    with pytest.raises(ValueError, match="no metrics"):
+        validate_report(str(path))
+    path.write_text(json.dumps({
+        "schema": BENCH_SCHEMA_VERSION, "name": "x", "wall_time_s": 0.1,
+        "metrics": {"a": "fast"},
+    }))
+    with pytest.raises(ValueError, match="not numeric"):
+        validate_report(str(path))
+
+
+def test_from_stats_records_standard_series(tmp_path):
+    class Stats:
+        makespan = 40.0
+        tasks_done = 10
+        transfer_counts = {"manager": 2, "peer": 5}
+        bytes_by_source = {"manager": 1e6, "peer": 2.5e6}
+        evictions = 1
+        log = None
+
+    r = BenchReporter("demo", out_dir=str(tmp_path))
+    r.from_stats(Stats(), prefix="run")
+    assert r.metrics["run_makespan_s"] == 40.0
+    assert r.metrics["run_transfers_peer"] == 5
+    assert r.metrics["run_bytes_manager"] == 1e6
+    assert r.metrics["run_evictions"] == 1
+
+
+def test_cli_validates_and_reports_failures(tmp_path, capsys):
+    good = BenchReporter("good", out_dir=str(tmp_path))
+    good.record("x", 1)
+    good_path = good.write()
+    bad_path = tmp_path / "BENCH_bad.json"
+    bad_path.write_text("{}")
+    assert main([good_path]) == 0
+    assert main([good_path, str(bad_path)]) == 1
+    assert main([]) == 2

@@ -1,0 +1,96 @@
+"""``repro-status`` replays a transaction log into a world state."""
+
+import json
+
+from repro.core.events import Event
+from repro.observe.cli import format_log_status, main, replay_status
+from repro.observe.txnlog import TransactionLogWriter
+
+
+def _events():
+    return [
+        Event(0.0, "worker_join", worker="w0"),
+        Event(0.0, "worker_join", worker="w1"),
+        Event(0.5, "transfer_start", worker="w0", file="f1", size=1000,
+              category="@manager"),
+        Event(1.0, "transfer_end", worker="w0", file="f1", size=1000,
+              category="@manager"),
+        Event(1.0, "file_cached", worker="w0", file="f1", size=1000),
+        Event(1.5, "task_start", worker="w0", task="t1"),
+        Event(2.0, "task_start", worker="w1", task="t2"),
+        Event(3.0, "task_end", worker="w0", task="t1"),
+        Event(3.5, "library_ready", worker="w1", category="mylib"),
+    ]
+
+
+def test_replay_midstream_state():
+    st = replay_status(_events(), runtime="sim")
+    assert st.workers_connected == 2
+    assert st.tasks_running == 1  # t2 still open
+    assert st.tasks_done == 1
+    assert st.transfers_open == 0
+    assert st.transfers_done == 1
+    assert st.bytes_by_kind == {"manager": 1000}
+    assert st.workers["w0"].cached_objects == 1
+    assert st.workers["w0"].cached_bytes == 1000
+    assert st.libraries_ready == {"mylib": 1}
+    assert not st.workflow_done
+
+
+def test_replay_worker_leave_drops_its_tasks():
+    events = _events() + [
+        Event(4.0, "worker_leave", worker="w1"),
+        Event(5.0, "workflow_done"),
+    ]
+    st = replay_status(events)
+    assert st.workers_connected == 1
+    assert st.tasks_running == 0  # w1's open task fell with the worker
+    assert st.workflow_done
+
+
+def test_format_mentions_the_essentials():
+    text = format_log_status(replay_status(_events(), runtime="sim"))
+    assert "runtime sim" in text
+    assert "1 running, 1 done" in text
+    assert "workers connected: 2" in text
+    assert "mylib:1" in text
+
+
+def test_cli_renders_a_log_file(tmp_path, capsys):
+    path = str(tmp_path / "txn.jsonl")
+    with TransactionLogWriter(path, runtime="sim") as writer:
+        for e in _events():
+            writer(e)
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert "runtime sim" in out
+    assert "workers connected: 2" in out
+
+
+def test_cli_renders_metrics_snapshot(tmp_path, capsys):
+    path = str(tmp_path / "txn.jsonl")
+    with TransactionLogWriter(path, runtime="real") as writer:
+        for e in _events():
+            writer(e)
+    metrics = tmp_path / "metrics.json"
+    metrics.write_text(json.dumps({
+        "dumped_at": 0,
+        "metrics": {
+            "cache.hits": {"type": "counter", "value": 5},
+            "queue.ready_depth": {"type": "gauge", "value": 0, "max": 3},
+            "pump.latency_seconds": {
+                "type": "histogram", "count": 4, "sum": 0.4, "min": 0.05,
+                "max": 0.2, "mean": 0.1, "p50": 0.1, "p90": 0.2, "p99": 0.2,
+            },
+        },
+    }))
+    assert main([path, "--metrics", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "cache.hits" in out
+    assert "queue.ready_depth" in out
+    assert "pump.latency_seconds" in out
+
+
+def test_cli_missing_file_is_an_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.jsonl")]) == 1
+    assert "repro-status" in capsys.readouterr().err
