@@ -1,0 +1,93 @@
+"""Chaos benchmark — the price of recovery under a hostile fault plan.
+
+The same two-stage DAG runs twice on the simulated cluster: once
+fault-free, once under a :class:`FaultPlan` that kills half the
+workers, throttles a link, and corrupts or drops a fraction of
+transfers.  Both runs must finish with every task DONE; the report
+captures the makespan overhead recovery costs and how much recovery
+machinery (requeues, regenerations, failed transfers) the plan forced.
+"""
+
+from repro.core.task import Task, TaskState
+from repro.faults import FaultPlan, SimFaultInjector
+from repro.sim.cluster import SimCluster
+from repro.sim.simmanager import SimManager
+
+MB = 1_000_000
+PARAMS = dict(n_workers=8, n_stage=16, seed=20230601)
+
+
+def _plan(seed):
+    return (
+        FaultPlan(seed=seed)
+        .crash("w0", at=2.0)
+        .crash("w1", after_tasks=2)
+        .disconnect("w2", at=3.0)
+        .degrade_link("w3", at=1.0, factor=0.25)
+        .fail_transfers("any", 0.08)
+        .corrupt_transfers("peer", 0.10)
+    )
+
+
+def _run(with_faults):
+    cluster = SimCluster()
+    for i in range(PARAMS["n_workers"]):
+        cluster.add_worker(cores=4, worker_id=f"w{i}")
+    m = SimManager(cluster, seed=PARAMS["seed"], max_task_retries=10)
+    if with_faults:
+        SimFaultInjector(_plan(PARAMS["seed"]), m)
+    shared = m.declare_dataset("shared", MB)
+    temps, tasks = [], []
+    n = PARAMS["n_stage"]
+    for i in range(n):
+        temp = m.declare_temp()
+        t = Task(f"produce{i}").add_input(shared, "d").add_output(temp, "out")
+        m.submit(t, duration=1.0, output_sizes={"out": MB})
+        temps.append(temp)
+        tasks.append(t)
+    for i in range(n):
+        t = (
+            Task(f"consume{i}")
+            .add_input(temps[i], "a")
+            .add_input(temps[(i + 5) % n], "b")
+        )
+        m.submit(t, duration=1.0)
+        tasks.append(t)
+    stats = m.run()
+    assert all(t.state == TaskState.DONE for t in tasks)
+    return m, stats
+
+
+def test_chaos_recovery_overhead(once, bench_report):
+    (clean_m, clean), (chaos_m, chaos) = once(
+        lambda: (_run(with_faults=False), _run(with_faults=True))
+    )
+    bench_report.from_stats(clean, prefix="clean")
+    bench_report.from_stats(chaos, prefix="chaos")
+    bench_report.record("makespan_overhead", chaos.makespan / clean.makespan)
+    bench_report.record_many({
+        "faults_injected": chaos_m.metrics.counter("faults.injected").value,
+        "transfers_failed": chaos_m.metrics.counter("transfers.failed").value,
+        "transfers_corrupt": chaos_m.metrics.counter("transfers.corrupt").value,
+        "recovery_requeues": chaos_m.metrics.counter("recovery.requeues").value,
+        "recovery_regenerations": chaos_m.metrics.counter(
+            "recovery.regenerations").value,
+        "workers_blocklisted": chaos_m.metrics.counter(
+            "workers.blocklisted").value,
+    })
+
+    faults = chaos.log.events("fault_injected")
+    print("\n=== Chaos: recovery overhead under a hostile fault plan ===")
+    print(f"{'run':>8s} {'makespan(s)':>12s} {'faults':>8s} {'requeues':>9s}")
+    print(f"{'clean':>8s} {clean.makespan:12.1f} {0:8d} {0:9d}")
+    print(
+        f"{'chaos':>8s} {chaos.makespan:12.1f} {len(faults):8d} "
+        f"{int(chaos_m.metrics.counter('recovery.requeues').value):9d}"
+    )
+
+    # recovery is not free, but it converges: the chaotic run completes
+    # every task while paying a bounded makespan premium
+    assert not clean.log.events("fault_injected")
+    assert faults, "the hostile plan must actually fire"
+    assert chaos.makespan > clean.makespan
+    assert chaos.log.events()[-1].kind == "workflow_done"

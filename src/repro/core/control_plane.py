@@ -27,6 +27,7 @@ Rules of the split:
 from __future__ import annotations
 
 import collections
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Protocol, Sequence
@@ -37,7 +38,13 @@ from repro.core.files import CacheLevel, File, FileRegistry, MiniTaskFile
 from repro.core.library import FunctionCall
 from repro.core.replica_table import ReplicaTable
 from repro.core.resources import ResourcePool, Resources
-from repro.core.scheduler import Scheduler, WorkerView
+from repro.core.scheduler import (
+    GATE_AVOID,
+    GATE_BANNED,
+    GATE_OK,
+    Scheduler,
+    WorkerView,
+)
 from repro.core.task import PythonTask, Task, TaskResult, TaskState
 from repro.core.transfer_table import MANAGER_SOURCE, Transfer, TransferTable
 from repro.observe.metrics import MetricsRegistry
@@ -133,6 +140,15 @@ class RuntimePort(Protocol):
         """Ask the runtime to (re)run :meth:`ControlPlane.pump` soon."""
         ...
 
+    def schedule_pump(self, delay: float) -> None:
+        """Ask the runtime to pump after ``delay`` seconds (backoffs).
+
+        Optional: the control plane falls back to :meth:`request_pump`
+        for ports that do not implement it (delays then degrade to
+        best-effort immediate pumps gated by the retry-holdoff checks).
+        """
+        ...
+
 
 @dataclass
 class WorkerState:
@@ -204,6 +220,11 @@ class ControlPlane:
         strict_loss: bool = False,
         resource_learning: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        transfer_backoff_base: float = 0.5,
+        transfer_backoff_max: float = 30.0,
+        requeue_backoff_base: float = 0.0,
+        blocklist_threshold: int = 5,
+        rng_seed: int = 0,
     ) -> None:
         self.port = port
         self.registry = FileRegistry()
@@ -223,6 +244,18 @@ class ControlPlane:
         self.loss_retries = loss_retries
         #: raise instead of failing the task when the loss budget is spent
         self.strict_loss = strict_loss
+        #: exponential-backoff parameters for transfer retries (base=0
+        #: disables the holdoff and restores instant re-planning)
+        self.transfer_backoff_base = transfer_backoff_base
+        self.transfer_backoff_max = transfer_backoff_max
+        #: backoff base for task requeues (loss/sandbox/resource retries);
+        #: 0 keeps the historical requeue-immediately behaviour
+        self.requeue_backoff_base = requeue_backoff_base
+        #: failure score at which a worker stops receiving new placements
+        self.blocklist_threshold = blocklist_threshold
+        #: deterministic jitter stream (scoped so chaos runs replay bit-
+        #: identically for a given seed)
+        self._rng = random.Random(f"{rng_seed}:backoff")
 
         self.tasks: dict[str, Task] = {}
         self._ready: list[Task] = []
@@ -241,9 +274,21 @@ class ControlPlane:
             collections.Counter
         )
         self._input_refs: collections.Counter = collections.Counter()
+        #: failed-attempt counts keyed by (cache_name, source) — one
+        #: budget *per source*, so a flaky peer cannot starve a healthy
+        #: one; reset when a transfer from that source succeeds
         self._transfer_attempts: collections.Counter = collections.Counter()
+        #: earliest next-attempt time per (cache_name, source) (backoff)
+        self._retry_at: dict[tuple[str, str], float] = {}
+        #: per-worker failure score: grows on failures/corruption it
+        #: served, shrinks on successes; at blocklist_threshold the
+        #: worker stops receiving placements and is avoided as a source
+        self.failure_scores: collections.Counter = collections.Counter()
+        self.blocklist: set[str] = set()
         #: ids of regenerated producers: redelivery to wait() is suppressed
         self._regenerated: set[str] = set()
+        #: earliest already-scheduled delayed pump (coalesces timers)
+        self._next_wake: float = 0.0
 
         self.outstanding = 0
         self.done_count = 0
@@ -266,9 +311,20 @@ class ControlPlane:
         self._m_sandbox = self.metrics.histogram("task.sandbox_setup_seconds")
         self._m_exec = self.metrics.histogram("task.execution_seconds")
         self._m_invoke = self.metrics.histogram("library.invoke_seconds")
+        self._m_transfers_failed = self.metrics.counter("transfers.failed")
+        self._m_transfers_corrupt = self.metrics.counter("transfers.corrupt")
+        self._m_requeues = self.metrics.counter("recovery.requeues")
+        self._m_regens = self.metrics.counter("recovery.regenerations")
+        self._m_blocklisted = self.metrics.counter("workers.blocklisted")
+        self._m_faults = self.metrics.counter("faults.injected")
         #: per-source-kind concurrency gauges, created as kinds appear
         self._kind_gauges: dict[str, "object"] = {}
         self._pump_depth = 0
+
+        # the scheduler consults the control plane's failure knowledge
+        # when ranking placements and picking transfer sources
+        self.scheduler.transfer_gate = self._transfer_gate
+        self.scheduler.failure_score = lambda wid: self.failure_scores[wid]
 
     # ------------------------------------------------------------------
     # declarations
@@ -390,7 +446,7 @@ class ControlPlane:
         # execution (e.g. autonomous cache eviction won a race): replan
         # the transfers and retry rather than failing the task
         if result.failure == "sandbox" and task.retries_used < task.max_retries:
-            self._requeue(task)
+            self._requeue(task, reason="sandbox")
             return None
         # resource-exceeded retry policy (paper §2.1): grow to the
         # category's observed peak when learning, else scale the request
@@ -405,17 +461,31 @@ class ControlPlane:
                 )
             else:
                 task.resources = task.resources.scaled(task.retry_resource_growth)
-            self._requeue(task)
+            self._requeue(task, reason="resources")
             return None
         return task
 
-    def _requeue(self, task: Task) -> None:
+    def _requeue(self, task: Task, reason: str = "retry") -> None:
         self._unpin(task)
         task.retries_used += 1
         task.state = TaskState.READY
         task.worker_id = None
+        task.not_before = self._requeue_holdoff(task)
         self._ready.append(task)
+        self._m_requeues.inc()
+        self.log.emit(
+            self.port.now(), "task_requeued",
+            task=task.task_id, category=reason, size=task.retries_used,
+        )
         self.port.request_pump()
+
+    def _requeue_holdoff(self, task: Task) -> float:
+        """Earliest re-placement time for a requeued task (0 = now)."""
+        if self.requeue_backoff_base <= 0:
+            return 0.0
+        delay = self._backoff_delay(self.requeue_backoff_base, task.retries_used)
+        self._schedule_pump(delay)
+        return self.port.now() + delay
 
     def _unpin(self, task: Task) -> None:
         wid = task.worker_id
@@ -589,22 +659,79 @@ class ControlPlane:
         cache_name: str,
         transfer_id: Optional[str] = None,
         reason: str = "transfer failed",
+        corrupt: bool = False,
     ) -> None:
-        """A worker lost or failed to obtain an object."""
+        """A worker lost or failed to obtain an object.
+
+        ``corrupt`` marks checksum-verification failures: the *source's*
+        copy is suspect, so it is treated as replica loss at the source
+        (feeding lineage regeneration when it was the last copy) rather
+        than as a defect of the destination or of the task.
+        """
         self.replicas.remove_replica(cache_name, worker_id)
         if transfer_id is None:
             self.port.request_pump()
             return  # autonomous eviction, not a failed command
         try:
-            self.transfers.complete(transfer_id)
+            record = self.transfers.complete(transfer_id)
         except KeyError:
-            pass
+            record = None  # stale report (worker departed mid-flight)
         self._sync_transfer_gauges()
         self._staging = [j for j in self._staging if j.transfer_id != transfer_id]
-        self._transfer_attempts[cache_name] += 1
-        if self._transfer_attempts[cache_name] > self.transfer_retries:
-            self.fail_tasks_needing(cache_name, reason)
+        if record is None:
+            self.port.request_pump()
+            return
+        source = record.source
+        key = (cache_name, source)
+        self._transfer_attempts[key] += 1
+        attempts = self._transfer_attempts[key]
+        self._m_transfers_failed.inc()
+        self.log.emit(
+            self.port.now(), "transfer_failed",
+            worker=worker_id, file=cache_name, size=attempts, category=source,
+        )
+        if source_kind(source) == "peer":
+            self._note_worker_failure(source, weight=2 if corrupt else 1)
+        if corrupt:
+            self._m_transfers_corrupt.inc()
+            if source_kind(source) == "peer" and self.replicas.has_replica(
+                cache_name, source
+            ):
+                self.replicas.remove_replica(cache_name, source)
+                self.port.delete_replica(source, cache_name)
+                self.log.emit(
+                    self.port.now(), "file_deleted",
+                    worker=source, file=cache_name, category="corrupt",
+                )
+        if attempts <= self.transfer_retries and self.transfer_backoff_base > 0:
+            delay = self._backoff_delay(self.transfer_backoff_base, attempts)
+            self._retry_at[key] = self.port.now() + delay
+            self._schedule_pump(delay)
+        if not self._source_remains(cache_name):
+            if self.fixed_sources.get(cache_name) == NO_SOURCE:
+                # every holder burned its budget: those replicas are
+                # effectively lost — fall back to lineage regeneration
+                for holder in self.replicas.forget_name(cache_name):
+                    self.port.delete_replica(holder, cache_name)
+                    self.log.emit(
+                        self.port.now(), "file_deleted",
+                        worker=holder, file=cache_name, category="exhausted",
+                    )
+                if not self._regenerate(cache_name):
+                    self.fail_tasks_needing(cache_name, reason)
+            else:
+                self.fail_tasks_needing(cache_name, reason)
         self.port.request_pump()
+
+    def _source_remains(self, cache_name: str) -> bool:
+        """True while some source still has retry budget for the object."""
+        for holder in self.replicas.locate(cache_name):
+            if self._transfer_attempts[(cache_name, holder)] <= self.transfer_retries:
+                return True
+        fixed = self.fixed_sources.get(cache_name, MANAGER_SOURCE)
+        if fixed != NO_SOURCE:
+            return self._transfer_attempts[(cache_name, fixed)] <= self.transfer_retries
+        return False
 
     def on_transfer_complete(self, transfer_id: str) -> None:
         """A runtime-tracked transfer delivered its bytes (simulator path)."""
@@ -627,6 +754,13 @@ class ControlPlane:
         except KeyError:
             return None
         self._sync_transfer_gauges()
+        # a delivered transfer clears the (object, source) failure budget
+        # and redeems part of the serving worker's failure score
+        key = (record.cache_name, record.source)
+        self._transfer_attempts.pop(key, None)
+        self._retry_at.pop(key, None)
+        if source_kind(record.source) == "peer":
+            self._note_worker_success(record.source)
         reported = size if size is not None else record.size
         if record.source == MINITASK_SOURCE:
             self._staging = [
@@ -680,6 +814,89 @@ class ControlPlane:
         self.log.emit(
             self.port.now(), "transfer_end",
             worker=worker_id, file=cache_name, size=size, category="@retrieve",
+        )
+
+    # ------------------------------------------------------------------
+    # failure scoring, backoff and blocklisting (robustness hardening)
+    # ------------------------------------------------------------------
+
+    def _backoff_delay(self, base: float, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter (50–150%)."""
+        raw = min(self.transfer_backoff_max, base * (2 ** (attempt - 1)))
+        return raw * (0.5 + self._rng.random())
+
+    def _schedule_pump(self, delay: float) -> None:
+        """Arrange a pump after ``delay``, coalescing pending wakeups."""
+        if delay <= 0:
+            self.port.request_pump()
+            return
+        wake = self.port.now() + delay
+        if self._next_wake > self.port.now() and self._next_wake <= wake:
+            return  # an earlier wakeup is already scheduled
+        self._next_wake = wake
+        scheduler = getattr(self.port, "schedule_pump", None)
+        if scheduler is not None:
+            scheduler(delay)
+        else:
+            self.port.request_pump()
+
+    def _transfer_gate(self, cache_name: str, source: str) -> int:
+        """Scheduler hook: veto sources that are banned or backing off."""
+        if self._transfer_attempts[(cache_name, source)] > self.transfer_retries:
+            return GATE_BANNED
+        if source in self.blocklist:
+            return GATE_AVOID
+        if self._retry_at.get((cache_name, source), 0.0) > self.port.now():
+            return GATE_AVOID
+        return GATE_OK
+
+    def _note_worker_failure(self, worker_id: str, weight: int = 1) -> None:
+        """Record a failure attributed to a worker; blocklist repeaters.
+
+        A worker is never blocklisted when it is the last non-blocked
+        connected worker — a degraded cluster beats an empty one.
+        """
+        if worker_id not in self.workers:
+            return  # departed, or not actually a worker (url/manager)
+        self.failure_scores[worker_id] += weight
+        score = self.failure_scores[worker_id]
+        if (
+            worker_id not in self.blocklist
+            and score >= self.blocklist_threshold
+            and any(
+                wid != worker_id
+                and wid not in self.blocklist
+                and self.port.worker_connected(wid)
+                for wid in self.workers
+            )
+        ):
+            self.blocklist.add(worker_id)
+            self._m_blocklisted.inc()
+            self.log.emit(
+                self.port.now(), "worker_blocklist",
+                worker=worker_id, size=score,
+            )
+
+    def _note_worker_success(self, worker_id: str) -> None:
+        if self.failure_scores[worker_id] > 0:
+            self.failure_scores[worker_id] -= 1
+
+    def note_fault(
+        self,
+        worker_id: Optional[str],
+        category: str,
+        cache_name: Optional[str] = None,
+    ) -> None:
+        """Record an *injected* fault (chaos runs) in the log and metrics.
+
+        Called by the fault adapters (and the real manager's ``fault``
+        message handler) so every injection is visible in the txn log
+        next to the recovery actions it provoked.
+        """
+        self._m_faults.inc()
+        self.log.emit(
+            self.port.now(), "fault_injected",
+            worker=worker_id, file=cache_name, category=category,
         )
 
     # ------------------------------------------------------------------
@@ -752,23 +969,36 @@ class ControlPlane:
             task.retries_used += 1
             task.worker_id = None
             task.state = TaskState.READY
+            task.not_before = self._requeue_holdoff(task)
             self._ready.append(task)
             self.tasks_requeued += 1
+            self._m_requeues.inc()
+            self.log.emit(
+                self.port.now(), "task_requeued",
+                task=task.task_id, category="worker_lost", size=task.retries_used,
+            )
+        # a departed worker's failure history must not poison a future
+        # worker that happens to reuse the id
+        self.blocklist.discard(worker_id)
+        self.failure_scores.pop(worker_id, None)
         # restore the replication target of still-needed produced files,
-        # and regenerate any that lost their final replica (lineage)
-        for name in lost_names:
+        # and regenerate any that lost their final replica (lineage);
+        # declaration order keeps recovery deterministic for a seed
+        for name in self.registry.in_declaration_order(lost_names):
             if self._input_refs.get(name, 0) > 0:
                 if self.replicas.replica_count(name) > 0:
                     self._ensure_replication(name)
-                else:
-                    self._regenerate(name)
+                elif not self._regenerate(name):
+                    self.fail_tasks_needing(
+                        name, "lost with no recoverable lineage"
+                    )
         self.port.request_pump()
 
     # ------------------------------------------------------------------
     # fault recovery: regeneration and replication (paper §2.2/§3.2)
     # ------------------------------------------------------------------
 
-    def _regenerate(self, cache_name: str) -> None:
+    def _regenerate(self, cache_name: str) -> bool:
         """Re-execute the producer of a lost, still-needed temp file.
 
         Temp files record their producing task (paper §3.2 names them by
@@ -777,16 +1007,22 @@ class ControlPlane:
         producer.  Recursion through deeper lost lineage happens
         naturally: the resubmitted producer's own missing inputs are
         regenerated when it fails to find them.
+
+        Returns True while recovery is possible or already in motion;
+        False means the object is unrecoverable (no lineage, or the
+        producer's retry budget is spent) and consumers should fail.
         """
         if self.fixed_sources.get(cache_name) != NO_SOURCE:
-            return  # refetchable: normal transfer planning recovers it
+            return True  # refetchable: normal transfer planning recovers it
         f = self.registry.by_name(cache_name) if cache_name in self.registry else None
         producer_id = getattr(f, "producer_task_id", None)
         producer = self.tasks.get(producer_id) if producer_id else None
         if producer is None:
-            return  # no lineage known; consumers will report a stall
-        if not producer.is_done or producer.state != TaskState.DONE:
-            return  # still running/queued: its outputs will (re)appear
+            return False  # no lineage known: nothing can rebuild this
+        if not producer.is_done:
+            return True  # still running/queued: its outputs will (re)appear
+        if producer.state != TaskState.DONE:
+            return False  # failed/cancelled producer cannot be rerun
         budget = (
             producer.max_retries if self.loss_retries is None else self.loss_retries
         )
@@ -796,22 +1032,30 @@ class ControlPlane:
                     f"cannot regenerate {cache_name}: producer {producer_id} "
                     "exhausted its retries"
                 )
-            return  # consumers needing it will stall and time out loudly
+            return False  # budget spent: consumers must fail, not loop
         producer.retries_used += 1
         producer.state = TaskState.READY
         producer.worker_id = None
+        producer.not_before = self._requeue_holdoff(producer)
         self.done_count -= 1
         self.outstanding += 1
         self.tasks_requeued += 1
+        self._m_regens.inc()
         self._regenerated.add(producer.task_id)
+        self.log.emit(
+            self.port.now(), "file_regenerated",
+            task=producer.task_id, file=cache_name, size=producer.retries_used,
+        )
+        ok = True
         for name in producer.input_cache_names():
             self._input_refs[name] += 1
             if (
                 self.replicas.replica_count(name) == 0
                 and self.fixed_sources.get(name) == NO_SOURCE
             ):
-                self._regenerate(name)
+                ok &= self._regenerate(name)
         self._ready.append(producer)
+        return ok
 
     def _ensure_replication(self, cache_name: str) -> None:
         """Start transfers until ``cache_name`` meets its replica target.
@@ -833,11 +1077,14 @@ class ControlPlane:
                 for wid in self.workers
                 if self.port.worker_connected(wid)
                 and wid not in have
+                and wid not in self.blocklist
                 and not self.transfers.in_flight(cache_name, wid)
             ),
             key=lambda wid: (self._cached_bytes(wid), wid),
         )
-        source = min(have)
+        # serve from a holder that is not under suspicion when possible
+        trusted = [w for w in have if w not in self.blocklist]
+        source = min(trusted) if trusted else min(have)
         for wid in candidates[:needed]:
             if not self.transfers.source_available(source):
                 break
@@ -857,6 +1104,8 @@ class ControlPlane:
         state = self.workers.get(worker_id)
         if state is None or not self.port.worker_connected(worker_id):
             return None
+        if worker_id in self.blocklist:
+            return None  # repeat offender: no new placements
         if library is not None:
             lib = self.libraries[library]
             if lib.state.get(worker_id) != "ready":
@@ -911,7 +1160,16 @@ class ControlPlane:
         placed = []
         failures = 0
         recovered = False
+        now = self.port.now()
+        next_retry: Optional[float] = None
         for task in Scheduler.order_ready(self._ready):
+            if task.state != TaskState.READY:
+                continue  # failed terminally earlier in this very loop
+            holdoff = getattr(task, "not_before", 0.0)
+            if holdoff > now:
+                # requeue backoff: not eligible yet, wake up when it is
+                next_retry = holdoff if next_retry is None else min(next_retry, holdoff)
+                continue
             if not self._inputs_obtainable(task):
                 before = len(self._ready)
                 self._recover_lost_inputs(task)
@@ -957,6 +1215,9 @@ class ControlPlane:
             if not job.started:
                 self._advance_staging(job)
 
+        if next_retry is not None:
+            self._schedule_pump(next_retry - now)
+
         # lineage producers resurrected mid-pump joined _ready after the
         # placement loop snapshot; place them now rather than waiting on
         # the next external event (recursion is bounded by lineage depth)
@@ -980,14 +1241,19 @@ class ControlPlane:
         name a temp whose replicas are all gone — the pump re-triggers
         lineage for those here.  ``_regenerate`` is a no-op while the
         producer is already queued or running, so repeated pumps don't
-        compound retries.
+        compound retries.  When lineage is exhausted (producer's retry
+        budget spent, or no producer known) the consumers are failed
+        terminally instead of looping forever.
         """
         for name in task.input_cache_names():
             if (
                 self.replicas.replica_count(name) == 0
                 and self.fixed_sources.get(name, MANAGER_SOURCE) == NO_SOURCE
             ):
-                self._regenerate(name)
+                if not self._regenerate(name):
+                    self.fail_tasks_needing(
+                        name, "lineage exhausted: cannot regenerate"
+                    )
 
     def _dispatch(self, task: Task, worker_id: str) -> None:
         state = self.workers[worker_id]

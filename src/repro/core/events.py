@@ -42,6 +42,13 @@ KINDS = frozenset(
         "library_ready",
         "library_failed",
         "workflow_done",
+        # fault injection and recovery (chaos runs pair each injected
+        # fault with the recovery action the control plane took)
+        "fault_injected",
+        "transfer_failed",
+        "task_requeued",
+        "file_regenerated",
+        "worker_blocklist",
     }
 )
 

@@ -228,6 +228,17 @@ class FileRegistry:
     def __len__(self) -> int:
         return len(self._by_name)
 
+    def in_declaration_order(self, names: "set[str] | list[str]") -> list[str]:
+        """``names`` ordered by when their canonical file was declared.
+
+        Recovery paths that iterate set-valued queries (a departed
+        worker's lost replicas, say) would otherwise walk cache names in
+        hash order of their run-scoped nonces, making two identically
+        seeded runs recover — and log — in different orders.
+        """
+        index = {name: i for i, name in enumerate(self._by_name)}
+        return sorted(names, key=lambda n: index.get(n, len(index)))
+
     def names_at_level(self, *levels: CacheLevel) -> set[str]:
         """All cache names whose canonical file has one of ``levels``."""
         wanted = set(levels)

@@ -150,6 +150,9 @@ class Manager:
         txn_log_path: Optional[str] = None,
         metrics_dump_path: Optional[str] = None,
         metrics_dump_interval: float = 5.0,
+        transfer_backoff_base: float = 0.5,
+        requeue_backoff_base: float = 0.0,
+        blocklist_threshold: int = 5,
     ) -> None:
         self._lock = threading.RLock()
         self._t0 = time.time()
@@ -162,6 +165,10 @@ class Manager:
             temp_replica_count=temp_replica_count,
             resource_learning=resource_learning,
             metrics=MetricsRegistry(),
+            transfer_backoff_base=transfer_backoff_base,
+            requeue_backoff_base=requeue_backoff_base,
+            blocklist_threshold=blocklist_threshold,
+            rng_seed=seed if seed is not None else 0,
         )
         #: streams every event to disk as it is emitted (live tailable)
         self._txn_writer: Optional[TransactionLogWriter] = None
@@ -223,6 +230,23 @@ class Manager:
     def request_pump(self) -> None:
         # callers already hold the state lock; pump synchronously
         self.control.pump()
+
+    def schedule_pump(self, delay: float) -> None:
+        """Wake the control plane after ``delay`` wall seconds.
+
+        Used by retry/requeue backoffs: a held-off transfer or task
+        needs a pump when its holdoff expires even if no worker message
+        arrives in the meantime.
+        """
+
+        def fire() -> None:
+            with self._lock:
+                if not self.control.closed:
+                    self.control.pump()
+
+        timer = threading.Timer(max(0.0, delay), fire)
+        timer.daemon = True
+        timer.start()
 
     def push_object(self, record: Transfer, level: CacheLevel) -> None:
         handle = self.workers.get(record.dest_worker)
@@ -658,18 +682,30 @@ class Manager:
         interval = max(1.0, (self.worker_liveness_timeout or 60.0) / 4)
         while not self.control.closed:
             time.sleep(interval)
-            now = time.time()
-            with self._lock:
-                stale = [
-                    h for h in self.workers.values()
-                    if h.alive and now - h.last_seen > self.worker_liveness_timeout
-                ]
-            for handle in stale:
-                log.warning(
-                    "worker %s silent for %.0fs; declaring it dead",
-                    handle.worker_id, now - handle.last_seen,
-                )
-                handle.conn.close()  # reader thread unwinds into _on_worker_gone
+            self._reap_stale(time.time())
+
+    def _find_stale(self, now: float) -> list[_WorkerHandle]:
+        """Workers silent past the liveness timeout as of ``now``."""
+        with self._lock:
+            return [
+                h for h in self.workers.values()
+                if h.alive and now - h.last_seen > self.worker_liveness_timeout
+            ]
+
+    def _reap_stale(self, now: float) -> list[str]:
+        """Declare every stale worker dead; returns their ids.
+
+        Split from the reaper thread's sleep loop so liveness handling
+        is testable against a pinned clock.
+        """
+        stale = self._find_stale(now)
+        for handle in stale:
+            log.warning(
+                "worker %s silent for %.0fs; declaring it dead",
+                handle.worker_id, now - handle.last_seen,
+            )
+            handle.conn.close()  # reader thread unwinds into _on_worker_gone
+        return [h.worker_id for h in stale]
 
     def _accept_loop(self) -> None:
         while True:
@@ -747,6 +783,13 @@ class Manager:
                 msg["cache_name"],
                 msg.get("transfer_id"),
                 msg.get("reason", "transfer failed"),
+                corrupt=bool(msg.get("corrupt")),
+            )
+        elif mtype == M.FAULT:
+            # a chaos-run worker announcing self-sabotage, so the txn
+            # log pairs the injected fault with the recovery it forces
+            self.control.note_fault(
+                handle.worker_id, msg["category"], msg.get("cache_name")
             )
         elif mtype == M.TASK_DONE:
             self._on_task_done(handle, msg, payload)

@@ -20,14 +20,19 @@ This module is *pure policy* — no I/O, no clocks — so the real runtime
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.core.replica_table import ReplicaTable
 from repro.core.resources import Resources
 from repro.core.task import Task
 from repro.core.transfer_table import MANAGER_SOURCE, TransferTable
 
-__all__ = ["WorkerView", "TransferPlan", "Scheduler"]
+__all__ = ["WorkerView", "TransferPlan", "Scheduler", "GATE_OK", "GATE_AVOID", "GATE_BANNED"]
+
+#: transfer-gate verdicts (see :attr:`Scheduler.transfer_gate`)
+GATE_OK = 0        # source is clear to serve this object now
+GATE_AVOID = 1     # temporarily avoid (retry backoff, blocklisted worker)
+GATE_BANNED = 2    # permanently out of budget for this object
 
 
 @dataclass
@@ -92,6 +97,13 @@ class Scheduler:
         self.transfers = transfers
         #: disable to get the random-placement baseline used in ablations
         self.locality = locality
+        #: optional hook (cache_name, source) -> GATE_* letting the
+        #: control plane veto sources (retry backoff, failure blocklist,
+        #: exhausted per-source budgets); None gates nothing
+        self.transfer_gate: Optional[Callable[[str, str], int]] = None
+        #: optional hook worker_id -> failure score; workers with higher
+        #: scores are deprioritized in placement (after locality)
+        self.failure_score: Optional[Callable[[str], int]] = None
 
     # -- placement -------------------------------------------------------
 
@@ -102,9 +114,10 @@ class Scheduler:
     ) -> Optional[str]:
         """Pick the worker to run ``task`` on, or None if none fits.
 
-        Ranking: most cached input bytes, then fewest running tasks (to
-        spread load), then worker id (for determinism).  With locality
-        disabled, only the load/ID keys apply.
+        Ranking: most cached input bytes, then lowest failure score
+        (repeat offenders are deprioritized, paper §2.2 reliability),
+        then fewest running tasks (to spread load), then worker id (for
+        determinism).  With locality disabled, the locality key is 0.
         """
         eligible = [
             w
@@ -114,6 +127,7 @@ class Scheduler:
         if not eligible:
             return None
         input_names = task.input_cache_names()
+        failure_score = self.failure_score or (lambda _w: 0)
 
         def rank(w: WorkerView) -> tuple:
             score = (
@@ -121,7 +135,7 @@ class Scheduler:
                 if self.locality
                 else 0
             )
-            return (-score, w.running_tasks, w.worker_id)
+            return (-score, failure_score(w.worker_id), w.running_tasks, w.worker_id)
 
         return min(eligible, key=rank).worker_id
 
@@ -181,31 +195,47 @@ class Scheduler:
         Peer replicas are preferred over the fixed source (paper §3.3:
         "this conservative approach always prioritizes worker transfers
         over the original task description"); among peers the
-        least-loaded one wins to equalize fan-out.
+        least-loaded one wins to equalize fan-out.  The transfer gate
+        can veto sources: gated-AVOID sources (backoff, blocklist) are
+        used only as a last resort when nothing else can ever serve the
+        object; gated-BANNED sources are never used.
         """
-        peers = [w for w in self.replicas.locate(cache_name) if w != dest_worker]
-        usable = [w for w in peers if available(w)]
+        gate = self.transfer_gate or (lambda _n, _s: GATE_OK)
+        peers = [
+            w
+            for w in self.replicas.locate(cache_name)
+            if w != dest_worker and gate(cache_name, w) < GATE_BANNED
+        ]
+        usable = [
+            w for w in peers if available(w) and gate(cache_name, w) == GATE_OK
+        ]
         if usable:
             return min(usable, key=lambda w: (load(w), w))
         peers_possible = (
             self.transfers.worker_limit is None or self.transfers.worker_limit > 0
         )
-        if peers and peers_possible:
-            # replicas exist in-cluster but every holder is at its limit:
-            # wait for a peer slot instead of re-reading the original
-            # source — this is what cuts shared-FS loads from one-per-
-            # worker down to the initial handful (paper §4.2, Colmena).
-            # (With peer transfers disabled outright, fall through.)
+        if peers_possible and any(gate(cache_name, w) == GATE_OK for w in peers):
+            # replicas exist in-cluster but every clear holder is at its
+            # limit: wait for a peer slot instead of re-reading the
+            # original source — this is what cuts shared-FS loads from
+            # one-per-worker down to the initial handful (paper §4.2,
+            # Colmena).  (With peer transfers disabled, fall through.)
             return None
         fixed = fixed_sources.get(cache_name, MANAGER_SOURCE)
         if fixed == "@minitask":
             # materialized locally at the worker; no network source needed
+            return fixed if gate(cache_name, fixed) == GATE_OK else None
+        fixed_gate = (
+            gate(cache_name, fixed) if fixed != "@none" else GATE_BANNED
+        )
+        if fixed != "@none" and fixed_gate == GATE_OK and available(fixed):
             return fixed
-        if fixed == "@none":
-            # exists only at workers (temp file); wait for a replica
-            return None
-        if available(fixed):
-            return fixed
+        if fixed_gate >= GATE_BANNED and peers_possible:
+            # nothing unimpeded can ever serve this object again; an
+            # avoided peer (blocklisted / backing off) beats starvation
+            fallback = [w for w in peers if available(w)]
+            if fallback:
+                return min(fallback, key=lambda w: (load(w), w))
         return None
 
     # -- dispatch ordering ---------------------------------------------

@@ -1,0 +1,50 @@
+"""Deterministic fault injection shared by both runtimes.
+
+The paper's central robustness claim (§3.4/§4.4) is that a workflow
+keeps making progress while the in-cluster storage under it decays:
+workers are preempted, peer transfers fail or deliver corrupt bytes,
+and lost temp files are rebuilt from their content-addressed lineage.
+This package manufactures those conditions on purpose so the recovery
+machinery in :mod:`repro.core.control_plane` is exercised continuously
+instead of only when a cluster misbehaves.
+
+Layout:
+
+* :mod:`repro.faults.plan` — the declarative, seeded
+  :class:`~repro.faults.plan.FaultPlan` schema (what fails, when, with
+  what probability), serializable to/from JSON so chaos runs are
+  reproducible artifacts.
+* :mod:`repro.faults.sim` — interprets a plan against a
+  :class:`~repro.sim.cluster.SimCluster` /
+  :class:`~repro.sim.simmanager.SimManager` pair in virtual time.
+* :mod:`repro.faults.real` — compiles a plan into per-worker
+  :class:`~repro.faults.real.WorkerFaultConfig` hooks installed inside
+  real worker processes (crash mid-task, corrupt peer serves, drop the
+  manager connection).
+
+Every injected fault is emitted as a ``fault_injected`` event through
+the shared transaction log, so ``repro-status`` and the chaos tests can
+pair each injection with its recovery event (requeue / regeneration /
+blocklist).
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegrade,
+    ManagerDisconnect,
+    TransferFault,
+    WorkerCrash,
+)
+from repro.faults.real import WorkerFaultConfig, worker_fault_configs
+from repro.faults.sim import SimFaultInjector
+
+__all__ = [
+    "FaultPlan",
+    "WorkerCrash",
+    "TransferFault",
+    "LinkDegrade",
+    "ManagerDisconnect",
+    "SimFaultInjector",
+    "WorkerFaultConfig",
+    "worker_fault_configs",
+]

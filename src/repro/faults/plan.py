@@ -1,0 +1,214 @@
+"""The declarative fault schedule: what breaks, when, and how badly.
+
+A :class:`FaultPlan` is a pure description — no clocks, no I/O — of the
+hostile conditions a chaos run should impose.  Both runtime adapters
+(:mod:`repro.faults.sim`, :mod:`repro.faults.real`) interpret the same
+plan, and all randomness flows from one seed, so a chaos run is exactly
+reproducible: same plan + same seed ⇒ same injected faults.
+
+Fault kinds:
+
+* :class:`WorkerCrash` — a worker leaves abruptly at virtual/wall time
+  ``at`` or after completing ``after_tasks`` tasks, losing its cache.
+* :class:`TransferFault` — each transfer served by a matching source
+  kind fails (``mode="fail"``) or delivers corrupt bytes detected by
+  checksum verification (``mode="corrupt"``) with probability ``p``.
+* :class:`LinkDegrade` — a worker's uplink/downlink drop to ``factor``
+  of their capacity at time ``at`` (sim only: the real runtime has no
+  bandwidth model to throttle).
+* :class:`ManagerDisconnect` — the manager↔worker control connection
+  drops at time ``at``; the worker process survives but the manager
+  must declare it gone and recover.
+
+Plans serialize to/from plain dicts (JSON-ready) so a chaos run's plan
+can ship alongside its transaction log as one reproducible artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+__all__ = [
+    "WorkerCrash",
+    "TransferFault",
+    "LinkDegrade",
+    "ManagerDisconnect",
+    "FaultPlan",
+    "SOURCE_KINDS",
+]
+
+#: transfer source kinds a TransferFault may target (see
+#: :func:`repro.core.control_plane.source_kind`); "any" matches all
+SOURCE_KINDS = ("peer", "manager", "url", "stage", "any")
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """One worker's abrupt departure (preemption, OOM-kill, power loss)."""
+
+    worker: str
+    #: absolute time of the crash (virtual seconds in sim, seconds since
+    #: manager start for the real runtime); None defers to after_tasks
+    at: Optional[float] = None
+    #: crash mid-way through this worker's Nth task instead of at a time
+    after_tasks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.at is None) == (self.after_tasks is None):
+            raise ValueError(
+                f"WorkerCrash({self.worker!r}) needs exactly one of at/after_tasks"
+            )
+        if self.after_tasks is not None and self.after_tasks < 1:
+            raise ValueError("after_tasks must be >= 1")
+
+
+@dataclass(frozen=True)
+class TransferFault:
+    """Probabilistic failure/corruption of transfers from a source kind."""
+
+    #: one of SOURCE_KINDS
+    kind: str
+    #: per-transfer probability in [0, 1]
+    p: float
+    #: "fail" = the bytes never arrive; "corrupt" = they arrive damaged
+    #: and checksum verification rejects them
+    mode: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOURCE_KINDS:
+            raise ValueError(f"unknown source kind {self.kind!r}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"probability must be in [0,1], got {self.p}")
+        if self.mode not in ("fail", "corrupt"):
+            raise ValueError(f"unknown transfer fault mode {self.mode!r}")
+
+    def matches(self, source_kind: str) -> bool:
+        return self.kind == "any" or self.kind == source_kind
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Throttle one worker's network endpoints to a fraction of capacity."""
+
+    worker: str
+    at: float
+    #: remaining bandwidth fraction in (0, 1]
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"factor must be in (0,1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class ManagerDisconnect:
+    """Drop the control connection between the manager and one worker."""
+
+    worker: str
+    at: float
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, declarative schedule of faults for one chaos run."""
+
+    seed: int = 0
+    crashes: list[WorkerCrash] = field(default_factory=list)
+    transfer_faults: list[TransferFault] = field(default_factory=list)
+    degrades: list[LinkDegrade] = field(default_factory=list)
+    disconnects: list[ManagerDisconnect] = field(default_factory=list)
+
+    # -- construction helpers ------------------------------------------
+
+    def crash(
+        self,
+        worker: str,
+        at: Optional[float] = None,
+        after_tasks: Optional[int] = None,
+    ) -> "FaultPlan":
+        self.crashes.append(WorkerCrash(worker, at=at, after_tasks=after_tasks))
+        return self
+
+    def fail_transfers(self, kind: str, p: float) -> "FaultPlan":
+        self.transfer_faults.append(TransferFault(kind, p, mode="fail"))
+        return self
+
+    def corrupt_transfers(self, kind: str, p: float) -> "FaultPlan":
+        self.transfer_faults.append(TransferFault(kind, p, mode="corrupt"))
+        return self
+
+    def degrade_link(self, worker: str, at: float, factor: float) -> "FaultPlan":
+        self.degrades.append(LinkDegrade(worker, at, factor))
+        return self
+
+    def disconnect(self, worker: str, at: float) -> "FaultPlan":
+        self.disconnects.append(ManagerDisconnect(worker, at))
+        return self
+
+    # -- deterministic randomness --------------------------------------
+
+    def rng_for(self, scope: str) -> random.Random:
+        """A private RNG for one consumer, derived from the plan seed.
+
+        Scoping keeps adapters independent: the sim injector drawing
+        transfer-fault coins never perturbs the stream a worker process
+        uses for corrupt-serve coins.
+        """
+        return random.Random(f"{self.seed}:{scope}")
+
+    def transfer_verdict(
+        self, rng: random.Random, source_kind: str
+    ) -> Optional[str]:
+        """Draw one transfer's fate: None, "fail", or "corrupt".
+
+        Exactly one uniform draw per matching rule, in declaration
+        order, so verdicts are stable for a given seed regardless of
+        which rule fires.
+        """
+        for rule in self.transfer_faults:
+            if rule.matches(source_kind) and rng.random() < rule.p:
+                return rule.mode
+        return None
+
+    # -- (de)serialization ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "crashes": [asdict(c) for c in self.crashes],
+            "transfer_faults": [asdict(t) for t in self.transfer_faults],
+            "degrades": [asdict(d) for d in self.degrades],
+            "disconnects": [asdict(d) for d in self.disconnects],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            crashes=[WorkerCrash(**c) for c in payload.get("crashes", ())],
+            transfer_faults=[
+                TransferFault(**t) for t in payload.get("transfer_faults", ())
+            ],
+            degrades=[LinkDegrade(**d) for d in payload.get("degrades", ())],
+            disconnects=[
+                ManagerDisconnect(**d) for d in payload.get("disconnects", ())
+            ],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def __len__(self) -> int:
+        return (
+            len(self.crashes)
+            + len(self.transfer_faults)
+            + len(self.degrades)
+            + len(self.disconnects)
+        )

@@ -1,0 +1,134 @@
+"""Fault-plan interpreter for the real (process/socket) runtime.
+
+The real runtime cannot inject faults from the manager side — the point
+is to exercise the manager's *reaction* to surprises — so a
+:class:`~repro.faults.plan.FaultPlan` is compiled into per-worker
+:class:`WorkerFaultConfig` records that ride along when worker
+processes launch (``--fault-config`` on the worker CLI, or the
+``fault_config`` constructor argument).  Each worker then sabotages
+itself: dying abruptly at a deadline or mid-task, dropping its manager
+connection, or tampering with cache objects it serves to peers.
+
+Configs are plain picklable dataclasses with a JSON round-trip so they
+cross ``multiprocessing`` spawn boundaries and command lines alike.
+Link degradation has no real-runtime analogue (there is no bandwidth
+model to throttle) and is ignored by the compiler.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["WorkerFaultConfig", "worker_fault_configs"]
+
+
+def _combine(probabilities: list[float]) -> float:
+    """Probability that at least one independent rule fires."""
+    miss = 1.0
+    for p in probabilities:
+        miss *= 1.0 - p
+    return 1.0 - miss
+
+
+@dataclass
+class WorkerFaultConfig:
+    """Self-sabotage instructions for one real worker process."""
+
+    #: identifies this worker's private random stream within the plan
+    worker: str = "worker"
+    seed: int = 0
+    #: exit abruptly this many seconds after the worker starts
+    crash_at: Optional[float] = None
+    #: exit abruptly while running the Nth task
+    crash_after_tasks: Optional[int] = None
+    #: close the manager connection (process survives) at this time
+    disconnect_at: Optional[float] = None
+    #: per-serve probability of aborting a peer transfer mid-stream
+    fail_serve_p: float = 0.0
+    #: per-serve probability of delivering corrupted bytes to a peer
+    corrupt_serve_p: float = 0.0
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.crash_at is None
+            and self.crash_after_tasks is None
+            and self.disconnect_at is None
+            and self.fail_serve_p <= 0.0
+            and self.corrupt_serve_p <= 0.0
+        )
+
+    def rng(self) -> random.Random:
+        """The worker's private stream for serve-tamper coin flips."""
+        return random.Random(f"{self.seed}:real.serve:{self.worker}")
+
+    def serve_verdict(self, rng: random.Random) -> Optional[str]:
+        """Draw one peer-serve's fate: None, "fail", or "corrupt".
+
+        Two draws per serve, in a fixed order, keep the stream
+        reproducible regardless of which verdicts fire.
+        """
+        corrupt = rng.random() < self.corrupt_serve_p
+        fail = rng.random() < self.fail_serve_p
+        if corrupt:
+            return "corrupt"
+        if fail:
+            return "fail"
+        return None
+
+    # -- (de)serialization ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkerFaultConfig":
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkerFaultConfig":
+        return cls.from_dict(json.loads(text))
+
+
+def worker_fault_configs(
+    plan: FaultPlan, worker_names: Sequence[str]
+) -> dict[str, WorkerFaultConfig]:
+    """Compile a plan into one config per named worker.
+
+    ``worker_names`` are the launch-order names the harness will use;
+    plan entries referencing unknown workers are ignored (they may
+    target sim-only workers).  Transfer faults matching peer serves
+    ("peer" or "any") apply uniformly to every worker, since any worker
+    may be chosen as a replica source.
+    """
+    serve_fail = _combine(
+        [r.p for r in plan.transfer_faults if r.mode == "fail" and r.kind in ("peer", "any")]
+    )
+    serve_corrupt = _combine(
+        [r.p for r in plan.transfer_faults if r.mode == "corrupt" and r.kind in ("peer", "any")]
+    )
+    configs: dict[str, WorkerFaultConfig] = {}
+    for name in worker_names:
+        cfg = WorkerFaultConfig(
+            worker=name,
+            seed=plan.seed,
+            fail_serve_p=serve_fail,
+            corrupt_serve_p=serve_corrupt,
+        )
+        for c in plan.crashes:
+            if c.worker == name:
+                cfg.crash_at = c.at
+                cfg.crash_after_tasks = c.after_tasks
+        for d in plan.disconnects:
+            if d.worker == name:
+                cfg.disconnect_at = d.at
+        configs[name] = cfg
+    return configs

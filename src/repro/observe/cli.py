@@ -56,6 +56,17 @@ class LogStatus:
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
     libraries_ready: dict[str, int] = field(default_factory=dict)
     workflow_done: bool = False
+    #: chaos-run bookkeeping: injected faults by category, and the
+    #: recovery actions the control plane answered with
+    faults_by_category: dict[str, int] = field(default_factory=dict)
+    transfers_failed: int = 0
+    tasks_requeued: int = 0
+    files_regenerated: int = 0
+    workers_blocklisted: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.faults_by_category.values())
 
     @property
     def workers_connected(self) -> int:
@@ -115,6 +126,18 @@ def replay_status(events: list[Event], runtime: str = "unknown") -> LogStatus:
             st.libraries_ready[e.category] = (
                 st.libraries_ready.get(e.category, 0) + 1
             )
+        elif e.kind == "fault_injected":
+            st.faults_by_category[e.category or "unknown"] = (
+                st.faults_by_category.get(e.category or "unknown", 0) + 1
+            )
+        elif e.kind == "transfer_failed":
+            st.transfers_failed += 1
+        elif e.kind == "task_requeued":
+            st.tasks_requeued += 1
+        elif e.kind == "file_regenerated":
+            st.files_regenerated += 1
+        elif e.kind == "worker_blocklist":
+            st.workers_blocklisted += 1
         elif e.kind == "workflow_done":
             st.workflow_done = True
     st.tasks_running = len(open_tasks)
@@ -141,6 +164,18 @@ def format_log_status(st: LogStatus, max_workers: int = 20) -> str:
             f"{name}:{n}" for name, n in sorted(st.libraries_ready.items())
         )
         lines.append(f"libraries ready: {ready}")
+    if st.faults_injected or st.transfers_failed or st.tasks_requeued:
+        cats = "  ".join(
+            f"{cat}:{n}" for cat, n in sorted(st.faults_by_category.items())
+        )
+        lines.append(
+            f"faults injected: {st.faults_injected}" + (f" ({cats})" if cats else "")
+        )
+        lines.append(
+            f"recovery: {st.transfers_failed} failed transfers, "
+            f"{st.tasks_requeued} requeues, {st.files_regenerated} regenerations, "
+            f"{st.workers_blocklisted} blocklisted"
+        )
     lines.append(f"workers connected: {st.workers_connected}")
     shown = 0
     for wid in sorted(st.workers):

@@ -52,6 +52,7 @@ class M:
     TASK_DONE = "task_done"
     LIBRARY_READY = "library_ready"
     FILE_DATA = "file_data"          # + raw bytes follow (send_back reply)
+    FAULT = "fault"                  # injected-fault notice (chaos runs)
 
     # worker <-> worker peer transfers
     GET = "get"
@@ -76,7 +77,9 @@ _SCHEMA: Mapping[str, tuple[str, ...]] = {
     M.CACHE_INVALID: ("cache_name", "reason"),
     M.TASK_DONE: ("task_id", "exit_code"),
     M.LIBRARY_READY: ("library", "task_id"),
+    # optional "md5": transit digest of the served bytes (peer replies)
     M.FILE_DATA: ("cache_name", "found", "size"),
+    M.FAULT: ("category",),
     M.GET: ("cache_name",),
 }
 

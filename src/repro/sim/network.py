@@ -83,6 +83,26 @@ class Network:
         self.nodes[name] = node
         return node
 
+    def set_bandwidth(
+        self,
+        name: str,
+        up_bps: Optional[float] = None,
+        down_bps: Optional[float] = None,
+    ) -> None:
+        """Retune a node's link capacity mid-run (fault injection).
+
+        In-flight transfers are advanced to the current instant first so
+        bytes already moved at the old rate stay moved; then every
+        active flow's rate and finish event are recomputed.
+        """
+        node = self.nodes[name]
+        self._advance()
+        if up_bps is not None:
+            node.up_bps = up_bps
+        if down_bps is not None:
+            node.down_bps = down_bps
+        self._reschedule_all()
+
     def start(
         self,
         src_name: str,

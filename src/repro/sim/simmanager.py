@@ -111,6 +111,9 @@ class SimManager:
         temp_replica_count: int = 1,
         max_task_retries: int = 3,
         txn_log_path: Optional[str] = None,
+        transfer_backoff_base: float = 0.5,
+        requeue_backoff_base: float = 0.0,
+        blocklist_threshold: int = 5,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
@@ -129,7 +132,14 @@ class SimManager:
             temp_replica_count=temp_replica_count,
             loss_retries=max_task_retries,
             strict_loss=True,
+            transfer_backoff_base=transfer_backoff_base,
+            requeue_backoff_base=requeue_backoff_base,
+            blocklist_threshold=blocklist_threshold,
+            rng_seed=seed,
         )
+        #: installed by :class:`repro.faults.sim.SimFaultInjector`; when
+        #: set, every outbound transfer asks it for an injected verdict
+        self.fault_injector = None
         self.max_task_retries = max_task_retries
         #: same telemetry artifact as the real manager's, in virtual time
         self._txn_writer: Optional[TransactionLogWriter] = None
@@ -220,14 +230,65 @@ class SimManager:
         self._pump_scheduled = False
         self.control.pump()
 
+    def schedule_pump(self, delay: float) -> None:
+        """Wake the control plane after ``delay`` virtual seconds."""
+        self.sim.schedule(max(0.0, delay), self.request_pump)
+
     def _start_network_transfer(self, record: Transfer) -> None:
         if record.source not in self.network.nodes:
             raise RuntimeError(f"unknown transfer source {record.source!r}")
-        self.network.start(
-            record.source,
+        verdict = (
+            self.fault_injector.transfer_verdict(record)
+            if self.fault_injector is not None
+            else None
+        )
+        if verdict is None:
+            self.network.start(
+                record.source,
+                record.dest_worker,
+                record.size,
+                lambda _t, tid=record.transfer_id: self.control.on_transfer_complete(tid),
+            )
+            return
+        mode, fraction = verdict
+        if mode == "corrupt":
+            # every byte flows, but arrives damaged: checksum
+            # verification at the destination rejects the object
+            self.network.start(
+                record.source,
+                record.dest_worker,
+                record.size,
+                lambda _t, r=record: self._transfer_faulted(r, corrupt=True),
+            )
+        else:
+            # the connection dies partway: only a fraction of the bytes
+            # occupy the link before the failure surfaces
+            self.network.start(
+                record.source,
+                record.dest_worker,
+                record.size * fraction,
+                lambda _t, r=record: self._transfer_faulted(r, corrupt=False),
+            )
+
+    def _transfer_faulted(self, record: Transfer, corrupt: bool) -> None:
+        try:
+            self.transfers.get(record.transfer_id)
+        except KeyError:
+            # the transfer died with its endpoint (e.g. the destination
+            # crashed mid-flight) before the injected fault could land —
+            # recovery already ran, so there is no fault to record
+            return
+        self.control.note_fault(
             record.dest_worker,
-            record.size,
-            lambda _t, tid=record.transfer_id: self.control.on_transfer_complete(tid),
+            "transfer_corrupt" if corrupt else "transfer_fail",
+            record.cache_name,
+        )
+        self.control.on_cache_invalid(
+            record.dest_worker,
+            record.cache_name,
+            record.transfer_id,
+            reason="injected corrupt transfer" if corrupt else "injected transfer failure",
+            corrupt=corrupt,
         )
 
     def push_object(self, record: Transfer, level: CacheLevel) -> None:
@@ -525,9 +586,10 @@ class SimManager:
                     pass
             lib.state.clear()
         deletions = collect_workflow(self.registry, self.replicas)
-        for wid, names in deletions.items():
+        # fixed order (workers, then declaration) keeps the log replayable
+        for wid in sorted(deletions):
             worker = self.cluster.workers[wid]
-            for name in names:
+            for name in self.registry.in_declaration_order(deletions[wid]):
                 if worker.remove(name) is not None:
                     self.log.emit(self.sim.now, "file_deleted", worker=wid, file=name)
                 self.replicas.remove_replica(name, wid)

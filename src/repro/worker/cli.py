@@ -38,10 +38,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="evict LRU cache objects beyond this bound (MB)",
     )
+    parser.add_argument(
+        "--fault-config",
+        default=None,
+        metavar="PATH",
+        help="JSON WorkerFaultConfig for chaos runs (self-injected faults)",
+    )
     args = parser.parse_args(argv)
     host, _, port = args.manager.rpartition(":")
     if not host or not port.isdigit():
         parser.error("--manager must be host:port")
+    fault_config = None
+    if args.fault_config is not None:
+        from repro.faults.real import WorkerFaultConfig
+
+        with open(args.fault_config, encoding="utf-8") as fh:
+            fault_config = WorkerFaultConfig.from_json(fh.read())
     worker = Worker(
         host,
         int(port),
@@ -54,6 +66,7 @@ def main(argv: list[str] | None = None) -> int:
         max_cache_bytes=(
             args.max_cache_mb * 1_000_000 if args.max_cache_mb else None
         ),
+        fault_config=fault_config,
     )
     worker.run()
     return 0

@@ -7,9 +7,12 @@ from the source the manager chose, so the per-source concurrency
 limits decided centrally are what actually happens on the wire.
 
 Objects may be files or directory trees; directories travel as tar
-streams.  Content-named objects (``file-md5-...``/``buffer-md5-...``)
-are verified against their embedded digest on receipt, so a corrupt or
-malicious peer cannot poison a cache.
+streams.  Every peer reply carries an ``md5`` of the bytes the server
+holds, which the receiver checks against what actually arrived, so
+in-flight corruption is caught for any object; content-named objects
+(``file-md5-...``/``buffer-md5-...``) are additionally verified against
+the digest embedded in their name, so even a peer serving a wrong (but
+self-consistently hashed) object cannot poison a cache.
 """
 
 from __future__ import annotations
@@ -31,12 +34,23 @@ __all__ = [
     "fetch_from_peer",
     "fetch_from_url",
     "TransferFailed",
+    "CorruptTransfer",
     "verify_content_name",
+    "verify_outcome",
 ]
 
 
 class TransferFailed(RuntimeError):
     """A commanded transfer could not be completed."""
+
+
+class CorruptTransfer(TransferFailed):
+    """The bytes arrived but failed content verification.
+
+    Distinguished from plain failure so the manager can treat the
+    *source's* copy as suspect (corruption is a replica-loss signal,
+    not just a flaky link).
+    """
 
 
 def pack_directory(path: str, dest_tar: str) -> None:
@@ -52,18 +66,44 @@ def unpack_directory(tar_path: str, dest_dir: str) -> None:
         tar.extractall(dest_dir, filter="data")
 
 
-def verify_content_name(cache_name: str, path: str) -> bool:
-    """Check a received *file* object against its content-derived name.
+def verify_outcome(cache_name: str, path: str) -> str:
+    """Verify a received object; returns "passed", "skipped" or "failed".
 
     Only names of the form ``file-md5-<digest>`` / ``buffer-md5-<digest>``
     embed a content hash; all other names (url-meta, task-spec, random)
-    vacuously verify.  Directory objects are trusted from their tar
-    (re-deriving a Merkle root is possible but not done on the hot path).
+    skip verification, as do directory objects, which are trusted from
+    their tar (re-deriving a Merkle root is possible but not done on
+    the hot path).  The three-way outcome feeds the worker's
+    ``verify.*`` counters so a chaos run can tell "nothing was
+    checkable" apart from "everything checked out".
     """
     for prefix in ("file-md5-", "buffer-md5-"):
-        if cache_name.startswith(prefix) and os.path.isfile(path):
-            return hash_file(path) == cache_name[len(prefix):]
-    return True
+        if cache_name.startswith(prefix):
+            if not os.path.isfile(path):
+                return "skipped"
+            return (
+                "passed"
+                if hash_file(path) == cache_name[len(prefix):]
+                else "failed"
+            )
+    return "skipped"
+
+
+def verify_content_name(cache_name: str, path: str) -> bool:
+    """True unless the object demonstrably fails content verification."""
+    return verify_outcome(cache_name, path) != "failed"
+
+
+def _corrupted_copy(path: str) -> str:
+    """A temp copy of ``path`` with its first byte flipped."""
+    fd, tmp = tempfile.mkstemp(suffix=".corrupt")
+    os.close(fd)
+    shutil.copyfile(path, tmp)
+    with open(tmp, "r+b") as fh:
+        first = fh.read(1)
+        fh.seek(0)
+        fh.write(bytes([first[0] ^ 0xFF]) if first else b"\x00")
+    return tmp
 
 
 class PeerTransferServer:
@@ -81,6 +121,10 @@ class PeerTransferServer:
         metrics=None,
     ):
         self._lookup = lookup
+        #: chaos hook: called with each served cache name, may return
+        #: "fail" (drop the connection without replying) or "corrupt"
+        #: (serve a damaged copy); None/falsy serves faithfully
+        self.tamper: Optional[Callable[[str], Optional[str]]] = None
         self._c_serves = metrics.counter("peer.serves") if metrics else None
         self._c_bytes = metrics.counter("peer.bytes_served") if metrics else None
         self._g_open = metrics.gauge("peer.serving") if metrics else None
@@ -120,6 +164,31 @@ class PeerTransferServer:
                     {"type": M.FILE_DATA, "cache_name": cache_name, "found": False, "size": 0}
                 )
                 return
+            verdict = self.tamper(cache_name) if self.tamper is not None else None
+            if verdict == "fail":
+                return  # injected failure: vanish mid-handshake
+            if verdict == "corrupt" and os.path.isfile(path):
+                # the reply advertises the digest of the *pristine* copy
+                # while damaged bytes flow — exactly what in-transit
+                # corruption looks like to the receiver
+                tmp = _corrupted_copy(path)
+                try:
+                    size = os.path.getsize(tmp)
+                    conn.send_message(
+                        {
+                            "type": M.FILE_DATA,
+                            "cache_name": cache_name,
+                            "found": True,
+                            "size": size,
+                            "format": "file",
+                            "md5": hash_file(path),
+                        }
+                    )
+                    conn.send_file(tmp, size)
+                    self._count_served(size)
+                finally:
+                    os.unlink(tmp)
+                return
             if os.path.isdir(path):
                 with tempfile.NamedTemporaryFile(suffix=".tar", delete=False) as tf:
                     tar_path = tf.name
@@ -133,6 +202,7 @@ class PeerTransferServer:
                             "found": True,
                             "size": size,
                             "format": "tar",
+                            "md5": hash_file(tar_path),
                         }
                     )
                     conn.send_file(tar_path, size)
@@ -148,6 +218,7 @@ class PeerTransferServer:
                         "found": True,
                         "size": size,
                         "format": "file",
+                        "md5": hash_file(path),
                     }
                 )
                 conn.send_file(path, size)
@@ -174,13 +245,18 @@ def fetch_from_peer(
     cache_name: str,
     dest_path: str,
     timeout: float = 60.0,
+    on_verify: Optional[Callable[[str], None]] = None,
 ) -> int:
     """Download one object from a peer worker into ``dest_path``.
 
     Returns the object's size in bytes.  Directory objects arrive as
-    tar and are unpacked at ``dest_path``.  Raises
-    :class:`TransferFailed` on any protocol error, absence, or hash
-    mismatch for content-named files.
+    tar and are unpacked at ``dest_path``.  Received bytes are checked
+    against the transit digest the peer advertised (any object) and
+    against the digest embedded in content-based names; ``on_verify``
+    (if given) receives the combined outcome
+    ("passed"/"skipped"/"failed").  Raises :class:`CorruptTransfer` on
+    any digest mismatch, :class:`TransferFailed` on any other protocol
+    error or absence.
     """
     try:
         conn = Connection.connect(host, port, timeout=timeout)
@@ -192,19 +268,39 @@ def fetch_from_peer(
         if not reply.get("found"):
             raise TransferFailed(f"peer {host}:{port} does not hold {cache_name}")
         size = int(reply["size"])
+        transit_md5 = reply.get("md5")
         if reply.get("format") == "tar":
             with tempfile.NamedTemporaryFile(suffix=".tar", delete=False) as tf:
                 tar_path = tf.name
             try:
                 conn.recv_to_file(tar_path, size)
+                if transit_md5 is not None and hash_file(tar_path) != transit_md5:
+                    if on_verify is not None:
+                        on_verify("failed")
+                    raise CorruptTransfer(
+                        f"transit verification failed for {cache_name} from peer"
+                    )
                 unpack_directory(tar_path, dest_path)
             finally:
                 os.unlink(tar_path)
+            outcome = verify_outcome(cache_name, dest_path)
+            if outcome == "skipped" and transit_md5 is not None:
+                outcome = "passed"
+            if on_verify is not None:
+                on_verify(outcome)
         else:
             conn.recv_to_file(dest_path, size)
-            if not verify_content_name(cache_name, dest_path):
+            outcome = verify_outcome(cache_name, dest_path)
+            if transit_md5 is not None:
+                if hash_file(dest_path) != transit_md5:
+                    outcome = "failed"
+                elif outcome == "skipped":
+                    outcome = "passed"
+            if on_verify is not None:
+                on_verify(outcome)
+            if outcome == "failed":
                 os.unlink(dest_path)
-                raise TransferFailed(
+                raise CorruptTransfer(
                     f"content verification failed for {cache_name} from peer"
                 )
         return size
@@ -214,12 +310,21 @@ def fetch_from_peer(
         conn.close()
 
 
-def fetch_from_url(url: str, dest_path: str, timeout: float = 300.0) -> int:
+def fetch_from_url(
+    url: str,
+    dest_path: str,
+    timeout: float = 300.0,
+    cache_name: Optional[str] = None,
+    on_verify: Optional[Callable[[str], None]] = None,
+) -> int:
     """Download a URL into ``dest_path``; returns bytes received.
 
     Supports ``file://`` (the offline archive used in tests/examples)
     and ``http(s)://``.  A local *directory* behind ``file://`` is
     copied recursively, standing in for an archive that serves trees.
+    When ``cache_name`` is given, content-named downloads are verified
+    like peer transfers (``on_verify`` sees the outcome) and a mismatch
+    raises :class:`CorruptTransfer`.
     """
     if url.startswith("file://"):
         src = url[len("file://"):]
@@ -227,18 +332,31 @@ def fetch_from_url(url: str, dest_path: str, timeout: float = 300.0) -> int:
             raise TransferFailed(f"url source missing: {url}")
         if os.path.isdir(src):
             shutil.copytree(src, dest_path)
-            return sum(
+            size = sum(
                 os.path.getsize(os.path.join(r, f))
                 for r, _d, fs in os.walk(dest_path)
                 for f in fs
             )
-        shutil.copyfile(src, dest_path)
-        return os.path.getsize(dest_path)
-    try:
-        with urllib.request.urlopen(url, timeout=timeout) as resp, open(
-            dest_path, "wb"
-        ) as out:
-            shutil.copyfileobj(resp, out)
-    except OSError as exc:
-        raise TransferFailed(f"url fetch of {url} failed: {exc}") from exc
-    return os.path.getsize(dest_path)
+        else:
+            shutil.copyfile(src, dest_path)
+            size = os.path.getsize(dest_path)
+    else:
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as resp, open(
+                dest_path, "wb"
+            ) as out:
+                shutil.copyfileobj(resp, out)
+        except OSError as exc:
+            raise TransferFailed(f"url fetch of {url} failed: {exc}") from exc
+        size = os.path.getsize(dest_path)
+    if cache_name is not None:
+        outcome = verify_outcome(cache_name, dest_path)
+        if on_verify is not None:
+            on_verify(outcome)
+        if outcome == "failed":
+            if os.path.isfile(dest_path):
+                os.unlink(dest_path)
+            raise CorruptTransfer(
+                f"content verification failed for {cache_name} from {url}"
+            )
+    return size

@@ -33,10 +33,12 @@ from repro.worker.executor import run_command
 from repro.worker.library_instance import LibraryInstanceHandle
 from repro.worker.sandbox import Sandbox, SandboxError
 from repro.worker.transfers import (
+    CorruptTransfer,
     PeerTransferServer,
     TransferFailed,
     fetch_from_peer,
     fetch_from_url,
+    verify_outcome,
 )
 
 __all__ = ["Worker"]
@@ -59,6 +61,7 @@ class Worker:
         task_timeout: Optional[float] = 600.0,
         max_cache_bytes: Optional[int] = None,
         eviction_grace: float = 5.0,
+        fault_config=None,
     ) -> None:
         self.workdir = os.path.abspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
@@ -74,6 +77,12 @@ class Worker:
         self._m_invoke = self.metrics.histogram("library.invoke_seconds")
         self._m_evictions = self.metrics.counter("cache.evictions")
         self._m_eviction_bytes = self.metrics.counter("cache.eviction_bytes")
+        # content-verification accounting: skips (nothing checkable)
+        # must be distinguishable from passes for chaos-run forensics
+        self._m_verify = {
+            outcome: self.metrics.counter(f"verify.{outcome}")
+            for outcome in ("passed", "skipped", "failed")
+        }
         self.cache = WorkerCache(
             os.path.join(self.workdir, "cache"), metrics=self.metrics
         )
@@ -101,11 +110,64 @@ class Worker:
         #: cache names pinned by in-flight work (inputs being used)
         self._pinned: dict[str, int] = {}
         self._pin_lock = threading.Lock()
+        #: chaos-run self-sabotage instructions (WorkerFaultConfig)
+        self.fault_config = fault_config
+        self._tasks_executed = 0
+        self._fault_rng = None
+        self._fault_lock = threading.Lock()
         self._register()
+        if fault_config is not None and not fault_config.empty:
+            self._arm_faults(fault_config)
         self._heartbeat_thread = threading.Thread(
             target=self._heartbeat_loop, daemon=True
         )
         self._heartbeat_thread.start()
+
+    # -- fault injection (chaos runs) ----------------------------------
+
+    def _arm_faults(self, cfg) -> None:
+        if cfg.corrupt_serve_p > 0 or cfg.fail_serve_p > 0:
+            self._fault_rng = cfg.rng()
+            self._peer_server.tamper = self._serve_tamper
+        if cfg.crash_at is not None:
+            timer = threading.Timer(cfg.crash_at, self._fault_crash, ("crash",))
+            timer.daemon = True
+            timer.start()
+        if cfg.disconnect_at is not None:
+            timer = threading.Timer(cfg.disconnect_at, self._fault_disconnect)
+            timer.daemon = True
+            timer.start()
+
+    def _notify_fault(self, category: str, cache_name: Optional[str] = None) -> None:
+        """Best-effort fault notice so the manager's log shows the cause."""
+        msg = {"type": M.FAULT, "category": category}
+        if cache_name is not None:
+            msg["cache_name"] = cache_name
+        try:
+            self._send(msg)
+        except (ProtocolError, OSError):
+            pass
+
+    def _fault_crash(self, category: str) -> None:
+        log.warning("injected %s: exiting abruptly", category)
+        self._notify_fault(category)
+        os._exit(17)  # no cleanup: a crash leaves everything behind
+
+    def _fault_disconnect(self) -> None:
+        log.warning("injected disconnect: dropping manager connection")
+        self._notify_fault("disconnect")
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def _serve_tamper(self, cache_name: str) -> Optional[str]:
+        with self._fault_lock:
+            verdict = self.fault_config.serve_verdict(self._fault_rng)
+        if verdict is not None:
+            log.warning("injected peer-serve %s for %s", verdict, cache_name[:32])
+            self._notify_fault(f"serve_{verdict}", cache_name)
+        return verdict
 
     def _heartbeat_loop(self, interval: float = 5.0) -> None:
         """Periodic liveness signal so a silently hung worker is detectable."""
@@ -201,11 +263,26 @@ class Worker:
         self._send(msg)
         self._enforce_cache_bound()
 
-    def _cache_invalid(self, cache_name: str, reason: str, transfer_id: Optional[str] = None) -> None:
+    def _cache_invalid(
+        self,
+        cache_name: str,
+        reason: str,
+        transfer_id: Optional[str] = None,
+        corrupt: bool = False,
+    ) -> None:
         msg = {"type": M.CACHE_INVALID, "cache_name": cache_name, "reason": reason}
         if transfer_id is not None:
             msg["transfer_id"] = transfer_id
+        if corrupt:
+            # tells the manager the *source's* copy is suspect, not just
+            # the link: corruption feeds replica-loss handling
+            msg["corrupt"] = True
         self._send(msg)
+
+    def _count_verify(self, outcome: str, cache_name: str = "") -> None:
+        self._m_verify[outcome].inc()
+        if outcome == "failed":
+            log.warning("content verification failed for %s", cache_name[:48])
 
     # -- main loop --------------------------------------------------------
 
@@ -268,6 +345,17 @@ class Worker:
             unpack_directory(staged, unpacked)
             os.unlink(staged)
             staged = unpacked
+        outcome = verify_outcome(cache_name, staged)
+        self._count_verify(outcome, cache_name)
+        if outcome == "failed":
+            os.unlink(staged)
+            self._cache_invalid(
+                cache_name,
+                "content verification failed for manager push",
+                msg.get("transfer_id"),
+                corrupt=True,
+            )
+            return
         entry = self.cache.insert_from(staged, cache_name, level, time.time())
         self._cache_update(cache_name, entry.size, msg.get("transfer_id"))
 
@@ -278,17 +366,29 @@ class Worker:
         transfer_id = msg["transfer_id"]
         staged = self.cache.staging_path(cache_name)
         fetch_started = time.monotonic()
+
+        def on_verify(outcome: str) -> None:
+            self._count_verify(outcome, cache_name)
+
         try:
             if source["kind"] == "url":
-                fetch_from_url(source["url"], staged)
+                fetch_from_url(
+                    source["url"], staged, cache_name=cache_name, on_verify=on_verify
+                )
                 self._m_fetch_url.observe(time.monotonic() - fetch_started)
             elif source["kind"] == "worker":
-                fetch_from_peer(source["host"], int(source["port"]), cache_name, staged)
+                fetch_from_peer(
+                    source["host"], int(source["port"]), cache_name, staged,
+                    on_verify=on_verify,
+                )
                 self._m_fetch_peer.observe(time.monotonic() - fetch_started)
             else:
                 raise TransferFailed(f"unknown source kind {source['kind']!r}")
             entry = self.cache.insert_from(staged, cache_name, level, time.time())
             self._cache_update(cache_name, entry.size, transfer_id)
+        except CorruptTransfer as exc:
+            self._m_fetch_failures.inc()
+            self._cache_invalid(cache_name, str(exc), transfer_id, corrupt=True)
         except (TransferFailed, OSError) as exc:
             self._m_fetch_failures.inc()
             self._cache_invalid(cache_name, str(exc), transfer_id)
@@ -394,6 +494,15 @@ class Worker:
     def _handle_execute(self, msg: dict) -> None:
         task_id = msg["task_id"]
         log.debug("execute %s: %s", task_id, msg["command"][:60])
+        cfg = self.fault_config
+        if cfg is not None and cfg.crash_after_tasks is not None:
+            with self._fault_lock:
+                self._tasks_executed += 1
+                nth = self._tasks_executed
+            if nth == cfg.crash_after_tasks:
+                # die mid-task: the manager never hears TASK_DONE and
+                # must recover via connection loss
+                self._fault_crash("crash")
         sandbox = Sandbox(self.sandbox_root, task_id)
         staging_started = time.time()
         input_names = [p[1] for p in msg["inputs"]]

@@ -389,6 +389,9 @@ def test_transfer_failure_exhaustion_fails_waiting_tasks():
     assert len(port.fetches) == 1
     control.on_cache_invalid("wA", "cursed", port.fetches[0].transfer_id)
     control.pump()
+    assert len(port.fetches) == 1  # retry is held off by the backoff
+    port.time += control.transfer_backoff_max  # past any jittered delay
+    control.pump()
     assert len(port.fetches) == 2  # one retry allowed
     control.on_cache_invalid("wA", "cursed", port.fetches[1].transfer_id)
     assert t.state == TaskState.FAILED

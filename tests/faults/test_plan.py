@@ -1,0 +1,162 @@
+"""The declarative fault plan: validation, determinism, serialization."""
+
+import pickle
+
+import pytest
+
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegrade,
+    TransferFault,
+    WorkerCrash,
+)
+from repro.faults.real import WorkerFaultConfig, worker_fault_configs
+
+
+# -- validation --------------------------------------------------------
+
+
+def test_crash_needs_exactly_one_trigger():
+    with pytest.raises(ValueError):
+        WorkerCrash("w0")
+    with pytest.raises(ValueError):
+        WorkerCrash("w0", at=1.0, after_tasks=2)
+    with pytest.raises(ValueError):
+        WorkerCrash("w0", after_tasks=0)
+    WorkerCrash("w0", at=1.0)
+    WorkerCrash("w0", after_tasks=1)
+
+
+def test_transfer_fault_validates_kind_p_mode():
+    with pytest.raises(ValueError):
+        TransferFault("disk", 0.1)
+    with pytest.raises(ValueError):
+        TransferFault("peer", 1.5)
+    with pytest.raises(ValueError):
+        TransferFault("peer", 0.1, mode="explode")
+    assert TransferFault("any", 0.1).matches("peer")
+    assert TransferFault("peer", 0.1).matches("peer")
+    assert not TransferFault("peer", 0.1).matches("manager")
+
+
+def test_degrade_factor_bounds():
+    with pytest.raises(ValueError):
+        LinkDegrade("w0", at=1.0, factor=0.0)
+    with pytest.raises(ValueError):
+        LinkDegrade("w0", at=1.0, factor=1.1)
+    LinkDegrade("w0", at=1.0, factor=1.0)
+
+
+# -- deterministic randomness ------------------------------------------
+
+
+def test_rng_scopes_are_independent_and_seeded():
+    plan = FaultPlan(seed=7)
+    a1 = [plan.rng_for("alpha").random() for _ in range(3)]
+    a2 = [plan.rng_for("alpha").random() for _ in range(3)]
+    b = [plan.rng_for("beta").random() for _ in range(3)]
+    assert a1 == a2  # same seed + scope replays the stream
+    assert a1 != b  # different scopes never share a stream
+    assert a1 != [FaultPlan(seed=8).rng_for("alpha").random() for _ in range(3)]
+
+
+def test_transfer_verdict_draws_once_per_matching_rule():
+    plan = (
+        FaultPlan(seed=1)
+        .corrupt_transfers("peer", 0.0)  # matches but never fires
+        .fail_transfers("any", 1.0)  # always fires when reached
+    )
+    rng = plan.rng_for("t")
+    # peer transfers consume two draws (both rules match), manager ones
+    # a single draw; either way the certain rule fires
+    assert plan.transfer_verdict(rng, "peer") == "fail"
+    assert plan.transfer_verdict(rng, "manager") == "fail"
+    # rules are consulted in declaration order: a certain corrupt rule
+    # declared first shadows the fail rule
+    shadowing = (
+        FaultPlan(seed=1).corrupt_transfers("peer", 1.0).fail_transfers("any", 1.0)
+    )
+    assert shadowing.transfer_verdict(shadowing.rng_for("t"), "peer") == "corrupt"
+    # no matching rule: no draw, no verdict
+    quiet = FaultPlan(seed=1).fail_transfers("url", 1.0)
+    assert quiet.transfer_verdict(quiet.rng_for("t"), "peer") is None
+
+
+# -- serialization -----------------------------------------------------
+
+
+def _hostile_plan():
+    return (
+        FaultPlan(seed=42)
+        .crash("w0", at=3.0)
+        .crash("w1", after_tasks=2)
+        .fail_transfers("any", 0.1)
+        .corrupt_transfers("peer", 0.05)
+        .degrade_link("w2", at=1.0, factor=0.25)
+        .disconnect("w3", at=5.0)
+    )
+
+
+def test_plan_json_round_trip():
+    plan = _hostile_plan()
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone == plan
+    assert len(clone) == 6
+    # the clone replays the identical verdict stream
+    r1, r2 = plan.rng_for("x"), clone.rng_for("x")
+    assert [plan.transfer_verdict(r1, "peer") for _ in range(20)] == [
+        clone.transfer_verdict(r2, "peer") for _ in range(20)
+    ]
+
+
+# -- real-runtime compilation ------------------------------------------
+
+
+def test_worker_fault_configs_compile_per_worker():
+    configs = worker_fault_configs(_hostile_plan(), ["w0", "w1", "w2", "w3"])
+    assert configs["w0"].crash_at == 3.0 and configs["w0"].crash_after_tasks is None
+    assert configs["w1"].crash_after_tasks == 2
+    assert configs["w3"].disconnect_at == 5.0
+    # serve probabilities combine the peer-visible rules uniformly: every
+    # worker can be picked as a replica source
+    for cfg in configs.values():
+        assert cfg.fail_serve_p == pytest.approx(0.1)
+        assert cfg.corrupt_serve_p == pytest.approx(0.05)
+    # w2's link degrade has no real-runtime analogue: config otherwise clean
+    assert configs["w2"].crash_at is None and configs["w2"].disconnect_at is None
+
+
+def test_worker_fault_configs_combine_independent_rules():
+    plan = FaultPlan().fail_transfers("peer", 0.5).fail_transfers("any", 0.5)
+    cfg = worker_fault_configs(plan, ["w0"])["w0"]
+    assert cfg.fail_serve_p == pytest.approx(0.75)
+    # manager/url-only rules never reach a worker's serve path
+    plan = FaultPlan().fail_transfers("manager", 1.0).corrupt_transfers("url", 1.0)
+    cfg = worker_fault_configs(plan, ["w0"])["w0"]
+    assert cfg.empty
+
+
+def test_worker_config_round_trips_json_and_pickle():
+    cfg = WorkerFaultConfig(
+        worker="w1", seed=9, crash_after_tasks=3, corrupt_serve_p=0.2
+    )
+    assert WorkerFaultConfig.from_json(cfg.to_json()) == cfg
+    assert pickle.loads(pickle.dumps(cfg)) == cfg
+    assert not cfg.empty
+    assert WorkerFaultConfig(worker="w1", seed=9).empty
+
+
+def test_serve_verdict_fixed_draw_order():
+    cfg = WorkerFaultConfig(worker="w0", seed=3, corrupt_serve_p=1.0, fail_serve_p=1.0)
+    rng = cfg.rng()
+    # corrupt wins when both fire
+    assert [cfg.serve_verdict(rng) for _ in range(3)] == ["corrupt"] * 3
+    # every serve consumes exactly two draws regardless of probabilities,
+    # so changing one probability cannot shift later verdicts' coins
+    quiet = WorkerFaultConfig(worker="w0", seed=3)
+    rng = quiet.rng()
+    assert [quiet.serve_verdict(rng) for _ in range(3)] == [None] * 3
+    reference = quiet.rng()
+    for _ in range(6):
+        reference.random()
+    assert rng.random() == reference.random()

@@ -11,21 +11,31 @@ from repro.core.manager import Manager
 _CTX = mp.get_context("spawn")
 
 
-def _worker_main(host, port, workdir, cores, memory, disk):
+def _worker_main(host, port, workdir, cores, memory, disk, fault_config=None):
     from repro.worker.worker import Worker
 
     worker = Worker(
-        host, port, workdir, cores=cores, memory=memory, disk=disk, task_timeout=120.0
+        host, port, workdir, cores=cores, memory=memory, disk=disk,
+        task_timeout=120.0, fault_config=fault_config,
     )
     worker.run()
 
 
 class Cluster:
-    """A manager plus real worker processes on localhost."""
+    """A manager plus real worker processes on localhost.
 
-    def __init__(self, tmp_path, n_workers=2, cores=4, memory=2000, disk=2000, **mkw):
+    ``fault_configs`` (chaos runs) maps launch names ("w0", "w1", ...)
+    to picklable :class:`repro.faults.real.WorkerFaultConfig` records
+    handed to the matching worker process.
+    """
+
+    def __init__(
+        self, tmp_path, n_workers=2, cores=4, memory=2000, disk=2000,
+        fault_configs=None, **mkw,
+    ):
         self.manager = Manager(**mkw)
         self.tmp_path = tmp_path
+        self.fault_configs = fault_configs or {}
         self.procs = []
         for i in range(n_workers):
             self.start_worker(f"w{i}", cores=cores, memory=memory, disk=disk)
@@ -36,7 +46,8 @@ class Cluster:
         # not a daemon: workers must be able to fork library instances
         proc = _CTX.Process(
             target=_worker_main,
-            args=(self.manager.host, self.manager.port, workdir, cores, memory, disk),
+            args=(self.manager.host, self.manager.port, workdir, cores, memory, disk,
+                  self.fault_configs.get(name)),
         )
         proc.start()
         self.procs.append(proc)

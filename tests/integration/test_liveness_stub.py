@@ -1,0 +1,86 @@
+"""Worker liveness reaping against a pinned clock — no real waiting.
+
+A stub "worker" registers over a raw protocol connection and then goes
+completely silent (no heartbeat thread).  Rather than sleeping past the
+timeout, the reaper's clock-dependent halves (:meth:`Manager._find_stale`
+and :meth:`Manager._reap_stale`) are driven with explicit ``now``
+values, so the whole silent-worker story runs in milliseconds.
+"""
+
+import time
+
+from repro.core.manager import Manager
+from repro.core.resources import Resources
+from repro.protocol.connection import Connection
+from repro.protocol.messages import M
+
+
+def _wait(predicate, timeout=10.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _register_stub(manager):
+    conn = Connection.connect(manager.host, manager.port)
+    conn.send_message(
+        {
+            "type": M.REGISTER,
+            "capacity": Resources(cores=2, memory=500, disk=500).to_dict(),
+            "transfer_port": 1,  # never contacted: the stub serves nothing
+            "cached": [],
+        }
+    )
+    assert _wait(lambda: len(manager.workers) == 1), "stub never admitted"
+    return conn
+
+
+def test_silent_worker_is_reaped_at_the_timeout_boundary(tmp_path):
+    m = Manager(worker_liveness_timeout=60.0)
+    try:
+        stub = _register_stub(m)
+        with m._lock:
+            wid = next(iter(m.workers))
+            joined_at = m.workers[wid].last_seen
+        # just inside the timeout: still considered alive
+        assert m._find_stale(joined_at + 59.9) == []
+        assert m._reap_stale(joined_at + 59.9) == []
+        with m._lock:
+            assert wid in m.workers
+        # just past it: found, declared dead, connection closed
+        assert m._find_stale(joined_at + 60.1) != []
+        assert m._reap_stale(joined_at + 60.1) == [wid]
+        # the reader thread unwinds the closed socket into worker_left
+        assert _wait(lambda: wid not in m.workers), "reaped worker not removed"
+        leaves = m.log.events("worker_leave")
+        assert [e.worker for e in leaves] == [wid]
+        # reaping is idempotent: the handle is gone, nothing left to find
+        assert m._find_stale(joined_at + 120.0) == []
+        stub.close()
+    finally:
+        m.close()
+
+
+def test_traffic_refreshes_liveness(tmp_path):
+    m = Manager(worker_liveness_timeout=60.0)
+    try:
+        stub = _register_stub(m)
+        with m._lock:
+            wid = next(iter(m.workers))
+            handle = m.workers[wid]
+        # age the handle past the deadline: it is reapable right now
+        handle.last_seen -= 120.0
+        aged = handle.last_seen
+        assert m._find_stale(time.time()) == [handle]
+        # any message — here a bare heartbeat — resets the silence clock
+        stub.send_message({"type": M.HEARTBEAT})
+        assert _wait(lambda: handle.last_seen > aged)
+        assert m._reap_stale(time.time()) == []  # deadline defused
+        with m._lock:
+            assert wid in m.workers
+        stub.close()
+    finally:
+        m.close()

@@ -56,6 +56,42 @@ def test_format_mentions_the_essentials():
     assert "mylib:1" in text
 
 
+def _chaos_events():
+    return _events() + [
+        Event(4.0, "fault_injected", worker="w1", category="crash"),
+        Event(4.0, "fault_injected", worker="w0", file="f2",
+              category="transfer_corrupt"),
+        Event(4.1, "worker_leave", worker="w1"),
+        Event(4.1, "transfer_failed", worker="w0", file="f2", size=1,
+              category="w1"),
+        Event(4.2, "task_requeued", task="t2"),
+        Event(4.3, "file_regenerated", file="f2", task="t1"),
+        Event(4.4, "worker_blocklist", worker="w1"),
+    ]
+
+
+def test_replay_folds_faults_and_recovery():
+    st = replay_status(_chaos_events(), runtime="sim")
+    assert st.faults_by_category == {"crash": 1, "transfer_corrupt": 1}
+    assert st.faults_injected == 2
+    assert st.transfers_failed == 1
+    assert st.tasks_requeued == 1
+    assert st.files_regenerated == 1
+    assert st.workers_blocklisted == 1
+
+
+def test_format_renders_chaos_section_only_when_present():
+    quiet = format_log_status(replay_status(_events(), runtime="sim"))
+    assert "faults injected" not in quiet
+    assert "recovery:" not in quiet
+    chaos = format_log_status(replay_status(_chaos_events(), runtime="sim"))
+    assert "faults injected: 2 (crash:1  transfer_corrupt:1)" in chaos
+    assert (
+        "recovery: 1 failed transfers, 1 requeues, "
+        "1 regenerations, 1 blocklisted" in chaos
+    )
+
+
 def test_cli_renders_a_log_file(tmp_path, capsys):
     path = str(tmp_path / "txn.jsonl")
     with TransactionLogWriter(path, runtime="sim") as writer:
