@@ -102,6 +102,111 @@ def test_bench_scheduler_placement_100_workers(benchmark, bench_report):
     bench_report.record("placements_per_second", 64 / benchmark.stats.stats.mean)
 
 
+def _fresh_tasks(n_tasks, n_files, inputs_per_task=4):
+    rng = random.Random(3)
+    tasks = []
+    for i in range(n_tasks):
+        t = _named_task(inputs_per_task, rng, n_files)
+        t.task_id = f"t{i + 1}"
+        t.seq = i + 1
+        t.priority = float(rng.randrange(4))
+        tasks.append(t)
+    return tasks
+
+
+def _bump(view):
+    """A dispatch's effect on a worker view (one more 1-core task)."""
+    return WorkerView(
+        worker_id=view.worker_id,
+        capacity=view.capacity,
+        allocated=Resources(
+            cores=view.allocated.cores + 1,
+            memory=view.allocated.memory,
+            disk=view.allocated.disk,
+            gpus=view.allocated.gpus,
+        ),
+        running_tasks=view.running_tasks + 1,
+    )
+
+
+def _legacy_pump(sched, tasks, views):
+    """The pre-index pump: full sort, then an every-worker scan per task."""
+    views = dict(views)
+    placed = []
+    for t in Scheduler.order_ready(tasks):
+        wid = sched.choose_worker(t, views)
+        if wid is None:
+            continue
+        placed.append((t.task_id, wid))
+        views[wid] = _bump(views[wid])
+    return placed
+
+
+def _indexed_pump(sched, tasks, views):
+    """The incremental pump: ReadyQueue heap + PlacementIndex."""
+    from repro.core.scheduler import PlacementIndex, ReadyQueue
+
+    queue = ReadyQueue()
+    for t in tasks:
+        queue.push(t)
+    index = PlacementIndex(dict(views))
+    placed = []
+    for entry in queue.pop_entries(queue.snapshot_token):
+        t = entry[3]
+        wid = sched.choose_worker_indexed(t, index)
+        queue.discard(t)
+        if wid is None:
+            continue
+        placed.append((t.task_id, wid))
+        index.update(wid, _bump(index.views[wid]))
+    return placed
+
+
+def test_sched_pump(bench_report):
+    """Pump scaling grid: per-pump wall time, legacy scan vs. indexes.
+
+    Each cell places every ready task of one pump against a cluster
+    (worker capacity sized so all fit), timing the old sort+scan loop
+    and the heap+index loop over the *same* state — and asserts the
+    placement sequences are identical, so the speedup is measured on
+    provably equivalent decisions.  Acceptance: ≥5× at 200×5000.
+    """
+    import time
+
+    grid = [(25, 500), (100, 2000), (200, 5000)]
+    speedups = {}
+    for n_workers, n_tasks in grid:
+        n_files = n_tasks // 10
+        sched, views = _make_scheduler(n_workers, n_files)
+        for v in views.values():
+            # every task is 1-core; make sure the whole pump places
+            v.capacity = Resources(
+                cores=-(-n_tasks // n_workers) + 1, memory=64_000, disk=64_000
+            )
+        tasks = _fresh_tasks(n_tasks, n_files)
+
+        start = time.perf_counter()
+        legacy = _legacy_pump(sched, tasks, views)
+        legacy_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        indexed = _indexed_pump(sched, tasks, views)
+        indexed_s = time.perf_counter() - start
+
+        assert indexed == legacy, (
+            f"indexed pump diverged from legacy at {n_workers}x{n_tasks}"
+        )
+        assert len(legacy) == n_tasks
+        cell = f"{n_workers}w_{n_tasks}t"
+        speedups[cell] = legacy_s / indexed_s
+        bench_report.record(f"legacy_pump_seconds_{cell}", legacy_s)
+        bench_report.record(f"indexed_pump_seconds_{cell}", indexed_s)
+        bench_report.record(f"speedup_{cell}", legacy_s / indexed_s)
+    assert speedups["200w_5000t"] >= 5.0, (
+        f"indexed pump only {speedups['200w_5000t']:.1f}x faster at 200x5000"
+    )
+
+
 def test_bench_transfer_planning(benchmark, bench_report):
     """Source selection under per-source limits for a 6-input task."""
     sched, views = _make_scheduler(50, 200)

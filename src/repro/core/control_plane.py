@@ -27,6 +27,7 @@ Rules of the split:
 from __future__ import annotations
 
 import collections
+import itertools
 import random
 import time
 from dataclasses import dataclass, field
@@ -42,6 +43,8 @@ from repro.core.scheduler import (
     GATE_AVOID,
     GATE_BANNED,
     GATE_OK,
+    PlacementIndex,
+    ReadyQueue,
     Scheduler,
     WorkerView,
 )
@@ -258,8 +261,19 @@ class ControlPlane:
         self._rng = random.Random(f"{rng_seed}:backoff")
 
         self.tasks: dict[str, Task] = {}
-        self._ready: list[Task] = []
+        self._ready = ReadyQueue()
+        #: per-manager task id/sequence counter: two managers in one
+        #: process issue identical ``t1, t2, …`` streams (chaos replay)
+        self._task_seq = itertools.count(1)
         self._dispatched: dict[str, Task] = {}
+        #: incremental staging indexes: which dispatched tasks consume a
+        #: cache name, which are dirty (an input-touching replica or
+        #: transfer event arrived), and which last planned a deferral
+        #: (waiting on source capacity / gate holdoffs, re-planned every
+        #: pump since no input event announces a freed slot)
+        self._dispatched_by_input: dict[str, set[str]] = {}
+        self._stage_dirty: set[str] = set()
+        self._deferred_staging: set[str] = set()
         self._running: dict[str, Task] = {}
         #: tasks whose completion awaits runtime-side retrieval
         self._finishing: dict[str, Task] = {}
@@ -320,11 +334,16 @@ class ControlPlane:
         #: per-source-kind concurrency gauges, created as kinds appear
         self._kind_gauges: dict[str, "object"] = {}
         self._pump_depth = 0
+        #: scheduler hot-path instruments: per-pump policy time in µs
+        #: and how many (task, worker) pairs placement actually scored
+        self._m_pump_us = self.metrics.histogram("sched.pump_us")
+        self._m_candidates = self.metrics.counter("sched.candidates_scored")
 
         # the scheduler consults the control plane's failure knowledge
         # when ranking placements and picking transfer sources
         self.scheduler.transfer_gate = self._transfer_gate
         self.scheduler.failure_score = lambda wid: self.failure_scores[wid]
+        self.scheduler.candidates_counter = self._m_candidates
 
     # ------------------------------------------------------------------
     # declarations
@@ -354,7 +373,15 @@ class ControlPlane:
     # ------------------------------------------------------------------
 
     def submit(self, task: Task) -> str:
-        """Accept a validated, fully-named task into the ready queue."""
+        """Accept a validated, fully-named task into the ready queue.
+
+        Submission stamps the task's identity: a monotonic per-manager
+        ``seq`` (the FIFO key the scheduler orders by) and, unless the
+        application supplied one, the id ``t<seq>``.
+        """
+        task.seq = next(self._task_seq)
+        if task.task_id is None:
+            task.task_id = f"t{task.seq}"
         for _, f in task.inputs:
             self._input_refs[f.cache_name] += 1
         for _, f in task.outputs:
@@ -367,7 +394,7 @@ class ControlPlane:
         task.state = TaskState.READY
         task.submitted_at = self.port.now()
         self.tasks[task.task_id] = task
-        self._ready.append(task)
+        self._ready.push(task)
         self.outstanding += 1
         self.port.request_pump()
         return task.task_id
@@ -377,7 +404,7 @@ class ControlPlane:
         if task.is_done or task.task_id not in self.tasks:
             return False
         if task.state == TaskState.READY:
-            self._ready = [t for t in self._ready if t.task_id != task.task_id]
+            self._ready.discard(task)
             self._gc_task_inputs(task)
         elif task.state in (TaskState.DISPATCHED, TaskState.RUNNING):
             if task.state == TaskState.RUNNING and self.port.worker_connected(
@@ -386,6 +413,7 @@ class ControlPlane:
                 self.port.cancel_task(task)
             self._abort_placement(task)
             self._dispatched.pop(task.task_id, None)
+            self._drop_stage_index(task)
             self._running.pop(task.task_id, None)
             self._gc_task_inputs(task)
         task.state = TaskState.CANCELLED
@@ -467,11 +495,12 @@ class ControlPlane:
 
     def _requeue(self, task: Task, reason: str = "retry") -> None:
         self._unpin(task)
+        self._drop_stage_index(task)
         task.retries_used += 1
         task.state = TaskState.READY
         task.worker_id = None
         task.not_before = self._requeue_holdoff(task)
-        self._ready.append(task)
+        self._ready.push(task)
         self._m_requeues.inc()
         self.log.emit(
             self.port.now(), "task_requeued",
@@ -533,8 +562,9 @@ class ControlPlane:
         ):
             ok = True  # the function's exception is delivered through output()
         task.state = TaskState.DONE if ok else TaskState.FAILED
-        self._ready = [t for t in self._ready if t.task_id != task.task_id]
+        self._ready.discard(task)
         self._dispatched.pop(task.task_id, None)
+        self._drop_stage_index(task)
         self._running.pop(task.task_id, None)
         self._finishing.pop(task.task_id, None)
         self.outstanding -= 1
@@ -573,12 +603,43 @@ class ControlPlane:
                     self.log.emit(
                         self.port.now(), "file_deleted", worker=holder, file=name
                     )
+                self._mark_stage_dirty(name)
+
+    # -- staging dirty-set maintenance ---------------------------------
+
+    def _mark_stage_dirty(self, cache_name: str) -> None:
+        """A replica/transfer event touched ``cache_name``: re-plan the
+        dispatched tasks that consume it on the next pump."""
+        tids = self._dispatched_by_input.get(cache_name)
+        if tids is None:
+            return
+        tids &= self._dispatched.keys()  # prune tasks that moved on
+        if tids:
+            self._stage_dirty |= tids
+        else:
+            del self._dispatched_by_input[cache_name]
+
+    def _mark_all_stage_dirty(self) -> None:
+        """Cluster-membership change: re-plan every dispatched task."""
+        self._stage_dirty |= self._dispatched.keys()
+
+    def _drop_stage_index(self, task: Task) -> None:
+        """Remove a task leaving DISPATCHED from the staging indexes."""
+        tid = task.task_id
+        self._stage_dirty.discard(tid)
+        self._deferred_staging.discard(tid)
+        for name in task.input_cache_names():
+            tids = self._dispatched_by_input.get(name)
+            if tids is not None:
+                tids.discard(tid)
+                if not tids:
+                    del self._dispatched_by_input[name]
 
     def fail_tasks_needing(self, cache_name: str, reason: str) -> None:
         """Terminally fail every queued/staged task that needs a dead input."""
         doomed = [
             t
-            for t in list(self._ready) + list(self._dispatched.values())
+            for t in self._ready.tasks() + list(self._dispatched.values())
             if cache_name in t.input_cache_names()
         ]
         for t in doomed:
@@ -622,6 +683,7 @@ class ControlPlane:
             self.port.now(), "file_cached",
             worker=worker_id, file=cache_name, size=size,
         )
+        self._mark_stage_dirty(cache_name)
         for job in self._staging:
             if job.worker_id == worker_id and not job.started:
                 self._advance_staging(job)
@@ -630,6 +692,7 @@ class ControlPlane:
         """A worker dropped a replica on its own (cache pressure)."""
         size = self.replicas.size_of(cache_name)
         self.replicas.remove_replica(cache_name, worker_id)
+        self._mark_stage_dirty(cache_name)
         self._m_evictions.inc()
         self._m_eviction_bytes.inc(size)
         self.log.emit(
@@ -669,6 +732,7 @@ class ControlPlane:
         than as a defect of the destination or of the task.
         """
         self.replicas.remove_replica(cache_name, worker_id)
+        self._mark_stage_dirty(cache_name)
         if transfer_id is None:
             self.port.request_pump()
             return  # autonomous eviction, not a failed command
@@ -918,6 +982,7 @@ class ControlPlane:
         for lib in self.libraries.values():
             if lib.installed:
                 self._deploy_library(lib, worker_id)
+        self._mark_all_stage_dirty()
         self.port.request_pump()
         return state
 
@@ -929,8 +994,14 @@ class ControlPlane:
             return
         self.log.emit(self.port.now(), "worker_leave", worker=worker_id)
         lost_names = self.replicas.remove_worker(worker_id)
-        self.transfers.cancel_for_worker(worker_id)
+        cancelled = self.transfers.cancel_for_worker(worker_id)
         self._sync_transfer_gauges()
+        # tasks consuming a lost replica or a cancelled in-flight
+        # transfer must re-plan their staging on the next pump
+        for name in lost_names:
+            self._mark_stage_dirty(name)
+        for record in cancelled:
+            self._mark_stage_dirty(record.cache_name)
         self._staging = [j for j in self._staging if j.worker_id != worker_id]
         self._pinned.pop(worker_id, None)
         for lib in self.libraries.values():
@@ -948,6 +1019,7 @@ class ControlPlane:
         ]
         for task in lost_tasks:
             self._dispatched.pop(task.task_id, None)
+            self._drop_stage_index(task)
             self._running.pop(task.task_id, None)
             self.port.task_preempted(task)
             if isinstance(task, FunctionCall):
@@ -970,7 +1042,7 @@ class ControlPlane:
             task.worker_id = None
             task.state = TaskState.READY
             task.not_before = self._requeue_holdoff(task)
-            self._ready.append(task)
+            self._ready.push(task)
             self.tasks_requeued += 1
             self._m_requeues.inc()
             self.log.emit(
@@ -1054,7 +1126,7 @@ class ControlPlane:
                 and self.fixed_sources.get(name) == NO_SOURCE
             ):
                 ok &= self._regenerate(name)
-        self._ready.append(producer)
+        self._ready.push(producer)
         return ok
 
     def _ensure_replication(self, cache_name: str) -> None:
@@ -1091,9 +1163,7 @@ class ControlPlane:
             self._start_transfer(cache_name, source, wid)
 
     def _cached_bytes(self, worker_id: str) -> int:
-        return sum(
-            self.replicas.size_of(n) for n in self.replicas.holdings(worker_id)
-        )
+        return self.replicas.bytes_at(worker_id)  # O(1) incremental index
 
     # ------------------------------------------------------------------
     # the scheduling pump
@@ -1138,65 +1208,93 @@ class ControlPlane:
             self._pump_body()
         finally:
             self._pump_depth = 0
-            self._m_pump.observe(time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            self._m_pump.observe(elapsed)
+            self._m_pump_us.observe(elapsed * 1e6)
             self._m_ready_depth.set(len(self._ready))
 
     def _pump_body(self) -> None:
-        # 1. placement — view dicts are built lazily per library key and
-        # updated in place after each dispatch, so a pump over thousands
-        # of ready tasks touches each worker once, not once per task
-        views_cache: dict[Optional[str], dict[str, WorkerView]] = {}
+        # 1. placement — ready tasks are popped from the priority heap
+        # in (-priority, seq) order instead of re-sorting the whole
+        # queue; placement indexes are built lazily per library key and
+        # updated in place after each dispatch, so a pump touches each
+        # worker once, not once per task
+        index_cache: dict[Optional[str], PlacementIndex] = {}
 
-        def get_views(key: Optional[str]) -> dict[str, WorkerView]:
-            if key not in views_cache:
+        def get_index(key: Optional[str]) -> PlacementIndex:
+            if key not in index_cache:
                 views = {}
                 for wid in self.workers:
                     v = self._view_of(wid, key)
                     if v is not None:
                         views[wid] = v
-                views_cache[key] = views
-            return views_cache[key]
+                index_cache[key] = PlacementIndex(
+                    views, self.scheduler.failure_score
+                )
+            return index_cache[key]
 
-        placed = []
         failures = 0
         recovered = False
         now = self.port.now()
         next_retry: Optional[float] = None
-        for task in Scheduler.order_ready(self._ready):
-            if task.state != TaskState.READY:
-                continue  # failed terminally earlier in this very loop
-            holdoff = getattr(task, "not_before", 0.0)
-            if holdoff > now:
-                # requeue backoff: not eligible yet, wake up when it is
-                next_retry = holdoff if next_retry is None else min(next_retry, holdoff)
-                continue
-            if not self._inputs_obtainable(task):
-                before = len(self._ready)
-                self._recover_lost_inputs(task)
-                recovered |= len(self._ready) > before
-                continue
-            key = task.library_name if isinstance(task, FunctionCall) else None
-            wid = self.scheduler.choose_worker(task, get_views(key))
-            if wid is None:
-                failures += 1
-                if failures >= 64:
-                    break
-                continue
-            self._dispatch(task, wid)
-            placed.append(task)
-            for k, vdict in views_cache.items():
-                fresh = self._view_of(wid, k)
-                if fresh is None:
-                    vdict.pop(wid, None)
-                else:
-                    vdict[wid] = fresh
-        if placed:
-            placed_ids = {t.task_id for t in placed}
-            self._ready = [t for t in self._ready if t.task_id not in placed_ids]
+        # entries pushed from this token onward (lineage producers
+        # resurrected mid-loop) wait for the recursive re-pump — the
+        # same snapshot semantics the sorted-list pump had
+        snapshot = self._ready.snapshot_token
+        stash: list = []
+        entries = self._ready.pop_entries(snapshot)
+        try:
+            for entry in entries:
+                task = entry[3]
+                if task.state != TaskState.READY:
+                    # failed terminally earlier in this very loop
+                    self._ready.discard(task)
+                    continue
+                if task.not_before > now:
+                    # requeue backoff: not eligible yet, wake when it is
+                    next_retry = (
+                        task.not_before
+                        if next_retry is None
+                        else min(next_retry, task.not_before)
+                    )
+                    stash.append(entry)
+                    continue
+                if not self._inputs_obtainable(task):
+                    before = len(self._ready)
+                    self._recover_lost_inputs(task)
+                    recovered |= len(self._ready) > before
+                    stash.append(entry)
+                    continue
+                key = task.library_name if isinstance(task, FunctionCall) else None
+                wid = self.scheduler.choose_worker_indexed(task, get_index(key))
+                if wid is None:
+                    failures += 1
+                    stash.append(entry)
+                    if failures >= 64:
+                        break
+                    continue
+                self._ready.discard(task)
+                self._dispatch(task, wid)
+                for k, idx in index_cache.items():
+                    idx.update(wid, self._view_of(wid, k))
+        finally:
+            entries.close()  # returns mid-loop pushes to the heap
+            for entry in stash:
+                self._ready.restore(entry)
 
-        # 2. input staging for dispatched tasks
-        for task in list(self._dispatched.values()):
-            self._stage_inputs(task)
+        # 2. input staging for dispatched tasks — only those whose
+        # inputs saw a replica/transfer event since the last pump, plus
+        # those waiting on source capacity or a gate holdoff (no event
+        # announces a freed slot or an expired backoff)
+        recheck = self._stage_dirty
+        self._stage_dirty = set()
+        recheck |= self._deferred_staging
+        if recheck:
+            for tid in list(self._dispatched):
+                if tid in recheck:
+                    task = self._dispatched.get(tid)
+                    if task is not None:
+                        self._stage_inputs(task)
 
         # 3. library deployments: start ones that could not fit earlier
         # (e.g. plain tasks held every core at install time) and advance
@@ -1273,6 +1371,9 @@ class ControlPlane:
             self._lib_load[(worker_id, task.library_name)] += 1
         for name in task.input_cache_names():
             self._pinned[worker_id][name] += 1
+            # reverse index: replica/transfer events touching this name
+            # mark the task for a staging re-plan on the next pump
+            self._dispatched_by_input.setdefault(name, set()).add(task.task_id)
         self._stage_inputs(task)
 
     def pinned_at(self, worker_id: str) -> set[str]:
@@ -1283,11 +1384,20 @@ class ControlPlane:
         wid = task.worker_id
         assert wid is not None
         if isinstance(task, FunctionCall) and not task.inputs:
+            self._deferred_staging.discard(task.task_id)
             self._start_execution(task)
             return
         plan = self.scheduler.plan_transfers(task, wid, self.fixed_sources)
         for cache_name, source in plan.transfers:
             self._start_transfer(cache_name, source, wid)
+        # a deferred input has no event that announces its unblocking
+        # (a freed source slot / an expired peer-gate holdoff), so the
+        # task stays on the every-pump recheck list until the plan is
+        # deferral-free
+        if plan.deferred:
+            self._deferred_staging.add(task.task_id)
+        else:
+            self._deferred_staging.discard(task.task_id)
         if all(self.replicas.has_replica(n, wid) for n in task.input_cache_names()):
             self._start_execution(task)
 
@@ -1351,6 +1461,7 @@ class ControlPlane:
         if task.state != TaskState.DISPATCHED:
             return
         self._dispatched.pop(task.task_id, None)
+        self._drop_stage_index(task)
         self._running[task.task_id] = task
         task.state = TaskState.RUNNING
         task.started_at = self.port.now()

@@ -498,8 +498,9 @@ class Manager:
                     )
             for _, f in task.inputs:
                 if f.cache_name is None or f.cache_name not in self.control.fixed_sources:
+                    # ids are assigned at submit, so name the command here
                     raise ManagerError(
-                        f"input {f.file_id} of {task.task_id} was not declared"
+                        f"input {f.file_id} of task {task.command!r} was not declared"
                     )
             for _, f in task.outputs:
                 if f.cache_name is None:

@@ -5,6 +5,20 @@ cache name it records which workers hold a replica and how large the
 object is.  The table is updated from worker ``cache-update`` and
 ``cache-invalid`` messages and consulted by the scheduler both for task
 placement (locality) and for choosing peer transfer sources.
+
+The table maintains *incremental indexes* alongside the raw facts so
+the scheduler's hot path never rescans state:
+
+* ``bytes_at(worker)`` — total known bytes held per worker, updated in
+  O(1) on every replica event (used to rank replication targets).
+* ``locality_scores(names)`` — per-worker byte totals restricted to one
+  task's inputs, computed by walking the *holders of those inputs* only
+  (O(replicas-of-inputs)) instead of probing every worker.
+
+Every mutation prunes exhausted entries: a name with no surviving
+replica drops its worker set *and* its recorded size, and a worker with
+no holdings drops its name set and byte total — a long-lived manager's
+table is bounded by live replicas, not by everything it ever saw.
 """
 
 from __future__ import annotations
@@ -21,6 +35,8 @@ class ReplicaTable:
         self._workers_by_name: dict[str, set[str]] = {}
         self._names_by_worker: dict[str, set[str]] = {}
         self._sizes: dict[str, int] = {}
+        #: incremental per-worker byte totals (sum of known sizes held)
+        self._bytes_by_worker: dict[str, int] = {}
 
     # -- mutation -------------------------------------------------------
 
@@ -28,48 +44,86 @@ class ReplicaTable:
         """Record that ``worker_id`` now holds ``cache_name``.
 
         Idempotent; ``size`` (bytes) is recorded the first time it is
-        learned and must not contradict a previously known size.
+        learned and must not contradict a previously known size.  When a
+        size is learned *after* replicas exist, every current holder's
+        byte total is credited retroactively, so the incremental index
+        always equals a from-scratch recount.
         """
-        self._workers_by_name.setdefault(cache_name, set()).add(worker_id)
-        self._names_by_worker.setdefault(worker_id, set()).add(cache_name)
-        if size is not None:
-            known = self._sizes.get(cache_name)
-            if known is not None and known != size:
-                raise ValueError(
-                    f"size mismatch for {cache_name}: {known} vs {size} "
-                    "(files are immutable)"
-                )
+        known = self._sizes.get(cache_name)
+        if size is not None and known is not None and known != size:
+            raise ValueError(
+                f"size mismatch for {cache_name}: {known} vs {size} "
+                "(files are immutable)"
+            )
+        holders = self._workers_by_name.setdefault(cache_name, set())
+        newly_held = worker_id not in holders
+        if newly_held:
+            holders.add(worker_id)
+            self._names_by_worker.setdefault(worker_id, set()).add(cache_name)
+        if size is not None and known is None:
             self._sizes[cache_name] = size
+            if size:
+                for w in holders:
+                    self._bytes_by_worker[w] = self._bytes_by_worker.get(w, 0) + size
+        elif newly_held:
+            s = self._sizes.get(cache_name, 0)
+            if s:
+                self._bytes_by_worker[worker_id] = (
+                    self._bytes_by_worker.get(worker_id, 0) + s
+                )
 
     def remove_replica(self, cache_name: str, worker_id: str) -> None:
         """Forget one replica; idempotent if already absent."""
         workers = self._workers_by_name.get(cache_name)
-        if workers is not None:
-            workers.discard(worker_id)
-            if not workers:
-                del self._workers_by_name[cache_name]
+        if workers is None or worker_id not in workers:
+            return
+        workers.discard(worker_id)
+        self._debit(worker_id, cache_name)
         names = self._names_by_worker.get(worker_id)
         if names is not None:
             names.discard(cache_name)
+            if not names:
+                del self._names_by_worker[worker_id]
+        if not workers:
+            del self._workers_by_name[cache_name]
+            self._sizes.pop(cache_name, None)
 
     def remove_worker(self, worker_id: str) -> set[str]:
         """Drop every replica held by a departed worker; returns the names."""
         names = self._names_by_worker.pop(worker_id, set())
+        self._bytes_by_worker.pop(worker_id, None)
         for name in names:
             workers = self._workers_by_name.get(name)
             if workers is not None:
                 workers.discard(worker_id)
                 if not workers:
                     del self._workers_by_name[name]
+                    self._sizes.pop(name, None)
         return names
 
     def forget_name(self, cache_name: str) -> set[str]:
         """Drop every replica of a file (e.g. after garbage collection)."""
         workers = self._workers_by_name.pop(cache_name, set())
         for w in workers:
-            self._names_by_worker.get(w, set()).discard(cache_name)
+            self._debit(w, cache_name)
+            names = self._names_by_worker.get(w)
+            if names is not None:
+                names.discard(cache_name)
+                if not names:
+                    del self._names_by_worker[w]
         self._sizes.pop(cache_name, None)
         return workers
+
+    def _debit(self, worker_id: str, cache_name: str) -> None:
+        """Subtract one replica's bytes from a worker's running total."""
+        s = self._sizes.get(cache_name, 0)
+        if not s:
+            return
+        remaining = self._bytes_by_worker.get(worker_id, 0) - s
+        if remaining > 0:
+            self._bytes_by_worker[worker_id] = remaining
+        else:
+            self._bytes_by_worker.pop(worker_id, None)
 
     # -- queries ----------------------------------------------------------
 
@@ -90,8 +144,45 @@ class ReplicaTable:
         return len(self._workers_by_name.get(cache_name, ()))
 
     def size_of(self, cache_name: str, default: int = 0) -> int:
-        """Known size in bytes, or ``default`` if never reported."""
+        """Known size in bytes, or ``default`` if never reported.
+
+        Sizes are pruned with their last replica, so a name nobody holds
+        reports ``default`` even if a size was once known.
+        """
         return self._sizes.get(cache_name, default)
+
+    def bytes_at(self, worker_id: str) -> int:
+        """Total known bytes held by one worker — O(1) from the index."""
+        return self._bytes_by_worker.get(worker_id, 0)
+
+    def workers_holding_any(self, cache_names: Iterable[str]) -> set[str]:
+        """Union of holders over ``cache_names`` (the placement candidates)."""
+        out: set[str] = set()
+        for n in cache_names:
+            w = self._workers_by_name.get(n)
+            if w:
+                out |= w
+        return out
+
+    def locality_scores(self, cache_names: Iterable[str]) -> dict[str, int]:
+        """Per-worker input-byte totals for one task's inputs.
+
+        Walks the holders of each input (rather than probing every
+        worker), so the cost scales with the replicas of *these* files.
+        Workers holding only zero-sized (or size-unknown) inputs score 0
+        and are omitted — for placement they rank identically to
+        non-holders, which the fallback path already covers.  A name
+        listed twice is counted twice, exactly as
+        :meth:`cached_bytes_at` does over the same list.
+        """
+        scores: dict[str, int] = {}
+        for n in cache_names:
+            size = self._sizes.get(n, 0)
+            if not size:
+                continue
+            for w in self._workers_by_name.get(n, ()):
+                scores[w] = scores.get(w, 0) + size
+        return scores
 
     def cached_bytes_at(self, worker_id: str, cache_names: Iterable[str]) -> int:
         """Total known bytes of ``cache_names`` already present at a worker.

@@ -15,19 +15,48 @@ This module is *pure policy* — no I/O, no clocks — so the real runtime
   the original source); failing that, the file's *fixed* source
   (manager or remote URL) if under its own limit; failing that the
   transfer is deferred, which is what prevents hotspots.
+
+Two implementations of placement coexist, by design:
+
+* :meth:`Scheduler.choose_worker` — the *reference scan*: rank every
+  eligible worker by ``(-cached_bytes, failure, running, id)``.  O(W·I)
+  per task; kept as the decision oracle for the equivalence suite and
+  the benchmark baseline.
+* :meth:`Scheduler.choose_worker_indexed` — the *hot path*: score only
+  workers holding ≥1 input replica (from :class:`ReplicaTable`'s
+  holder index) and compare the best against a least-loaded fallback
+  popped from a :class:`PlacementIndex` heap.  Produces byte-identical
+  decisions (the zero-score fallback is provably equivalent to ranking
+  every non-holder) at O(replicas-of-inputs + log W) per task.
+
+:class:`ReadyQueue` replaces the per-pump full sort of the ready list
+with a lazy-deletion priority heap keyed on ``(-priority, seq)`` —
+``seq`` being the monotonic submission sequence a manager stamps on
+each task (the old ``int(task_id.lstrip("t"))`` key crashed on any
+foreign id and mis-parsed repeated leading ``t``\\ s).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Callable, Iterator, Mapping, Optional, Sequence
 
 from repro.core.replica_table import ReplicaTable
 from repro.core.resources import Resources
 from repro.core.task import Task
 from repro.core.transfer_table import MANAGER_SOURCE, TransferTable
 
-__all__ = ["WorkerView", "TransferPlan", "Scheduler", "GATE_OK", "GATE_AVOID", "GATE_BANNED"]
+__all__ = [
+    "WorkerView",
+    "TransferPlan",
+    "Scheduler",
+    "ReadyQueue",
+    "PlacementIndex",
+    "GATE_OK",
+    "GATE_AVOID",
+    "GATE_BANNED",
+]
 
 #: transfer-gate verdicts (see :attr:`Scheduler.transfer_gate`)
 GATE_OK = 0        # source is clear to serve this object now
@@ -84,6 +113,149 @@ class TransferPlan:
         return not self.deferred
 
 
+class ReadyQueue:
+    """Priority heap of ready tasks ordered by ``(-priority, seq)``.
+
+    Entries are invalidated lazily: :meth:`discard` drops the task's
+    *token* and the stale heap entry is skipped when it surfaces, so
+    removal (task finished, cancelled, failed) is O(1) instead of the
+    old O(n) list rebuild.  Pushing an already-queued task supersedes
+    its previous entry (latest token wins).
+
+    The token counter is also the pump's snapshot clock: entries pushed
+    *during* a pump (lineage producers resurrected mid-loop) carry a
+    token greater than the loop's snapshot and are deferred to the
+    recursive re-pump, preserving the pre-heap "iterate over a sorted
+    snapshot" semantics decision-for-decision.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Task]] = []
+        #: task_id -> (live token, task); absent = not queued.  Owning
+        #: the task reference here keeps :meth:`tasks` complete even
+        #: while a pump holds popped entries in its local stash.
+        self._live: dict[str, tuple[int, Task]] = {}
+        self._next_token = 1
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._live
+
+    @property
+    def snapshot_token(self) -> int:
+        """Entries with a token at or beyond this were pushed after now."""
+        return self._next_token
+
+    def push(self, task: Task) -> None:
+        """Queue (or re-queue) a ready task."""
+        token = self._next_token
+        self._next_token += 1
+        self._live[task.task_id] = (token, task)
+        heapq.heappush(self._heap, (-task.priority, task.seq, token, task))
+
+    def discard(self, task: Task) -> None:
+        """Drop a task if queued; its heap entry dies lazily."""
+        self._live.pop(task.task_id, None)
+
+    def tasks(self) -> list[Task]:
+        """Every live queued task (order unspecified)."""
+        return [task for _, task in self._live.values()]
+
+    def pop_entries(self, upto_token: int) -> Iterator[tuple[float, int, int, Task]]:
+        """Yield valid entries in priority order, skipping stale ones.
+
+        Only entries with ``token < upto_token`` are yielded; newer ones
+        (pushed mid-iteration) are returned to the heap when iteration
+        ends.  The caller must either :meth:`discard` the yielded task
+        (placed/failed) or hand the entry back through :meth:`restore`.
+        """
+        deferred: list[tuple[float, int, int, Task]] = []
+        try:
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                _, _, token, task = entry
+                live = self._live.get(task.task_id)
+                if live is None or live[0] != token:
+                    continue  # discarded or superseded: drop silently
+                if token >= upto_token:
+                    deferred.append(entry)
+                    continue
+                yield entry
+        finally:
+            for entry in deferred:
+                heapq.heappush(self._heap, entry)
+
+    def restore(self, entry: tuple[float, int, int, Task]) -> None:
+        """Return an unplaced entry to the heap (unless discarded since)."""
+        _, _, token, task = entry
+        live = self._live.get(task.task_id)
+        if live is not None and live[0] == token:
+            heapq.heappush(self._heap, entry)
+
+
+class PlacementIndex:
+    """Per-pump worker views plus a load heap for fallback placement.
+
+    Wraps the pump's per-library-key view dict with a min-heap keyed by
+    ``(failure_score, running_tasks, worker_id)`` — the exact rank of a
+    worker holding none of a task's inputs.  Entries go stale when a
+    dispatch changes a worker's load; staleness is detected lazily on
+    pop by comparing against the live view, so updates are O(log W)
+    pushes and queries are amortized O(log W).
+    """
+
+    def __init__(
+        self,
+        views: dict[str, WorkerView],
+        failure_score: Optional[Callable[[str], int]] = None,
+    ) -> None:
+        self.views = views
+        self._fs = failure_score or (lambda _w: 0)
+        self._heap = [
+            (self._fs(wid), v.running_tasks, wid) for wid, v in views.items()
+        ]
+        heapq.heapify(self._heap)
+
+    def update(self, worker_id: str, view: Optional[WorkerView]) -> None:
+        """Refresh one worker after a dispatch (None = now ineligible)."""
+        if view is None:
+            self.views.pop(worker_id, None)
+            return
+        self.views[worker_id] = view
+        heapq.heappush(
+            self._heap, (self._fs(worker_id), view.running_tasks, worker_id)
+        )
+
+    def best_fallback(self, request: Resources) -> Optional[str]:
+        """Least-loaded live worker that fits ``request``, or None.
+
+        Pops stale entries permanently; valid entries that merely fail
+        the fit check are restored, so a string of same-shaped tasks
+        pays the scan once.
+        """
+        stash: list[tuple[int, int, str]] = []
+        found: Optional[str] = None
+        heap = self._heap
+        while heap:
+            f, r, wid = heap[0]
+            view = self.views.get(wid)
+            if view is None or (self._fs(wid), view.running_tasks) != (f, r):
+                heapq.heappop(heap)  # stale: superseded or removed
+                continue
+            if not view.draining and view.can_fit(request):
+                found = wid
+                break
+            stash.append(heapq.heappop(heap))
+        for entry in stash:
+            heapq.heappush(heap, entry)
+        return found
+
+
 class Scheduler:
     """Stateless decision procedures over the manager's state tables."""
 
@@ -104,6 +276,9 @@ class Scheduler:
         #: optional hook worker_id -> failure score; workers with higher
         #: scores are deprioritized in placement (after locality)
         self.failure_score: Optional[Callable[[str], int]] = None
+        #: optional counter instrument fed the number of (task, worker)
+        #: pairs actually scored by the indexed hot path
+        self.candidates_counter: Optional[object] = None
 
     # -- placement -------------------------------------------------------
 
@@ -118,6 +293,11 @@ class Scheduler:
         (repeat offenders are deprioritized, paper §2.2 reliability),
         then fewest running tasks (to spread load), then worker id (for
         determinism).  With locality disabled, the locality key is 0.
+
+        This is the *reference scan* — O(workers × inputs) per call.
+        The pump uses :meth:`choose_worker_indexed`, which returns the
+        same decision from the replica-holder index; this path is kept
+        as the oracle for the equivalence suite and benchmarks.
         """
         eligible = [
             w
@@ -138,6 +318,50 @@ class Scheduler:
             return (-score, failure_score(w.worker_id), w.running_tasks, w.worker_id)
 
         return min(eligible, key=rank).worker_id
+
+    def choose_worker_indexed(
+        self, task: Task, index: PlacementIndex
+    ) -> Optional[str]:
+        """Index-backed placement: identical decisions to
+        :meth:`choose_worker`, without scanning every worker.
+
+        Scores only the workers holding ≥1 of the task's input bytes
+        (candidates from :meth:`ReplicaTable.locality_scores`) and
+        compares the best against the least-loaded eligible worker from
+        the index's load heap.  Equivalence argument: every worker
+        outside the candidate set has locality score exactly 0, and for
+        score-0 workers the full rank ``(0, failure, running, id)`` *is*
+        the heap key — the heap minimum therefore ranks at or below
+        every other non-candidate, and comparing it against the best
+        candidate yields the same minimum as the full scan.  (If the
+        heap minimum happens to also be a candidate, its candidate key
+        is ≤ its zero-score key, so the comparison is still exact.)
+        """
+        failure_score = self.failure_score or (lambda _w: 0)
+        best_key: Optional[tuple] = None
+        best: Optional[str] = None
+        scored = 0
+        if self.locality:
+            scores = self.replicas.locality_scores(task.input_cache_names())
+            for wid, score in scores.items():
+                view = index.views.get(wid)
+                if view is None or view.draining or not view.can_fit(task.resources):
+                    continue
+                scored += 1
+                key = (-score, failure_score(wid), view.running_tasks, wid)
+                if best_key is None or key < best_key:
+                    best_key, best = key, wid
+        fallback = index.best_fallback(task.resources)
+        if fallback is not None:
+            scored += 1
+            view = index.views[fallback]
+            key = (0, failure_score(fallback), view.running_tasks, fallback)
+            if best_key is None or key < best_key:
+                best_key, best = key, fallback
+        counter = self.candidates_counter
+        if counter is not None and scored:
+            counter.inc(scored)
+        return best
 
     # -- transfer planning --------------------------------------------------
 
@@ -165,8 +389,12 @@ class Scheduler:
             return self.transfers.source_load(source) + reserved.get(source, 0)
 
         def available(source: str) -> bool:
+            r = reserved.get(source)
+            if not r:
+                # fast path: the table's incremental saturation view
+                return self.transfers.source_available(source)
             limit = self.transfers.limit_for(source)
-            return limit is None or load(source) < limit
+            return limit is None or self.transfers.source_load(source) + r < limit
 
         for cache_name in task.input_cache_names():
             if self.replicas.has_replica(cache_name, worker_id):
@@ -242,7 +470,12 @@ class Scheduler:
 
     @staticmethod
     def order_ready(tasks: Sequence[Task]) -> list[Task]:
-        """Dispatch consideration order: priority desc, then FIFO by id."""
-        return sorted(
-            tasks, key=lambda t: (-t.priority, int(t.task_id.lstrip("t")))
-        )
+        """Dispatch consideration order: priority desc, then FIFO.
+
+        FIFO position is the submit-time ``seq`` — robust to arbitrary
+        task ids (the old ``int(task_id.lstrip("t"))`` key raised ValueError
+        on any id not of the form ``t<N>`` and mis-parsed ids with
+        repeated leading ``t``\\ s, e.g. ``tt12``).  Unsubmitted tasks
+        all carry seq 0 and keep their input order (stable sort).
+        """
+        return sorted(tasks, key=lambda t: (-t.priority, t.seq))

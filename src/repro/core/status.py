@@ -58,15 +58,14 @@ def _worker_rows(manager) -> list[WorkerStatus]:
     for worker_id, state in sorted(control.workers.items()):
         if not control.port.worker_connected(worker_id):
             continue
-        cached = control.replicas.holdings(worker_id)
         rows.append(
             WorkerStatus(
                 worker_id=worker_id,
                 cores_total=state.pool.capacity.cores,
                 cores_allocated=state.pool.allocated.cores,
                 running_tasks=len(state.running),
-                cached_objects=len(cached),
-                cached_bytes=sum(control.replicas.size_of(n) for n in cached),
+                cached_objects=len(control.replicas.holdings(worker_id)),
+                cached_bytes=control.replicas.bytes_at(worker_id),
             )
         )
     return rows

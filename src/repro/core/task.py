@@ -15,7 +15,6 @@ serverless types live in :mod:`repro.core.library`.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -74,18 +73,25 @@ class TaskResult:
         return self.exit_code == 0 and self.failure is None
 
 
-_task_ids = itertools.count(1)
-
-
 class Task:
     """A unit of execution bound to explicit inputs and outputs.
 
     Mutation (adding files, setting resources) is only legal before
     submission; the manager owns the task afterwards.
+
+    Identity is assigned *at submission* by the owning manager's
+    control plane: ``task_id`` (``t<N>``) and the monotonic dispatch
+    sequence number ``seq`` both come from a per-manager counter, so
+    two managers in one process issue identical id streams — the
+    property the fixed-seed chaos-replay tests depend on.  Before
+    submission ``task_id`` is None and ``seq`` is 0.
     """
 
     def __init__(self, command: str) -> None:
-        self.task_id: str = f"t{next(_task_ids)}"
+        self.task_id: Optional[str] = None
+        #: monotonic FIFO sequence assigned at submit; the scheduler
+        #: orders ready tasks by ``(-priority, seq)``
+        self.seq: int = 0
         self.command = command
         #: ``(sandbox_name, File)`` pairs, in attachment order
         self.inputs: list[tuple[str, File]] = []
@@ -108,6 +114,8 @@ class Task:
         self.result: Optional[TaskResult] = None
         #: worker id the task is (or was last) placed on
         self.worker_id: Optional[str] = None
+        #: earliest re-placement time after a requeue backoff (0 = now)
+        self.not_before: float = 0.0
         #: virtual/wall timestamps filled in by the runtimes for traces
         self.submitted_at: Optional[float] = None
         self.started_at: Optional[float] = None
@@ -193,7 +201,9 @@ class Task:
         names = []
         for _, f in self.inputs:
             if f.cache_name is None:
-                raise RuntimeError(f"input {f.file_id} of {self.task_id} unnamed")
+                raise RuntimeError(
+                    f"input {f.file_id} of {self.task_id or self.command!r} unnamed"
+                )
             names.append(f.cache_name)
         return names
 
@@ -203,7 +213,8 @@ class Task:
         return self.state in TERMINAL_STATES
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Task {self.task_id} {self.state.value} {self.command[:40]!r}>"
+        tid = self.task_id or "<unsubmitted>"
+        return f"<Task {tid} {self.state.value} {self.command[:40]!r}>"
 
 
 class PythonTask(Task):

@@ -1,25 +1,34 @@
 """Current Transfer Table: supervision of in-flight data movement.
 
-Every transfer the manager schedules is recorded here with a UUID that
+Every transfer the manager schedules is recorded here with an id that
 the worker echoes back in its ``cache-update`` message (paper §3.3).
 The table lets the scheduler observe how many concurrent connections
 each *source* (a worker, the manager itself, or a remote URL host) is
 serving, which is what enables the per-source concurrency limits that
 prevent network hotspots (paper Fig. 11).
+
+Saturation is tracked *incrementally*: a source enters ``_saturated``
+when ``begin`` takes its last slot and leaves it when ``complete``
+frees one, so :meth:`source_available` and
+:meth:`sources_with_capacity` are set lookups — the transfer-planning
+hot path never recomputes ``limit_for``/``source_load`` per input.
+
+Transfer ids come from a counter owned by *this* table (not a module
+global): every manager in a process sees the same ``x1, x2, …``
+stream, which the fixed-seed bit-for-bit chaos-replay guarantee
+depends on.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 __all__ = ["Transfer", "TransferTable", "MANAGER_SOURCE"]
 
 #: pseudo-source id for transfers served by the manager process
 MANAGER_SOURCE = "@manager"
-
-_transfer_ids = itertools.count(1)
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,28 +59,86 @@ class TransferTable:
         worker_limit: Optional[int] = 3,
         source_limit: Optional[int] = 100,
     ) -> None:
-        self.worker_limit = worker_limit
-        self.source_limit = source_limit
+        self._worker_limit = worker_limit
+        self._source_limit = source_limit
         self._by_id: dict[str, Transfer] = {}
         self._load_by_source: dict[str, int] = {}
         self._inbound: dict[tuple[str, str], str] = {}
+        #: sources currently at (or over) their concurrency limit
+        self._saturated: set[str] = set()
+        #: monotonic count of completions — consumers (the control
+        #: plane's staging replanner) watch it to learn "capacity may
+        #: have freed" without polling every source
+        self.completed_count: int = 0
+        self._ids = itertools.count(1)
 
     # -- limits ---------------------------------------------------------
+
+    @property
+    def worker_limit(self) -> Optional[int]:
+        """Concurrency limit for workers acting as transfer sources."""
+        return self._worker_limit
+
+    @worker_limit.setter
+    def worker_limit(self, value: Optional[int]) -> None:
+        self._worker_limit = value
+        self._resaturate()
+
+    @property
+    def source_limit(self) -> Optional[int]:
+        """Concurrency limit for fixed sources (manager, URL hosts)."""
+        return self._source_limit
+
+    @source_limit.setter
+    def source_limit(self, value: Optional[int]) -> None:
+        self._source_limit = value
+        self._resaturate()
+
+    def _resaturate(self) -> None:
+        """Rebuild the saturation set after a limit change (rare)."""
+        self._saturated = {
+            s for s in self._load_by_source if not self._computed_available(s)
+        }
+
+    def _any_zero_limit(self) -> bool:
+        """True when some limit is ≤ 0 (sources saturated at zero load)."""
+        return (self._worker_limit is not None and self._worker_limit <= 0) or (
+            self._source_limit is not None and self._source_limit <= 0
+        )
+
+    def _computed_available(self, source: str) -> bool:
+        limit = self.limit_for(source)
+        return limit is None or self._load_by_source.get(source, 0) < limit
 
     def limit_for(self, source: str) -> Optional[int]:
         """The concurrency limit that applies to ``source``."""
         if source == MANAGER_SOURCE or source.startswith("url:"):
-            return self.source_limit
-        return self.worker_limit
+            return self._source_limit
+        return self._worker_limit
 
     def source_load(self, source: str) -> int:
         """Transfers currently being served by ``source``."""
         return self._load_by_source.get(source, 0)
 
     def source_available(self, source: str) -> bool:
-        """True if ``source`` may serve one more transfer under its limit."""
-        limit = self.limit_for(source)
-        return limit is None or self.source_load(source) < limit
+        """True if ``source`` may serve one more transfer — O(1).
+
+        A ≤0 limit saturates its sources even at zero load (they never
+        appear in the load-driven set), so that degenerate config takes
+        the arithmetic path; every normal config is one set lookup.
+        """
+        if source in self._saturated:
+            return False
+        if self._any_zero_limit():
+            return self._computed_available(source)
+        return True
+
+    def sources_with_capacity(self, sources: Iterable[str]) -> list[str]:
+        """Filter ``sources`` down to those under their limit — O(1) each."""
+        if self._any_zero_limit():
+            return [s for s in sources if self._computed_available(s)]
+        sat = self._saturated
+        return [s for s in sources if s not in sat]
 
     # -- lifecycle --------------------------------------------------------
 
@@ -95,7 +162,7 @@ class TransferTable:
                 f"duplicate transfer of {cache_name} to {dest_worker} already in flight"
             )
         t = Transfer(
-            transfer_id=f"x{next(_transfer_ids)}",
+            transfer_id=f"x{next(self._ids)}",
             cache_name=cache_name,
             source=source,
             dest_worker=dest_worker,
@@ -104,6 +171,8 @@ class TransferTable:
         )
         self._by_id[t.transfer_id] = t
         self._load_by_source[source] = self._load_by_source.get(source, 0) + 1
+        if not self._computed_available(source):
+            self._saturated.add(source)
         self._inbound[key] = t.transfer_id
         return t
 
@@ -115,7 +184,10 @@ class TransferTable:
             self._load_by_source[t.source] = load
         else:
             self._load_by_source.pop(t.source, None)
+        if t.source in self._saturated and self._computed_available(t.source):
+            self._saturated.discard(t.source)
         self._inbound.pop((t.cache_name, t.dest_worker), None)
+        self.completed_count += 1
         return t
 
     def cancel_for_worker(self, worker_id: str) -> list[Transfer]:

@@ -1,9 +1,10 @@
 """Runtime metrics: counters, gauges and bounded-reservoir histograms.
 
 The registry is sampled in the hot paths of the control plane and the
-worker (placement pump latency, transfer queue depth, per-source
-concurrency, cache hits/misses, eviction bytes, sandbox setup time,
-library invoke latency).  Everything here is therefore cheap and
+worker (placement pump latency, scheduler index pressure —
+``sched.pump_us`` / ``sched.candidates_scored`` — transfer queue
+depth, per-source concurrency, cache hits/misses, eviction bytes,
+sandbox setup time, library invoke latency).  Everything here is therefore cheap and
 thread-safe: one lock per instrument, O(1) per observation, and a
 histogram never holds more than ``reservoir_size`` samples no matter
 how many it has seen.

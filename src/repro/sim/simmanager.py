@@ -541,8 +541,9 @@ class SimManager:
         if not self._workflow_done():
             raise RuntimeError(
                 f"workflow stalled: {len(self.control._ready)} ready, "
-                f"{len(self.control._dispatched)} dispatched, "
-                f"{len(self.control._running)} running, "
+                f"{len(self.control._dispatched)} dispatched "
+                f"({len(self.control._deferred_staging)} waiting on source "
+                f"capacity), {len(self.control._running)} running, "
                 f"{sum(self._retrieval_pending.values())} retrievals outstanding "
                 f"at t={self.sim.now:.1f}"
             )

@@ -1,0 +1,210 @@
+"""Correctness sweep of the core-table indexes and id generators.
+
+Covers the three bugfix satellites of the scheduler-index PR:
+
+* ``ReplicaTable`` incremental per-worker byte totals must equal a
+  from-scratch recount after *any* mutation sequence, and exhausted
+  entries (sizes, per-worker name sets) must be pruned rather than
+  accumulating forever;
+* task and transfer id streams are per-manager/per-table, so two
+  managers in one process mint identical sequences (chaos-replay
+  determinism) instead of sharing one module-global counter;
+* ``Scheduler.order_ready`` no longer parses task ids (the old
+  ``int(task_id.lstrip("t"))`` key crashed on foreign ids and
+  mis-parsed ``tt12`` as 12).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.replica_table import ReplicaTable
+from repro.core.scheduler import Scheduler
+from repro.core.task import Task, TaskState
+from repro.core.transfer_table import TransferTable
+from repro.sim.cluster import SimCluster
+from repro.sim.simmanager import SimManager
+
+WORKERS = [f"w{i}" for i in range(4)]
+FILES = [f"f{i}" for i in range(5)]
+
+
+def _recount(table: ReplicaTable) -> dict[str, int]:
+    """Ground truth: per-worker byte totals from the raw facts."""
+    totals: dict[str, int] = {}
+    for name in table.names():
+        size = table.size_of(name)
+        if not size:
+            continue
+        for w in table.locate(name):
+            totals[w] = totals.get(w, 0) + size
+    return totals
+
+
+replica_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "add_unsized", "remove", "drop_worker", "forget"]),
+        st.sampled_from(FILES),
+        st.sampled_from(WORKERS),
+        st.integers(1, 1000),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(replica_ops)
+def test_replica_byte_index_equals_recount(ops):
+    table = ReplicaTable()
+    sized: dict[str, int] = {}  # sizes are immutable once learned
+    for kind, name, worker, size in ops:
+        if kind == "add":
+            size = sized.setdefault(name, size)
+            table.add_replica(name, worker, size=size)
+        elif kind == "add_unsized":
+            # size learned later (or never): the index must credit
+            # existing holders retroactively when it arrives
+            table.add_replica(name, worker)
+        elif kind == "remove":
+            table.remove_replica(name, worker)
+            if not table.locate(name):
+                sized.pop(name, None)  # size forgotten with last replica
+        elif kind == "drop_worker":
+            for gone in table.remove_worker(worker):
+                if not table.locate(gone):
+                    sized.pop(gone, None)
+        else:
+            table.forget_name(name)
+            sized.pop(name, None)
+        expected = _recount(table)
+        for w in WORKERS:
+            assert table.bytes_at(w) == expected.get(w, 0), (
+                f"byte index diverged at {w} after {kind} {name}"
+            )
+
+
+@settings(max_examples=200, deadline=None)
+@given(replica_ops)
+def test_replica_table_prunes_exhausted_entries(ops):
+    """After tearing everything down the table is empty *internally* —
+    no orphaned sizes, name sets, or byte totals survive."""
+    table = ReplicaTable()
+    for kind, name, worker, size in ops:
+        if kind in ("add", "add_unsized"):
+            try:
+                table.add_replica(
+                    name, worker, size=size if kind == "add" else None
+                )
+            except ValueError:
+                pass  # size conflict with an earlier op: irrelevant here
+        elif kind == "remove":
+            table.remove_replica(name, worker)
+        elif kind == "drop_worker":
+            table.remove_worker(worker)
+        else:
+            table.forget_name(name)
+    for w in WORKERS:
+        table.remove_worker(w)
+    assert table.total_names() == 0
+    assert table.total_replicas() == 0
+    assert table._sizes == {}
+    assert table._names_by_worker == {}
+    assert table._bytes_by_worker == {}
+    assert table._workers_by_name == {}
+
+
+def test_size_pruned_with_last_replica():
+    """Regression: sizes used to outlive their replicas forever."""
+    table = ReplicaTable()
+    table.add_replica("f", "w0", size=77)
+    table.add_replica("f", "w1", size=77)
+    table.remove_replica("f", "w0")
+    assert table.size_of("f") == 77  # one holder left: size retained
+    table.remove_replica("f", "w1")
+    assert table.size_of("f") == 0
+    assert table._sizes == {}
+    assert table._names_by_worker == {}  # empty sets pruned too
+
+
+def test_late_size_credits_existing_holders():
+    table = ReplicaTable()
+    table.add_replica("f", "w0")
+    table.add_replica("f", "w1")
+    assert table.bytes_at("w0") == 0
+    table.add_replica("f", "w2", size=50)
+    assert table.bytes_at("w0") == 50
+    assert table.bytes_at("w1") == 50
+    assert table.bytes_at("w2") == 50
+
+
+# -- id generators ------------------------------------------------------
+
+
+def test_transfer_ids_are_per_table():
+    """Regression: the id counter was a module global, so a second
+    manager in the same process started at wherever the first left off
+    and chaos replays diverged run-to-run."""
+    a, b = TransferTable(), TransferTable()
+    ra = [a.begin(f"f{i}", "w0", "w1", size=1).transfer_id for i in range(3)]
+    rb = [b.begin(f"f{i}", "w0", "w1", size=1).transfer_id for i in range(3)]
+    assert ra == rb == ["x1", "x2", "x3"]
+
+
+def test_task_ids_are_per_manager():
+    """Two managers interleaving submissions mint identical id streams."""
+
+    def fresh():
+        c = SimCluster()
+        c.add_workers(1, cores=4)
+        return SimManager(c)
+
+    m1, m2 = fresh(), fresh()
+    ids1, ids2 = [], []
+    for i in range(4):
+        # deliberately interleaved: a shared counter would zip them
+        t1, t2 = Task(f"a{i}"), Task(f"b{i}")
+        m1.submit(t1, duration=0.1)
+        m2.submit(t2, duration=0.1)
+        ids1.append(t1.task_id)
+        ids2.append(t2.task_id)
+    assert ids1 == ids2 == ["t1", "t2", "t3", "t4"]
+    m1.run()
+    m2.run()
+
+
+def test_task_identity_assigned_at_submit():
+    t = Task("echo hi")
+    assert t.task_id is None
+    assert t.seq == 0
+    c = SimCluster()
+    c.add_workers(1)
+    m = SimManager(c)
+    m.submit(t, duration=0.1)
+    assert t.task_id == "t1"
+    assert t.seq == 1
+    stats = m.run()
+    assert stats.tasks_done == 1
+    assert t.state == TaskState.DONE
+
+
+# -- order_ready id robustness ------------------------------------------
+
+
+def test_order_ready_survives_foreign_task_ids():
+    """Regression: ``int(t.task_id.lstrip("t"))`` raised ValueError for
+    any id not of the form ``t<N>`` and parsed ``tt12`` as 12."""
+    specs = [("job-7", 3), ("tt12", 1), ("θ", 2), ("t5", 4)]
+    tasks = []
+    for tid, seq in specs:
+        t = Task(f"cmd {tid}")
+        t.task_id = tid
+        t.seq = seq
+        tasks.append(t)
+    ordered = Scheduler.order_ready(tasks)
+    assert [t.task_id for t in ordered] == ["tt12", "θ", "job-7", "t5"]
+
+
+def test_order_ready_priority_beats_seq():
+    a, b = Task("a"), Task("b")
+    a.task_id, a.seq, a.priority = "za", 1, 0.0
+    b.task_id, b.seq, b.priority = "zb", 2, 1.0
+    assert [t.task_id for t in Scheduler.order_ready([a, b])] == ["zb", "za"]
