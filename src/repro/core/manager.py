@@ -1,4 +1,4 @@
-"""The TaskVine manager: threaded/socket adapter over the control plane.
+"""The TaskVine manager: event-driven socket adapter over the control plane.
 
 All *policy* — placement, transfer planning, replica and staging state
 machines, retry/replication/regeneration — lives in
@@ -11,13 +11,20 @@ simulator drives the very same control plane with virtual-time
 mechanisms, so any behavioural change belongs in ``control_plane.py``,
 never here.
 
-Concurrency model: one listening/accept thread admits workers; each
-worker connection gets a reader thread; all shared state is guarded by
-a single re-entrant lock, and every outbound command is enqueued to a
-per-worker sender thread while holding it.  Application threads
-interact through the public API (declare/submit/wait/fetch) which takes
-the same lock, so the manager is safe to drive from ordinary sequential
-application code.
+Concurrency model: a single ``selectors``-based *reactor* thread owns
+the entire receive path — it accepts workers, reassembles frames from
+non-blocking reads (:class:`~repro.protocol.connection.FrameReassembler`),
+unwraps ``batch`` envelopes, and feeds complete messages to the control
+plane under the state lock.  Outbound commands still go through one
+sender thread per worker so large object pushes never stall the lock.
+Application threads interact through the public API
+(declare/submit/wait/fetch) which takes the same lock, so the manager
+is safe to drive from ordinary sequential application code.
+
+``Manager(network="threads")`` retains the historical
+thread-per-connection receive path; it exists as the benchmark
+baseline for ``benchmarks/bench_manager_throughput.py`` and as a
+fallback, and shares all message handling with the reactor.
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ import collections
 import itertools
 import os
 import queue
+import selectors
+import socket
 import tempfile
 import threading
 import time
@@ -57,13 +66,23 @@ from repro.core.transfer_table import MANAGER_SOURCE, Transfer
 from repro.observe.metrics import MetricsRegistry, SnapshotDumper
 from repro.observe.txnlog import TransactionLogWriter
 from repro.protocol import serialization as ser
-from repro.protocol.connection import Connection, ProtocolError, listen
-from repro.protocol.messages import M, validate
+from repro.protocol.connection import (
+    IO_CHUNK,
+    Connection,
+    FrameReassembler,
+    ProtocolError,
+    encode_frame,
+    listen,
+)
+from repro.protocol.messages import M, WireError, validate
 from repro.util.logging import get_logger
 
 __all__ = ["Manager", "ManagerError"]
 
 log = get_logger(__name__)
+
+#: per-call non-blocking send flag; 0 where unsupported
+_MSG_DONTWAIT = getattr(socket, "MSG_DONTWAIT", 0)
 
 
 class ManagerError(RuntimeError):
@@ -99,6 +118,13 @@ class _WorkerHandle:
         self.libraries: set[str] = set()
         self.alive = True
         self.last_seen = time.time()
+        #: frames buffered during a reactor sweep, flushed as one send
+        #: (guarded by the manager's state lock)
+        self.pending_frames: list[bytes] = []
+        #: held by whoever is writing the socket, so the reactor's
+        #: opportunistic direct writes can never interleave with a
+        #: sender-thread operation mid-stream
+        self.wire_lock = threading.Lock()
         self.outbox: "queue.Queue[Optional[Callable[[Connection], None]]]" = queue.Queue()
         self._sender = threading.Thread(target=self._send_loop, daemon=True)
         self._sender.start()
@@ -109,7 +135,8 @@ class _WorkerHandle:
             if fn is None:
                 return
             try:
-                fn(self.conn)
+                with self.wire_lock:
+                    fn(self.conn)
             except (ProtocolError, OSError):
                 self.alive = False
                 return
@@ -121,6 +148,24 @@ class _WorkerHandle:
     def stop_sender(self) -> None:
         """Stop the sender thread after flushing queued sends."""
         self.outbox.put(None)
+
+
+class _ConnState:
+    """Reactor-side receive state for one inbound connection.
+
+    ``handle`` is None until the peer's REGISTER frame admits it as a
+    worker; ``pending`` holds a control message whose announced bulk
+    payload (``file_data`` content, ``task_done`` result) is still
+    being reassembled.
+    """
+
+    __slots__ = ("conn", "frames", "handle", "pending")
+
+    def __init__(self, conn: Connection) -> None:
+        self.conn = conn
+        self.frames = FrameReassembler()
+        self.handle: Optional[_WorkerHandle] = None
+        self.pending: Optional[dict] = None
 
 
 class _LibraryState(LibraryState):
@@ -153,7 +198,11 @@ class Manager:
         transfer_backoff_base: float = 0.5,
         requeue_backoff_base: float = 0.0,
         blocklist_threshold: int = 5,
+        network: str = "reactor",
     ) -> None:
+        if network not in ("reactor", "threads"):
+            raise ValueError(f"unknown network mode {network!r}")
+        self.network = network
         self._lock = threading.RLock()
         self._t0 = time.time()
         self.control = ControlPlane(
@@ -191,15 +240,54 @@ class Manager:
         self._awaiting_result: dict[str, Task] = {}
         self._fetch_waiters: dict[str, list[queue.Queue]] = collections.defaultdict(list)
 
+        # network traffic accounting (docs/observability.md "net.*")
+        m = self.control.metrics
+        self._m_frames_in = m.counter("net.frames_in")
+        self._m_frames_out = m.counter("net.frames_out")
+        self._m_messages_in = m.counter("net.messages_in")
+        self._m_batch_fill = m.histogram("net.batch_fill")
+        self._m_loop = m.histogram("net.reactor_loop_seconds")
+
+        # pump coalescing while a batch envelope unwraps (under _lock)
+        self._defer_pump = False
+        self._pump_wanted = False
+        #: reactor-only: set around a whole event sweep so one pump
+        #: absorbs every message of the sweep (written/read only by the
+        #: reactor thread; request_pump checks thread identity)
+        self._reactor_defer = False
+        #: live schedule_pump timers, cancelled at close
+        self._timers: set[threading.Timer] = set()
+        self._closing = threading.Event()
+
         self._listener = listen(host, port)
         self.host, self.port = self._listener.getsockname()
-        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
-        self._accept_thread.start()
+        self._reactor_thread: Optional[threading.Thread] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        if network == "reactor":
+            self._sel = selectors.DefaultSelector()
+            # self-pipe: lets close() interrupt a pending select()
+            self._wake_r, self._wake_w = socket.socketpair()
+            self._wake_r.setblocking(False)
+            self._sel.register(self._listener, selectors.EVENT_READ, "accept")
+            self._sel.register(self._wake_r, selectors.EVENT_READ, "wake")
+            self._reactor_thread = threading.Thread(
+                target=self._reactor_loop, name="manager-reactor", daemon=True
+            )
+            self._reactor_thread.start()
+        else:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, daemon=True
+            )
+            self._accept_thread.start()
         #: seconds of silence (no message, not even a heartbeat) after
         #: which a worker is declared dead; None disables the reaper
         self.worker_liveness_timeout = worker_liveness_timeout
+        self._reaper_thread: Optional[threading.Thread] = None
         if worker_liveness_timeout is not None:
-            threading.Thread(target=self._reaper_loop, daemon=True).start()
+            self._reaper_thread = threading.Thread(
+                target=self._reaper_loop, daemon=True
+            )
+            self._reaper_thread.start()
 
     # -- control-plane state views (single source of truth) --------------
 
@@ -228,7 +316,17 @@ class Manager:
         return handle is not None and handle.alive
 
     def request_pump(self) -> None:
-        # callers already hold the state lock; pump synchronously
+        # callers already hold the state lock; pump synchronously — but
+        # while a batch envelope unwraps, or while the reactor is mid
+        # event sweep, coalesce to one pump at the end (the main
+        # throughput lever of the event-driven path: K completions in a
+        # sweep cost one scheduling pass, not K)
+        if self._defer_pump or (
+            self._reactor_defer
+            and threading.current_thread() is self._reactor_thread
+        ):
+            self._pump_wanted = True
+            return
         self.control.pump()
 
     def schedule_pump(self, delay: float) -> None:
@@ -240,12 +338,14 @@ class Manager:
         """
 
         def fire() -> None:
+            self._timers.discard(timer)
             with self._lock:
                 if not self.control.closed:
                     self.control.pump()
 
         timer = threading.Timer(max(0.0, delay), fire)
         timer.daemon = True
+        self._timers.add(timer)
         timer.start()
 
     def push_object(self, record: Transfer, level: CacheLevel) -> None:
@@ -649,6 +749,15 @@ class Manager:
                     except (ProtocolError, OSError):
                         break
             handles = list(self.workers.values())
+        # stop the receive path first so no reads race the teardown: the
+        # reactor unregisters every selector key before exiting, and only
+        # then are the connections themselves torn down
+        self._closing.set()
+        if self._reactor_thread is not None:
+            self._wake_reactor()
+            self._reactor_thread.join(timeout=10)
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=10)
         # flush outboxes outside the lock, then tear connections down
         for handle in handles:
             if handle.alive and shutdown_workers:
@@ -657,12 +766,26 @@ class Manager:
         for handle in handles:
             handle._sender.join(timeout=10)
             handle.conn.close()
+        for timer in list(self._timers):
+            timer.cancel()
+        self._timers.clear()
         with self._lock:
             self.control.log.emit(self.now(), "workflow_done")
+            try:
+                # shutdown before close: closing the fd alone does not
+                # wake a thread blocked in accept() (legacy accept loop)
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
                 pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10)
+        if self._reactor_thread is not None:
+            self._wake_r.close()
+            self._wake_w.close()
         if self._metrics_dumper is not None:
             self._metrics_dumper.stop()
         if self._txn_writer is not None:
@@ -681,8 +804,7 @@ class Manager:
     def _reaper_loop(self) -> None:
         """Close connections of workers that stopped talking entirely."""
         interval = max(1.0, (self.worker_liveness_timeout or 60.0) / 4)
-        while not self.control.closed:
-            time.sleep(interval)
+        while not self._closing.wait(interval):
             self._reap_stale(time.time())
 
     def _find_stale(self, now: float) -> list[_WorkerHandle]:
@@ -705,28 +827,27 @@ class Manager:
                 "worker %s silent for %.0fs; declaring it dead",
                 handle.worker_id, now - handle.last_seen,
             )
-            handle.conn.close()  # reader thread unwinds into _on_worker_gone
+            self._drop_connection(handle)
         return [h.worker_id for h in stale]
 
-    def _accept_loop(self) -> None:
-        while True:
-            try:
-                sock, _addr = self._listener.accept()
-            except OSError:
-                return
-            threading.Thread(
-                target=self._admit, args=(Connection(sock),), daemon=True
-            ).start()
+    def _drop_connection(self, handle: _WorkerHandle) -> None:
+        """Force a worker's connection down from any thread.
 
-    def _admit(self, conn: Connection) -> None:
-        try:
-            msg = conn.recv_message()
-            if validate(msg) != M.REGISTER:
-                conn.close()
-                return
-        except (ProtocolError, OSError):
-            conn.close()
-            return
+        In reactor mode only a ``shutdown`` is issued: the fd stays
+        valid, the reactor wakes with EOF readiness and unwinds the
+        connection itself — closing an fd that is still registered in a
+        live selector from another thread would race the event loop.
+        """
+        if self._reactor_thread is not None:
+            try:
+                handle.conn.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        else:
+            handle.conn.close()  # reader thread unwinds into _on_worker_gone
+
+    def _register_worker(self, conn: Connection, msg: dict) -> _WorkerHandle:
+        """Admission bookkeeping shared by both receive paths."""
         handle = _WorkerHandle(
             conn,
             Resources.from_dict(msg["capacity"]),
@@ -750,6 +871,167 @@ class Manager:
                 ],
             )
             handle.running = state.running
+        return handle
+
+    # -- event-driven receive path (the default) ------------------------
+
+    def _wake_reactor(self) -> None:
+        try:
+            self._wake_w.send(b"\0")
+        except OSError:
+            pass
+
+    def _reactor_loop(self) -> None:
+        """Single-threaded receive path: accept, reassemble, dispatch."""
+        sel = self._sel
+        while not self._closing.is_set():
+            events = sel.select(timeout=0.5)
+            if self._closing.is_set():
+                break
+            if not events:
+                continue
+            started = time.monotonic()
+            self._reactor_defer = True
+            try:
+                for key, _mask in events:
+                    if key.data == "accept":
+                        self._reactor_accept()
+                    elif key.data == "wake":
+                        try:
+                            self._wake_r.recv(4096)
+                        except OSError:
+                            pass
+                    else:
+                        self._reactor_service(key.data)
+                with self._lock:
+                    if self._pump_wanted:
+                        self._pump_wanted = False
+                        if not self.control.closed:
+                            self.control.pump()
+                    # hand each worker's sweep output to its sender as
+                    # one write (pump included: defer flag still set)
+                    for handle in self.workers.values():
+                        self._flush_pending(handle)
+            finally:
+                self._reactor_defer = False
+            self._m_loop.observe(time.monotonic() - started)
+        # teardown: unregister every key; close only unadmitted sockets
+        # (admitted workers' connections are torn down by close() after
+        # their sender threads flush)
+        for key in list(sel.get_map().values()):
+            try:
+                sel.unregister(key.fileobj)
+            except (KeyError, ValueError):
+                pass
+            if isinstance(key.data, _ConnState) and key.data.handle is None:
+                key.data.conn.close()
+        sel.close()
+
+    def _reactor_accept(self) -> None:
+        try:
+            sock, _addr = self._listener.accept()
+        except OSError:
+            return
+        conn = Connection(sock)
+        self._sel.register(sock, selectors.EVENT_READ, _ConnState(conn))
+
+    def _reactor_service(self, state: _ConnState) -> None:
+        """Drain one readable connection (bounded, then back to select).
+
+        The per-call read budget keeps one fast sender from starving
+        other connections; epoll is level-triggered, so leftover bytes
+        re-report readiness on the next loop.
+        """
+        try:
+            for _ in range(64):
+                data = state.conn.recv_ready()
+                if data is None:
+                    return  # nothing more right now
+                state.frames.feed(data)
+                self._reactor_drain(state)
+                if data == b"":
+                    self._reactor_close(state)
+                    return
+                if len(data) < IO_CHUNK:
+                    # short read: the socket is almost surely drained —
+                    # skip the would-be-EAGAIN recv; epoll is level-
+                    # triggered, so any leftover re-reports readiness
+                    return
+        except (ProtocolError, WireError, OSError) as exc:
+            if state.handle is not None:
+                log.warning(
+                    "dropping worker %s: %s", state.handle.worker_id, exc
+                )
+            self._reactor_close(state)
+
+    def _reactor_drain(self, state: _ConnState) -> None:
+        """Dispatch every complete item the reassembler can yield."""
+        while True:
+            item = state.frames.next_item()
+            if item is None:
+                return
+            kind, value = item
+            if kind == "bytes":
+                msg, state.pending = state.pending, None
+                self._dispatch(state.handle, msg["type"], msg, value)
+                continue
+            msg = value
+            self._m_frames_in.inc()
+            mtype = validate(msg)  # WireError unwinds the connection
+            if state.handle is None:
+                if mtype != M.REGISTER:
+                    raise ProtocolError(
+                        f"expected register handshake, got {mtype!r}"
+                    )
+                state.handle = self._register_worker(state.conn, msg)
+            elif mtype == M.FILE_DATA and msg.get("found"):
+                state.pending = msg
+                state.frames.expect_bytes(int(msg["size"]))
+            elif mtype == M.TASK_DONE and msg.get("result_size"):
+                state.pending = msg
+                state.frames.expect_bytes(int(msg["result_size"]))
+            else:
+                self._dispatch(state.handle, mtype, msg, None)
+
+    def _dispatch(
+        self, handle: _WorkerHandle, mtype: str, msg: dict, payload: Optional[bytes]
+    ) -> None:
+        handle.last_seen = time.time()
+        with self._lock:
+            self._on_worker_message(handle, mtype, msg, payload)
+
+    def _reactor_close(self, state: _ConnState) -> None:
+        try:
+            self._sel.unregister(state.conn.sock)
+        except (KeyError, ValueError):
+            pass
+        state.conn.close()
+        if state.handle is not None:
+            with self._lock:
+                self._on_worker_gone(state.handle)
+
+    # -- legacy threaded receive path (benchmark baseline) ---------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._admit, args=(Connection(sock),), daemon=True
+            ).start()
+
+    def _admit(self, conn: Connection) -> None:
+        try:
+            msg = conn.recv_message()
+            if validate(msg) != M.REGISTER:
+                conn.close()
+                return
+        except (ProtocolError, OSError):
+            conn.close()
+            return
+        handle = self._register_worker(conn, msg)
         reader = threading.Thread(
             target=self._reader_loop, args=(handle,), daemon=True
         )
@@ -759,15 +1041,14 @@ class Manager:
         try:
             while True:
                 msg = handle.conn.recv_message()
+                self._m_frames_in.inc()
                 mtype = validate(msg)
                 payload: Optional[bytes] = None
                 if mtype == M.FILE_DATA and msg.get("found"):
                     payload = handle.conn.recv_bytes(int(msg["size"]))
                 elif mtype == M.TASK_DONE and msg.get("result_size"):
                     payload = handle.conn.recv_bytes(int(msg["result_size"]))
-                handle.last_seen = time.time()
-                with self._lock:
-                    self._on_worker_message(handle, mtype, msg, payload)
+                self._dispatch(handle, mtype, msg, payload)
         except (ProtocolError, OSError):
             pass
         with self._lock:
@@ -776,6 +1057,26 @@ class Manager:
     def _on_worker_message(
         self, handle: _WorkerHandle, mtype: str, msg: dict, payload: Optional[bytes]
     ) -> None:
+        if mtype == M.BATCH:
+            # coalesced payload-free notices (already schema-validated).
+            # Defer pumps until the whole envelope is applied: one pump
+            # absorbs all the state changes instead of one per notice.
+            subs = msg["messages"]
+            self._m_batch_fill.observe(len(subs))
+            self._defer_pump = True
+            try:
+                for sub in subs:
+                    self._on_worker_message(handle, sub["type"], sub, None)
+            finally:
+                self._defer_pump = False
+            if self._pump_wanted:
+                self._pump_wanted = False
+                if not self.control.closed:
+                    # re-defers to the sweep's single pump when the
+                    # reactor is mid-sweep; pumps now in threads mode
+                    self.request_pump()
+            return
+        self._m_messages_in.inc()
         if mtype == M.CACHE_UPDATE:
             self._on_cache_update(handle, msg)
         elif mtype == M.CACHE_INVALID:
@@ -962,15 +1263,33 @@ class Manager:
                     conn.send_message(header)
                     conn.send_file(path, size)
 
+            self._m_frames_out.inc()
+            self._flush_pending(handle)
             handle.enqueue(push)
         else:
             raise ManagerError(
                 f"{type(f).__name__} {cache_name} cannot be manager-sourced"
             )
 
-    @staticmethod
-    def _send(handle: _WorkerHandle, message: dict, payload: Optional[bytes] = None) -> None:
-        """Queue a control message (plus optional byte payload)."""
+    def _send(self, handle: _WorkerHandle, message: dict, payload: Optional[bytes] = None) -> None:
+        """Queue a control message (plus optional byte payload).
+
+        Callers hold the state lock.  While the reactor is mid event
+        sweep, payload-free frames it generates are buffered on the
+        handle and flushed as a single sender wakeup at sweep end —
+        one ``sendall`` carries every command the sweep produced for
+        that worker.  Any other sender first flushes the buffer, so
+        per-worker wire order always matches issue order.
+        """
+        self._m_frames_out.inc()
+        if (
+            payload is None
+            and self._reactor_defer
+            and threading.current_thread() is self._reactor_thread
+        ):
+            handle.pending_frames.append(encode_frame(message))
+            return
+        self._flush_pending(handle)
 
         def do(conn: Connection) -> None:
             conn.send_message(message)
@@ -978,3 +1297,36 @@ class Manager:
                 conn.send_bytes(payload)
 
         handle.enqueue(do)
+
+    @staticmethod
+    def _flush_pending(handle: _WorkerHandle) -> None:
+        """Flush sweep-buffered frames as one write.
+
+        Fast path: when the worker's sender thread is idle (nothing
+        queued, nothing mid-write), the frames go straight out with one
+        non-blocking ``send`` — no thread wakeup at all.  Any leftover
+        on a full socket buffer, or any contention, falls back to the
+        sender thread, which also preserves ordering behind whatever is
+        already queued.
+        """
+        if not handle.pending_frames:
+            return
+        blob = b"".join(handle.pending_frames)
+        handle.pending_frames = []
+        if handle.wire_lock.acquire(blocking=False):
+            try:
+                if handle.outbox.empty():
+                    try:
+                        sent = handle.conn.sock.send(blob, _MSG_DONTWAIT)
+                    except (BlockingIOError, InterruptedError):
+                        sent = 0
+                    except OSError:
+                        handle.alive = False
+                        return
+                    if sent < len(blob):
+                        rest = blob[sent:]
+                        handle.enqueue(lambda conn: conn.send_frame(rest))
+                    return
+            finally:
+                handle.wire_lock.release()
+        handle.enqueue(lambda conn: conn.send_frame(blob))

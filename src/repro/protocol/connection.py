@@ -15,7 +15,13 @@ import socket
 import struct
 from typing import Optional
 
-__all__ = ["Connection", "ProtocolError", "listen"]
+__all__ = [
+    "Connection",
+    "FrameReassembler",
+    "ProtocolError",
+    "encode_frame",
+    "listen",
+]
 
 #: frame header: unsigned 32-bit big-endian payload length
 _HEADER = struct.Struct(">I")
@@ -26,9 +32,20 @@ MAX_MESSAGE_SIZE = 64 << 20
 #: chunk size for streaming file content through the socket
 IO_CHUNK = 1 << 20
 
+#: per-call non-blocking flag; 0 where unsupported (plain recv then)
+_MSG_DONTWAIT = getattr(socket, "MSG_DONTWAIT", 0)
+
 
 class ProtocolError(ConnectionError):
     """Malformed frame, unexpected EOF, or oversized message."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """Encode one JSON control message as a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode()
+    if len(payload) > MAX_MESSAGE_SIZE:
+        raise ProtocolError(f"message too large: {len(payload)} bytes")
+    return _HEADER.pack(len(payload)) + payload
 
 
 def listen(host: str = "127.0.0.1", port: int = 0) -> socket.socket:
@@ -58,10 +75,11 @@ class Connection:
 
     def send_message(self, message: dict) -> None:
         """Send one JSON control message as a length-prefixed frame."""
-        payload = json.dumps(message, separators=(",", ":")).encode()
-        if len(payload) > MAX_MESSAGE_SIZE:
-            raise ProtocolError(f"message too large: {len(payload)} bytes")
-        self.sock.sendall(_HEADER.pack(len(payload)) + payload)
+        self.sock.sendall(encode_frame(message))
+
+    def send_frame(self, frame: bytes) -> None:
+        """Send a pre-encoded frame (see :func:`encode_frame`)."""
+        self.sock.sendall(frame)
 
     def recv_message(self) -> dict:
         """Receive one JSON control message; raises on EOF/corruption."""
@@ -114,6 +132,23 @@ class Connection:
                 f.write(chunk)
                 remaining -= len(chunk)
 
+    # -- non-blocking reads (reactor path) -----------------------------
+
+    def recv_ready(self, max_bytes: int = IO_CHUNK) -> Optional[bytes]:
+        """One non-blocking read for event-driven callers.
+
+        Returns up to ``max_bytes`` of available data, ``b""`` on EOF,
+        or ``None`` when the socket has nothing to deliver right now (a
+        spurious readiness wakeup).  ``MSG_DONTWAIT`` makes this single
+        call non-blocking without flipping the socket itself, so writer
+        threads sharing the connection keep ordinary blocking ``sendall``
+        semantics.
+        """
+        try:
+            return self.sock.recv(max_bytes, _MSG_DONTWAIT)
+        except (BlockingIOError, InterruptedError):
+            return None
+
     # -- internals -------------------------------------------------------
 
     def _recv_exact(self, size: int) -> bytes:
@@ -144,3 +179,116 @@ class Connection:
     def fileno(self) -> int:
         """Underlying descriptor, for use with selectors."""
         return self.sock.fileno()
+
+
+class FrameReassembler:
+    """Incremental frame reassembly for event-driven (reactor) readers.
+
+    Bytes arrive in arbitrary chunks — a frame may be split across many
+    reads, or one read may hold many frames plus the start of the next.
+    Feed every chunk with :meth:`feed`, then drain complete items with
+    :meth:`next_item`:
+
+    * in *frame* mode (the default), an item is one decoded JSON control
+      message (``("msg", dict)``);
+    * after :meth:`expect_bytes`, the next item is one raw byte payload
+      of the announced size (``("bytes", b"...")``) — this is how a
+      reader switches into bulk mode for messages that announce a
+      trailing payload (``file_data``, ``task_done`` results).
+
+    The pull API guarantees a consumer sees items strictly in wire
+    order, and can decide per-item whether the next bytes are a frame
+    or a bulk payload.  ``feed(b"")`` records EOF: leftover partial
+    data then raises :class:`ProtocolError` (truncated frame or bulk
+    stream), while a clean boundary just ends iteration.
+    """
+
+    def __init__(self, max_message_size: Optional[int] = None) -> None:
+        self.max_message_size = (
+            MAX_MESSAGE_SIZE if max_message_size is None else max_message_size
+        )
+        self._chunks: list[bytes] = []
+        self._buffered = 0
+        self._expected: Optional[int] = None  # bulk-mode byte count
+        self._eof = False
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet emitted as items."""
+        return self._buffered
+
+    def feed(self, data: bytes) -> None:
+        """Add received bytes; ``b""`` marks EOF."""
+        if data:
+            self._chunks.append(data)
+            self._buffered += len(data)
+        else:
+            self._eof = True
+
+    def expect_bytes(self, size: int) -> None:
+        """The next item is a raw payload of exactly ``size`` bytes."""
+        if self._expected is not None:
+            raise ProtocolError("already expecting a bulk payload")
+        if size < 0:
+            raise ProtocolError(f"negative bulk payload size {size}")
+        self._expected = size
+
+    def next_item(self) -> Optional[tuple[str, "dict | bytes"]]:
+        """Next complete item, or None until more bytes arrive.
+
+        Raises :class:`ProtocolError` on oversized/corrupt frames and
+        on EOF with a partial frame or bulk payload outstanding.
+        """
+        if self._expected is not None:
+            if self._buffered < self._expected:
+                self._check_eof("bulk payload")
+                return None
+            payload = self._take(self._expected)
+            self._expected = None
+            return ("bytes", payload)
+        if self._buffered < _HEADER.size:
+            self._check_eof("frame header")
+            return None
+        (length,) = _HEADER.unpack(self._peek(_HEADER.size))
+        if length > self.max_message_size:
+            raise ProtocolError(f"incoming message too large: {length} bytes")
+        if self._buffered < _HEADER.size + length:
+            self._check_eof("frame body")
+            return None
+        self._take(_HEADER.size)
+        payload = self._take(length)
+        try:
+            message = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"corrupt frame: {exc}") from exc
+        if not isinstance(message, dict):
+            raise ProtocolError("control message must be a JSON object")
+        return ("msg", message)
+
+    def _check_eof(self, what: str) -> None:
+        if self._eof and (self._buffered or self._expected is not None):
+            raise ProtocolError(
+                f"connection closed mid-{what} "
+                f"({self._buffered} bytes buffered)"
+            )
+
+    # -- buffer plumbing ------------------------------------------------
+
+    def _compact(self) -> None:
+        if len(self._chunks) > 1:
+            self._chunks = [b"".join(self._chunks)]
+
+    def _peek(self, size: int) -> bytes:
+        if len(self._chunks[0]) < size:
+            self._compact()
+        return self._chunks[0][:size]
+
+    def _take(self, size: int) -> bytes:
+        if size == 0:
+            return b""
+        self._compact()
+        head = self._chunks[0]
+        taken, rest = head[:size], head[size:]
+        self._chunks = [rest] if rest else []
+        self._buffered -= size
+        return taken

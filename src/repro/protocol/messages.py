@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-__all__ = ["M", "validate", "WireError"]
+__all__ = ["M", "validate", "validate_batch", "WireError"]
 
 
 class WireError(ValueError):
@@ -57,6 +57,10 @@ class M:
     # worker <-> worker peer transfers
     GET = "get"
 
+    # either direction: several payload-free control messages coalesced
+    # into one frame (batched control traffic; flushed on size/deadline)
+    BATCH = "batch"
+
 
 #: required fields per message type (beyond "type" itself)
 _SCHEMA: Mapping[str, tuple[str, ...]] = {
@@ -88,12 +92,42 @@ def validate(message: dict) -> str:
     """Check a decoded control message; returns its type.
 
     Raises :class:`WireError` if the type is unknown or any required
-    field is missing.
+    field is missing.  ``batch`` envelopes are validated recursively
+    (see :func:`validate_batch`); they live outside ``_SCHEMA`` because
+    their one field is structural, not a flat required-key check.
     """
     mtype = message.get("type")
+    if mtype == M.BATCH:
+        validate_batch(message)
+        return mtype
     if mtype not in _SCHEMA:
         raise WireError(f"unknown message type {mtype!r}")
     missing = [f for f in _SCHEMA[mtype] if f not in message]
     if missing:
         raise WireError(f"message {mtype!r} missing fields {missing}")
     return mtype
+
+
+def validate_batch(message: dict) -> list[dict]:
+    """Check a ``batch`` envelope; returns its sub-messages.
+
+    A batch carries a non-empty list of *payload-free* control
+    messages: nesting is rejected, as is any sub-message that announces
+    trailing bytes (``file_data`` with content, ``task_done`` with a
+    result payload) — those must travel as their own frame so bulk
+    streams stay contiguous on the wire.
+    """
+    subs = message.get("messages")
+    if not isinstance(subs, list) or not subs:
+        raise WireError("batch must carry a non-empty 'messages' list")
+    for sub in subs:
+        if not isinstance(sub, dict):
+            raise WireError("batch sub-message must be a JSON object")
+        if sub.get("type") == M.BATCH:
+            raise WireError("batch envelopes cannot nest")
+        mtype = validate(sub)
+        if mtype == M.FILE_DATA and sub.get("found"):
+            raise WireError("file_data with content cannot ride in a batch")
+        if mtype == M.TASK_DONE and sub.get("result_size"):
+            raise WireError("task_done with a result payload cannot ride in a batch")
+    return subs

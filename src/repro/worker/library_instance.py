@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import threading
+import time
 import traceback
 from typing import Any, Callable, Optional
 
@@ -150,10 +151,30 @@ class LibraryInstanceHandle:
         )
 
     def wait_result(self, invocation_id: str, timeout: Optional[float] = None) -> bytes:
-        """Block until an invocation's serialized result is available."""
+        """Block until an invocation's serialized result is available.
+
+        Waits in short slices so a crash of the resident instance is
+        detected within a second rather than after the full call
+        timeout — a dead instance can no longer fork the invocation, so
+        waiting out the deadline would just stall the worker slot.
+        """
         event = self._waiters[invocation_id]
-        if not event.wait(timeout):
-            raise LibraryError(f"invocation {invocation_id} timed out")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not event.wait(0.1):
+            if not self._proc.is_alive():
+                # grace period: an already-forked invocation child can
+                # still post its result after the resident dies
+                if event.wait(0.5):
+                    break
+                with self._lock:
+                    self._waiters.pop(invocation_id, None)
+                    self._in_flight = max(0, self._in_flight - 1)
+                raise LibraryError(
+                    f"library {self.name!r} instance died before invocation "
+                    f"{invocation_id} returned"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise LibraryError(f"invocation {invocation_id} timed out")
         with self._lock:
             del self._waiters[invocation_id]
             return self._done.pop(invocation_id)

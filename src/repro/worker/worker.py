@@ -9,9 +9,11 @@ instances, and reports every status change of interest to the manager
 Structure: the main loop reads manager commands (and any attached byte
 payloads) from the command connection; long-running work — task
 execution, fetches, mini-task staging, function invocations — runs on
-worker threads; all outgoing messages are serialized under one send
-lock.  A :class:`~repro.worker.transfers.PeerTransferServer` serves
-this worker's cache to peers on a separate port.
+worker threads; all outgoing messages go through one
+:class:`~repro.protocol.batching.BatchSender`, which serializes them
+and coalesces payload-free notices into ``batch`` frames.  A
+:class:`~repro.worker.transfers.PeerTransferServer` serves this
+worker's cache to peers on a separate port.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from typing import Optional
 
 from repro.core.files import CacheLevel
 from repro.core.resources import Resources
+from repro.protocol.batching import BatchSender
 from repro.protocol.connection import Connection, ProtocolError
 from repro.protocol.messages import M, validate
 from repro.observe.metrics import MetricsRegistry, SnapshotDumper
@@ -62,6 +65,8 @@ class Worker:
         max_cache_bytes: Optional[int] = None,
         eviction_grace: float = 5.0,
         fault_config=None,
+        batch_max: int = 128,
+        batch_delay: float = 0.002,
     ) -> None:
         self.workdir = os.path.abspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
@@ -101,7 +106,16 @@ class Worker:
             self.metrics, os.path.join(self.workdir, "metrics.json")
         ).start()
         self._conn = Connection.connect(manager_host, manager_port)
-        self._send_lock = threading.Lock()
+        #: all outbound traffic funnels through the batch sender, which
+        #: both serializes writers and coalesces payload-free notices
+        #: (batch_delay=0 restores the historical one-frame-per-message
+        #: wire behaviour)
+        self._sender = BatchSender(
+            self._conn,
+            max_batch=batch_max,
+            max_delay=batch_delay,
+            metrics=self.metrics,
+        )
         self._stop = threading.Event()
         self._libraries: dict[str, LibraryInstanceHandle] = {}
         #: live subprocess handles by task id, for cancellation
@@ -173,7 +187,7 @@ class Worker:
         """Periodic liveness signal so a silently hung worker is detectable."""
         while not self._stop.wait(interval):
             try:
-                self._send({"type": M.HEARTBEAT})
+                self._notice({"type": M.HEARTBEAT})
             except (ProtocolError, OSError):
                 return
 
@@ -228,15 +242,15 @@ class Worker:
     # -- outbound ----------------------------------------------------------
 
     def _send(self, message: dict, payload: Optional[bytes] = None) -> None:
-        with self._send_lock:
-            self._conn.send_message(message)
-            if payload is not None:
-                self._conn.send_bytes(payload)
+        """Transmit immediately (flushes queued notices first)."""
+        self._sender.send(message, payload)
+
+    def _notice(self, message: dict) -> None:
+        """Queue a payload-free status notice for the next batch window."""
+        self._sender.notice(message)
 
     def _send_with_file(self, message: dict, path: str, size: int) -> None:
-        with self._send_lock:
-            self._conn.send_message(message)
-            self._conn.send_file(path, size)
+        self._sender.send_with_file(message, path, size)
 
     def _register(self) -> None:
         cached = [
@@ -260,7 +274,7 @@ class Worker:
         msg = {"type": M.CACHE_UPDATE, "cache_name": cache_name, "size": size}
         if transfer_id is not None:
             msg["transfer_id"] = transfer_id
-        self._send(msg)
+        self._notice(msg)
         self._enforce_cache_bound()
 
     def _cache_invalid(
@@ -277,7 +291,7 @@ class Worker:
             # tells the manager the *source's* copy is suspect, not just
             # the link: corruption feeds replica-loss handling
             msg["corrupt"] = True
-        self._send(msg)
+        self._notice(msg)
 
     def _count_verify(self, outcome: str, cache_name: str = "") -> None:
         self._m_verify[outcome].inc()
@@ -512,7 +526,7 @@ class Worker:
         except SandboxError as exc:
             self._unpin(input_names)
             sandbox.destroy()
-            self._send(
+            self._notice(
                 {
                     "type": M.TASK_DONE,
                     "task_id": task_id,
@@ -567,7 +581,9 @@ class Worker:
         staging_time = max(0.0, time.time() - staging_started - outcome.execution_time)
         self._m_sandbox.observe(staging_time)
         self._m_exec.observe(outcome.execution_time)
-        self._send(
+        # a notice, like the cache updates above: the FIFO batch queue
+        # preserves the harvested-before-done ordering contract
+        self._notice(
             {
                 "type": M.TASK_DONE,
                 "task_id": task_id,
@@ -595,9 +611,9 @@ class Worker:
                 name, payload, function_slots=int(msg.get("slots", 1))
             )
             self._libraries[name] = handle
-            self._send({"type": M.LIBRARY_READY, "library": name, "task_id": task_id})
+            self._notice({"type": M.LIBRARY_READY, "library": name, "task_id": task_id})
         except Exception as exc:
-            self._send(
+            self._notice(
                 {
                     "type": M.TASK_DONE,
                     "task_id": task_id,
@@ -612,7 +628,7 @@ class Worker:
         library = msg["library"]
         handle = self._libraries.get(library)
         if handle is None or not handle.alive():
-            self._send(
+            self._notice(
                 {
                     "type": M.TASK_DONE,
                     "task_id": task_id,
@@ -638,7 +654,7 @@ class Worker:
                 result,
             )
         except Exception as exc:
-            self._send(
+            self._notice(
                 {
                     "type": M.TASK_DONE,
                     "task_id": task_id,
@@ -660,4 +676,5 @@ class Worker:
         self._libraries.clear()
         self._peer_server.stop()
         self._metrics_dumper.stop()
+        self._sender.close()
         self._conn.close()

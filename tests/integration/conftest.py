@@ -1,6 +1,7 @@
 """Fixtures for end-to-end tests of the real multi-process runtime."""
 
 import multiprocessing as mp
+import threading
 import time
 
 import pytest
@@ -9,6 +10,60 @@ from repro.core.manager import Manager
 
 #: spawn avoids inheriting the manager's threads/locks into workers
 _CTX = mp.get_context("spawn")
+
+
+class EventWaiter:
+    """Condition-based waits driven by the manager's transaction log.
+
+    Attached as an :class:`~repro.core.events.EventLog` sink, so every
+    emitted event immediately re-checks the waited-on condition — tests
+    block on "the log shows X" instead of sleeping and polling.  The
+    sink runs inline under the manager's state lock, so it only pings a
+    ``threading.Event``; predicates are evaluated on the waiting thread
+    with no waiter lock held (they may take the manager lock freely).
+
+    A slow fallback re-check (``RECHECK``) covers conditions that can
+    become true without an event — e.g. a heartbeat refreshing
+    ``last_seen`` — so waits are event-fast but never event-blind.
+    """
+
+    RECHECK = 0.25
+
+    def __init__(self, manager) -> None:
+        self.manager = manager
+        self._ping = threading.Event()
+        manager.log.attach(lambda _event: self._ping.set())
+
+    def wait_for(self, predicate, timeout=30.0, describe="condition"):
+        """Block until ``predicate()`` is true; TimeoutError otherwise."""
+        deadline = time.time() + timeout
+        while True:
+            self._ping.clear()
+            if predicate():
+                return
+            remaining = deadline - time.time()
+            if remaining <= 0:
+                raise TimeoutError(f"timed out waiting for {describe}")
+            self._ping.wait(min(remaining, self.RECHECK))
+
+    def wait_event(self, kind, predicate=None, timeout=30.0):
+        """Block until the log holds a ``kind`` event (matching, if given)."""
+
+        def seen():
+            return any(
+                predicate is None or predicate(e)
+                for e in self.manager.log.events(kind)
+            )
+
+        self.wait_for(seen, timeout=timeout, describe=f"event {kind!r}")
+
+    def wait_task_state(self, task, state, timeout=30.0):
+        """Block until a task reaches a state (woken by task events)."""
+        self.wait_for(
+            lambda: task.state == state,
+            timeout=timeout,
+            describe=f"task {task.task_id} state {state}",
+        )
 
 
 def _worker_main(host, port, workdir, cores, memory, disk, fault_config=None):
@@ -34,6 +89,7 @@ class Cluster:
         fault_configs=None, **mkw,
     ):
         self.manager = Manager(**mkw)
+        self.events = EventWaiter(self.manager)
         self.tmp_path = tmp_path
         self.fault_configs = fault_configs or {}
         self.procs = []
@@ -54,13 +110,13 @@ class Cluster:
         return proc
 
     def wait_workers(self, count, timeout=30.0):
-        deadline = time.time() + timeout
-        while time.time() < deadline:
+        def joined():
             with self.manager._lock:
-                if len(self.manager.workers) >= count:
-                    return
-            time.sleep(0.05)
-        raise TimeoutError(f"only {len(self.manager.workers)} workers joined")
+                return len(self.manager.workers) >= count
+
+        self.events.wait_for(
+            joined, timeout=timeout, describe=f"{count} workers joined"
+        )
 
     def stop(self):
         self.manager.close(shutdown_workers=True)

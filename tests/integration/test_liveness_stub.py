@@ -13,18 +13,10 @@ from repro.core.manager import Manager
 from repro.core.resources import Resources
 from repro.protocol.connection import Connection
 from repro.protocol.messages import M
+from tests.integration.conftest import EventWaiter
 
 
-def _wait(predicate, timeout=10.0):
-    deadline = time.time() + timeout
-    while time.time() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.01)
-    return False
-
-
-def _register_stub(manager):
+def _register_stub(manager, events):
     conn = Connection.connect(manager.host, manager.port)
     conn.send_message(
         {
@@ -34,14 +26,15 @@ def _register_stub(manager):
             "cached": [],
         }
     )
-    assert _wait(lambda: len(manager.workers) == 1), "stub never admitted"
+    events.wait_event("worker_join", timeout=10)
     return conn
 
 
 def test_silent_worker_is_reaped_at_the_timeout_boundary(tmp_path):
     m = Manager(worker_liveness_timeout=60.0)
+    events = EventWaiter(m)
     try:
-        stub = _register_stub(m)
+        stub = _register_stub(m, events)
         with m._lock:
             wid = next(iter(m.workers))
             joined_at = m.workers[wid].last_seen
@@ -53,8 +46,14 @@ def test_silent_worker_is_reaped_at_the_timeout_boundary(tmp_path):
         # just past it: found, declared dead, connection closed
         assert m._find_stale(joined_at + 60.1) != []
         assert m._reap_stale(joined_at + 60.1) == [wid]
-        # the reader thread unwinds the closed socket into worker_left
-        assert _wait(lambda: wid not in m.workers), "reaped worker not removed"
+        # the receive path unwinds the closed socket into worker_leave
+        events.wait_event("worker_leave", lambda e: e.worker == wid, timeout=10)
+
+        def removed():
+            with m._lock:
+                return wid not in m.workers
+
+        events.wait_for(removed, timeout=10, describe="reaped worker removal")
         leaves = m.log.events("worker_leave")
         assert [e.worker for e in leaves] == [wid]
         # reaping is idempotent: the handle is gone, nothing left to find
@@ -66,8 +65,9 @@ def test_silent_worker_is_reaped_at_the_timeout_boundary(tmp_path):
 
 def test_traffic_refreshes_liveness(tmp_path):
     m = Manager(worker_liveness_timeout=60.0)
+    events = EventWaiter(m)
     try:
-        stub = _register_stub(m)
+        stub = _register_stub(m, events)
         with m._lock:
             wid = next(iter(m.workers))
             handle = m.workers[wid]
@@ -75,9 +75,14 @@ def test_traffic_refreshes_liveness(tmp_path):
         handle.last_seen -= 120.0
         aged = handle.last_seen
         assert m._find_stale(time.time()) == [handle]
-        # any message — here a bare heartbeat — resets the silence clock
+        # any message — here a bare heartbeat — resets the silence clock;
+        # no transaction-log event marks it, so this wait leans on the
+        # waiter's fallback re-check rather than an event wakeup
         stub.send_message({"type": M.HEARTBEAT})
-        assert _wait(lambda: handle.last_seen > aged)
+        events.wait_for(
+            lambda: handle.last_seen > aged, timeout=10,
+            describe="heartbeat refreshing last_seen",
+        )
         assert m._reap_stale(time.time()) == []  # deadline defused
         with m._lock:
             assert wid in m.workers

@@ -1,0 +1,103 @@
+"""Reactor teardown hygiene: close() under load leaks nothing.
+
+The manager's event loop owns a selector, a wake pipe, the listener,
+and one registered socket per worker; per-worker sender threads and
+the reaper ride along.  Stopping a manager that still has live worker
+connections — with batched notices in flight — must unwind all of it:
+no stray threads, no open descriptors, no selector keys.  Descriptor
+and thread counts are compared around the whole lifecycle, so a leak
+of even one connection's resources fails the test.
+"""
+
+import os
+import threading
+import time
+
+from repro.core.manager import Manager
+from repro.core.task import Task
+from repro.worker.scripted import ScriptedWorker
+
+
+def _fd_count():
+    return len(os.listdir("/proc/self/fd"))
+
+
+def _wait_threads_settle(baseline, timeout=10.0):
+    """Wait for the thread population to fall back to the baseline."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        extra = set(threading.enumerate()) - baseline
+        if not extra:
+            return []
+        time.sleep(0.05)
+    return sorted(t.name for t in set(threading.enumerate()) - baseline)
+
+
+def test_reactor_shutdown_releases_threads_and_fds():
+    baseline_threads = set(threading.enumerate())
+    baseline_fds = _fd_count()
+
+    m = Manager(worker_liveness_timeout=None)
+    workers = [ScriptedWorker(m.host, m.port, batch_delay=0.05) for _ in range(8)]
+    deadline = time.time() + 10
+    while len(m.workers) < len(workers) and time.time() < deadline:
+        time.sleep(0.01)
+    assert len(m.workers) == len(workers)
+
+    # keep traffic flowing: completions and batched cache updates are
+    # mid-flight when close() lands (0.05s batch windows ensure some
+    # notices are still queued worker-side)
+    for i in range(40):
+        t = Task("noop")
+        t.add_output(m.declare_temp(), "out")
+        m.submit(t)
+    time.sleep(0.05)  # mid-drain, not after it: close under live load
+
+    assert m._reactor_thread.is_alive()
+    assert m._sel.get_map()  # live worker registrations
+
+    m.close(shutdown_workers=True)
+
+    # selector fully unregistered and closed
+    try:
+        live_keys = list(m._sel.get_map() or ())
+    except (RuntimeError, KeyError):
+        live_keys = []  # closed selectors may refuse get_map entirely
+    assert not live_keys
+    assert not m._reactor_thread.is_alive()
+
+    for w in workers:
+        w.close(timeout=5)
+    del m, workers
+
+    leftovers = _wait_threads_settle(baseline_threads)
+    assert not leftovers, f"threads leaked past close(): {leftovers}"
+    # descriptor population returns to the baseline: listener, wake
+    # pipe, selector fd, and one socket per worker are all gone
+    deadline = time.time() + 10
+    while _fd_count() > baseline_fds and time.time() < deadline:
+        time.sleep(0.05)
+    assert _fd_count() <= baseline_fds
+
+
+def test_threaded_mode_shutdown_releases_threads_and_fds():
+    """The legacy receive path cleans up the same way (reaper, readers)."""
+    baseline_threads = set(threading.enumerate())
+    baseline_fds = _fd_count()
+
+    m = Manager(network="threads", worker_liveness_timeout=None)
+    workers = [ScriptedWorker(m.host, m.port, batch_delay=0.0) for _ in range(4)]
+    deadline = time.time() + 10
+    while len(m.workers) < len(workers) and time.time() < deadline:
+        time.sleep(0.01)
+    m.close(shutdown_workers=True)
+    for w in workers:
+        w.close(timeout=5)
+    del m, workers
+
+    leftovers = _wait_threads_settle(baseline_threads)
+    assert not leftovers, f"threads leaked past close(): {leftovers}"
+    deadline = time.time() + 10
+    while _fd_count() > baseline_fds and time.time() < deadline:
+        time.sleep(0.05)
+    assert _fd_count() <= baseline_fds

@@ -318,14 +318,7 @@ def test_cancel_running_task(cluster):
     m.submit(victim)
     m.submit(quick)
     # wait until the long task is actually running at a worker
-    import time as _time
-
-    deadline = _time.time() + 20
-    while _time.time() < deadline:
-        with m._lock:
-            if victim.state.value == "running":
-                break
-        _time.sleep(0.05)
+    cluster.events.wait_task_state(victim, TaskState.RUNNING, timeout=20)
     assert m.cancel(victim)
     run_all(m, timeout=60)
     assert victim.state == TaskState.CANCELLED

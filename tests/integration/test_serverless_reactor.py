@@ -1,0 +1,103 @@
+"""Serverless path over the event-driven manager: deploy → invoke → harvest.
+
+The manager's reactor receive path has two special cases the serverless
+model leans on: ``install_library``/``invoke`` commands with trailing
+bulk payloads on the send side, and ``task_done`` frames announcing a
+result payload on the receive side (the reactor must switch its frame
+reassembler into bulk mode mid-stream).  These tests drive both with
+real worker processes and real forked library instances, including a
+resident-instance crash while a call is in flight.
+"""
+
+from repro.core.library import FunctionCall
+from repro.core.task import Task, TaskState
+
+from .test_real_runtime import run_all
+
+
+def test_library_deploy_invoke_harvest(cluster):
+    """The full lifecycle: install once, fan out calls, harvest results."""
+    m = cluster.manager
+
+    def double(x):
+        return [v * 2 for v in x]
+
+    def tag(prefix, n=1):
+        return f"{prefix}-{n}"
+
+    m.create_library("mathlib", [double, tag], function_slots=2)
+    m.install_library("mathlib")
+    calls = [FunctionCall("mathlib", "double", list(range(i + 1))) for i in range(5)]
+    calls.append(FunctionCall("mathlib", "tag", "run", n=7))
+    for fc in calls:
+        m.submit(fc)
+    run_all(m)
+    assert all(fc.state == TaskState.DONE for fc in calls)
+    assert calls[0].output() == [0]
+    assert calls[4].output() == [0, 2, 4, 6, 8]
+    assert calls[5].output() == "run-7"
+    # every call produced a completion event in the transaction log
+    assert len(list(m.log.events("task_end"))) >= len(calls)
+
+
+def test_function_result_larger_than_io_chunk(cluster):
+    """A multi-megabyte result rides the bulk path through the reactor.
+
+    The reply's ``task_done`` frame announces ``result_size`` and the
+    payload follows as raw bytes spanning several reactor reads — this
+    is the mid-stream frame→bulk→frame switch.
+    """
+    m = cluster.manager
+
+    def blob(n):
+        return b"\xab" * n
+
+    m.create_library("bulk", [blob])
+    m.install_library("bulk")
+    size = 3 * (1 << 20)  # > IO_CHUNK, so reassembly spans reads
+    fc = FunctionCall("bulk", "blob", size)
+    m.submit(fc)
+    run_all(m)
+    assert fc.state == TaskState.DONE
+    result = fc.output()
+    assert len(result) == size and result[:2] == b"\xab\xab"
+
+
+def test_library_instance_crash_mid_call(cluster):
+    """Killing the resident instance mid-call fails fast, not at timeout.
+
+    The invocation fork SIGKILLs its parent — the resident library
+    process — then stalls.  The worker's result wait must detect the
+    death within about a second, report the call failed, and the rest
+    of the runtime must keep working.
+    """
+    m = cluster.manager
+
+    def suicide():
+        import os
+        import signal
+        import time
+
+        os.kill(os.getppid(), signal.SIGKILL)  # the resident instance
+        time.sleep(30)  # never returns a result
+
+    m.create_library("doomed", [suicide])
+    m.install_library("doomed")
+    fc = FunctionCall("doomed", "suicide")
+    m.submit(fc)
+    run_all(m, timeout=60.0)
+    assert fc.state == TaskState.FAILED
+    assert "died before invocation" in (fc.result.output or "")
+
+    # a later call against the dead library fails cleanly too
+    fc2 = FunctionCall("doomed", "suicide")
+    m.submit(fc2)
+    run_all(m, timeout=60.0)
+    assert fc2.state == TaskState.FAILED
+
+    # and the workers + reactor are still healthy for ordinary work
+    t = Task("echo survived")
+    m.submit(t)
+    run_all(m, timeout=60.0)
+    assert t.state == TaskState.DONE
+    assert "survived" in t.result.output

@@ -8,13 +8,13 @@ dispatch, the manager requeues the task and replans its transfers.
 """
 
 import multiprocessing as mp
-import time
 
 import pytest
 
 from repro.core.manager import Manager
 from repro.core.resources import Resources
 from repro.core.task import Task, TaskState
+from tests.integration.conftest import EventWaiter
 
 _CTX = mp.get_context("spawn")
 
@@ -32,17 +32,18 @@ def _bounded_worker(host, port, workdir, max_cache_bytes):
 @pytest.fixture()
 def bounded_cluster(tmp_path):
     m = Manager()
+    m.events = EventWaiter(m)
     proc = _CTX.Process(
         target=_bounded_worker,
         args=(m.host, m.port, str(tmp_path / "w"), 600_000),  # 600 KB cache
     )
     proc.start()
-    deadline = time.time() + 30
-    while time.time() < deadline:
+
+    def admitted():
         with m._lock:
-            if m.workers:
-                break
-        time.sleep(0.05)
+            return bool(m.workers)
+
+    m.events.wait_for(admitted, timeout=30, describe="worker admission")
     yield m
     m.close(shutdown_workers=True)
     proc.join(timeout=10)
@@ -66,14 +67,22 @@ def test_cache_pressure_evicts_and_informs_manager(bounded_cluster):
     m.run_until_done(timeout=120)
     assert all(t.state == TaskState.DONE for t in tasks)
     assert all("300000" in t.result.output for t in tasks)
-    time.sleep(0.5)  # let trailing cache-invalid messages arrive
     wid = next(iter(m.workers))
-    with m._lock:
-        held = [
-            b.cache_name for b in blobs
-            if m.replicas.has_replica(b.cache_name, wid)
-        ]
-    assert len(held) <= 2  # the bound cannot hold all three
+
+    def _held():
+        with m._lock:
+            return [
+                b.cache_name for b in blobs
+                if m.replicas.has_replica(b.cache_name, wid)
+            ]
+
+    # trailing cache-invalid messages are still in flight when the last
+    # task finishes; wait on the replica table reflecting the eviction
+    # (woken by the file_deleted events) rather than sleeping
+    m.events.wait_for(
+        lambda: len(_held()) <= 2, timeout=20, describe="eviction visible"
+    )
+    assert len(_held()) <= 2  # the bound cannot hold all three
 
 
 def test_pinning_protects_running_tasks_under_pressure(bounded_cluster):

@@ -15,16 +15,6 @@ def cluster3(tmp_path):
     c.stop()
 
 
-def _wait_running(manager, task, timeout=20.0):
-    deadline = time.time() + timeout
-    while time.time() < deadline:
-        with manager._lock:
-            if task.state == TaskState.RUNNING:
-                return True
-        time.sleep(0.05)
-    return False
-
-
 def _proc_of_worker(cluster, manager, worker_id):
     """Map a manager-side worker id to its OS process via the workdir."""
     with manager._lock:
@@ -40,17 +30,15 @@ def test_killed_worker_task_requeued_and_finishes(cluster3):
     long_task = Task("sleep 3 && echo survived")
     long_task.max_retries = 2
     m.submit(long_task)
-    assert _wait_running(m, long_task)
+    cluster3.events.wait_task_state(long_task, TaskState.RUNNING, timeout=20)
     victim_wid = long_task.worker_id
     victim_proc = _proc_of_worker(cluster3, m, victim_wid)
     victim_proc.terminate()
-    # the manager notices the departure and requeues onto a survivor
-    deadline = time.time() + 20
-    while time.time() < deadline:
-        with m._lock:
-            if victim_wid not in m.workers:
-                break
-        time.sleep(0.05)
+    # the manager notices the departure (worker_leave in the log) and
+    # requeues onto a survivor
+    cluster3.events.wait_event(
+        "worker_leave", lambda e: e.worker == victim_wid, timeout=20
+    )
     m.run_until_done(timeout=120)
     assert long_task.state == TaskState.DONE
     assert "survived" in long_task.result.output
@@ -72,12 +60,13 @@ def test_replicas_dropped_when_worker_leaves(cluster3):
         holders_before = m.replicas.locate(data.cache_name)
     assert holders_before
     cluster3.procs[0].terminate()
-    deadline = time.time() + 20
-    while time.time() < deadline:
+    cluster3.events.wait_event("worker_leave", timeout=20)
+
+    def departed():
         with m._lock:
-            if len(m.workers) == 2:
-                break
-        time.sleep(0.05)
+            return len(m.workers) == 2
+
+    cluster3.events.wait_for(departed, timeout=20, describe="worker removal")
     with m._lock:
         holders_after = m.replicas.locate(data.cache_name)
         live = set(m.workers)
@@ -90,6 +79,10 @@ def test_heartbeats_keep_idle_workers_alive(tmp_path):
     c = Cluster(tmp_path, n_workers=1, worker_liveness_timeout=12.0)
     try:
         m = c.manager
+        # deliberately a bare sleep: the property under test is the
+        # absence of a reap during a quiet interval longer than the
+        # heartbeat period, so there is no event to wait on — time
+        # passing IS the test condition
         time.sleep(8)  # > heartbeat interval, below the timeout
         with m._lock:
             assert len(m.workers) == 1

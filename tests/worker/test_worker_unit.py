@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.files import CacheLevel
 from repro.protocol.connection import Connection, listen
-from repro.protocol.messages import M, validate
+from repro.protocol.messages import M, validate, validate_batch
 from repro.worker.worker import Worker
 
 
@@ -30,6 +30,14 @@ class FakeManager:
         try:
             while True:
                 msg = self.conn.recv_message()
+                if msg.get("type") == M.BATCH:
+                    # the worker's BatchSender coalesces notices; sub-
+                    # messages never announce trailing payload bytes
+                    validate_batch(msg)
+                    with self._lock:
+                        for sub in msg["messages"]:
+                            self.messages.append((sub, None))
+                    continue
                 validate(msg)
                 payload = None
                 if msg.get("type") == M.FILE_DATA and msg.get("found"):
