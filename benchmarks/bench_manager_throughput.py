@@ -24,10 +24,12 @@ alone (old threaded manager, batching workers) and the reactor alone
 """
 
 import multiprocessing as mp
+import threading
 import time
 
 from repro.core.manager import Manager
 from repro.core.task import Task
+from repro.service.client import ServiceClient
 
 #: fork, not spawn: worker hosts must come up in milliseconds, since
 #: dispatch starts the moment the first one connects
@@ -149,3 +151,125 @@ def test_manager_throughput(once, bench_report):
                 f"reactor speedup {speedup:.2f}x at {w} workers "
                 f"is below the {SPEEDUP_FLOOR}x floor"
             )
+
+
+# ---------------------------------------------------------------------------
+# service mode: four tenants against one always-on manager
+# ---------------------------------------------------------------------------
+
+N_TENANTS = 4
+FLOOD_TASKS = 600   # tenant t0 pre-loads this many
+SMALL_TASKS = 50    # tenants t1..t3 each submit this many afterwards
+SERVICE_WORKERS = 16
+DAG_CHUNK = 100
+FAIRNESS_CEIL = 0.8  # fair-share small-tenant makespan vs FIFO-starved
+
+
+def _service_drain(fair_share):
+    """Four client sessions drain against one service-mode manager.
+
+    Tenant ``t0`` floods the queue over its session first; the three
+    small tenants then submit their batches, so under FIFO they queue
+    behind the entire flood while deficit round-robin interleaves them
+    at the head.  Workers are the same instant-ack ScriptedWorker fleet
+    as the dispatch benchmark.  Returns (per-tenant makespans,
+    aggregate tasks/sec).
+    """
+    m = Manager(network="reactor", worker_liveness_timeout=None,
+                fair_share=fair_share)
+    hosts, stop_evt = [], _CTX.Event()
+    try:
+        clients = {}
+        for i in range(N_TENANTS):
+            name = f"t{i}"
+            clients[name] = ServiceClient(m.host, m.port, name, timeout=600)
+        spec = {"command": "noop", "inputs": [], "outputs": ["out0"]}
+        for left in range(0, FLOOD_TASKS, DAG_CHUNK):
+            clients["t0"].submit_dag([spec] * min(DAG_CHUNK, FLOOD_TASKS - left))
+        for i in range(1, N_TENANTS):
+            clients[f"t{i}"].submit_dag([spec] * SMALL_TASKS)
+
+        started = time.perf_counter()
+        left = SERVICE_WORKERS
+        while left > 0:
+            n = min(WORKERS_PER_HOST, left)
+            left -= n
+            p = _CTX.Process(
+                target=_host_main,
+                args=(m.host, m.port, n, 0.002, stop_evt),
+                daemon=True,
+            )
+            p.start()
+            hosts.append(p)
+
+        makespans = {}
+
+        def drain(name):
+            clients[name].run_until_done(timeout=600)
+            makespans[name] = time.perf_counter() - started
+
+        threads = [
+            threading.Thread(target=drain, args=(name,)) for name in clients
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = max(makespans.values())
+        for c in clients.values():
+            c.close()
+    finally:
+        m.close(shutdown_workers=False)
+        stop_evt.set()
+        for p in hosts:
+            p.join(timeout=10)
+    total = FLOOD_TASKS + (N_TENANTS - 1) * SMALL_TASKS
+    return makespans, total / elapsed
+
+
+def test_multi_tenant_service(once, bench_report):
+    def grid():
+        return {
+            "fair": _service_drain(fair_share=True),
+            "fifo": _service_drain(fair_share=False),
+        }
+
+    results = once(grid)
+    fair_ms, fair_tput = results["fair"]
+    fifo_ms, fifo_tput = results["fifo"]
+    small = [f"t{i}" for i in range(1, N_TENANTS)]
+    fair_small = sum(fair_ms[n] for n in small) / len(small)
+    fifo_small = sum(fifo_ms[n] for n in small) / len(small)
+
+    bench_report.record_many(
+        {
+            "n_tenants": N_TENANTS,
+            "flood_tasks": FLOOD_TASKS,
+            "small_tasks_per_tenant": SMALL_TASKS,
+            "service_workers": SERVICE_WORKERS,
+            # fair-share lever decomposition: the one knob flipped
+            # between the two runs is the queue discipline
+            "fair_tasks_per_sec": round(fair_tput, 1),
+            "fifo_tasks_per_sec": round(fifo_tput, 1),
+            "fair_small_tenant_makespan_s": round(fair_small, 3),
+            "fifo_small_tenant_makespan_s": round(fifo_small, 3),
+            "fair_flood_makespan_s": round(fair_ms["t0"], 3),
+            "fifo_flood_makespan_s": round(fifo_ms["t0"], 3),
+            "small_tenant_speedup": round(fifo_small / fair_small, 2),
+        }
+    )
+    print(f"\nservice mode, {N_TENANTS} tenants "
+          f"({FLOOD_TASKS} flood + 3x{SMALL_TASKS} small), "
+          f"{SERVICE_WORKERS} workers:")
+    print(f"  aggregate: fair {fair_tput:8.1f}/s   fifo {fifo_tput:8.1f}/s")
+    print(f"  small-tenant makespan: fair {fair_small:6.3f}s   "
+          f"fifo {fifo_small:6.3f}s   "
+          f"speedup {fifo_small / fair_small:5.2f}x")
+
+    # fair-share must rescue the small tenants from the flood without
+    # tanking aggregate throughput
+    assert fair_small <= FAIRNESS_CEIL * fifo_small, (
+        f"fair-share small-tenant makespan {fair_small:.3f}s is not "
+        f"meaningfully below FIFO's {fifo_small:.3f}s"
+    )
+    assert fair_tput >= 0.5 * fifo_tput

@@ -60,6 +60,7 @@ __all__ = [
     "WorkerState",
     "StagingJob",
     "LibraryState",
+    "TenantAccount",
     "ControlPlane",
 ]
 
@@ -164,6 +165,39 @@ class WorkerState:
 
 
 @dataclass
+class TenantAccount:
+    """Per-tenant accounting and quota state (service mode).
+
+    Every task carries a ``tenant`` label ("default" when the manager is
+    driven single-tenant); the control plane keeps one account per label
+    so the fair-share queue, the quota checks, and the ``tenant.*``
+    metrics all read from the same ledger.  ``None`` quotas mean
+    unlimited (the single-tenant/loopback default).
+    """
+
+    name: str
+    #: max simultaneously outstanding (non-terminal) tasks; None = no cap
+    task_quota: Optional[int] = None
+    #: max cumulative declared input bytes; None = no cap
+    byte_quota: Optional[int] = None
+    submitted: int = 0
+    done: int = 0
+    failed: int = 0
+    outstanding: int = 0
+    running: int = 0
+    bytes_declared: int = 0
+    cache_hits: int = 0
+    #: cache names this tenant declared or produced (its namespace)
+    names: set = field(default_factory=set)
+
+    def task_headroom(self) -> Optional[int]:
+        """Remaining submit slots, or None when unlimited."""
+        if self.task_quota is None:
+            return None
+        return max(0, self.task_quota - self.outstanding)
+
+
+@dataclass
 class StagingJob:
     """A pending mini-task materialization at one worker."""
 
@@ -228,6 +262,9 @@ class ControlPlane:
         requeue_backoff_base: float = 0.0,
         blocklist_threshold: int = 5,
         rng_seed: int = 0,
+        fair_share: bool = True,
+        default_task_quota: Optional[int] = None,
+        default_byte_quota: Optional[int] = None,
     ) -> None:
         self.port = port
         self.registry = FileRegistry()
@@ -260,8 +297,18 @@ class ControlPlane:
         #: identically for a given seed)
         self._rng = random.Random(f"{rng_seed}:backoff")
 
+        #: deficit-round-robin across tenants in the ready queue; off
+        #: restores strict global (-priority, seq) order (FIFO baseline)
+        self.fair_share = fair_share
+        #: quotas stamped on tenant accounts as they first appear; the
+        #: service layer may override per tenant after creation
+        self.default_task_quota = default_task_quota
+        self.default_byte_quota = default_byte_quota
+        self.tenants: dict[str, TenantAccount] = {}
+        self._tenant_gauges: dict[str, dict] = {}
+
         self.tasks: dict[str, Task] = {}
-        self._ready = ReadyQueue()
+        self._ready = ReadyQueue(fair_share=fair_share)
         #: per-manager task id/sequence counter: two managers in one
         #: process issue identical ``t1, t2, …`` streams (chaos replay)
         self._task_seq = itertools.count(1)
@@ -369,6 +416,97 @@ class ControlPlane:
         self.fixed_sources.setdefault(cache_name, NO_SOURCE)
 
     # ------------------------------------------------------------------
+    # tenants: namespaces, quotas and per-tenant accounting
+    # ------------------------------------------------------------------
+
+    def tenant_account(self, name: str) -> TenantAccount:
+        """The (lazily created) account for one tenant label."""
+        acct = self.tenants.get(name)
+        if acct is None:
+            acct = self.tenants[name] = TenantAccount(
+                name=name,
+                task_quota=self.default_task_quota,
+                byte_quota=self.default_byte_quota,
+            )
+            self._tenant_gauges[name] = {
+                "queued": self.metrics.gauge(f"tenant.{name}.tasks_queued"),
+                "running": self.metrics.gauge(f"tenant.{name}.tasks_running"),
+                "done": self.metrics.counter(f"tenant.{name}.tasks_done"),
+                "failed": self.metrics.counter(f"tenant.{name}.tasks_failed"),
+                "bytes": self.metrics.gauge(f"tenant.{name}.bytes_declared"),
+                "headroom": self.metrics.gauge(f"tenant.{name}.quota_headroom"),
+                "hits": self.metrics.counter(f"tenant.{name}.cache_hits"),
+            }
+            self._sync_tenant(acct)
+        return acct
+
+    def _sync_tenant(self, acct: TenantAccount) -> None:
+        """Refresh the tenant's gauges from its ledger."""
+        g = self._tenant_gauges[acct.name]
+        g["queued"].set(max(0, acct.outstanding - acct.running))
+        g["running"].set(acct.running)
+        g["bytes"].set(acct.bytes_declared)
+        headroom = acct.task_headroom()
+        g["headroom"].set(-1 if headroom is None else headroom)
+
+    def set_tenant_quota(
+        self,
+        tenant: str,
+        task_quota: Optional[int] = None,
+        byte_quota: Optional[int] = None,
+    ) -> TenantAccount:
+        """Override one tenant's quotas (None = unlimited dimension)."""
+        acct = self.tenant_account(tenant)
+        acct.task_quota = task_quota
+        acct.byte_quota = byte_quota
+        self._sync_tenant(acct)
+        return acct
+
+    def tenant_submit_blocked(self, tenant: str) -> Optional[str]:
+        """Reason a submit for ``tenant`` must be refused, or None."""
+        acct = self.tenant_account(tenant)
+        headroom = acct.task_headroom()
+        if headroom is not None and headroom <= 0:
+            return (
+                f"task quota exceeded: {acct.outstanding} outstanding "
+                f"of {acct.task_quota} allowed"
+            )
+        return None
+
+    def tenant_charge_bytes(self, tenant: str, nbytes: int) -> Optional[str]:
+        """Charge declared bytes against the tenant's byte quota.
+
+        Returns a refusal reason (and charges nothing) when the quota
+        would be exceeded; None on success.
+        """
+        acct = self.tenant_account(tenant)
+        if (
+            acct.byte_quota is not None
+            and acct.bytes_declared + nbytes > acct.byte_quota
+        ):
+            return (
+                f"byte quota exceeded: {acct.bytes_declared + nbytes} "
+                f"declared of {acct.byte_quota} allowed"
+            )
+        acct.bytes_declared += nbytes
+        self._sync_tenant(acct)
+        return None
+
+    def tenant_add_name(self, tenant: str, cache_name: str) -> None:
+        """Admit a cache name into the tenant's namespace."""
+        self.tenant_account(tenant).names.add(cache_name)
+
+    def tenant_cache_hit(self, tenant: str, cache_name: str, size: int) -> None:
+        """A tenant declared content already known to the service."""
+        acct = self.tenant_account(tenant)
+        acct.cache_hits += 1
+        self._tenant_gauges[tenant]["hits"].inc()
+        self.log.emit(
+            self.port.now(), "cache_shared",
+            file=cache_name, size=size, category=tenant,
+        )
+
+    # ------------------------------------------------------------------
     # task lifecycle: submission, cancellation, completion
     # ------------------------------------------------------------------
 
@@ -396,6 +534,10 @@ class ControlPlane:
         self.tasks[task.task_id] = task
         self._ready.push(task)
         self.outstanding += 1
+        acct = self.tenant_account(task.tenant)
+        acct.submitted += 1
+        acct.outstanding += 1
+        self._sync_tenant(acct)
         self.port.request_pump()
         return task.task_id
 
@@ -414,11 +556,14 @@ class ControlPlane:
             self._abort_placement(task)
             self._dispatched.pop(task.task_id, None)
             self._drop_stage_index(task)
-            self._running.pop(task.task_id, None)
+            self._pop_running(task.task_id)
             self._gc_task_inputs(task)
         task.state = TaskState.CANCELLED
         task.result = TaskResult(exit_code=-1, failure="cancelled")
         self.outstanding -= 1
+        acct = self.tenant_account(task.tenant)
+        acct.outstanding -= 1
+        self._sync_tenant(acct)
         self.port.deliver(task, regenerated=False)
         self.port.request_pump()
         return True
@@ -440,7 +585,7 @@ class ControlPlane:
         :meth:`complete_task`).  Returns None for stale reports and for
         attempts that were requeued by a retry policy.
         """
-        task = self._running.pop(task_id, None)
+        task = self._pop_running(task_id)
         if task is None:
             return None
         state = self.workers.get(worker_id)
@@ -550,6 +695,15 @@ class ControlPlane:
         self._finish_task(task, result)
         self.port.request_pump()
 
+    def _pop_running(self, task_id: str) -> Optional[Task]:
+        """Remove a task from the running set, keeping tenant gauges true."""
+        task = self._running.pop(task_id, None)
+        if task is not None:
+            acct = self.tenant_account(task.tenant)
+            acct.running -= 1
+            self._sync_tenant(acct)
+        return task
+
     def _finish_task(self, task: Task, result: TaskResult) -> None:
         if task.is_done:
             return
@@ -565,11 +719,25 @@ class ControlPlane:
         self._ready.discard(task)
         self._dispatched.pop(task.task_id, None)
         self._drop_stage_index(task)
-        self._running.pop(task.task_id, None)
+        self._pop_running(task.task_id)
         self._finishing.pop(task.task_id, None)
         self.outstanding -= 1
         if task.state == TaskState.DONE:
             self.done_count += 1
+        acct = self.tenant_account(task.tenant)
+        acct.outstanding -= 1
+        if task.state == TaskState.DONE:
+            acct.done += 1
+            self._tenant_gauges[task.tenant]["done"].inc()
+        else:
+            acct.failed += 1
+            self._tenant_gauges[task.tenant]["failed"].inc()
+        # produced outputs join the owning tenant's namespace so a
+        # follow-up workflow may reference them without re-declaring
+        for _, f in task.outputs:
+            if f.cache_name:
+                acct.names.add(f.cache_name)
+        self._sync_tenant(acct)
         regenerated = task.task_id in self._regenerated
         self._regenerated.discard(task.task_id)
         self.port.deliver(task, regenerated=regenerated)
@@ -1020,7 +1188,7 @@ class ControlPlane:
         for task in lost_tasks:
             self._dispatched.pop(task.task_id, None)
             self._drop_stage_index(task)
-            self._running.pop(task.task_id, None)
+            self._pop_running(task.task_id)
             self.port.task_preempted(task)
             if isinstance(task, FunctionCall):
                 self._lib_load[(worker_id, task.library_name)] -= 1
@@ -1111,6 +1279,9 @@ class ControlPlane:
         producer.not_before = self._requeue_holdoff(producer)
         self.done_count -= 1
         self.outstanding += 1
+        acct = self.tenant_account(producer.tenant)
+        acct.outstanding += 1
+        self._sync_tenant(acct)
         self.tasks_requeued += 1
         self._m_regens.inc()
         self._regenerated.add(producer.task_id)
@@ -1463,6 +1634,9 @@ class ControlPlane:
         self._dispatched.pop(task.task_id, None)
         self._drop_stage_index(task)
         self._running[task.task_id] = task
+        acct = self.tenant_account(task.tenant)
+        acct.running += 1
+        self._sync_tenant(acct)
         task.state = TaskState.RUNNING
         task.started_at = self.port.now()
         self.log.emit(

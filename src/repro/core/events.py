@@ -49,6 +49,13 @@ KINDS = frozenset(
         "task_requeued",
         "file_regenerated",
         "worker_blocklist",
+        # multi-tenant service mode: client sessions attach to a
+        # long-lived manager; rejected requests and cross-tenant cache
+        # reuse are first-class facts in the txn log
+        "client_attach",
+        "client_detach",
+        "client_rejected",
+        "cache_shared",
     }
 )
 

@@ -39,6 +39,7 @@ import tempfile
 import threading
 import time
 import urllib.parse
+import uuid
 from typing import Callable, Optional, Sequence
 
 from repro.core.control_plane import (
@@ -68,13 +69,16 @@ from repro.observe.txnlog import TransactionLogWriter
 from repro.protocol import serialization as ser
 from repro.protocol.connection import (
     IO_CHUNK,
+    SESSION_CLIENT,
+    SESSION_WORKER,
     Connection,
     FrameReassembler,
     ProtocolError,
     encode_frame,
     listen,
+    session_kind,
 )
-from repro.protocol.messages import M, WireError, validate
+from repro.protocol.messages import CLIENT_KINDS, M, WireError, validate
 from repro.util.logging import get_logger
 
 __all__ = ["Manager", "ManagerError"]
@@ -150,21 +154,60 @@ class _WorkerHandle:
         self.outbox.put(None)
 
 
+class _ClientHandle:
+    """Manager-side send channel for one attached client session.
+
+    Mirrors the sender-thread shape of :class:`_WorkerHandle` (same
+    ``pending_frames`` / ``wire_lock`` / ``outbox`` surface) so the
+    manager's ``_send`` / ``_flush_pending`` machinery serves clients
+    and workers identically.
+    """
+
+    def __init__(self, conn: Connection) -> None:
+        self.conn = conn
+        self.alive = True
+        self.pending_frames: list[bytes] = []
+        self.wire_lock = threading.Lock()
+        self.outbox: "queue.Queue[Optional[Callable[[Connection], None]]]" = queue.Queue()
+        self._sender = threading.Thread(target=self._send_loop, daemon=True)
+        self._sender.start()
+
+    def _send_loop(self) -> None:
+        while True:
+            fn = self.outbox.get()
+            if fn is None:
+                return
+            try:
+                with self.wire_lock:
+                    fn(self.conn)
+            except (ProtocolError, OSError):
+                self.alive = False
+                return
+
+    def enqueue(self, fn: Callable[[Connection], None]) -> None:
+        self.outbox.put(fn)
+
+    def stop_sender(self) -> None:
+        self.outbox.put(None)
+
+
 class _ConnState:
     """Reactor-side receive state for one inbound connection.
 
-    ``handle`` is None until the peer's REGISTER frame admits it as a
-    worker; ``pending`` holds a control message whose announced bulk
-    payload (``file_data`` content, ``task_done`` result) is still
-    being reassembled.
+    ``handle``/``client`` are both None until the peer's first frame
+    decides its role (REGISTER admits a worker, CLIENT_HELLO a client
+    session); ``pending`` holds a control message whose announced bulk
+    payload (``file_data`` content, ``task_done`` result, declared
+    buffer bytes) is still being reassembled.
     """
 
-    __slots__ = ("conn", "frames", "handle", "pending")
+    __slots__ = ("conn", "frames", "handle", "client", "pending")
 
     def __init__(self, conn: Connection) -> None:
         self.conn = conn
         self.frames = FrameReassembler()
         self.handle: Optional[_WorkerHandle] = None
+        self.client: Optional["_ClientSession"] = None
         self.pending: Optional[dict] = None
 
 
@@ -175,6 +218,380 @@ class _LibraryState(LibraryState):
         super().__init__(library.name, (), resources, slots)
         self.library = library
         self.payload = ser.dumps_portable(dict(library.functions))
+
+
+class _ClientSession:
+    """One tenant's attachment to a long-lived manager.
+
+    The session outlives its socket: a client may detach (or crash)
+    and later reattach with its token, picking up the notices that
+    were buffered in between.  ``loopback`` marks the in-process
+    session that backs ``Manager.submit``/``wait`` — it has no socket
+    and its completions go to the manager's completion queue.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, tenant: str) -> None:
+        self.session_id = f"C{next(self._ids):03d}"
+        self.token = uuid.uuid4().hex
+        self.tenant = tenant
+        self.loopback = False
+        self.handle: Optional[_ClientHandle] = None
+        #: outstanding task ids owned by this session
+        self.tasks: set[str] = set()
+        #: notices generated while detached, replayed on reattach
+        self.buffered: list[dict] = []
+
+
+class _ClientFetchWaiter:
+    """Adapter forwarding a ``send_back`` reply to an attached client.
+
+    Quacks like the ``queue.Queue`` the in-process fetch path parks on
+    (``put(payload)``), so ``_on_file_data`` serves both without
+    knowing which kind of waiter it is completing.
+    """
+
+    def __init__(self, service: "ManagerService", sess: _ClientSession, cache_name: str) -> None:
+        self.service = service
+        self.sess = sess
+        self.cache_name = cache_name
+
+    def put(self, payload: Optional[bytes]) -> None:
+        self.service._send_file_data(self.sess, self.cache_name, payload)
+
+
+class ManagerService:
+    """Session table of service mode: many client workflows, one manager.
+
+    Clients attach over the same reactor the workers use; the first
+    frame on a connection decides its role.  Each session owns a
+    tenant namespace (the cache names it declared or produced), rides
+    the control plane's per-tenant quotas and fair-share queue, and
+    shares the content-addressed cache with every other tenant — a
+    second workflow declaring identical inputs gets a cache hit and
+    zero re-transfer (paper §3.2's point of naming by content).
+
+    All methods run under the manager's state lock.  Protocol errors
+    from a client answer with ``client_reject`` (and a
+    ``client_rejected`` event) instead of unwinding the connection.
+    """
+
+    def __init__(self, mgr: "Manager", project_name: str, password: Optional[str]) -> None:
+        self.mgr = mgr
+        self.project_name = project_name
+        self.password = password
+        #: attach-token -> session (reattach looks up here)
+        self.sessions: dict[str, _ClientSession] = {}
+        #: outstanding task id -> owning session (remote sessions only)
+        self.by_task: dict[str, _ClientSession] = {}
+        self.loopback = _ClientSession("default")
+        self.loopback.loopback = True
+
+    # -- admission -----------------------------------------------------
+
+    def hello(self, state: _ConnState, msg: dict) -> None:
+        """Authenticate and attach (or reattach) a client connection."""
+        tenant = str(msg["tenant"])
+        if self.password is not None and msg.get("password") != self.password:
+            self._reject_conn(state.conn, "auth", f"bad password for tenant {tenant!r}")
+            return
+        token = msg.get("session")
+        if token is not None:
+            sess = self.sessions.get(token)
+            if sess is None or sess.tenant != tenant:
+                self._reject_conn(state.conn, "session", "unknown session token")
+                return
+            if sess.handle is not None:
+                sess.handle.stop_sender()  # displaced by the new attachment
+        else:
+            sess = _ClientSession(tenant)
+            self.sessions[sess.token] = sess
+        sess.handle = _ClientHandle(state.conn)
+        state.client = sess
+        mgr = self.mgr
+        mgr.control.tenant_account(tenant)
+        mgr.control.log.emit(
+            mgr.now(), "client_attach", worker=sess.session_id, category=tenant
+        )
+        mgr._send(
+            sess.handle,
+            {
+                "type": M.WELCOME,
+                "session": sess.token,
+                "tenant": tenant,
+                "project": self.project_name,
+            },
+        )
+        for notice in sess.buffered:
+            mgr._send(sess.handle, notice)
+        sess.buffered.clear()
+
+    def client_gone(self, sess: _ClientSession) -> None:
+        """EOF/teardown on an attached client: detach, keep the workflow."""
+        if sess.handle is not None:
+            sess.handle.stop_sender()
+            sess.handle = None
+        mgr = self.mgr
+        mgr.control.log.emit(
+            mgr.now(), "client_detach", worker=sess.session_id, category=sess.tenant
+        )
+
+    def attached_handles(self) -> list[_ClientHandle]:
+        return [s.handle for s in self.sessions.values() if s.handle is not None]
+
+    # -- request dispatch ----------------------------------------------
+
+    def handle_message(
+        self, sess: _ClientSession, mtype: str, msg: dict, payload: Optional[bytes]
+    ) -> None:
+        try:
+            if mtype == M.DECLARE_FILE:
+                self._declare(sess, msg, payload)
+            elif mtype == M.SUBMIT_TASK:
+                self._submit_spec(sess, msg)
+            elif mtype == M.SUBMIT_DAG:
+                self._submit_dag(sess, msg)
+            elif mtype == M.FETCH_RESULT:
+                self._fetch(sess, msg)
+            elif mtype == M.DETACH:
+                self._detach(sess)
+            else:  # a second client_hello on an attached session
+                raise ManagerError(f"unexpected {mtype!r} on an attached session")
+        except ManagerError as exc:
+            self.reject(sess, "request", str(exc), ref=msg.get("ref"))
+
+    def reject(
+        self, sess: _ClientSession, code: str, detail: str, ref=None
+    ) -> None:
+        """Answer a bad client request without unwinding the connection."""
+        mgr = self.mgr
+        mgr.control.log.emit(
+            mgr.now(), "client_rejected", worker=sess.session_id, category=code
+        )
+        frame = {"type": M.CLIENT_REJECT, "reason": f"{code}: {detail}"}
+        if ref is not None:
+            frame["ref"] = ref
+        if sess.handle is not None:
+            mgr._send(sess.handle, frame)
+
+    def _reject_conn(self, conn: Connection, code: str, detail: str) -> None:
+        # pre-auth rejects have no session/handle yet: answer directly
+        # on the reactor thread (one tiny frame on an empty socket)
+        self.mgr.control.log.emit(self.mgr.now(), "client_rejected", category=code)
+        try:
+            conn.send_message({"type": M.CLIENT_REJECT, "reason": f"{code}: {detail}"})
+        except (ProtocolError, OSError):
+            pass
+
+    # -- declarations ---------------------------------------------------
+
+    def _declare(self, sess: _ClientSession, msg: dict, payload: Optional[bytes]) -> None:
+        mgr = self.mgr
+        spec = msg["spec"]
+        kind = spec.get("kind", "buffer")
+        level = CacheLevel.parse(spec.get("level", "workflow"))
+        if kind == "buffer":
+            f: File = BufferFile(payload if payload is not None else b"", level)
+            source, size = MANAGER_SOURCE, f.size or 0
+        elif kind == "url":
+            f = URLFile(str(spec["url"]), level)
+            host = urllib.parse.urlparse(f.url).netloc or "localfs"
+            source, size = f"url:{host}", mgr._url_size(f.url)
+        elif kind == "local":
+            f = LocalFile(os.path.abspath(str(spec["path"])), level)
+            source, size = MANAGER_SOURCE, f.size or mgr._local_size(f.path)
+        else:
+            raise ManagerError(f"unknown file kind {kind!r}")
+        mgr.namer.assign(f)
+        name = f.cache_name
+        acct = mgr.control.tenant_account(sess.tenant)
+        hit = name in mgr.control.fixed_sources
+        if not hit:
+            reason = mgr.control.tenant_charge_bytes(sess.tenant, size)
+            if reason is not None:
+                raise ManagerError(reason)
+            mgr.control.declare(f, source, size)
+        elif name not in acct.names:
+            # content-identical to another tenant's declaration: the
+            # existing replicas serve it, nothing moves again
+            mgr.control.tenant_cache_hit(sess.tenant, name, size)
+        mgr.control.tenant_add_name(sess.tenant, name)
+        if sess.handle is not None:
+            mgr._send(
+                sess.handle,
+                {
+                    "type": M.FILE_DECLARED,
+                    "ref": msg.get("ref"),
+                    "cache_name": name,
+                    "cache_hit": hit,
+                    "size": size,
+                },
+            )
+
+    # -- submission ------------------------------------------------------
+
+    def _build_task(self, sess: _ClientSession, spec: dict, keymap: dict) -> Task:
+        mgr = self.mgr
+        task = Task(str(spec["command"]))
+        acct = mgr.control.tenant_account(sess.tenant)
+        for entry in spec.get("inputs", ()):
+            sandbox, src = entry[0], entry[1]
+            if isinstance(src, dict):
+                f = keymap.get(src.get("key"))
+                if f is None:
+                    raise ManagerError(f"unknown dag key {src.get('key')!r}")
+            else:
+                if src not in acct.names:
+                    raise ManagerError(
+                        f"input {src!r} is outside tenant {sess.tenant!r}'s namespace"
+                    )
+                f = mgr.registry.by_name(src)
+            task.add_input(f, sandbox)
+        for entry in spec.get("outputs", ()):
+            if isinstance(entry, (list, tuple)):
+                sandbox, key = entry[0], entry[1] if len(entry) > 1 else None
+            else:
+                sandbox, key = entry, None
+            out = TempFile()
+            task.add_output(out, sandbox)
+            if key is not None:
+                keymap[key] = out
+        if "resources" in spec:
+            task.set_resources(Resources.from_dict(spec["resources"]))
+        if "priority" in spec:
+            task.set_priority(float(spec["priority"]))
+        if "category" in spec:
+            task.set_category(str(spec["category"]))
+        task.set_tenant(sess.tenant)
+        return task
+
+    def _submit(self, sess: _ClientSession, task: Task) -> str:
+        mgr = self.mgr
+        blocked = mgr.control.tenant_submit_blocked(task.tenant)
+        if blocked is not None:
+            raise ManagerError(blocked)
+        tid = mgr._submit_prepared(task)
+        for _name, f in task.outputs:
+            mgr.control.tenant_add_name(task.tenant, f.cache_name)
+        if not sess.loopback:
+            sess.tasks.add(tid)
+            self.by_task[tid] = sess
+        return tid
+
+    def submit_local(self, task: Task) -> str:
+        """Loopback client: the in-process API rides the same session path."""
+        return self._submit(self.loopback, task)
+
+    def _accept(self, sess: _ClientSession, ref, task: Task, tid: str) -> None:
+        if sess.handle is None:
+            return
+        self.mgr._send(
+            sess.handle,
+            {
+                "type": M.TASK_ACCEPTED,
+                "ref": ref,
+                "task_id": tid,
+                "outputs": {name: f.cache_name for name, f in task.outputs},
+            },
+        )
+
+    def _submit_spec(self, sess: _ClientSession, msg: dict) -> None:
+        task = self._build_task(sess, msg["spec"], {})
+        tid = self._submit(sess, task)
+        self._accept(sess, msg.get("ref"), task, tid)
+
+    def _submit_dag(self, sess: _ClientSession, msg: dict) -> None:
+        specs = msg["tasks"]
+        if not isinstance(specs, list) or not specs:
+            raise ManagerError("submit_dag needs a non-empty task list")
+        keymap: dict = {}
+        tasks = [self._build_task(sess, spec, keymap) for spec in specs]
+        acct = self.mgr.control.tenant_account(sess.tenant)
+        headroom = acct.task_headroom()
+        if headroom is not None and headroom < len(tasks):
+            raise ManagerError(
+                f"tenant {sess.tenant!r} task quota headroom {headroom} "
+                f"cannot admit a {len(tasks)}-task dag"
+            )
+        ref = msg.get("ref")
+        for i, task in enumerate(tasks):
+            tid = self._submit(sess, task)
+            self._accept(sess, f"{ref}[{i}]", task, tid)
+
+    # -- completion and retrieval ----------------------------------------
+
+    def task_delivered(self, task: Task) -> Optional[_ClientSession]:
+        """Route a completed task to its owning remote session.
+
+        Returns None when the task belongs to the in-process loopback
+        path (the caller then feeds the completion queue as before).
+        """
+        sess = self.by_task.pop(task.task_id, None)
+        if sess is None:
+            return None
+        sess.tasks.discard(task.task_id)
+        r = task.result
+        self._notify(
+            sess,
+            {
+                "type": M.TASK_RESULT,
+                "task_id": task.task_id,
+                "state": task.state.value,
+                "exit_code": r.exit_code if r else -1,
+                "failure": r.failure if r else None,
+                "output": (r.output or "")[-2000:] if r else "",
+                "outputs": {name: f.cache_name for name, f in task.outputs},
+            },
+        )
+        if not sess.tasks:
+            mgr = self.mgr
+            mgr.control.log.emit(mgr.now(), "workflow_done", category=sess.tenant)
+            self._notify(sess, {"type": M.WORKFLOW_DONE, "tenant": sess.tenant})
+        return sess
+
+    def _notify(self, sess: _ClientSession, frame: dict) -> None:
+        if sess.handle is not None and sess.handle.alive:
+            self.mgr._send(sess.handle, frame)
+        else:
+            sess.buffered.append(frame)
+
+    def _fetch(self, sess: _ClientSession, msg: dict) -> None:
+        mgr = self.mgr
+        name = str(msg["cache_name"])
+        acct = mgr.control.tenant_account(sess.tenant)
+        if name not in acct.names:
+            raise ManagerError(
+                f"{name!r} is outside tenant {sess.tenant!r}'s namespace"
+            )
+        f = mgr.registry.by_name(name) if name in mgr.registry else None
+        if isinstance(f, BufferFile):
+            self._send_file_data(sess, name, f.data)
+            return
+        holders = [w for w in mgr.replicas.locate(name) if w in mgr.workers]
+        if not holders:
+            raise ManagerError(f"no worker holds {name}")
+        mgr._fetch_waiters[name].append(_ClientFetchWaiter(self, sess, name))
+        mgr._send(mgr.workers[holders[0]], {"type": M.SEND_BACK, "cache_name": name})
+
+    def _send_file_data(
+        self, sess: _ClientSession, name: str, payload: Optional[bytes]
+    ) -> None:
+        if sess.handle is None or not sess.handle.alive:
+            return  # detached: the replica stays fetchable on reattach
+        frame = {
+            "type": M.FILE_DATA,
+            "cache_name": name,
+            "found": payload is not None,
+            "size": len(payload or b""),
+        }
+        self.mgr._send(sess.handle, frame, payload if payload else None)
+
+    def _detach(self, sess: _ClientSession) -> None:
+        if sess.handle is not None:
+            self.mgr._send(sess.handle, {"type": M.DETACHED, "session": sess.token})
+        # the client closes its end after the ack; the reactor's EOF
+        # unwind then runs client_gone(), which buffers further notices
 
 
 class Manager:
@@ -199,6 +616,11 @@ class Manager:
         requeue_backoff_base: float = 0.0,
         blocklist_threshold: int = 5,
         network: str = "reactor",
+        project_name: str = "repro",
+        password: Optional[str] = None,
+        fair_share: bool = True,
+        default_task_quota: Optional[int] = None,
+        default_byte_quota: Optional[int] = None,
     ) -> None:
         if network not in ("reactor", "threads"):
             raise ValueError(f"unknown network mode {network!r}")
@@ -218,7 +640,13 @@ class Manager:
             requeue_backoff_base=requeue_backoff_base,
             blocklist_threshold=blocklist_threshold,
             rng_seed=seed if seed is not None else 0,
+            fair_share=fair_share,
+            default_task_quota=default_task_quota,
+            default_byte_quota=default_byte_quota,
         )
+        #: client-session table (service mode); the in-process API is
+        #: its loopback session, so one code path owns all submissions
+        self.service = ManagerService(self, project_name, password)
         #: streams every event to disk as it is emitted (live tailable)
         self._txn_writer: Optional[TransactionLogWriter] = None
         if txn_log_path is not None:
@@ -478,8 +906,10 @@ class Manager:
             self._send(handle, {"type": M.UNLINK, "cache_name": cache_name})
 
     def deliver(self, task: Task, regenerated: bool) -> None:
-        if not regenerated:  # regeneration reruns were already delivered
-            self._completed.put(task)
+        if regenerated:  # regeneration reruns were already delivered
+            return
+        if self.service.task_delivered(task) is None:
+            self._completed.put(task)  # loopback (in-process) session
 
     # ------------------------------------------------------------------
     # public API: declarations
@@ -585,28 +1015,41 @@ class Manager:
     # ------------------------------------------------------------------
 
     def submit(self, task: Task) -> str:
-        """Submit a task for execution; returns its id."""
+        """Submit a task for execution; returns its id.
+
+        Routes through the service's loopback session, so in-process
+        submissions ride the same quota/accounting path as remote
+        clients while keeping this signature unchanged.
+        """
         with self._lock:
-            if task.state != TaskState.CREATED:
-                raise ManagerError(f"task {task.task_id} already submitted")
-            if isinstance(task, PythonTask):
-                self._prepare_python_task(task)
-            if isinstance(task, FunctionCall):
-                if task.library_name not in self.control.libraries:
-                    raise ManagerError(
-                        f"function call names unknown library {task.library_name!r}"
-                    )
-            for _, f in task.inputs:
-                if f.cache_name is None or f.cache_name not in self.control.fixed_sources:
-                    # ids are assigned at submit, so name the command here
-                    raise ManagerError(
-                        f"input {f.file_id} of task {task.command!r} was not declared"
-                    )
-            for _, f in task.outputs:
-                if f.cache_name is None:
-                    self.namer.assign(f)
-                    self.control.declare_output_file(f)
-            return self.control.submit(task)
+            return self.service.submit_local(task)
+
+    def _submit_prepared(self, task: Task) -> str:
+        """Validation + naming shared by loopback and client submits.
+
+        Callers hold the state lock and have already passed tenant
+        quota admission.
+        """
+        if task.state != TaskState.CREATED:
+            raise ManagerError(f"task {task.task_id} already submitted")
+        if isinstance(task, PythonTask):
+            self._prepare_python_task(task)
+        if isinstance(task, FunctionCall):
+            if task.library_name not in self.control.libraries:
+                raise ManagerError(
+                    f"function call names unknown library {task.library_name!r}"
+                )
+        for _, f in task.inputs:
+            if f.cache_name is None or f.cache_name not in self.control.fixed_sources:
+                # ids are assigned at submit, so name the command here
+                raise ManagerError(
+                    f"input {f.file_id} of task {task.command!r} was not declared"
+                )
+        for _, f in task.outputs:
+            if f.cache_name is None:
+                self.namer.assign(f)
+                self.control.declare_output_file(f)
+        return self.control.submit(task)
 
     def _prepare_python_task(self, task: PythonTask) -> None:
         payload = ser.dumps_portable(
@@ -696,6 +1139,18 @@ class Manager:
         with self._lock:
             self.control.install_library(name)
 
+    # -- tenancy ---------------------------------------------------------
+
+    def set_tenant_quota(
+        self,
+        tenant: str,
+        task_quota: Optional[int] = None,
+        byte_quota: Optional[int] = None,
+    ) -> None:
+        """Override one tenant's quotas (None = unlimited dimension)."""
+        with self._lock:
+            self.control.set_tenant_quota(tenant, task_quota, byte_quota)
+
     # -- data retrieval ---------------------------------------------------
 
     def fetch_bytes(self, f: File, timeout: float = 60.0) -> bytes:
@@ -749,6 +1204,7 @@ class Manager:
                     except (ProtocolError, OSError):
                         break
             handles = list(self.workers.values())
+            client_handles = self.service.attached_handles()
         # stop the receive path first so no reads race the teardown: the
         # reactor unregisters every selector key before exiting, and only
         # then are the connections themselves torn down
@@ -766,6 +1222,10 @@ class Manager:
         for handle in handles:
             handle._sender.join(timeout=10)
             handle.conn.close()
+        for chandle in client_handles:
+            chandle.stop_sender()
+            chandle._sender.join(timeout=10)
+            chandle.conn.close()
         for timer in list(self._timers):
             timer.cancel()
         self._timers.clear()
@@ -912,6 +1372,8 @@ class Manager:
                     # one write (pump included: defer flag still set)
                     for handle in self.workers.values():
                         self._flush_pending(handle)
+                    for chandle in self.service.attached_handles():
+                        self._flush_pending(chandle)
             finally:
                 self._reactor_defer = False
             self._m_loop.observe(time.monotonic() - started)
@@ -923,7 +1385,11 @@ class Manager:
                 sel.unregister(key.fileobj)
             except (KeyError, ValueError):
                 pass
-            if isinstance(key.data, _ConnState) and key.data.handle is None:
+            if (
+                isinstance(key.data, _ConnState)
+                and key.data.handle is None
+                and key.data.client is None
+            ):
                 key.data.conn.close()
         sel.close()
 
@@ -973,15 +1439,29 @@ class Manager:
             kind, value = item
             if kind == "bytes":
                 msg, state.pending = state.pending, None
-                self._dispatch(state.handle, msg["type"], msg, value)
+                if state.client is not None:
+                    with self._lock:
+                        self.service.handle_message(
+                            state.client, msg["type"], msg, value
+                        )
+                else:
+                    self._dispatch(state.handle, msg["type"], msg, value)
                 continue
             msg = value
             self._m_frames_in.inc()
+            if state.client is not None:
+                self._client_frame(state, msg)
+                continue
             mtype = validate(msg)  # WireError unwinds the connection
             if state.handle is None:
-                if mtype != M.REGISTER:
+                role = session_kind(mtype)
+                if role == SESSION_CLIENT:
+                    with self._lock:
+                        self.service.hello(state, msg)
+                    continue
+                if role != SESSION_WORKER:
                     raise ProtocolError(
-                        f"expected register handshake, got {mtype!r}"
+                        f"expected a session-opening frame, got {mtype!r}"
                     )
                 state.handle = self._register_worker(state.conn, msg)
             elif mtype == M.FILE_DATA and msg.get("found"):
@@ -992,6 +1472,37 @@ class Manager:
                 state.frames.expect_bytes(int(msg["result_size"]))
             else:
                 self._dispatch(state.handle, mtype, msg, None)
+
+    def _client_frame(self, state: _ConnState, msg: dict) -> None:
+        """Validate and route one frame from an attached client.
+
+        Protocol violations on a client session answer with a
+        ``client_reject`` frame instead of unwinding the connection —
+        a misbehaving tenant must not lose its attachment over one bad
+        request.  (Workers keep the strict unwind: their frames come
+        from manager-trusted code.)
+        """
+        sess = state.client
+        self._m_messages_in.inc()
+        try:
+            mtype = validate(msg)
+            if mtype not in CLIENT_KINDS:
+                raise WireError(f"{mtype!r} is not a client message")
+        except WireError as exc:
+            with self._lock:
+                self.service.reject(sess, "protocol", str(exc), ref=msg.get("ref"))
+            return
+        spec = msg.get("spec") or {}
+        if (
+            mtype == M.DECLARE_FILE
+            and spec.get("kind", "buffer") == "buffer"
+            and int(spec.get("size", 0)) > 0
+        ):
+            state.pending = msg
+            state.frames.expect_bytes(int(spec["size"]))
+            return
+        with self._lock:
+            self.service.handle_message(sess, mtype, msg, None)
 
     def _dispatch(
         self, handle: _WorkerHandle, mtype: str, msg: dict, payload: Optional[bytes]
@@ -1009,6 +1520,10 @@ class Manager:
         if state.handle is not None:
             with self._lock:
                 self._on_worker_gone(state.handle)
+        elif state.client is not None:
+            with self._lock:
+                self.service.client_gone(state.client)
+            state.client = None
 
     # -- legacy threaded receive path (benchmark baseline) ---------------
 

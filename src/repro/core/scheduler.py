@@ -114,7 +114,8 @@ class TransferPlan:
 
 
 class ReadyQueue:
-    """Priority heap of ready tasks ordered by ``(-priority, seq)``.
+    """Per-tenant priority heaps ordered by ``(-priority, seq)`` with
+    deficit-round-robin dispatch across tenants.
 
     Entries are invalidated lazily: :meth:`discard` drops the task's
     *token* and the stale heap entry is skipped when it surfaces, so
@@ -127,10 +128,26 @@ class ReadyQueue:
     token greater than the loop's snapshot and are deferred to the
     recursive re-pump, preserving the pre-heap "iterate over a sorted
     snapshot" semantics decision-for-decision.
+
+    **Fair share.**  Tasks are bucketed by ``task.tenant`` into one heap
+    per tenant, and :meth:`pop_entries` deals one entry per tenant per
+    round (deficit round robin with a quantum of one task), resuming
+    each pump where the previous one left off, so a tenant flooding the
+    queue cannot starve a small workflow behind it.  Inside a tenant the
+    order is exactly ``(-priority, seq)``.  With a single tenant — or
+    with ``fair_share=False``, which collapses every task into one
+    bucket — the round-robin ring has one member and the pop order is
+    *identical* to the historical global heap (the single-tenant
+    equivalence test pins this).
     """
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, int, Task]] = []
+    def __init__(self, fair_share: bool = True) -> None:
+        self.fair_share = fair_share
+        #: tenant -> heap of (-priority, seq, token, task)
+        self._heaps: dict[str, list[tuple[float, int, int, Task]]] = {}
+        #: round-robin ring of tenants in first-appearance order
+        self._ring: list[str] = []
+        self._ring_pos = 0
         #: task_id -> (live token, task); absent = not queued.  Owning
         #: the task reference here keeps :meth:`tasks` complete even
         #: while a pump holds popped entries in its local stash.
@@ -151,12 +168,22 @@ class ReadyQueue:
         """Entries with a token at or beyond this were pushed after now."""
         return self._next_token
 
+    def _tenant_of(self, task: Task) -> str:
+        if not self.fair_share:
+            return ""
+        return getattr(task, "tenant", "default") or "default"
+
     def push(self, task: Task) -> None:
         """Queue (or re-queue) a ready task."""
         token = self._next_token
         self._next_token += 1
         self._live[task.task_id] = (token, task)
-        heapq.heappush(self._heap, (-task.priority, task.seq, token, task))
+        tenant = self._tenant_of(task)
+        heap = self._heaps.get(tenant)
+        if heap is None:
+            heap = self._heaps[tenant] = []
+            self._ring.append(tenant)
+        heapq.heappush(heap, (-task.priority, task.seq, token, task))
 
     def discard(self, task: Task) -> None:
         """Drop a task if queued; its heap entry dies lazily."""
@@ -166,36 +193,69 @@ class ReadyQueue:
         """Every live queued task (order unspecified)."""
         return [task for _, task in self._live.values()]
 
+    def queued_by_tenant(self) -> dict[str, int]:
+        """Live queued-task counts per tenant (status/metrics view)."""
+        counts: dict[str, int] = {}
+        for _, task in self._live.values():
+            tenant = self._tenant_of(task)
+            counts[tenant] = counts.get(tenant, 0) + 1
+        return counts
+
+    def _pop_valid(
+        self,
+        tenant: str,
+        upto_token: int,
+        deferred: list[tuple[float, int, int, Task]],
+    ) -> Optional[tuple[float, int, int, Task]]:
+        """Best eligible entry of one tenant's heap (stale ones dropped)."""
+        heap = self._heaps.get(tenant)
+        while heap:
+            entry = heap[0]
+            _, _, token, task = entry
+            live = self._live.get(task.task_id)
+            if live is None or live[0] != token:
+                heapq.heappop(heap)  # discarded or superseded
+                continue
+            if token >= upto_token:
+                deferred.append(heapq.heappop(heap))
+                continue
+            return heapq.heappop(heap)
+        return None
+
     def pop_entries(self, upto_token: int) -> Iterator[tuple[float, int, int, Task]]:
-        """Yield valid entries in priority order, skipping stale ones.
+        """Yield valid entries in fair-share order, skipping stale ones.
 
         Only entries with ``token < upto_token`` are yielded; newer ones
         (pushed mid-iteration) are returned to the heap when iteration
         ends.  The caller must either :meth:`discard` the yielded task
         (placed/failed) or hand the entry back through :meth:`restore`.
+        Each yield advances the tenant ring by one position regardless
+        of what the caller does with the entry, so one capacity-starved
+        tenant cannot monopolize the placement loop.
         """
         deferred: list[tuple[float, int, int, Task]] = []
         try:
-            while self._heap:
-                entry = heapq.heappop(self._heap)
-                _, _, token, task = entry
-                live = self._live.get(task.task_id)
-                if live is None or live[0] != token:
-                    continue  # discarded or superseded: drop silently
-                if token >= upto_token:
-                    deferred.append(entry)
-                    continue
+            while self._ring:
+                entry = None
+                for _ in range(len(self._ring)):
+                    tenant = self._ring[self._ring_pos % len(self._ring)]
+                    self._ring_pos = (self._ring_pos + 1) % len(self._ring)
+                    entry = self._pop_valid(tenant, upto_token, deferred)
+                    if entry is not None:
+                        break
+                if entry is None:
+                    return  # a full silent round: nothing eligible remains
                 yield entry
         finally:
             for entry in deferred:
-                heapq.heappush(self._heap, entry)
+                heapq.heappush(self._heaps[self._tenant_of(entry[3])], entry)
 
     def restore(self, entry: tuple[float, int, int, Task]) -> None:
         """Return an unplaced entry to the heap (unless discarded since)."""
         _, _, token, task = entry
         live = self._live.get(task.task_id)
         if live is not None and live[0] == token:
-            heapq.heappush(self._heap, entry)
+            heapq.heappush(self._heaps[self._tenant_of(task)], entry)
 
 
 class PlacementIndex:

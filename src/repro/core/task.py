@@ -110,6 +110,9 @@ class Task:
         self.priority: float = 0.0
         #: free-form label grouping similar tasks in traces
         self.category: str = "default"
+        #: owning tenant in service mode; quota accounting and the
+        #: fair-share ready queue key off this ("default" = single-tenant)
+        self.tenant: str = "default"
         self.state = TaskState.CREATED
         self.result: Optional[TaskResult] = None
         #: worker id the task is (or was last) placed on
@@ -184,6 +187,12 @@ class Task:
         """Higher priority tasks are considered for dispatch first."""
         self._check_mutable()
         self.priority = priority
+        return self
+
+    def set_tenant(self, tenant: str) -> "Task":
+        """Attribute this task to a tenant for fair-share and quotas."""
+        self._check_mutable()
+        self.tenant = tenant
         return self
 
     # -- views ---------------------------------------------------------

@@ -29,7 +29,13 @@ from repro.core.control_plane import source_kind
 from repro.core.events import Event
 from repro.observe.txnlog import read_transactions
 
-__all__ = ["LogStatus", "replay_status", "format_log_status", "main"]
+__all__ = [
+    "LogStatus",
+    "replay_status",
+    "format_log_status",
+    "format_tenant_table",
+    "main",
+]
 
 
 @dataclass
@@ -63,6 +69,11 @@ class LogStatus:
     tasks_requeued: int = 0
     files_regenerated: int = 0
     workers_blocklisted: int = 0
+    #: service mode: client sessions seen attaching, requests refused,
+    #: and cross-tenant cache reuse events
+    clients_attached: int = 0
+    clients_rejected: int = 0
+    cache_shared: int = 0
 
     @property
     def faults_injected(self) -> int:
@@ -138,6 +149,12 @@ def replay_status(events: list[Event], runtime: str = "unknown") -> LogStatus:
             st.files_regenerated += 1
         elif e.kind == "worker_blocklist":
             st.workers_blocklisted += 1
+        elif e.kind == "client_attach":
+            st.clients_attached += 1
+        elif e.kind == "client_rejected":
+            st.clients_rejected += 1
+        elif e.kind == "cache_shared":
+            st.cache_shared += 1
         elif e.kind == "workflow_done":
             st.workflow_done = True
     st.tasks_running = len(open_tasks)
@@ -176,6 +193,12 @@ def format_log_status(st: LogStatus, max_workers: int = 20) -> str:
             f"{st.tasks_requeued} requeues, {st.files_regenerated} regenerations, "
             f"{st.workers_blocklisted} blocklisted"
         )
+    if st.clients_attached or st.clients_rejected or st.cache_shared:
+        lines.append(
+            f"clients: {st.clients_attached} attached, "
+            f"{st.clients_rejected} rejected; "
+            f"{st.cache_shared} cross-tenant cache hits"
+        )
     lines.append(f"workers connected: {st.workers_connected}")
     shown = 0
     for wid in sorted(st.workers):
@@ -193,14 +216,54 @@ def format_log_status(st: LogStatus, max_workers: int = 20) -> str:
     return "\n".join(lines)
 
 
+def format_tenant_table(metrics: dict) -> str:
+    """Per-tenant rows from ``tenant.<name>.<field>`` accounting metrics.
+
+    Returns "" when the snapshot carries no tenant accounting (a
+    single-tenant run never creates these instruments).
+    """
+    tenants: dict[str, dict[str, float]] = {}
+    for name, inst in metrics.items():
+        if not name.startswith("tenant."):
+            continue
+        _, tenant, fieldname = name.split(".", 2)
+        tenants.setdefault(tenant, {})[fieldname] = inst.get("value", 0)
+    if not tenants:
+        return ""
+    lines = [
+        "tenants:",
+        f"  {'tenant':<12s} {'queued':>7s} {'running':>8s} {'done':>6s} "
+        f"{'failed':>7s} {'cached':>10s} {'hits':>5s} {'headroom':>9s}",
+    ]
+    for tenant in sorted(tenants):
+        row = tenants[tenant]
+        headroom = row.get("quota_headroom", -1)
+        lines.append(
+            f"  {tenant:<12s} {int(row.get('tasks_queued', 0)):>7d} "
+            f"{int(row.get('tasks_running', 0)):>8d} "
+            f"{int(row.get('tasks_done', 0)):>6d} "
+            f"{int(row.get('tasks_failed', 0)):>7d} "
+            f"{row.get('bytes_declared', 0) / 1e6:>8.1f}MB "
+            f"{int(row.get('cache_hits', 0)):>5d} "
+            + (f"{int(headroom):>9d}" if headroom >= 0 else f"{'∞':>9s}")
+        )
+    return "\n".join(lines)
+
+
 def _format_metrics(path: str) -> str:
     try:
         with open(path) as f:
             payload = json.load(f)
     except (OSError, json.JSONDecodeError) as exc:
         return f"(metrics unreadable: {exc})"
-    lines = ["metrics:"]
+    lines = []
+    tenant_table = format_tenant_table(payload.get("metrics", {}))
+    if tenant_table:
+        lines.append(tenant_table)
+    lines.append("metrics:")
     for name, inst in sorted(payload.get("metrics", {}).items()):
+        if name.startswith("tenant."):
+            continue  # rendered as the tenant table above
         if inst.get("type") == "histogram":
             if not inst.get("count"):
                 continue

@@ -21,6 +21,9 @@ __all__ = [
     "ProtocolError",
     "encode_frame",
     "listen",
+    "SESSION_CLIENT",
+    "SESSION_WORKER",
+    "session_kind",
 ]
 
 #: frame header: unsigned 32-bit big-endian payload length
@@ -38,6 +41,27 @@ _MSG_DONTWAIT = getattr(socket, "MSG_DONTWAIT", 0)
 
 class ProtocolError(ConnectionError):
     """Malformed frame, unexpected EOF, or oversized message."""
+
+
+#: session roles served by the manager's reactor.  A single listening
+#: socket admits both workers and clients (service mode); the *first*
+#: control frame on a connection decides which protocol it speaks.
+SESSION_WORKER = "worker"
+SESSION_CLIENT = "client"
+
+
+def session_kind(mtype: str) -> Optional[str]:
+    """Role implied by a connection's first message type.
+
+    ``register`` opens a worker session and ``client_hello`` a client
+    session; any other opening frame is invalid and returns None (the
+    reactor then unwinds the connection).
+    """
+    if mtype == "register":
+        return SESSION_WORKER
+    if mtype == "client_hello":
+        return SESSION_CLIENT
+    return None
 
 
 def encode_frame(message: dict) -> bytes:

@@ -15,13 +15,18 @@ decisions, while the worker provides the mechanisms"):
   ``cache_invalid``, ``task_done``, ``library_ready``)
 * worker ↔ worker: the peer transfer protocol (``get`` /
   ``file_data``).
+* client ↔ manager: the session protocol of service mode
+  (``client_hello`` through ``detach``) — clients attach to a
+  long-lived manager over the same reactor the workers use, and the
+  first frame on a connection decides which role it speaks (see
+  :data:`SESSION_CLIENT` / :data:`SESSION_WORKER`).
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
-__all__ = ["M", "validate", "validate_batch", "WireError"]
+__all__ = ["M", "validate", "validate_batch", "WireError", "CLIENT_KINDS"]
 
 
 class WireError(ValueError):
@@ -57,6 +62,23 @@ class M:
     # worker <-> worker peer transfers
     GET = "get"
 
+    # client -> manager (service mode sessions)
+    CLIENT_HELLO = "client_hello"
+    DECLARE_FILE = "declare_file"    # + raw buffer bytes follow when size > 0
+    SUBMIT_TASK = "submit_task"
+    SUBMIT_DAG = "submit_dag"
+    FETCH_RESULT = "fetch_result"
+    DETACH = "detach"
+
+    # manager -> client
+    WELCOME = "welcome"
+    CLIENT_REJECT = "client_reject"
+    FILE_DECLARED = "file_declared"
+    TASK_ACCEPTED = "task_accepted"
+    TASK_RESULT = "task_result"
+    WORKFLOW_DONE = "workflow_done"
+    DETACHED = "detached"
+
     # either direction: several payload-free control messages coalesced
     # into one frame (batched control traffic; flushed on size/deadline)
     BATCH = "batch"
@@ -85,7 +107,39 @@ _SCHEMA: Mapping[str, tuple[str, ...]] = {
     M.FILE_DATA: ("cache_name", "found", "size"),
     M.FAULT: ("category",),
     M.GET: ("cache_name",),
+    # client sessions.  ``client_hello`` optionally carries "password"
+    # (project auth) and "session" (a token from a previous welcome,
+    # for reattach); ``declare_file`` announces trailing buffer bytes
+    # via spec["size"] when the content rides along.
+    M.CLIENT_HELLO: ("tenant",),
+    M.DECLARE_FILE: ("ref", "spec"),
+    M.SUBMIT_TASK: ("ref", "spec"),
+    M.SUBMIT_DAG: ("ref", "tasks"),
+    M.FETCH_RESULT: ("cache_name",),
+    M.DETACH: (),
+    M.WELCOME: ("session", "tenant"),
+    M.CLIENT_REJECT: ("reason",),
+    M.FILE_DECLARED: ("ref", "cache_name", "cache_hit"),
+    M.TASK_ACCEPTED: ("ref", "task_id"),
+    M.TASK_RESULT: ("task_id", "state"),
+    M.WORKFLOW_DONE: ("tenant",),
+    M.DETACHED: (),
 }
+
+#: message types a *client* session may send to the manager.  The
+#: reactor uses this to bound what an attached client can do: anything
+#: outside this set on a client connection is a protocol violation
+#: answered with ``client_reject`` rather than acted on.
+CLIENT_KINDS = frozenset(
+    {
+        M.CLIENT_HELLO,
+        M.DECLARE_FILE,
+        M.SUBMIT_TASK,
+        M.SUBMIT_DAG,
+        M.FETCH_RESULT,
+        M.DETACH,
+    }
+)
 
 
 def validate(message: dict) -> str:

@@ -1,0 +1,14 @@
+"""Service mode: a long-lived multi-tenant manager and its clients.
+
+One always-on :class:`~repro.core.manager.Manager` owns the workers
+and the content-addressed cache; many client workflows attach to it
+over the client-session protocol (``docs/protocol.md``), each under a
+tenant label with its own namespace, quotas, and fair share of the
+cluster.  :mod:`repro.service.daemon` is the TigerFlow-style
+``repro-service run|status|stop`` lifecycle; :mod:`repro.service.client`
+is the blocking client library and CLI.
+"""
+
+from repro.service.client import ClientError, ServiceClient
+
+__all__ = ["ServiceClient", "ClientError"]

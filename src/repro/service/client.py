@@ -1,0 +1,305 @@
+"""Blocking client for a service-mode manager, plus its CLI.
+
+A :class:`ServiceClient` speaks the client-session protocol over one
+framed TCP connection: a ``client_hello`` handshake (tenant label +
+optional project password), content declarations, task submission,
+and streamed completion notices.  Replies and asynchronous notices
+share the connection, so every receive funnels through :meth:`_pump`,
+which files ``task_result``/``workflow_done`` notices away while a
+caller waits for its specific reply.
+
+The CLI (``python -m repro.service.client`` / ``repro-client``) drives
+small canned workflows against a running service — the CI smoke job
+uses ``demo`` to show two tenants sharing one content-addressed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import itertools
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.protocol.connection import Connection
+from repro.protocol.messages import M
+
+__all__ = ["ServiceClient", "ClientError", "main"]
+
+
+class ClientError(RuntimeError):
+    """The service refused a request (``client_reject``)."""
+
+
+class ServiceClient:
+    """One tenant's attachment to a running service-mode manager."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        password: Optional[str] = None,
+        session: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.tenant = tenant
+        self.conn = Connection.connect(host, port, timeout=timeout)
+        self.conn.settimeout(timeout)
+        self._refs = itertools.count(1)
+        #: task_id -> task_result notice, filled as notices stream in
+        self.results: dict[str, dict] = {}
+        self.workflow_done = False
+        self._replies: collections.deque = collections.deque()
+        self._files: collections.deque = collections.deque()
+        hello = {"type": M.CLIENT_HELLO, "tenant": tenant}
+        if password is not None:
+            hello["password"] = password
+        if session is not None:
+            hello["session"] = session
+        self.conn.send_message(hello)
+        welcome = self._await(M.WELCOME)
+        self.session = welcome["session"]
+        self.project = welcome.get("project")
+
+    # -- receive plumbing ---------------------------------------------
+
+    def _pump(self) -> None:
+        """Receive one message, filing notices; replies join a queue."""
+        msg = self.conn.recv_message()
+        mtype = msg.get("type")
+        if mtype == M.TASK_RESULT:
+            self.results[msg["task_id"]] = msg
+        elif mtype == M.WORKFLOW_DONE:
+            self.workflow_done = True
+        elif mtype == M.FILE_DATA:
+            payload = (
+                self.conn.recv_bytes(int(msg["size"])) if msg.get("found") else None
+            )
+            self._files.append((msg, payload))
+        elif mtype == M.CLIENT_REJECT:
+            raise ClientError(msg.get("reason", "rejected"))
+        else:
+            self._replies.append(msg)
+
+    def _await(self, mtype: str, ref=None) -> dict:
+        """Block until the reply of ``mtype`` (and ``ref``, if given)."""
+        while True:
+            for i, msg in enumerate(self._replies):
+                if msg.get("type") == mtype and (ref is None or msg.get("ref") == ref):
+                    del self._replies[i]
+                    return msg
+            self._pump()
+
+    # -- declarations ---------------------------------------------------
+
+    def declare_buffer(self, data: "bytes | str", level: str = "workflow") -> dict:
+        """Declare literal bytes; returns the ``file_declared`` reply
+        (``cache_name``, ``cache_hit``)."""
+        if isinstance(data, str):
+            data = data.encode()
+        ref = next(self._refs)
+        spec = {"kind": "buffer", "size": len(data), "level": level}
+        self.conn.send_message({"type": M.DECLARE_FILE, "ref": ref, "spec": spec})
+        if data:
+            self.conn.send_bytes(data)
+        return self._await(M.FILE_DECLARED, ref)
+
+    def declare_url(self, url: str, level: str = "workflow") -> dict:
+        ref = next(self._refs)
+        spec = {"kind": "url", "url": url, "level": level}
+        self.conn.send_message({"type": M.DECLARE_FILE, "ref": ref, "spec": spec})
+        return self._await(M.FILE_DECLARED, ref)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        command: str,
+        inputs: Sequence = (),
+        outputs: Sequence = (),
+        **extra,
+    ) -> dict:
+        """Submit one command task; returns the ``task_accepted`` reply
+        (``task_id`` plus the sandbox-name → cache-name output map).
+
+        ``inputs`` are ``(sandbox_name, cache_name)`` pairs naming
+        previously declared content; ``outputs`` are sandbox names the
+        command produces.
+        """
+        ref = next(self._refs)
+        spec = {
+            "command": command,
+            "inputs": [list(pair) for pair in inputs],
+            "outputs": list(outputs),
+        }
+        spec.update(extra)
+        self.conn.send_message({"type": M.SUBMIT_TASK, "ref": ref, "spec": spec})
+        return self._await(M.TASK_ACCEPTED, ref)
+
+    def submit_dag(self, specs: Sequence[dict]) -> list[dict]:
+        """Submit several task specs in one request; returns one
+        ``task_accepted`` reply per task, in submission order.
+
+        A spec's outputs may carry a key (``["out.txt", "k"]``) that a
+        later spec's inputs reference as ``["in.txt", {"key": "k"}]``.
+        """
+        ref = next(self._refs)
+        self.conn.send_message(
+            {"type": M.SUBMIT_DAG, "ref": ref, "tasks": list(specs)}
+        )
+        return [self._await(M.TASK_ACCEPTED, f"{ref}[{i}]") for i in range(len(specs))]
+
+    # -- completion and retrieval ----------------------------------------
+
+    def wait(self, task_id: Optional[str] = None, timeout: float = 300.0) -> dict:
+        """Block for a ``task_result`` notice (a specific task, or any)."""
+        deadline = time.time() + timeout
+
+        def take() -> Optional[dict]:
+            if task_id is not None:
+                return self.results.pop(task_id, None)
+            if self.results:
+                return self.results.pop(next(iter(self.results)))
+            return None
+
+        while True:
+            got = take()
+            if got is not None:
+                return got
+            if time.time() > deadline:
+                raise ClientError(f"timed out waiting for {task_id or 'a result'}")
+            self._pump()
+
+    def run_until_done(self, timeout: float = 300.0) -> list[dict]:
+        """Block until the service announces ``workflow_done``; returns
+        every buffered ``task_result`` notice."""
+        deadline = time.time() + timeout
+        while not self.workflow_done:
+            if time.time() > deadline:
+                raise ClientError(f"workflow did not finish within {timeout}s")
+            self._pump()
+        self.workflow_done = False  # reset for a follow-up batch
+        out, self.results = list(self.results.values()), {}
+        return out
+
+    def fetch(self, cache_name: str, timeout: float = 60.0) -> bytes:
+        """Fetch declared or produced content back by cache name."""
+        self.conn.send_message({"type": M.FETCH_RESULT, "cache_name": cache_name})
+        deadline = time.time() + timeout
+        while True:
+            for i, (msg, payload) in enumerate(self._files):
+                if msg["cache_name"] == cache_name:
+                    del self._files[i]
+                    if not msg.get("found"):
+                        raise ClientError(f"service could not serve {cache_name}")
+                    return payload or b""
+            if time.time() > deadline:
+                raise ClientError(f"timed out fetching {cache_name}")
+            self._pump()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def detach(self) -> str:
+        """Detach, leaving the workflow running; returns the session
+        token a later :class:`ServiceClient` passes to reattach."""
+        self.conn.send_message({"type": M.DETACH})
+        self._await(M.DETACHED)
+        self.conn.close()
+        return self.session
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _cmd_demo(client: ServiceClient, args: argparse.Namespace) -> int:
+    """Declare a shared input, fan out tasks over it, wait, report."""
+    declared = client.declare_buffer(args.content, level="workflow")
+    accepted = [
+        client.submit(
+            f"cat shared.txt > out.txt && echo task-{i} >> out.txt",
+            inputs=[("shared.txt", declared["cache_name"])],
+            outputs=["out.txt"],
+        )
+        for i in range(args.tasks)
+    ]
+    results = client.run_until_done(timeout=args.timeout)
+    ok = sum(1 for r in results if r.get("exit_code") == 0)
+    report = {
+        "tenant": client.tenant,
+        "cache_name": declared["cache_name"],
+        "cache_hit": declared["cache_hit"],
+        "submitted": len(accepted),
+        "completed": len(results),
+        "succeeded": ok,
+    }
+    print(json.dumps(report))
+    return 0 if ok == len(accepted) else 1
+
+
+def _cmd_submit(client: ServiceClient, args: argparse.Namespace) -> int:
+    """Submit one command and wait for its result."""
+    inputs = []
+    for item in args.input or []:
+        sandbox, _, cache_name = item.partition("=")
+        inputs.append((sandbox, cache_name))
+    accepted = client.submit(args.command, inputs=inputs, outputs=args.output or [])
+    result = client.wait(accepted["task_id"], timeout=args.timeout)
+    print(json.dumps(result))
+    return 0 if result.get("exit_code") == 0 else 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Client for a service-mode TaskVine reproduction manager"
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT")
+    parser.add_argument("--tenant", required=True)
+    parser.add_argument("--password", default=None)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    demo = sub.add_parser("demo", help="declare a shared input and fan out tasks")
+    demo.add_argument("--tasks", type=int, default=4)
+    demo.add_argument("--content", default="shared demo input\n")
+
+    submit = sub.add_parser("submit", help="submit one command task")
+    submit.add_argument("command")
+    submit.add_argument(
+        "--input", action="append", metavar="SANDBOX=CACHE_NAME", default=None
+    )
+    submit.add_argument("--output", action="append", metavar="SANDBOX", default=None)
+
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    try:
+        with ServiceClient(
+            host or "127.0.0.1",
+            int(port),
+            args.tenant,
+            password=args.password,
+            timeout=args.timeout,
+        ) as client:
+            if args.cmd == "demo":
+                return _cmd_demo(client, args)
+            return _cmd_submit(client, args)
+    except (ClientError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

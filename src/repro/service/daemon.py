@@ -1,0 +1,280 @@
+"""``repro-service run|status|stop``: the service-mode daemon lifecycle.
+
+A TigerFlow-style always-on manager: ``run`` starts one multi-tenant
+:class:`~repro.core.manager.Manager` (optionally daemonized with
+``--detach``), spawns a local worker fleet, and serves client sessions
+until a SIGTERM; ``status`` reports liveness, the replayed transaction
+log, and the per-tenant accounting table; ``stop`` signals the daemon
+and waits for a clean exit.
+
+All run state lives under one ``--state-dir``:
+
+* ``service.json`` — pid, endpoint, project name (written on start,
+  removed on clean shutdown; its presence + a live pid = running)
+* ``service.jsonl`` — the streaming transaction log
+* ``metrics.json`` — periodic metrics snapshots (tenant table source)
+* ``service.log`` — daemon stdout/stderr when detached
+* ``worker-N/`` — workdirs of the locally spawned workers
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Optional
+
+__all__ = ["main"]
+
+STATE_FILE = "service.json"
+TXN_LOG = "service.jsonl"
+METRICS_FILE = "metrics.json"
+
+
+def _read_state(state_dir: str) -> Optional[dict]:
+    try:
+        with open(os.path.join(state_dir, STATE_FILE)) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+
+def _daemonize(log_path: str) -> None:
+    """Classic double-fork detach; the intermediate parents exit 0."""
+    if os.fork() > 0:
+        os._exit(0)
+    os.setsid()
+    if os.fork() > 0:
+        os._exit(0)
+    sys.stdout.flush()
+    sys.stderr.flush()
+    log_fd = os.open(log_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    null_fd = os.open(os.devnull, os.O_RDONLY)
+    os.dup2(null_fd, 0)
+    os.dup2(log_fd, 1)
+    os.dup2(log_fd, 2)
+    os.close(null_fd)
+    os.close(log_fd)
+
+
+def _spawn_worker(state_dir: str, index: int, host: str, port: int, cores: float) -> subprocess.Popen:
+    workdir = os.path.join(state_dir, f"worker-{index}")
+    os.makedirs(workdir, exist_ok=True)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.worker.cli",
+            "--manager",
+            f"{host}:{port}",
+            "--workdir",
+            workdir,
+            "--cores",
+            str(cores),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.manager import Manager
+
+    state_dir = os.path.abspath(args.state_dir)
+    os.makedirs(state_dir, exist_ok=True)
+    state = _read_state(state_dir)
+    if state is not None and _pid_alive(int(state.get("pid", -1))):
+        print(
+            f"repro-service: already running (pid {state['pid']}, "
+            f"port {state.get('port')})",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.detach:
+        # the child writes service.json once it is listening; the
+        # launching shell returns immediately
+        _daemonize(os.path.join(state_dir, "service.log"))
+
+    mgr = Manager(
+        port=args.port,
+        host=args.host,
+        project_name=args.project,
+        password=args.password,
+        fair_share=not args.no_fair_share,
+        default_task_quota=args.task_quota,
+        default_byte_quota=args.byte_quota,
+        txn_log_path=os.path.join(state_dir, TXN_LOG),
+        metrics_dump_path=os.path.join(state_dir, METRICS_FILE),
+        metrics_dump_interval=1.0,
+    )
+    workers = [
+        _spawn_worker(state_dir, i, mgr.host, mgr.port, args.cores)
+        for i in range(args.workers)
+    ]
+    state_path = os.path.join(state_dir, STATE_FILE)
+    with open(state_path, "w") as f:
+        json.dump(
+            {
+                "pid": os.getpid(),
+                "host": mgr.host,
+                "port": mgr.port,
+                "project": args.project,
+                "workers": args.workers,
+                "started": time.time(),
+            },
+            f,
+        )
+    print(f"repro-service: serving project {args.project!r} on {mgr.host}:{mgr.port}")
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        # close() sends SHUTDOWN to connected workers; give the
+        # subprocesses a moment to honor it before escalating
+        mgr.close(shutdown_workers=True)
+        deadline = time.time() + 10
+        for proc in workers:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.time()))
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        try:
+            os.unlink(state_path)
+        except OSError:
+            pass
+    print("repro-service: stopped")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# status / stop
+# ---------------------------------------------------------------------------
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.observe.cli import format_log_status, format_tenant_table, replay_status
+    from repro.observe.txnlog import read_transactions
+
+    state_dir = os.path.abspath(args.state_dir)
+    state = _read_state(state_dir)
+    if state is None:
+        print("repro-service: not running (no state file)")
+        return 1
+    alive = _pid_alive(int(state.get("pid", -1)))
+    uptime = time.time() - float(state.get("started", time.time()))
+    print(
+        f"repro-service: {'running' if alive else 'DEAD (stale state file)'} "
+        f"pid={state.get('pid')} endpoint={state.get('host')}:{state.get('port')} "
+        f"project={state.get('project')!r} uptime={uptime:.0f}s"
+    )
+    log_path = os.path.join(state_dir, TXN_LOG)
+    if os.path.exists(log_path):
+        header, events = read_transactions(log_path)
+        print(format_log_status(replay_status(events, header.get("runtime", "real"))))
+    metrics_path = os.path.join(state_dir, METRICS_FILE)
+    if os.path.exists(metrics_path):
+        try:
+            with open(metrics_path) as f:
+                payload = json.load(f)
+            table = format_tenant_table(payload.get("metrics", {}))
+            if table:
+                print(table)
+        except (OSError, json.JSONDecodeError):
+            pass
+    return 0 if alive else 1
+
+
+def _cmd_stop(args: argparse.Namespace) -> int:
+    state_dir = os.path.abspath(args.state_dir)
+    state = _read_state(state_dir)
+    if state is None:
+        print("repro-service: not running (no state file)")
+        return 0 if args.quiet_missing else 1
+    pid = int(state.get("pid", -1))
+    if not _pid_alive(pid):
+        try:
+            os.unlink(os.path.join(state_dir, STATE_FILE))
+        except OSError:
+            pass
+        print(f"repro-service: pid {pid} already gone; cleaned stale state")
+        return 0
+    os.kill(pid, signal.SIGTERM)
+    deadline = time.time() + args.timeout
+    while time.time() < deadline:
+        if not _pid_alive(pid):
+            print(f"repro-service: pid {pid} stopped")
+            return 0
+        time.sleep(0.1)
+    print(f"repro-service: pid {pid} did not exit within {args.timeout}s", file=sys.stderr)
+    return 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Always-on multi-tenant manager daemon (run | status | stop)",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    run = sub.add_parser("run", help="start the service (foreground unless --detach)")
+    run.add_argument("--state-dir", default=".repro-service")
+    run.add_argument("--host", default="127.0.0.1")
+    run.add_argument("--port", type=int, default=0)
+    run.add_argument("--project", default="repro")
+    run.add_argument("--password", default=None, help="project password clients must present")
+    run.add_argument("--workers", type=int, default=2, help="local workers to spawn")
+    run.add_argument("--cores", type=float, default=4)
+    run.add_argument("--task-quota", type=int, default=None, help="default per-tenant outstanding-task quota")
+    run.add_argument("--byte-quota", type=int, default=None, help="default per-tenant declared-bytes quota")
+    run.add_argument("--no-fair-share", action="store_true", help="FIFO across tenants instead of deficit round-robin")
+    run.add_argument("--detach", action="store_true", help="daemonize (state-dir/service.log gets stdout/stderr)")
+
+    status = sub.add_parser("status", help="report daemon liveness and tenant table")
+    status.add_argument("--state-dir", default=".repro-service")
+
+    stop = sub.add_parser("stop", help="SIGTERM the daemon and wait for exit")
+    stop.add_argument("--state-dir", default=".repro-service")
+    stop.add_argument("--timeout", type=float, default=30.0)
+    stop.add_argument(
+        "--quiet-missing", action="store_true",
+        help="exit 0 when no service is running",
+    )
+
+    args = parser.parse_args(argv)
+    if args.cmd == "run":
+        return _cmd_run(args)
+    if args.cmd == "status":
+        return _cmd_status(args)
+    return _cmd_stop(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

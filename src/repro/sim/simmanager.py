@@ -114,6 +114,7 @@ class SimManager:
         transfer_backoff_base: float = 0.5,
         requeue_backoff_base: float = 0.0,
         blocklist_threshold: int = 5,
+        fair_share: bool = True,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
@@ -136,6 +137,7 @@ class SimManager:
             requeue_backoff_base=requeue_backoff_base,
             blocklist_threshold=blocklist_threshold,
             rng_seed=seed,
+            fair_share=fair_share,
         )
         #: installed by :class:`repro.faults.sim.SimFaultInjector`; when
         #: set, every outbound transfer asks it for an injected verdict

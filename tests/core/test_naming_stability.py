@@ -1,0 +1,92 @@
+"""Cross-run stability of content-addressed cache names (paper §3.2).
+
+Service mode shares one cache across many client workflows, and the
+whole scheme rests on one contract: names at *shareable* cache levels
+are derived purely from content/spec — never from the per-run nonce —
+so two independent managers (or two tenants of one service) computing
+a name for identical content land on identical bytes.  Nothing pinned
+this before; these tests are the regression net.
+"""
+
+from repro.core.files import BufferFile, CacheLevel, LocalFile, MiniTaskFile, TempFile
+from repro.core.naming import Namer
+from repro.core.task import MiniTask, Task
+
+
+def two_namers():
+    # different seeds AND different nonces: anything that leaks either
+    # into a shareable name will differ between the two
+    return Namer(seed=1, run_nonce="aaaaaaaaaaaa"), Namer(seed=2, run_nonce="bbbbbbbbbbbb")
+
+
+def test_buffer_names_identical_across_runs():
+    a, b = two_namers()
+    for level in (CacheLevel.TASK, CacheLevel.WORKFLOW, CacheLevel.WORKER):
+        fa = BufferFile(b"shared payload", level)
+        fb = BufferFile(b"shared payload", level)
+        assert a.assign(fa) == b.assign(fb)
+        assert "aaaaaaaaaaaa" not in fa.cache_name
+        assert Namer._shareable(fa)
+
+
+def test_worker_level_local_names_identical_across_runs(tmp_path):
+    path = tmp_path / "input.dat"
+    path.write_bytes(b"file content")
+    a, b = two_namers()
+    fa = LocalFile(str(path), CacheLevel.WORKER)
+    fb = LocalFile(str(path), CacheLevel.WORKER)
+    assert a.assign(fa) == b.assign(fb)
+    assert a.run_nonce not in fa.cache_name
+    assert Namer._shareable(fa)
+
+
+def test_worker_level_minitask_names_identical_across_runs():
+    a, b = two_namers()
+
+    def build(namer):
+        src = BufferFile(b"tarball bytes", CacheLevel.WORKER)
+        namer.assign(src)
+        mini = MiniTask("tar -xf input.tar")
+        mini.add_input(src, "input.tar")
+        f = MiniTaskFile(mini, CacheLevel.WORKER)
+        namer.assign(f)
+        return f
+
+    fa, fb = build(a), build(b)
+    assert fa.cache_name == fb.cache_name
+    assert a.run_nonce not in fa.cache_name
+
+
+def test_non_worker_levels_are_salted_with_the_nonce(tmp_path):
+    # the converse contract: names that must NOT outlive the run carry
+    # the nonce (directly, or via the rnd random-name scheme)
+    path = tmp_path / "input.dat"
+    path.write_bytes(b"file content")
+    a, b = two_namers()
+    fa = LocalFile(str(path), CacheLevel.WORKFLOW)
+    fb = LocalFile(str(path), CacheLevel.WORKFLOW)
+    assert a.assign(fa) != b.assign(fb)
+    assert a.run_nonce in fa.cache_name
+    assert not Namer._shareable(fa)
+
+
+def test_worker_level_temp_output_names_identical_across_runs():
+    a, b = two_namers()
+
+    def build(namer):
+        src = BufferFile(b"task input", CacheLevel.WORKER)
+        namer.assign(src)
+        task = Task("produce out").add_input(src, "in.dat")
+        out = TempFile(CacheLevel.WORKER)
+        task.add_output(out, "out.dat")
+        return namer.name_temp_output(out, task)
+
+    assert build(a) == build(b)
+
+
+def test_shareable_predicate_keys_on_the_rnd_segment():
+    a, _ = two_namers()
+    f = TempFile()
+    a.assign(f)  # temp files get per-run random names
+    assert not Namer._shareable(f)
+    assert f.cache_name.split("-", 2)[1].startswith("rnd")

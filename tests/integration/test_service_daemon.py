@@ -1,0 +1,118 @@
+"""Daemon lifecycle: ``repro-service run`` → client demos → ``stop``.
+
+Exercises the same flow as the CI service-mode smoke job, entirely
+through subprocesses: daemonize the service, attach two tenants via
+the client CLI (the second tenant's shared input must be a cache hit),
+check ``status``, then ``stop`` and verify a clean exit with the state
+file removed.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.daemon import STATE_FILE, TXN_LOG
+
+
+def run_cli(module, *args, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath("src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+def wait_state(state_dir, timeout=30):
+    deadline = time.time() + timeout
+    path = os.path.join(state_dir, STATE_FILE)
+    while time.time() < deadline:
+        if os.path.exists(path):
+            with open(path) as f:
+                return json.load(f)
+        time.sleep(0.1)
+    raise TimeoutError(f"service never wrote {path}")
+
+
+@pytest.fixture()
+def service(tmp_path):
+    state_dir = str(tmp_path / "svc")
+    proc = run_cli(
+        "repro.service.daemon",
+        "run",
+        "--state-dir", state_dir,
+        "--workers", "1",
+        "--cores", "2",
+        "--detach",
+    )
+    assert proc.returncode == 0, proc.stderr
+    state = wait_state(state_dir)
+    yield state_dir, state
+    # belt and braces: never leak the daemon past the test
+    run_cli("repro.service.daemon", "stop", "--state-dir", state_dir, "--quiet-missing")
+
+
+def test_daemon_serves_two_tenants_then_stops_clean(service):
+    state_dir, state = service
+    endpoint = f"{state['host']}:{state['port']}"
+
+    first = run_cli(
+        "repro.service.client",
+        "--connect", endpoint, "--tenant", "alice",
+        "demo", "--tasks", "2",
+    )
+    assert first.returncode == 0, first.stderr
+    report_a = json.loads(first.stdout)
+    assert report_a["cache_hit"] is False and report_a["succeeded"] == 2
+
+    second = run_cli(
+        "repro.service.client",
+        "--connect", endpoint, "--tenant", "bob",
+        "demo", "--tasks", "2",
+    )
+    assert second.returncode == 0, second.stderr
+    report_b = json.loads(second.stdout)
+    # same default --content: bob's shared input is already cached
+    assert report_b["cache_name"] == report_a["cache_name"]
+    assert report_b["cache_hit"] is True and report_b["succeeded"] == 2
+
+    # the reuse landed in the daemon's transaction log
+    with open(os.path.join(state_dir, TXN_LOG)) as f:
+        log_text = f.read()
+    assert "cache_shared" in log_text
+
+    # the tenant table comes from the periodic metrics dump (1s
+    # interval), so poll briefly for both tenants to land in it
+    deadline = time.time() + 10
+    while True:
+        status = run_cli("repro.service.daemon", "status", "--state-dir", state_dir)
+        assert status.returncode == 0, status.stderr
+        assert "running" in status.stdout
+        if "alice" in status.stdout and "bob" in status.stdout:
+            break
+        assert time.time() < deadline, f"tenant table never filled:\n{status.stdout}"
+        time.sleep(0.5)
+
+    stop = run_cli("repro.service.daemon", "stop", "--state-dir", state_dir)
+    assert stop.returncode == 0, stop.stderr
+    assert not os.path.exists(os.path.join(state_dir, STATE_FILE))
+
+    # stop again: already-gone service is still exit 0 with --quiet-missing
+    again = run_cli(
+        "repro.service.daemon", "stop", "--state-dir", state_dir, "--quiet-missing"
+    )
+    assert again.returncode == 0
+
+
+def test_second_run_refuses_while_daemon_alive(service):
+    state_dir, _state = service
+    dup = run_cli("repro.service.daemon", "run", "--state-dir", state_dir, "--workers", "0")
+    assert dup.returncode == 1
+    assert "already running" in dup.stderr

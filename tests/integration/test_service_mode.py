@@ -1,0 +1,177 @@
+"""End-to-end service mode: concurrent tenants over the client protocol.
+
+One real Manager, real worker subprocesses, and :class:`ServiceClient`
+sessions attached over the same reactor socket the workers use.  Pins
+the acceptance behaviors: cross-tenant content sharing with zero
+re-transfer, clean protocol-level rejects (auth, quota, unknown kind),
+detach/reattach with buffered notice replay, and loopback equivalence
+with the standalone in-process API.
+"""
+
+import pytest
+
+from repro.core.task import Task, TaskState
+from repro.protocol.connection import Connection
+from repro.protocol.messages import M
+from repro.service.client import ClientError, ServiceClient
+
+from tests.integration.conftest import Cluster
+
+SHARED = b"shared input content for both tenants\n"
+
+
+def transfer_count(manager, cache_name):
+    return sum(1 for e in manager.log.events("transfer_start") if e.file == cache_name)
+
+
+@pytest.fixture()
+def service_cluster(tmp_path):
+    c = Cluster(tmp_path, n_workers=1)
+    yield c
+    c.stop()
+
+
+def client_for(cluster, tenant, **kw):
+    m = cluster.manager
+    return ServiceClient(m.host, m.port, tenant, **kw)
+
+
+def test_two_tenants_share_content_cache(service_cluster):
+    mgr = service_cluster.manager
+
+    with client_for(service_cluster, "alice") as a:
+        declared = a.declare_buffer(SHARED)
+        assert declared["cache_hit"] is False
+        name = declared["cache_name"]
+        accepted = a.submit(
+            "cat shared.txt > out.txt",
+            inputs=[("shared.txt", name)],
+            outputs=["out.txt"],
+        )
+        results = a.run_until_done(timeout=60)
+        assert [r["exit_code"] for r in results] == [0]
+        a_out = a.fetch(accepted["outputs"]["out.txt"], timeout=60)
+        assert a_out == SHARED
+
+    transfers_before = transfer_count(mgr, name)
+
+    with client_for(service_cluster, "bob") as b:
+        redeclared = b.declare_buffer(SHARED)
+        # content-identical declaration resolves to the same cache name
+        # and is a cache hit: no bytes accepted, no transfer scheduled
+        assert redeclared["cache_name"] == name
+        assert redeclared["cache_hit"] is True
+        accepted = b.submit(
+            "cat shared.txt > out.txt",
+            inputs=[("shared.txt", name)],
+            outputs=["out.txt"],
+        )
+        results = b.run_until_done(timeout=60)
+        assert [r["exit_code"] for r in results] == [0]
+        b_out = b.fetch(accepted["outputs"]["out.txt"], timeout=60)
+
+    # the reuse is a first-class fact in the txn log...
+    shared_events = [e for e in mgr.log.events("cache_shared") if e.file == name]
+    assert shared_events and shared_events[0].category == "bob"
+    # ...and cost zero additional transfers of the shared input
+    assert transfer_count(mgr, name) == transfers_before
+
+    # loopback equivalence: the standalone in-process API yields
+    # byte-identical output for the same workflow
+    f = mgr.declare_buffer(SHARED)
+    t = Task("cat shared.txt > out.txt")
+    t.add_input(f, "shared.txt")
+    out = mgr.declare_temp()
+    t.add_output(out, "out.txt")
+    mgr.submit(t)
+    done = mgr.run_until_done(timeout=60)
+    assert [x.state for x in done] == [TaskState.DONE]
+    standalone = mgr.fetch_bytes(out, timeout=60)
+    assert standalone == a_out == b_out == SHARED
+
+
+def test_wrong_password_is_a_clean_reject(tmp_path):
+    c = Cluster(tmp_path, n_workers=1, password="s3cret")
+    try:
+        with pytest.raises(ClientError, match="auth"):
+            client_for(c, "mallory", password="wrong")
+        with pytest.raises(ClientError, match="auth"):
+            client_for(c, "mallory")  # no password at all
+        rejected = list(c.manager.log.events("client_rejected"))
+        assert len(rejected) == 2
+        assert all(e.category == "auth" for e in rejected)
+        # the right password still attaches: the reactor survived
+        with client_for(c, "alice", password="s3cret") as a:
+            assert a.session
+    finally:
+        c.stop()
+
+
+def test_over_quota_submit_is_a_clean_reject(service_cluster):
+    mgr = service_cluster.manager
+    mgr.set_tenant_quota("greedy", task_quota=1)
+    with client_for(service_cluster, "greedy") as g:
+        g.submit("sleep 5")
+        with pytest.raises(ClientError, match="quota"):
+            g.submit("true")
+    rejected = list(mgr.log.events("client_rejected"))
+    assert rejected and rejected[-1].category == "request"
+
+
+def test_unknown_client_kind_is_a_clean_reject(service_cluster):
+    mgr = service_cluster.manager
+    conn = Connection.connect(mgr.host, mgr.port, timeout=30)
+    conn.settimeout(30)
+    try:
+        conn.send_message({"type": M.CLIENT_HELLO, "tenant": "probe"})
+        assert conn.recv_message()["type"] == M.WELCOME
+
+        conn.send_message({"type": "flarp"})
+        reply = conn.recv_message()
+        assert reply["type"] == M.CLIENT_REJECT
+        assert reply["reason"].startswith("protocol")
+
+        # a worker-only kind from a client session is equally rejected
+        conn.send_message({"type": "heartbeat", "worker_id": "w0"})
+        reply = conn.recv_message()
+        assert reply["type"] == M.CLIENT_REJECT
+        assert reply["reason"].startswith("protocol")
+
+        # the session survived both violations: a normal detach works
+        conn.send_message({"type": M.DETACH})
+        assert conn.recv_message()["type"] == M.DETACHED
+    finally:
+        conn.close()
+    rejected = [e for e in mgr.log.events("client_rejected") if e.category == "protocol"]
+    assert len(rejected) == 2
+
+
+def test_detach_then_reattach_replays_buffered_results(service_cluster):
+    mgr = service_cluster.manager
+    client = client_for(service_cluster, "roaming")
+    accepted = client.submit("echo done > out.txt", outputs=["out.txt"])
+    token = client.detach()
+
+    # the workflow finishes while nobody is attached; notices buffer
+    service_cluster.events.wait_event(
+        "workflow_done", predicate=lambda e: e.category == "roaming", timeout=60
+    )
+
+    with client_for(service_cluster, "roaming", session=token) as again:
+        assert again.session == token
+        results = again.run_until_done(timeout=30)
+        assert [r["task_id"] for r in results] == [accepted["task_id"]]
+        assert results[0]["exit_code"] == 0
+
+    # a stale/foreign token is refused outright
+    with pytest.raises(ClientError, match="session"):
+        client_for(service_cluster, "intruder", session="bogus-token")
+
+
+def test_fetch_serves_declared_buffers_from_the_manager(service_cluster):
+    with client_for(service_cluster, "alice") as a:
+        declared = a.declare_buffer(b"round trip")
+        assert a.fetch(declared["cache_name"]) == b"round trip"
+        # names outside the tenant namespace are refused
+        with pytest.raises(ClientError):
+            a.fetch("buffer-md5-deadbeef")

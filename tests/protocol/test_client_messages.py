@@ -1,0 +1,70 @@
+"""Client-session wire kinds: validation and session dispatch."""
+
+import pytest
+
+from repro.protocol.connection import (
+    SESSION_CLIENT,
+    SESSION_WORKER,
+    session_kind,
+)
+from repro.protocol.messages import CLIENT_KINDS, M, WireError, validate
+
+
+def test_client_kinds_cover_every_client_request():
+    assert CLIENT_KINDS == {
+        M.CLIENT_HELLO,
+        M.DECLARE_FILE,
+        M.SUBMIT_TASK,
+        M.SUBMIT_DAG,
+        M.FETCH_RESULT,
+        M.DETACH,
+    }
+
+
+@pytest.mark.parametrize(
+    "msg",
+    [
+        {"type": M.CLIENT_HELLO, "tenant": "alice"},
+        {"type": M.CLIENT_HELLO, "tenant": "alice", "password": "pw", "session": "tok"},
+        {"type": M.DECLARE_FILE, "ref": "r1", "spec": {"kind": "buffer", "size": 3}},
+        {"type": M.SUBMIT_TASK, "ref": "r2", "spec": {"command": "true"}},
+        {"type": M.SUBMIT_DAG, "ref": "r3", "tasks": [{"command": "true"}]},
+        {"type": M.FETCH_RESULT, "cache_name": "buffer-md5-abc"},
+        {"type": M.DETACH},
+        {"type": M.WELCOME, "session": "tok", "tenant": "alice"},
+        {"type": M.CLIENT_REJECT, "reason": "auth: bad password"},
+        {"type": M.FILE_DECLARED, "ref": "r1", "cache_name": "n", "cache_hit": True},
+        {"type": M.TASK_ACCEPTED, "ref": "r2", "task_id": "t1"},
+        {"type": M.TASK_RESULT, "task_id": "t1", "state": "done"},
+        {"type": M.WORKFLOW_DONE, "tenant": "alice"},
+        {"type": M.DETACHED},
+    ],
+)
+def test_client_messages_validate(msg):
+    validate(msg)
+
+
+@pytest.mark.parametrize(
+    "msg",
+    [
+        {"type": M.CLIENT_HELLO},  # missing tenant
+        {"type": M.DECLARE_FILE, "ref": "r"},  # missing spec
+        {"type": M.SUBMIT_TASK, "spec": {}},  # missing ref
+        {"type": M.SUBMIT_DAG, "ref": "r"},  # missing tasks
+        {"type": M.FETCH_RESULT},  # missing cache_name
+        {"type": M.TASK_ACCEPTED, "ref": "r"},  # missing task_id
+        {"type": "bogus_kind"},  # unknown type
+    ],
+)
+def test_malformed_client_messages_raise(msg):
+    with pytest.raises(WireError):
+        validate(msg)
+
+
+def test_session_kind_dispatch():
+    assert session_kind("register") == SESSION_WORKER
+    assert session_kind(M.CLIENT_HELLO) == SESSION_CLIENT
+    # anything else cannot open a session
+    assert session_kind(M.SUBMIT_TASK) is None
+    assert session_kind("heartbeat") is None
+    assert session_kind("bogus") is None
