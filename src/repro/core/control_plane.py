@@ -187,6 +187,9 @@ class TenantAccount:
     running: int = 0
     bytes_declared: int = 0
     cache_hits: int = 0
+    #: completions un-counted for regeneration (``done`` dipped by one
+    #: per entry until the producer re-delivers)
+    regens: int = 0
     #: cache names this tenant declared or produced (its namespace)
     names: set = field(default_factory=set)
 
@@ -436,6 +439,7 @@ class ControlPlane:
                 "bytes": self.metrics.gauge(f"tenant.{name}.bytes_declared"),
                 "headroom": self.metrics.gauge(f"tenant.{name}.quota_headroom"),
                 "hits": self.metrics.counter(f"tenant.{name}.cache_hits"),
+                "regens": self.metrics.counter(f"tenant.{name}.regenerations"),
             }
             self._sync_tenant(acct)
         return acct
@@ -724,11 +728,17 @@ class ControlPlane:
         self.outstanding -= 1
         if task.state == TaskState.DONE:
             self.done_count += 1
+        regenerated = task.task_id in self._regenerated
+        self._regenerated.discard(task.task_id)
         acct = self.tenant_account(task.tenant)
         acct.outstanding -= 1
         if task.state == TaskState.DONE:
             acct.done += 1
-            self._tenant_gauges[task.tenant]["done"].inc()
+            if not regenerated:
+                # a regenerated completion was already counted once and
+                # un-counted by the requeue; only the ledger field is
+                # restored — the monotonic counter must not double-count
+                self._tenant_gauges[task.tenant]["done"].inc()
         else:
             acct.failed += 1
             self._tenant_gauges[task.tenant]["failed"].inc()
@@ -738,8 +748,6 @@ class ControlPlane:
             if f.cache_name:
                 acct.names.add(f.cache_name)
         self._sync_tenant(acct)
-        regenerated = task.task_id in self._regenerated
-        self._regenerated.discard(task.task_id)
         self.port.deliver(task, regenerated=regenerated)
 
     def _abort_placement(self, task: Task) -> None:
@@ -1281,6 +1289,9 @@ class ControlPlane:
         self.outstanding += 1
         acct = self.tenant_account(producer.tenant)
         acct.outstanding += 1
+        acct.done -= 1  # mirrors done_count: the completion is rescinded
+        acct.regens += 1
+        self._tenant_gauges[producer.tenant]["regens"].inc()
         self._sync_tenant(acct)
         self.tasks_requeued += 1
         self._m_regens.inc()

@@ -55,6 +55,7 @@ KINDS = frozenset(
         "client_attach",
         "client_detach",
         "client_rejected",
+        "client_expired",
         "cache_shared",
     }
 )

@@ -232,6 +232,11 @@ class _ClientSession:
 
     _ids = itertools.count(1)
 
+    #: cap on notices buffered for a detached session; beyond it the
+    #: oldest are dropped (counted in ``dropped``) so a crashed client
+    #: cannot grow the service without bound
+    MAX_BUFFERED = 4096
+
     def __init__(self, tenant: str) -> None:
         self.session_id = f"C{next(self._ids):03d}"
         self.token = uuid.uuid4().hex
@@ -241,7 +246,15 @@ class _ClientSession:
         #: outstanding task ids owned by this session
         self.tasks: set[str] = set()
         #: notices generated while detached, replayed on reattach
-        self.buffered: list[dict] = []
+        self.buffered: collections.deque = collections.deque(maxlen=self.MAX_BUFFERED)
+        #: cumulative task_result notices emitted for this session;
+        #: workflow_done carries it so clients can tell a momentary
+        #: empty-queue notice from actual completion of all submits
+        self.delivered = 0
+        #: notices lost to the buffer cap while detached
+        self.dropped = 0
+        #: wall-clock time the session lost its attachment (reaping TTL)
+        self.detached_at: Optional[float] = None
 
 
 class _ClientFetchWaiter:
@@ -303,11 +316,12 @@ class ManagerService:
                 self._reject_conn(state.conn, "session", "unknown session token")
                 return
             if sess.handle is not None:
-                sess.handle.stop_sender()  # displaced by the new attachment
+                self._displace(sess)  # the new attachment wins
         else:
             sess = _ClientSession(tenant)
             self.sessions[sess.token] = sess
         sess.handle = _ClientHandle(state.conn)
+        sess.detached_at = None
         state.client = sess
         mgr = self.mgr
         mgr.control.tenant_account(tenant)
@@ -321,21 +335,86 @@ class ManagerService:
                 "session": sess.token,
                 "tenant": tenant,
                 "project": self.project_name,
+                "done": sess.delivered,
+                "missed": sess.dropped,
             },
         )
-        for notice in sess.buffered:
-            mgr._send(sess.handle, notice)
-        sess.buffered.clear()
+        while sess.buffered:
+            mgr._send(sess.handle, sess.buffered.popleft())
 
-    def client_gone(self, sess: _ClientSession) -> None:
-        """EOF/teardown on an attached client: detach, keep the workflow."""
-        if sess.handle is not None:
-            sess.handle.stop_sender()
-            sess.handle = None
+    def _displace(self, sess: _ClientSession) -> None:
+        """Tear down the old attachment of a session that is reattaching.
+
+        The stale connection is fully disowned here, on the reactor
+        thread that owns the selector: its conn-state stops pointing at
+        the session (so its eventual EOF cannot detach the new
+        attachment, and frames it has in flight can no longer reach
+        the session), and the socket is unregistered and closed.
+        """
+        old = sess.handle
+        sess.handle = None
+        if old is None:
+            return
+        old.stop_sender()
+        old.alive = False
+        sel = getattr(self.mgr, "_sel", None)
+        if sel is not None:
+            try:
+                state = sel.get_key(old.conn.sock).data
+            except (KeyError, ValueError):
+                state = None
+            if isinstance(state, _ConnState):
+                state.client = None
+            try:
+                sel.unregister(old.conn.sock)
+            except (KeyError, ValueError):
+                pass
+        old.conn.close()
+
+    def client_gone(self, state: _ConnState) -> None:
+        """EOF/teardown on a client connection: detach, keep the workflow.
+
+        Only the connection that owns the session's *current* handle may
+        detach it — the EOF of a socket displaced by a reattach must not
+        touch the live attachment.
+        """
+        sess, state.client = state.client, None
+        if sess is None:
+            return
+        if sess.handle is None or sess.handle.conn is not state.conn:
+            return  # a displaced (stale) socket died; the session lives on
+        sess.handle.stop_sender()
+        sess.handle = None
+        sess.detached_at = time.time()
         mgr = self.mgr
         mgr.control.log.emit(
             mgr.now(), "client_detach", worker=sess.session_id, category=sess.tenant
         )
+
+    def reap_sessions(self, now: float, ttl: float) -> list[str]:
+        """Expire sessions detached longer than ``ttl`` with no work left.
+
+        A session with outstanding tasks is kept (its results would be
+        lost); once those drain, the TTL runs from the detach time, so
+        a client that crashed and never reattaches is eventually
+        forgotten along with its buffered notices.
+        """
+        expired = [
+            s
+            for s in self.sessions.values()
+            if s.handle is None
+            and not s.tasks
+            and s.detached_at is not None
+            and now - s.detached_at > ttl
+        ]
+        for sess in expired:
+            del self.sessions[sess.token]
+            sess.buffered.clear()
+            self.mgr.control.log.emit(
+                self.mgr.now(), "client_expired",
+                worker=sess.session_id, category=sess.tenant,
+            )
+        return [s.session_id for s in expired]
 
     def attached_handles(self) -> list[_ClientHandle]:
         return [s.handle for s in self.sessions.values() if s.handle is not None]
@@ -399,7 +478,7 @@ class ManagerService:
             host = urllib.parse.urlparse(f.url).netloc or "localfs"
             source, size = f"url:{host}", mgr._url_size(f.url)
         elif kind == "local":
-            f = LocalFile(os.path.abspath(str(spec["path"])), level)
+            f = LocalFile(self._local_path(sess, str(spec["path"])), level)
             source, size = MANAGER_SOURCE, f.size or mgr._local_size(f.path)
         else:
             raise ManagerError(f"unknown file kind {kind!r}")
@@ -428,6 +507,35 @@ class ManagerService:
                     "size": size,
                 },
             )
+
+    def _local_path(self, sess: _ClientSession, path: str) -> str:
+        """Resolve a ``kind="local"`` declaration path for one session.
+
+        The loopback session *is* the in-process application — it may
+        name anything the manager process can read.  Remote tenants all
+        share one project password, so an unrestricted local declare
+        would let any of them read any file on the manager host
+        (/etc/passwd, another tenant's data): their paths must resolve
+        — symlinks included — inside the operator-configured
+        ``client_local_root``, or the declare is refused outright.
+        """
+        if sess.loopback:
+            return os.path.abspath(path)
+        root = self.mgr.client_local_root
+        if root is None:
+            raise ManagerError(
+                'file kind "local" is disabled for remote clients '
+                "(the service was started without a client_local_root)"
+            )
+        root = os.path.realpath(root)
+        real = os.path.realpath(
+            path if os.path.isabs(path) else os.path.join(root, path)
+        )
+        if real != root and not real.startswith(root + os.sep):
+            raise ManagerError(
+                f"{path!r} resolves outside the service's client_local_root"
+            )
+        return real
 
     # -- submission ------------------------------------------------------
 
@@ -531,6 +639,7 @@ class ManagerService:
         if sess is None:
             return None
         sess.tasks.discard(task.task_id)
+        sess.delivered += 1
         r = task.result
         self._notify(
             sess,
@@ -545,15 +654,29 @@ class ManagerService:
             },
         )
         if not sess.tasks:
+            # "nothing outstanding" can be momentary under incremental
+            # submission (task 1 done while task 2's submit is in
+            # flight); the notice carries the cumulative delivery count
+            # so the client can match it against its accepted submits
+            # instead of trusting the first empty transition.
             mgr = self.mgr
             mgr.control.log.emit(mgr.now(), "workflow_done", category=sess.tenant)
-            self._notify(sess, {"type": M.WORKFLOW_DONE, "tenant": sess.tenant})
+            self._notify(
+                sess,
+                {
+                    "type": M.WORKFLOW_DONE,
+                    "tenant": sess.tenant,
+                    "done": sess.delivered,
+                },
+            )
         return sess
 
     def _notify(self, sess: _ClientSession, frame: dict) -> None:
         if sess.handle is not None and sess.handle.alive:
             self.mgr._send(sess.handle, frame)
         else:
+            if len(sess.buffered) == sess.buffered.maxlen:
+                sess.dropped += 1  # deque evicts the oldest notice
             sess.buffered.append(frame)
 
     def _fetch(self, sess: _ClientSession, msg: dict) -> None:
@@ -621,6 +744,8 @@ class Manager:
         fair_share: bool = True,
         default_task_quota: Optional[int] = None,
         default_byte_quota: Optional[int] = None,
+        client_local_root: Optional[str] = None,
+        client_session_ttl: Optional[float] = 3600.0,
     ) -> None:
         if network not in ("reactor", "threads"):
             raise ValueError(f"unknown network mode {network!r}")
@@ -644,6 +769,12 @@ class Manager:
             default_task_quota=default_task_quota,
             default_byte_quota=default_byte_quota,
         )
+        #: directory remote clients' ``kind="local"`` declarations must
+        #: resolve inside; None (the default) disables them entirely
+        self.client_local_root = client_local_root
+        #: idle seconds after which a detached session with no
+        #: outstanding tasks is reaped; None keeps sessions forever
+        self.client_session_ttl = client_session_ttl
         #: client-session table (service mode); the in-process API is
         #: its loopback session, so one code path owns all submissions
         self.service = ManagerService(self, project_name, password)
@@ -711,7 +842,7 @@ class Manager:
         #: which a worker is declared dead; None disables the reaper
         self.worker_liveness_timeout = worker_liveness_timeout
         self._reaper_thread: Optional[threading.Thread] = None
-        if worker_liveness_timeout is not None:
+        if worker_liveness_timeout is not None or client_session_ttl is not None:
             self._reaper_thread = threading.Thread(
                 target=self._reaper_loop, daemon=True
             )
@@ -1262,10 +1393,17 @@ class Manager:
     # ------------------------------------------------------------------
 
     def _reaper_loop(self) -> None:
-        """Close connections of workers that stopped talking entirely."""
-        interval = max(1.0, (self.worker_liveness_timeout or 60.0) / 4)
+        """Reap silent workers and long-abandoned client sessions."""
+        timeouts = [
+            t
+            for t in (self.worker_liveness_timeout, self.client_session_ttl)
+            if t is not None
+        ]
+        interval = max(1.0, min(timeouts) / 4) if timeouts else 15.0
         while not self._closing.wait(interval):
-            self._reap_stale(time.time())
+            if self.worker_liveness_timeout is not None:
+                self._reap_stale(time.time())
+            self._reap_sessions(time.time())
 
     def _find_stale(self, now: float) -> list[_WorkerHandle]:
         """Workers silent past the liveness timeout as of ``now``."""
@@ -1289,6 +1427,13 @@ class Manager:
             )
             self._drop_connection(handle)
         return [h.worker_id for h in stale]
+
+    def _reap_sessions(self, now: float) -> list[str]:
+        """Expire long-detached client sessions (always-on hygiene)."""
+        if self.client_session_ttl is None:
+            return []
+        with self._lock:
+            return self.service.reap_sessions(now, self.client_session_ttl)
 
     def _drop_connection(self, handle: _WorkerHandle) -> None:
         """Force a worker's connection down from any thread.
@@ -1522,8 +1667,7 @@ class Manager:
                 self._on_worker_gone(state.handle)
         elif state.client is not None:
             with self._lock:
-                self.service.client_gone(state.client)
-            state.client = None
+                self.service.client_gone(state)
 
     # -- legacy threaded receive path (benchmark baseline) ---------------
 

@@ -52,6 +52,13 @@ class ServiceClient:
         #: task_id -> task_result notice, filled as notices stream in
         self.results: dict[str, dict] = {}
         self.workflow_done = False
+        #: tasks this client has had accepted; with the service's
+        #: cumulative delivery count (welcome "done" + workflow_done
+        #: "done") this tells a real completion notice from one that
+        #: merely caught the outstanding set momentarily empty between
+        #: two incremental submits
+        self._accepted = 0
+        self._done_base = 0
         self._replies: collections.deque = collections.deque()
         self._files: collections.deque = collections.deque()
         hello = {"type": M.CLIENT_HELLO, "tenant": tenant}
@@ -63,6 +70,7 @@ class ServiceClient:
         welcome = self._await(M.WELCOME)
         self.session = welcome["session"]
         self.project = welcome.get("project")
+        self._done_base = int(welcome.get("done", 0))
 
     # -- receive plumbing ---------------------------------------------
 
@@ -73,7 +81,9 @@ class ServiceClient:
         if mtype == M.TASK_RESULT:
             self.results[msg["task_id"]] = msg
         elif mtype == M.WORKFLOW_DONE:
-            self.workflow_done = True
+            done = msg.get("done")
+            if done is None or int(done) >= self._done_base + self._accepted:
+                self.workflow_done = True
         elif mtype == M.FILE_DATA:
             payload = (
                 self.conn.recv_bytes(int(msg["size"])) if msg.get("found") else None
@@ -113,6 +123,18 @@ class ServiceClient:
         self.conn.send_message({"type": M.DECLARE_FILE, "ref": ref, "spec": spec})
         return self._await(M.FILE_DECLARED, ref)
 
+    def declare_local(self, path: str, level: str = "workflow") -> dict:
+        """Declare a file on the *manager host* by path.
+
+        Refused unless the service was started with a
+        ``client_local_root``; the path must resolve inside it
+        (relative paths are joined against the root).
+        """
+        ref = next(self._refs)
+        spec = {"kind": "local", "path": path, "level": level}
+        self.conn.send_message({"type": M.DECLARE_FILE, "ref": ref, "spec": spec})
+        return self._await(M.FILE_DECLARED, ref)
+
     # -- submission ------------------------------------------------------
 
     def submit(
@@ -137,7 +159,10 @@ class ServiceClient:
         }
         spec.update(extra)
         self.conn.send_message({"type": M.SUBMIT_TASK, "ref": ref, "spec": spec})
-        return self._await(M.TASK_ACCEPTED, ref)
+        reply = self._await(M.TASK_ACCEPTED, ref)
+        self._accepted += 1
+        self.workflow_done = False  # the workflow has outstanding work again
+        return reply
 
     def submit_dag(self, specs: Sequence[dict]) -> list[dict]:
         """Submit several task specs in one request; returns one
@@ -150,7 +175,12 @@ class ServiceClient:
         self.conn.send_message(
             {"type": M.SUBMIT_DAG, "ref": ref, "tasks": list(specs)}
         )
-        return [self._await(M.TASK_ACCEPTED, f"{ref}[{i}]") for i in range(len(specs))]
+        replies = [
+            self._await(M.TASK_ACCEPTED, f"{ref}[{i}]") for i in range(len(specs))
+        ]
+        self._accepted += len(replies)
+        self.workflow_done = False
+        return replies
 
     # -- completion and retrieval ----------------------------------------
 

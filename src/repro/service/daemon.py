@@ -124,6 +124,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fair_share=not args.no_fair_share,
         default_task_quota=args.task_quota,
         default_byte_quota=args.byte_quota,
+        client_local_root=args.client_local_root,
+        client_session_ttl=args.session_ttl,
         txn_log_path=os.path.join(state_dir, TXN_LOG),
         metrics_dump_path=os.path.join(state_dir, METRICS_FILE),
         metrics_dump_interval=1.0,
@@ -255,6 +257,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     run.add_argument("--task-quota", type=int, default=None, help="default per-tenant outstanding-task quota")
     run.add_argument("--byte-quota", type=int, default=None, help="default per-tenant declared-bytes quota")
     run.add_argument("--no-fair-share", action="store_true", help="FIFO across tenants instead of deficit round-robin")
+    run.add_argument(
+        "--client-local-root",
+        default=None,
+        help="directory clients' kind=local declarations must resolve inside "
+        "(omitted: local declarations over the wire are refused)",
+    )
+    run.add_argument(
+        "--session-ttl",
+        type=float,
+        default=3600.0,
+        help="seconds before an idle detached client session is reaped",
+    )
     run.add_argument("--detach", action="store_true", help="daemonize (state-dir/service.log gets stdout/stderr)")
 
     status = sub.add_parser("status", help="report daemon liveness and tenant table")

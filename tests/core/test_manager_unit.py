@@ -3,9 +3,11 @@
 
 import pytest
 
+import os
+
 from repro.core.files import CacheLevel
 from repro.core.library import FunctionCall
-from repro.core.manager import Manager, ManagerError
+from repro.core.manager import Manager, ManagerError, _ClientSession
 from repro.core.task import PythonTask, Task
 from repro.core.transfer_table import MANAGER_SOURCE
 
@@ -172,3 +174,64 @@ def test_run_until_done_times_out_without_workers(manager):
     manager.submit(Task("cmd"))
     with pytest.raises(ManagerError, match="did not finish"):
         manager.run_until_done(timeout=0.3)
+
+
+# -- client-session hygiene (service mode) ---------------------------
+
+
+def test_client_local_paths_resolve_inside_the_configured_root(tmp_path):
+    root = tmp_path / "exports"
+    root.mkdir()
+    inside = root / "data.txt"
+    inside.write_text("ok")
+    link = root / "link"
+    link.symlink_to("/etc")
+    with Manager(client_local_root=str(root)) as m:
+        svc = m.service
+        sess = _ClientSession("alice")
+        real = os.path.realpath(str(inside))
+        assert svc._local_path(sess, "data.txt") == real
+        assert svc._local_path(sess, str(inside)) == real
+        with pytest.raises(ManagerError, match="outside"):
+            svc._local_path(sess, "../escape")
+        with pytest.raises(ManagerError, match="outside"):
+            svc._local_path(sess, "/etc/passwd")
+        # symlinks are resolved before the containment check
+        with pytest.raises(ManagerError, match="outside"):
+            svc._local_path(sess, "link/passwd")
+        # the loopback session is the in-process application: unrestricted
+        assert svc._local_path(svc.loopback, "/etc/passwd") == "/etc/passwd"
+
+
+def test_client_local_paths_disabled_without_a_root(manager):
+    with pytest.raises(ManagerError, match="client_local_root"):
+        manager.service._local_path(_ClientSession("alice"), "/etc/passwd")
+
+
+def test_detached_session_notice_buffer_is_capped(manager):
+    svc = manager.service
+    sess = _ClientSession("alice")
+    svc.sessions[sess.token] = sess
+    cap = _ClientSession.MAX_BUFFERED
+    for i in range(cap + 5):
+        svc._notify(sess, {"type": "task_result", "task_id": f"t{i}"})
+    assert len(sess.buffered) == cap
+    assert sess.dropped == 5
+    # the oldest notices are the ones evicted
+    assert sess.buffered[0]["task_id"] == "t5"
+
+
+def test_idle_detached_sessions_are_reaped(manager):
+    svc = manager.service
+    idle = _ClientSession("alice")
+    idle.detached_at = 1000.0
+    svc.sessions[idle.token] = idle
+    busy = _ClientSession("bob")
+    busy.detached_at = 1000.0
+    busy.tasks.add("t1")  # outstanding work: never reaped
+    svc.sessions[busy.token] = busy
+    reaped = manager._reap_sessions(1000.0 + manager.client_session_ttl + 1)
+    assert reaped == [idle.session_id]
+    assert idle.token not in svc.sessions and busy.token in svc.sessions
+    expired = list(manager.log.events("client_expired"))
+    assert expired and expired[0].category == "alice"

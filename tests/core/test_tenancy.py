@@ -5,6 +5,8 @@ test_control_plane) and observes the TenantAccount bookkeeping plus the
 ``tenant.<name>.*`` gauges the service's status table is built from.
 """
 
+from repro.core.control_plane import NO_SOURCE
+from repro.core.files import TempFile
 from repro.core.task import Task
 
 from tests.core.test_control_plane import add_worker, finish, make_control
@@ -122,6 +124,45 @@ def test_default_quotas_apply_to_new_tenants():
     submit_for(control, "carol")
     assert control.tenant_submit_blocked("carol") is not None
     assert control.tenant_charge_bytes("carol", 11) is not None
+
+
+def test_regeneration_keeps_tenant_done_ledger_consistent():
+    # the requeue path must mirror the global done_count on the tenant
+    # ledger: un-count the rescinded completion, count it again exactly
+    # once on re-delivery (regression: acct.done and the tasks_done
+    # counter drifted by one per regeneration)
+    port, control = make_control()
+    add_worker(port, control, "wA")
+    add_worker(port, control, "wB")
+    temp = TempFile()
+    temp.cache_name = "mid"
+    control.declare(temp, NO_SOURCE, 0)
+    producer = Task("make").add_output(temp, "out")
+    producer.set_tenant("alice")
+    control.submit(producer)
+    control.pump()
+    finish(port, control, producer)
+    acct = control.tenant_account("alice")
+    assert acct.done == 1 == control.done_count
+    assert gauge(control, "alice", "tasks_done") == 1
+
+    consumer = Task("use").add_input(temp, "mid")
+    consumer.set_tenant("alice")
+    control.submit(consumer)
+    control.pump()
+    # lose the only replica: the producer is resurrected
+    lost = consumer.worker_id
+    port.connected.discard(lost)
+    control.worker_left(lost)
+    assert acct.done == 0 == control.done_count
+    assert acct.regens == 1 and acct.outstanding == 2
+    assert gauge(control, "alice", "regenerations") == 1
+
+    control.pump()
+    finish(port, control, producer)
+    # re-delivery restores the ledger without double counting
+    assert acct.done == 1 == control.done_count
+    assert gauge(control, "alice", "tasks_done") == 1
 
 
 def test_worker_loss_returns_task_to_queued_accounting():

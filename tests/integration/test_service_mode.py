@@ -168,6 +168,67 @@ def test_detach_then_reattach_replays_buffered_results(service_cluster):
         client_for(service_cluster, "intruder", session="bogus-token")
 
 
+def test_incremental_submits_do_not_end_the_workflow_early(service_cluster):
+    # task 1 finishing between two submits makes the outstanding set
+    # momentarily empty and emits a workflow_done notice; the client
+    # must not take that for completion of work it submits afterwards
+    with client_for(service_cluster, "steady") as c:
+        first = c.submit("echo one > out.txt", outputs=["out.txt"])
+        c.wait(first["task_id"], timeout=60)
+        # drain the stream past the momentary workflow_done notice
+        c.fetch(first["outputs"]["out.txt"], timeout=60)
+        second = c.submit("echo two > out.txt", outputs=["out.txt"])
+        results = c.run_until_done(timeout=60)
+        assert {r["task_id"] for r in results} == {second["task_id"]}
+
+
+def test_reattach_displaces_the_stale_connection(service_cluster):
+    mgr = service_cluster.manager
+    first = client_for(service_cluster, "roamer")
+    second = ServiceClient(mgr.host, mgr.port, "roamer", session=first.session)
+    try:
+        # the displaced socket dying must not detach the live
+        # attachment (regression: its EOF used to null the session's
+        # handle and stop the new sender)
+        first.close()
+        accepted = second.submit("echo alive > out.txt", outputs=["out.txt"])
+        assert second.wait(accepted["task_id"], timeout=60)["exit_code"] == 0
+    finally:
+        second.close()
+
+
+def test_client_local_declares_are_rejected_without_a_root(service_cluster):
+    # remote tenants share one project password: an ungated kind=local
+    # declare would read any file on the manager host
+    with client_for(service_cluster, "mallory") as m:
+        with pytest.raises(ClientError, match="local"):
+            m.declare_local("/etc/hostname")
+    rejected = list(service_cluster.manager.log.events("client_rejected"))
+    assert rejected and rejected[-1].category == "request"
+
+
+def test_client_local_declares_stay_inside_the_root(tmp_path):
+    root = tmp_path / "exports"
+    root.mkdir()
+    (root / "data.txt").write_text("served\n")
+    c = Cluster(tmp_path, n_workers=1, client_local_root=str(root))
+    try:
+        with client_for(c, "alice") as a:
+            declared = a.declare_local("data.txt")
+            accepted = a.submit(
+                "cat in.txt > out.txt",
+                inputs=[("in.txt", declared["cache_name"])],
+                outputs=["out.txt"],
+            )
+            a.run_until_done(timeout=60)
+            assert a.fetch(accepted["outputs"]["out.txt"], timeout=60) == b"served\n"
+            for escape in ("../outside.txt", "/etc/hostname"):
+                with pytest.raises(ClientError):
+                    a.declare_local(escape)
+    finally:
+        c.stop()
+
+
 def test_fetch_serves_declared_buffers_from_the_manager(service_cluster):
     with client_for(service_cluster, "alice") as a:
         declared = a.declare_buffer(b"round trip")
