@@ -1,0 +1,120 @@
+"""Memoization — clean vs warm-store runs and the invalidation path.
+
+A deterministic analysis sweep (one shared worker-cached dataset, many
+single-shard tasks) is submitted four times against one persistent
+memo store:
+
+* **cold** — empty store; every task executes and records an entry.
+* **warm** — same cluster, fresh manager: every recorded output is
+  still backed by a live replica, so the whole sweep completes from
+  the store without dispatching a single task.
+* **invalidated** — the cluster is replaced (worker caches gone) but
+  the store survives; every entry fails replica validation, is
+  observably invalidated, and the sweep re-executes at cold cost while
+  re-recording the same deterministic names.
+* **rewarm** — on the replacement cluster, proving invalidation
+  restored the store rather than poisoning it.
+
+Headline claim (ISSUE acceptance bar): the warm run's makespan is at
+most 25% of the cold run's. In the simulator a fully memo-served
+sweep dispatches nothing, so the warm makespan is exactly zero.
+"""
+
+from repro.core.task import Task, TaskState
+from repro.memo.store import MemoStore
+from repro.sim.cluster import SimCluster
+from repro.sim.simmanager import SimManager
+
+MB = 1_000_000
+N_WORKERS = 16
+N_TASKS = 120
+TASK_DURATION = 30.0
+
+
+def _cluster():
+    c = SimCluster()
+    c.add_workers(N_WORKERS, cores=4)
+    return c
+
+
+def _sweep(m, tenant="default"):
+    data = m.declare_dataset("sweep-input", 2_000 * MB, cache="worker")
+    tasks = []
+    for i in range(N_TASKS):
+        t = Task(f"analyze --shard {i}").set_deterministic().set_tenant(tenant)
+        t.add_input(data, "in.dat")
+        t.add_output(m.declare_temp(), "out.dat")
+        m.submit(t, duration=TASK_DURATION, output_sizes={"out.dat": 5 * MB})
+        tasks.append(t)
+    return tasks
+
+
+def _run(cluster, store, tenant="default"):
+    m = SimManager(cluster, memo_store=store)
+    tasks = _sweep(m, tenant=tenant)
+    stats = m.run(finalize=False)  # keep worker caches (the replicas) alive
+    assert all(t.state == TaskState.DONE for t in tasks)
+    counts = {
+        k: len(list(m.control.log.events(k)))
+        for k in ("memo_hit", "memo_miss", "memo_invalidated", "task_start")
+    }
+    return stats, counts
+
+
+def _all_four(tmp_path):
+    store = MemoStore(tmp_path / "memo")
+    cluster = _cluster()
+    cold = _run(cluster, store, tenant="alice")
+    warm = _run(cluster, store, tenant="bob")  # cross-tenant, replica-backed
+    replacement = _cluster()  # caches gone, store survives
+    invalidated = _run(replacement, store, tenant="alice")
+    rewarm = _run(replacement, store, tenant="alice")
+    return cold, warm, invalidated, rewarm
+
+
+def test_memo_reuse(tmp_path, once, bench_report):
+    cold, warm, invalidated, rewarm = once(_all_four, tmp_path)
+
+    runs = [
+        ("cold", cold),
+        ("warm", warm),
+        ("invalidated", invalidated),
+        ("rewarm", rewarm),
+    ]
+    for label, (stats, counts) in runs:
+        bench_report.from_stats(stats, prefix=label)
+        for kind, n in counts.items():
+            bench_report.record(f"{label}_{kind}", n)
+    warm_fraction = warm[0].makespan / cold[0].makespan
+    bench_report.record("warm_makespan_fraction", warm_fraction)
+
+    print("\n=== Memoization: clean vs warm store vs invalidation ===")
+    print(
+        f"{'run':>12s} {'makespan(s)':>12s} {'hits':>6s} {'misses':>7s} "
+        f"{'invalid':>8s} {'executed':>9s}"
+    )
+    for label, (stats, counts) in runs:
+        print(
+            f"{label:>12s} {stats.makespan:12.1f} {counts['memo_hit']:6d} "
+            f"{counts['memo_miss']:7d} {counts['memo_invalidated']:8d} "
+            f"{counts['task_start']:9d}"
+        )
+    print(f"warm/cold makespan: {warm_fraction:.1%} (bar: <=25%)")
+
+    # cold pays full price and records everything
+    assert cold[1]["memo_miss"] == N_TASKS
+    assert cold[1]["task_start"] == N_TASKS
+    # warm run is served entirely from the store — zero dispatch, and
+    # comfortably under the <=25%-of-cold acceptance bar
+    assert warm[1]["memo_hit"] == N_TASKS
+    assert warm[1]["task_start"] == 0
+    assert warm_fraction <= 0.25
+    # a vanished cluster never yields a stale hit: every entry is
+    # invalidated and the sweep re-executes at (roughly) cold cost
+    assert invalidated[1]["memo_invalidated"] == N_TASKS
+    assert invalidated[1]["memo_hit"] == 0
+    assert invalidated[1]["task_start"] == N_TASKS
+    assert invalidated[0].makespan >= 0.9 * cold[0].makespan
+    # ...and re-records, so the store is warm again afterwards
+    assert rewarm[1]["memo_hit"] == N_TASKS
+    assert rewarm[1]["task_start"] == 0

@@ -35,8 +35,9 @@ from typing import Iterable, Optional, Protocol, Sequence
 
 from repro.core.categories import CategoryTracker
 from repro.core.events import EventLog
-from repro.core.files import CacheLevel, File, FileRegistry, MiniTaskFile
+from repro.core.files import CacheLevel, File, FileRegistry, MiniTaskFile, TempFile
 from repro.core.library import FunctionCall
+from repro.core.naming import task_merkle
 from repro.core.replica_table import ReplicaTable
 from repro.core.resources import ResourcePool, Resources
 from repro.core.scheduler import (
@@ -268,6 +269,8 @@ class ControlPlane:
         fair_share: bool = True,
         default_task_quota: Optional[int] = None,
         default_byte_quota: Optional[int] = None,
+        memo=None,
+        memo_opt_out: Optional[Iterable[str]] = None,
     ) -> None:
         self.port = port
         self.registry = FileRegistry()
@@ -309,6 +312,19 @@ class ControlPlane:
         self.default_byte_quota = default_byte_quota
         self.tenants: dict[str, TenantAccount] = {}
         self._tenant_gauges: dict[str, dict] = {}
+
+        #: persistent memoization store (``repro.memo.MemoStore``) or
+        #: None; policy — consult / serve / invalidate — lives here, the
+        #: store is mechanism only
+        self.memo = memo
+        #: tenants that opted out of memoization (both lookup and record)
+        self.memo_opt_out: set[str] = set(memo_opt_out or ())
+        #: task_id → merkle for in-flight eligible tasks (recorded on DONE)
+        self._memo_pending: dict[str, str] = {}
+        #: memo-hit tasks awaiting completion at the next pump — deferred
+        #: so ``port.deliver`` never fires inside ``submit`` (the service
+        #: layer registers its bookkeeping only after submit returns)
+        self._memo_complete: list[Task] = []
 
         self.tasks: dict[str, Task] = {}
         self._ready = ReadyQueue(fair_share=fair_share)
@@ -381,6 +397,10 @@ class ControlPlane:
         self._m_regens = self.metrics.counter("recovery.regenerations")
         self._m_blocklisted = self.metrics.counter("workers.blocklisted")
         self._m_faults = self.metrics.counter("faults.injected")
+        self._m_memo_hits = self.metrics.counter("memo.hits")
+        self._m_memo_misses = self.metrics.counter("memo.misses")
+        self._m_memo_invalidated = self.metrics.counter("memo.invalidated")
+        self._m_memo_bytes = self.metrics.counter("memo.bytes_saved")
         #: per-source-kind concurrency gauges, created as kinds appear
         self._kind_gauges: dict[str, "object"] = {}
         self._pump_depth = 0
@@ -511,6 +531,157 @@ class ControlPlane:
         )
 
     # ------------------------------------------------------------------
+    # memoization: serve recorded results for deterministic resubmissions
+    # ------------------------------------------------------------------
+
+    def memo_renameable(self, f: File) -> bool:
+        """True when an output may take a memo-derived cache name.
+
+        Unnamed outputs always may.  A declared ``TempFile`` still
+        carrying its placeholder random name may be renamed only while
+        nothing references that name — no submitted consumer counted it
+        as an input and no replica exists under it — since renaming
+        later would strand those references on a name never produced.
+        """
+        name = f.cache_name
+        if name is None:
+            return True
+        if not isinstance(f, TempFile):
+            return False
+        parts = name.split("-", 2)
+        if len(parts) < 2 or not parts[1].startswith("rnd"):
+            return False
+        return (
+            self.replicas.replica_count(name) == 0
+            and self._input_refs.get(name, 0) == 0
+        )
+
+    def _memo_try_hit(self, task: Task) -> bool:
+        """Serve ``task`` from the memo store if soundly possible.
+
+        Returns True when the task's recorded outputs were adopted and
+        the task is queued for immediate completion (it must then *not*
+        enter the ready queue).  Eligibility: a store is attached, the
+        application asserted determinism, the task produces outputs, and
+        its tenant did not opt out.  Soundness (OxyMake's rule): every
+        recorded output must be backed by a live replica or a payload
+        the adapter md5-verified; otherwise the entry is invalidated and
+        the task runs — a corrupt memo entry is never served.
+        """
+        if self.memo is None or not task.deterministic or not task.outputs:
+            return False
+        if task.tenant in self.memo_opt_out:
+            return False
+        try:
+            task.merkle = task_merkle(task)
+        except RuntimeError:
+            return False  # unnamed inputs: not memoizable as submitted
+        now = self.port.now()
+        entry = self.memo.get(task.merkle)
+        if entry is not None:
+            # the recorded binding must describe exactly the outputs this
+            # submission expects — a rename means a different recipe even
+            # if the merkle collided (pre-named outputs are part of it)
+            expected = {o.sandbox: o.cache_name for o in entry.outputs}
+            current = {rn: f.cache_name for rn, f in task.outputs}
+            if expected != current:
+                entry = None
+        if entry is not None:
+            bad = self._memo_validate(entry)
+            if bad is not None:
+                self.memo.remove(entry.merkle)
+                self._m_memo_invalidated.inc()
+                self.log.emit(
+                    now, "memo_invalidated",
+                    task=task.task_id, file=bad, category=task.tenant,
+                )
+                entry = None
+        if entry is not None:
+            # adapters that must reconstruct an application-visible value
+            # (PythonTask results) can veto the hit when they cannot
+            finalize = getattr(self.port, "memo_finalize", None)
+            if finalize is not None and not finalize(task, entry):
+                entry = None
+        if entry is None:
+            self._m_memo_misses.inc()
+            self.log.emit(
+                now, "memo_miss",
+                task=task.task_id, file=task.merkle, category=task.tenant,
+            )
+            self._memo_pending[task.task_id] = task.merkle
+            return False
+        saved = 0
+        for out in entry.outputs:
+            name = out.cache_name
+            self.sizes[name] = out.size
+            if name in self.registry:
+                self.registry.by_name(name).size = out.size
+            if self.replicas.replica_count(name) == 0:
+                # payload-backed: the manager serves the bytes itself
+                self.fixed_sources[name] = MANAGER_SOURCE
+            saved += out.size
+        self.memo.touch(entry.merkle, now)
+        self._m_memo_hits.inc()
+        self._m_memo_bytes.inc(saved)
+        self.log.emit(
+            now, "memo_hit",
+            task=task.task_id, file=task.merkle, size=saved, category=task.tenant,
+        )
+        self._memo_complete.append(task)
+        return True
+
+    def _memo_validate(self, entry) -> Optional[str]:
+        """First unsound output cache name of ``entry``, or None if sound."""
+        attach = getattr(self.port, "memo_attach", None)
+        for out in entry.outputs:
+            if self.replicas.replica_count(out.cache_name) > 0:
+                continue
+            if attach is not None and attach(out.cache_name, out.size, out.md5):
+                continue
+            return out.cache_name
+        return None
+
+    def _memo_record(self, task: Task, merkle: str) -> None:
+        """Bind a finished task's outputs to its merkle in the store."""
+        from repro.memo.store import MemoOutput
+
+        outputs = []
+        for remote_name, f in task.outputs:
+            if f.cache_name is None:
+                return  # an unnamed output cannot be recovered later
+            outputs.append(
+                MemoOutput(
+                    sandbox=remote_name,
+                    cache_name=f.cache_name,
+                    size=self.sizes.get(f.cache_name, f.size or 0),
+                )
+            )
+        if isinstance(task, PythonTask):
+            kind, command = "python", "@pytask"
+        elif isinstance(task, FunctionCall):
+            kind, command = "call", f"{task.library_name}.{task.function_name}"
+        else:
+            kind, command = "command", task.command
+        self.memo.record(
+            merkle, kind, command, task.tenant, outputs, now=self.port.now()
+        )
+        # adapters may retain small payloads so hits survive every
+        # worker cache being gone (daemon restarts, new clusters)
+        persist = getattr(self.port, "memo_persist", None)
+        if persist is not None:
+            persist(task, merkle, outputs)
+
+    def _drain_memo_complete(self) -> None:
+        """Complete memo-hit tasks parked since the last pump."""
+        while self._memo_complete:
+            pending, self._memo_complete = self._memo_complete, []
+            for task in pending:
+                if not task.is_done:
+                    self.complete_task(
+                        task, TaskResult(exit_code=0, output="memo")
+                    )
+
+    # ------------------------------------------------------------------
     # task lifecycle: submission, cancellation, completion
     # ------------------------------------------------------------------
 
@@ -519,7 +690,10 @@ class ControlPlane:
 
         Submission stamps the task's identity: a monotonic per-manager
         ``seq`` (the FIFO key the scheduler orders by) and, unless the
-        application supplied one, the id ``t<seq>``.
+        application supplied one, the id ``t<seq>``.  A deterministic
+        task whose merkle matches a sound memo entry never reaches the
+        ready queue: its outputs are adopted and it completes at the
+        next pump without dispatching.
         """
         task.seq = next(self._task_seq)
         if task.task_id is None:
@@ -536,7 +710,8 @@ class ControlPlane:
         task.state = TaskState.READY
         task.submitted_at = self.port.now()
         self.tasks[task.task_id] = task
-        self._ready.push(task)
+        if not self._memo_try_hit(task):
+            self._ready.push(task)
         self.outstanding += 1
         acct = self.tenant_account(task.tenant)
         acct.submitted += 1
@@ -728,6 +903,9 @@ class ControlPlane:
         self.outstanding -= 1
         if task.state == TaskState.DONE:
             self.done_count += 1
+        merkle = self._memo_pending.pop(task.task_id, None)
+        if task.state == TaskState.DONE and merkle is not None and self.memo is not None:
+            self._memo_record(task, merkle)
         regenerated = task.task_id in self._regenerated
         self._regenerated.discard(task.task_id)
         acct = self.tenant_account(task.tenant)
@@ -1396,6 +1574,10 @@ class ControlPlane:
             self._m_ready_depth.set(len(self._ready))
 
     def _pump_body(self) -> None:
+        # 0. memo hits parked at submit complete now, after the submit
+        # path (and the service layer's bookkeeping around it) unwound
+        self._drain_memo_complete()
+
         # 1. placement — ready tasks are popped from the priority heap
         # in (-priority, seq) order instead of re-sorting the whole
         # queue; placement indexes are built lazily per library key and

@@ -57,6 +57,13 @@ KINDS = frozenset(
         "client_rejected",
         "client_expired",
         "cache_shared",
+        # persistent memoization: a submitted task's merkle matched a
+        # recorded result (hit), didn't (miss), or matched an entry
+        # whose replicas/payloads were gone or corrupt (invalidated,
+        # then regenerated rather than served)
+        "memo_hit",
+        "memo_miss",
+        "memo_invalidated",
     }
 )
 

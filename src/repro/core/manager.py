@@ -60,7 +60,7 @@ from repro.core.files import (
 )
 from repro.core.gc import collect_workflow
 from repro.core.library import FunctionCall, Library
-from repro.core.naming import Namer
+from repro.core.naming import Namer, task_merkle
 from repro.core.resources import ResourcePool, Resources
 from repro.core.task import MiniTask, PythonTask, Task, TaskResult, TaskState
 from repro.core.transfer_table import MANAGER_SOURCE, Transfer
@@ -255,6 +255,26 @@ class _ClientSession:
         self.dropped = 0
         #: wall-clock time the session lost its attachment (reaping TTL)
         self.detached_at: Optional[float] = None
+
+
+class _MemoHarvestWaiter:
+    """Adapter retaining a ``send_back`` reply in the memo store.
+
+    Rides the same ``_fetch_waiters`` path as application fetches, so a
+    result payload coming back for any reason can double as the memo
+    store's retained copy (digest recorded alongside).
+    """
+
+    def __init__(self, store, merkle: str, cache_name: str) -> None:
+        self.store = store
+        self.merkle = merkle
+        self.cache_name = cache_name
+
+    def put(self, payload: Optional[bytes]) -> None:
+        if payload is None:
+            return
+        md5 = self.store.store_payload(self.cache_name, payload)
+        self.store.set_output_md5(self.merkle, self.cache_name, md5)
 
 
 class _ClientFetchWaiter:
@@ -571,6 +591,8 @@ class ManagerService:
             task.set_priority(float(spec["priority"]))
         if "category" in spec:
             task.set_category(str(spec["category"]))
+        if spec.get("deterministic"):
+            task.set_deterministic(True)
         task.set_tenant(sess.tenant)
         return task
 
@@ -693,6 +715,10 @@ class ManagerService:
             return
         holders = [w for w in mgr.replicas.locate(name) if w in mgr.workers]
         if not holders:
+            payload = mgr._memo_payload_bytes(name)
+            if payload is not None:
+                self._send_file_data(sess, name, payload)
+                return
             raise ManagerError(f"no worker holds {name}")
         mgr._fetch_waiters[name].append(_ClientFetchWaiter(self, sess, name))
         mgr._send(mgr.workers[holders[0]], {"type": M.SEND_BACK, "cache_name": name})
@@ -746,12 +772,21 @@ class Manager:
         default_byte_quota: Optional[int] = None,
         client_local_root: Optional[str] = None,
         client_session_ttl: Optional[float] = 3600.0,
+        memo_dir: Optional[str] = None,
+        memo_opt_out: Optional[Sequence[str]] = None,
+        memo_payload_limit: Optional[int] = None,
     ) -> None:
         if network not in ("reactor", "threads"):
             raise ValueError(f"unknown network mode {network!r}")
         self.network = network
         self._lock = threading.RLock()
         self._t0 = time.time()
+        #: persistent memoization store; None disables memoization
+        self.memo_store = None
+        if memo_dir is not None:
+            from repro.memo.store import MemoStore
+
+            self.memo_store = MemoStore(memo_dir, payload_limit=memo_payload_limit)
         self.control = ControlPlane(
             self,
             worker_transfer_limit=worker_transfer_limit,
@@ -768,6 +803,8 @@ class Manager:
             fair_share=fair_share,
             default_task_quota=default_task_quota,
             default_byte_quota=default_byte_quota,
+            memo=self.memo_store,
+            memo_opt_out=memo_opt_out,
         )
         #: directory remote clients' ``kind="local"`` declarations must
         #: resolve inside; None (the default) disables them entirely
@@ -1042,6 +1079,95 @@ class Manager:
         if self.service.task_delivered(task) is None:
             self._completed.put(task)  # loopback (in-process) session
 
+    # -- memoization mechanisms (optional RuntimePort hooks) -------------
+
+    def memo_attach(self, cache_name: str, size: int, md5: Optional[str]) -> bool:
+        """True iff a retained payload can soundly back ``cache_name``.
+
+        Called by the control plane while validating a memo entry whose
+        replicas are gone.  A payload that fails its digest is dropped
+        on the spot — a corrupt retained copy must never be served.
+        """
+        store = self.memo_store
+        if store is None or md5 is None:
+            return False
+        if store.verify_payload(cache_name, md5):
+            return True
+        store.drop_payload(cache_name)
+        return False
+
+    def memo_persist(self, task: Task, merkle: str, outputs) -> None:
+        """Retain small outputs of a freshly recorded entry as payloads.
+
+        Each qualifying output is pulled back from a live replica via
+        the ordinary ``send_back`` path; the waiter stores the bytes and
+        stamps the digest into the store when they arrive.  Best effort:
+        an output that never lands simply keeps ``md5=None`` and the
+        entry stays replica-backed only.
+        """
+        store = self.memo_store
+        if store is None:
+            return
+        for out in outputs:
+            if out.size > store.payload_limit:
+                continue
+            if out.md5 is not None and store.verify_payload(out.cache_name, out.md5):
+                continue
+            holders = [
+                w for w in self.replicas.locate(out.cache_name) if w in self.workers
+            ]
+            if not holders:
+                continue
+            self._fetch_waiters[out.cache_name].append(
+                _MemoHarvestWaiter(store, merkle, out.cache_name)
+            )
+            self._send(
+                self.workers[holders[0]],
+                {"type": M.SEND_BACK, "cache_name": out.cache_name},
+            )
+
+    def memo_finalize(self, task: Task, entry) -> bool:
+        """Reconstruct the application-visible value of a memo hit.
+
+        Command tasks carry everything in their output files, so they
+        always finalize.  A python task's value must be decoded from the
+        retained result payload — without one (or with a recorded
+        exception) the hit is vetoed and the task runs.  Function calls
+        return their value on the wire, not in a file, so they always
+        execute.
+        """
+        if isinstance(task, FunctionCall):
+            return False
+        if not isinstance(task, PythonTask):
+            return True
+        result_name = task.outputs[-1][1].cache_name
+        out = next((o for o in entry.outputs if o.cache_name == result_name), None)
+        if out is None or not self.memo_attach(result_name, out.size, out.md5):
+            return False  # no digest-verified retained copy of the value
+        data = self._memo_payload_bytes(result_name)
+        if data is None:
+            return False
+        try:
+            decoded = ser.loads(data)
+        except ser.SerializationError:
+            return False
+        if not decoded.get("ok"):
+            return False
+        task.set_output_value(decoded.get("value"))
+        self._retrieving.pop(result_name, None)
+        return True
+
+    def _memo_payload_bytes(self, cache_name: str) -> Optional[bytes]:
+        """A retained payload's bytes, or None if absent/unreadable."""
+        store = self.memo_store
+        if store is None or not store.has_payload(cache_name):
+            return None
+        try:
+            with open(store.payload_path(cache_name), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
     # ------------------------------------------------------------------
     # public API: declarations
     # ------------------------------------------------------------------
@@ -1176,11 +1302,38 @@ class Manager:
                 raise ManagerError(
                     f"input {f.file_id} of task {task.command!r} was not declared"
                 )
+        self._memo_name_outputs(task)
         for _, f in task.outputs:
             if f.cache_name is None:
                 self.namer.assign(f)
                 self.control.declare_output_file(f)
+        if isinstance(task, PythonTask):
+            self._retrieving[task.outputs[-1][1].cache_name] = task
         return self.control.submit(task)
+
+    def _memo_name_outputs(self, task: Task) -> None:
+        """Content-address a memo-eligible task's unnamed outputs.
+
+        The same recipe must map to the same cache names across runs
+        and tenants for memoization to mean anything, so eligible
+        outputs get deterministic ``memo-md5-`` names derived from the
+        task merkle instead of run-salted temp names — and worker-
+        lifetime cache levels, so their replicas survive workflow GC
+        and worker restarts.
+        """
+        if (
+            self.memo_store is None
+            or not task.deterministic
+            or not task.outputs
+            or task.tenant in self.control.memo_opt_out
+        ):
+            return
+        merkle = task_merkle(task)  # inputs were validated as named above
+        for _, f in task.outputs:
+            if self.control.memo_renameable(f):
+                f.cache_level = CacheLevel.WORKER
+                self.namer.name_task_output(f, task, merkle)
+                self.control.declare_output_file(f)
 
     def _prepare_python_task(self, task: PythonTask) -> None:
         payload = ser.dumps_portable(
@@ -1191,10 +1344,9 @@ class Manager:
         self.control.declare(pf, MANAGER_SOURCE, len(payload))
         task.inputs.append((task.PAYLOAD_NAME, pf))
         result = TempFile()
-        self.namer.assign(result)
-        self.control.declare(result, NO_SOURCE, 0)
+        # named (memo-aware) and declared in _submit_prepared's output
+        # pass; _retrieving is registered there once the name exists
         task.outputs.append((task.RESULT_NAME, result))
-        self._retrieving[result.cache_name] = task
 
     def wait(self, timeout: Optional[float] = None) -> Optional[Task]:
         """Block until some task completes; None on timeout.
@@ -1305,6 +1457,9 @@ class Manager:
                 w for w in self.replicas.locate(name) if w in self.workers
             ]
             if not holders:
+                payload = self._memo_payload_bytes(name)
+                if payload is not None:
+                    return payload
                 raise ManagerError(f"no worker holds {name}")
             self._fetch_waiters[name].append(waiter)
             self._send(self.workers[holders[0]], {"type": M.SEND_BACK, "cache_name": name})
@@ -1925,6 +2080,20 @@ class Manager:
             self._m_frames_out.inc()
             self._flush_pending(handle)
             handle.enqueue(push)
+        elif self.memo_store is not None and self.memo_store.has_payload(cache_name):
+            # memo-hit output with no live replica: the manager serves
+            # the retained payload (validated at hit time) like a buffer
+            path = self.memo_store.payload_path(cache_name)
+
+            def push_payload(conn: Connection) -> None:
+                size = os.path.getsize(path)
+                header["size"] = size
+                conn.send_message(header)
+                conn.send_file(path, size)
+
+            self._m_frames_out.inc()
+            self._flush_pending(handle)
+            handle.enqueue(push_payload)
         else:
             raise ManagerError(
                 f"{type(f).__name__} {cache_name} cannot be manager-sourced"

@@ -50,6 +50,7 @@ __all__ = [
     "buffer_cache_name",
     "url_cache_name",
     "task_spec_hash",
+    "task_merkle",
     "Namer",
 ]
 
@@ -66,21 +67,32 @@ def directory_merkle(path: str | os.PathLike) -> str:
     filesystem iteration order but sensitive to any rename, content
     change, or size change anywhere in the tree.  Symlinks hash their
     target path rather than following it, mirroring how they are
-    transferred.
+    transferred; an empty directory hashes its (empty) document, so it
+    still changes the parent's hash; non-UTF-8 entry names and symlink
+    targets go through ``os.fsdecode``/``os.fsencode`` (surrogateescape
+    round-trips the raw bytes); sockets, FIFOs, and devices hash as
+    bare ``"other"`` rows rather than crashing the walk.
     """
     entries = []
     with os.scandir(path) as it:
+        # DirEntry names are surrogateescape-decoded str on POSIX, so
+        # sorting by name is deterministic even for non-UTF-8 entries,
+        # and json's ensure_ascii escaping keeps the document encodable
         for entry in sorted(it, key=lambda e: e.name):
             if entry.is_symlink():
-                child = hash_bytes(os.readlink(entry.path).encode())
+                child = hash_bytes(os.fsencode(os.readlink(entry.path)))
                 entries.append([entry.name, "link", 0, child])
             elif entry.is_dir():
                 child = directory_merkle(entry.path)
                 entries.append([entry.name, "dir", 0, child])
-            else:
+            elif entry.is_file():
                 st = entry.stat()
                 child = hash_file(entry.path)
                 entries.append([entry.name, "file", st.st_size, child])
+            else:
+                # socket / fifo / device: no content to transfer; the
+                # row still records its existence and name
+                entries.append([entry.name, "other", 0, ""])
     document = json.dumps(entries, separators=(",", ":")).encode()
     return hash_bytes(document)
 
@@ -148,6 +160,71 @@ def task_spec_hash(
             "inputs": sorted(list(p) for p in input_names),
             "resources": dict(resources or {}),
             "env": sorted((env or {}).items()),
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode()
+    return hash_bytes(document)
+
+
+def task_merkle(task) -> str:
+    """Merkle hash of a *full task recipe*, for any task kind (§3.2).
+
+    Where :func:`task_spec_hash` names a single MiniTask/TempFile
+    product, this generalizes the idea to whole submitted tasks so
+    results can be memoized: two tasks with equal merkles are the same
+    computation over the same content.  The hash covers the task kind,
+    its command (or invocation identity), the ``(sandbox, cache_name)``
+    mapping of every input — cache names embed content hashes, so the
+    merkle is recursive through lineage — the output sandbox names,
+    resources, and environment.  Inputs must already be named.
+
+    Kind-specific canonicalization:
+
+    * ``PythonTask`` — the literal command embeds ``sys.executable``,
+      which is host-specific noise; the serialized function + arguments
+      ride the content-hashed payload *input*, so a fixed token stands
+      in for the command.
+    * ``FunctionCall`` — no command runs; the library name, function
+      name, and portably-serialized arguments are the identity.
+    * ``MiniTask`` / plain ``Task`` — the command line as declared.
+    """
+    from repro.core.library import FunctionCall
+    from repro.core.task import MiniTask, PythonTask
+
+    input_names = []
+    for remote_name, f in task.inputs:
+        if f.cache_name is None:
+            raise RuntimeError(
+                f"input {f.file_id} of {task.task_id or task.command!r} unnamed"
+            )
+        input_names.append([remote_name, f.cache_name])
+    if isinstance(task, PythonTask):
+        kind, command = "python", "@pytask"
+    elif isinstance(task, FunctionCall):
+        from repro.protocol import serialization as ser
+
+        # plain dumps, not dumps_portable: the portable envelope embeds
+        # the sender's sys.path, which is host noise, not call identity
+        payload = ser.dumps(
+            {"args": list(task.args), "kwargs": dict(task.kwargs)}
+        )
+        kind = "call"
+        command = (
+            f"{task.library_name}.{task.function_name}:{hash_bytes(payload)}"
+        )
+    elif isinstance(task, MiniTask):
+        kind, command = "mini", task.command
+    else:
+        kind, command = "command", task.command
+    document = json.dumps(
+        {
+            "kind": kind,
+            "command": command,
+            "inputs": sorted(input_names),
+            "outputs": sorted(rn for rn, _ in task.outputs),
+            "resources": task.resources.to_dict(),
+            "env": sorted(task.env.items()),
         },
         separators=(",", ":"),
         sort_keys=True,
@@ -265,5 +342,24 @@ class Namer:
             f"{self._salt(f.cache_level)}"
         )
         f.producer_task_id = producing_task.task_id
+        self._issued.add(f.cache_name)
+        return f.cache_name
+
+    def name_task_output(self, f: File, task, merkle: str) -> str:
+        """(Re)name a memo-eligible task's output from the task merkle.
+
+        Memoized outputs must land on the *same* cache name in every
+        run and every tenant — that identity is what lets a later
+        identical submission adopt the recorded result — so the name is
+        derived purely from the task merkle plus the output's sandbox
+        name, never salted with the run nonce.
+        """
+        old = f.cache_name
+        if old is not None:
+            self._issued.discard(old)
+        out_name = next((rn for rn, ff in task.outputs if ff is f), f.file_id)
+        f.cache_name = f"memo-md5-{hash_bytes((merkle + ':' + out_name).encode())}"
+        if isinstance(f, TempFile):
+            f.producer_task_id = task.task_id
         self._issued.add(f.cache_name)
         return f.cache_name

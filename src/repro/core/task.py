@@ -113,6 +113,13 @@ class Task:
         #: owning tenant in service mode; quota accounting and the
         #: fair-share ready queue key off this ("default" = single-tenant)
         self.tenant: str = "default"
+        #: the application's assertion that this task is a pure function
+        #: of its declared inputs — the gate for result memoization.
+        #: Impure tasks (clocks, randomness, network) must stay False.
+        self.deterministic: bool = False
+        #: task-spec Merkle hash, stamped at submit for memo-eligible
+        #: tasks (see :func:`repro.core.naming.task_merkle`)
+        self.merkle: Optional[str] = None
         self.state = TaskState.CREATED
         self.result: Optional[TaskResult] = None
         #: worker id the task is (or was last) placed on
@@ -193,6 +200,17 @@ class Task:
         """Attribute this task to a tenant for fair-share and quotas."""
         self._check_mutable()
         self.tenant = tenant
+        return self
+
+    def set_deterministic(self, flag: bool = True) -> "Task":
+        """Assert the task is a pure function of its declared inputs.
+
+        Only deterministic tasks are eligible for result memoization:
+        an identical (command, input-content, resources, env) submission
+        may then complete from a recorded result without executing.
+        """
+        self._check_mutable()
+        self.deterministic = bool(flag)
         return self
 
     # -- views ---------------------------------------------------------

@@ -1,0 +1,20 @@
+"""Persistent, content-addressed result memoization (OxyMake-style).
+
+The paper's §3.2 naming scheme makes cached objects identifiable across
+workflows; this package adds the missing half of the bargain — a
+persistent index from *task merkle* (the recipe hash computed by
+:func:`repro.core.naming.task_merkle`) to the recorded outputs of a
+prior execution, so an identical deterministic submission can complete
+without dispatching, across runs, daemon restarts, and tenants.
+
+Soundness follows OxyMake's rule: a memo entry may only be served while
+each recorded output is backed by a live replica or an md5-verified
+retained payload; otherwise the entry is invalidated and the task runs
+(and re-records).  Policy — when to consult, serve, or invalidate —
+lives in :class:`repro.core.control_plane.ControlPlane`; this package
+is pure mechanism (the on-disk store and its CLI).
+"""
+
+from repro.memo.store import MemoEntry, MemoOutput, MemoStore
+
+__all__ = ["MemoEntry", "MemoOutput", "MemoStore"]

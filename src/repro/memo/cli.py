@@ -1,0 +1,132 @@
+"""``repro-memo``: inspect and maintain a persistent memo store.
+
+Read-only inspection (``ls``, ``stats``) plus the two maintenance verbs
+an operator needs: ``gc`` (expire old entries, drop orphaned payloads)
+and ``invalidate`` (remove one entry by merkle, or everything with
+``--all``).  Operates directly on the on-disk store, so it works
+whether or not a service is running — mutations while a daemon holds
+the same directory are last-writer-wins, exactly like any other
+offline maintenance tool.
+
+    repro-memo --dir svc/memo ls
+    repro-memo --dir svc/memo stats --json
+    repro-memo --dir svc/memo gc --max-age 604800
+    repro-memo --dir svc/memo invalidate <merkle>
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.memo.store import MemoStore
+
+__all__ = ["main"]
+
+
+def _cmd_ls(store: MemoStore, args: argparse.Namespace) -> int:
+    entries = sorted(store.entries(), key=lambda e: e.created)
+    if args.json:
+        print(json.dumps([e.to_dict() for e in entries]))
+        return 0
+    if not entries:
+        print("(empty memo store)")
+        return 0
+    print(
+        f"{'merkle':<34s} {'kind':<8s} {'tenant':<10s} {'outs':>4s} "
+        f"{'bytes':>10s} {'hits':>5s}  command"
+    )
+    for e in entries:
+        total = sum(o.size for o in e.outputs)
+        print(
+            f"{e.merkle:<34.32s} {e.kind:<8s} {e.tenant:<10.10s} "
+            f"{len(e.outputs):>4d} {total:>10d} {e.hits:>5d}  {e.command[:40]}"
+        )
+    return 0
+
+
+def _cmd_stats(store: MemoStore, args: argparse.Namespace) -> int:
+    stats = store.stats()
+    if args.json:
+        print(json.dumps(stats))
+        return 0
+    print(f"entries:        {stats['entries']}")
+    print(f"outputs:        {stats['outputs']}")
+    print(f"result bytes:   {stats['result_bytes']}")
+    print(f"total hits:     {stats['hits']}")
+    print(f"payloads:       {stats['payloads']} ({stats['payload_bytes']} bytes)")
+    print(f"tenants:        {', '.join(stats['tenants']) or '-'}")
+    return 0
+
+
+def _cmd_gc(store: MemoStore, args: argparse.Namespace) -> int:
+    removed = store.gc(
+        max_age=args.max_age, max_entries=args.max_entries, now=time.time()
+    )
+    if args.json:
+        print(json.dumps({"removed": removed}))
+    else:
+        print(f"removed {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}")
+    return 0
+
+
+def _cmd_invalidate(store: MemoStore, args: argparse.Namespace) -> int:
+    if args.all:
+        merkles = [e.merkle for e in store.entries()]
+    else:
+        if not args.merkle:
+            print("repro-memo: invalidate needs a merkle (or --all)", file=sys.stderr)
+            return 2
+        merkles = [args.merkle]
+    removed = [m for m in merkles if store.remove(m)]
+    missing = [m for m in merkles if m not in removed]
+    if args.json:
+        print(json.dumps({"removed": removed, "missing": missing}))
+    else:
+        for m in removed:
+            print(f"invalidated {m}")
+        for m in missing:
+            print(f"no such entry {m}", file=sys.stderr)
+    return 0 if not missing else 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-memo",
+        description="Inspect and maintain a persistent memoization store",
+    )
+    parser.add_argument("--dir", required=True, help="memo store directory")
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("ls", help="list recorded entries")
+    sub.add_parser("stats", help="aggregate store statistics")
+
+    gc = sub.add_parser("gc", help="expire entries and drop orphaned payloads")
+    gc.add_argument("--max-age", type=float, default=None, help="seconds since last use")
+    gc.add_argument("--max-entries", type=int, default=None, help="keep at most N entries")
+
+    inv = sub.add_parser("invalidate", help="remove one entry (or --all)")
+    inv.add_argument("merkle", nargs="?", default=None)
+    inv.add_argument("--all", action="store_true", help="remove every entry")
+
+    args = parser.parse_args(argv)
+    try:
+        store = MemoStore(args.dir)
+    except OSError as exc:
+        print(f"repro-memo: {exc}", file=sys.stderr)
+        return 1
+    handlers = {
+        "ls": _cmd_ls,
+        "stats": _cmd_stats,
+        "gc": _cmd_gc,
+        "invalidate": _cmd_invalidate,
+    }
+    return handlers[args.cmd](store, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

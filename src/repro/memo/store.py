@@ -1,0 +1,294 @@
+"""Disk-backed memoization store: task merkle → recorded results.
+
+Layout under one root directory (typically the service state dir's
+``memo/``):
+
+* ``index.json`` — every entry, written atomically (tmp + rename) on
+  each mutation, so a SIGKILL never leaves a torn index;
+* ``objects/<cache_name>`` — retained output payloads (small outputs
+  only, bounded by ``payload_limit``), which let a hit be served even
+  after every worker cache holding the replica is gone.
+
+The store is mechanism only: it never decides *whether* an entry is
+sound to serve — the control plane does, by checking live replicas
+and/or asking the runtime adapter to md5-verify a retained payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Iterator, Optional
+
+from repro.util.hashing import hash_bytes, hash_file
+
+__all__ = ["MemoOutput", "MemoEntry", "MemoStore"]
+
+_INDEX_NAME = "index.json"
+_SCHEMA = 1
+
+
+@dataclass
+class MemoOutput:
+    """One recorded output of a memoized execution."""
+
+    sandbox: str
+    cache_name: str
+    size: int
+    #: md5 of the retained payload in ``objects/`` (None when the
+    #: output was too large to retain, or harvest never completed)
+    md5: Optional[str] = None
+
+
+@dataclass
+class MemoEntry:
+    """Provenance record for one (task merkle → result) binding."""
+
+    merkle: str
+    kind: str
+    command: str
+    tenant: str
+    created: float
+    outputs: list[MemoOutput] = field(default_factory=list)
+    hits: int = 0
+    last_used: float = 0.0
+
+    def output_names(self) -> list[str]:
+        return [o.cache_name for o in self.outputs]
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MemoEntry":
+        outputs = [MemoOutput(**o) for o in d.get("outputs", [])]
+        return cls(
+            merkle=d["merkle"],
+            kind=d.get("kind", "command"),
+            command=d.get("command", ""),
+            tenant=d.get("tenant", "default"),
+            created=float(d.get("created", 0.0)),
+            outputs=outputs,
+            hits=int(d.get("hits", 0)),
+            last_used=float(d.get("last_used", 0.0)),
+        )
+
+
+class MemoStore:
+    """The persistent memo index plus its retained-payload object dir."""
+
+    #: outputs larger than this are recorded but not retained as
+    #: payloads — a hit then requires a live replica (or regeneration)
+    DEFAULT_PAYLOAD_LIMIT = 16 << 20
+
+    def __init__(self, root: str, payload_limit: Optional[int] = None) -> None:
+        self.root = os.path.abspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        self.payload_limit = (
+            self.DEFAULT_PAYLOAD_LIMIT if payload_limit is None else int(payload_limit)
+        )
+        self._entries: dict[str, MemoEntry] = {}
+        self._load()
+
+    # -- persistence ---------------------------------------------------
+
+    def _index_path(self) -> str:
+        return os.path.join(self.root, _INDEX_NAME)
+
+    def _load(self) -> None:
+        try:
+            with open(self._index_path()) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return
+        if int(data.get("v", 0)) != _SCHEMA:
+            return  # unknown schema: start fresh rather than misread
+        for merkle, raw in data.get("entries", {}).items():
+            try:
+                self._entries[merkle] = MemoEntry.from_dict(raw)
+            except (KeyError, TypeError, ValueError):
+                continue  # one corrupt record must not poison the rest
+
+    def flush(self) -> None:
+        """Write the index atomically (also called on every mutation)."""
+        data = {
+            "v": _SCHEMA,
+            "entries": {m: e.to_dict() for m, e in self._entries.items()},
+        }
+        tmp = self._index_path() + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(data, f)
+        os.replace(tmp, self._index_path())
+
+    # -- index ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, merkle: str) -> bool:
+        return merkle in self._entries
+
+    def get(self, merkle: str) -> Optional[MemoEntry]:
+        return self._entries.get(merkle)
+
+    def entries(self) -> Iterator[MemoEntry]:
+        return iter(list(self._entries.values()))
+
+    def record(
+        self,
+        merkle: str,
+        kind: str,
+        command: str,
+        tenant: str,
+        outputs: list[MemoOutput],
+        now: Optional[float] = None,
+    ) -> MemoEntry:
+        """Bind ``merkle`` to a fresh execution's outputs (overwrites)."""
+        entry = MemoEntry(
+            merkle=merkle,
+            kind=kind,
+            command=command,
+            tenant=tenant,
+            created=time.time() if now is None else now,
+            outputs=list(outputs),
+        )
+        self._entries[merkle] = entry
+        self.flush()
+        return entry
+
+    def touch(self, merkle: str, now: Optional[float] = None) -> None:
+        """Count a served hit for ``merkle``."""
+        e = self._entries.get(merkle)
+        if e is not None:
+            e.hits += 1
+            e.last_used = time.time() if now is None else now
+            self.flush()
+
+    def remove(self, merkle: str, drop_payloads: bool = True) -> bool:
+        """Invalidate one entry (and, by default, its retained payloads
+        not referenced by any other entry)."""
+        entry = self._entries.pop(merkle, None)
+        if entry is None:
+            return False
+        if drop_payloads:
+            still_referenced = {
+                o.cache_name for e in self._entries.values() for o in e.outputs
+            }
+            for out in entry.outputs:
+                if out.cache_name not in still_referenced:
+                    self.drop_payload(out.cache_name)
+        self.flush()
+        return True
+
+    # -- retained payloads --------------------------------------------
+
+    def payload_path(self, cache_name: str) -> str:
+        if "/" in cache_name or cache_name in (".", ".."):
+            raise ValueError(f"illegal cache name {cache_name!r}")
+        return os.path.join(self.objects_dir, cache_name)
+
+    def has_payload(self, cache_name: str) -> bool:
+        return os.path.isfile(self.payload_path(cache_name))
+
+    def store_payload(self, cache_name: str, data: bytes) -> str:
+        """Retain an output's bytes; returns their md5."""
+        path = self.payload_path(cache_name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+        return hash_bytes(data)
+
+    def verify_payload(self, cache_name: str, md5: Optional[str]) -> bool:
+        """True iff a retained payload exists and matches ``md5``.
+
+        A payload with no recorded md5 is never trusted — without the
+        digest there is nothing to check it against.
+        """
+        if md5 is None:
+            return False
+        path = self.payload_path(cache_name)
+        try:
+            return hash_file(path) == md5
+        except OSError:
+            return False
+
+    def drop_payload(self, cache_name: str) -> None:
+        try:
+            os.unlink(self.payload_path(cache_name))
+        except OSError:
+            pass
+
+    def set_output_md5(self, merkle: str, cache_name: str, md5: str) -> None:
+        """Record the digest of a freshly retained payload."""
+        e = self._entries.get(merkle)
+        if e is None:
+            return
+        for out in e.outputs:
+            if out.cache_name == cache_name:
+                out.md5 = md5
+        self.flush()
+
+    # -- maintenance ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregate view for ``repro-memo stats`` and the benches."""
+        entries = list(self._entries.values())
+        payload_bytes = 0
+        payload_count = 0
+        for name in os.listdir(self.objects_dir):
+            p = os.path.join(self.objects_dir, name)
+            if os.path.isfile(p) and not name.endswith(".tmp"):
+                payload_bytes += os.path.getsize(p)
+                payload_count += 1
+        return {
+            "entries": len(entries),
+            "outputs": sum(len(e.outputs) for e in entries),
+            "result_bytes": sum(o.size for e in entries for o in e.outputs),
+            "hits": sum(e.hits for e in entries),
+            "payloads": payload_count,
+            "payload_bytes": payload_bytes,
+            "tenants": sorted({e.tenant for e in entries}),
+        }
+
+    def gc(
+        self,
+        max_age: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> list[str]:
+        """Expire entries (oldest-use first) and orphaned payloads.
+
+        Returns the merkles removed.  With no bounds given, only orphan
+        payloads — objects referenced by no entry — are collected.
+        """
+        clock = time.time() if now is None else now
+        removed: list[str] = []
+        for e in list(self._entries.values()):
+            ref = e.last_used or e.created
+            if max_age is not None and clock - ref > max_age:
+                removed.append(e.merkle)
+        if max_entries is not None and len(self._entries) - len(removed) > max_entries:
+            survivors = sorted(
+                (e for e in self._entries.values() if e.merkle not in set(removed)),
+                key=lambda e: (e.last_used or e.created),
+            )
+            excess = len(survivors) - max_entries
+            removed.extend(e.merkle for e in survivors[:excess])
+        for merkle in removed:
+            self.remove(merkle)
+        referenced = {
+            o.cache_name for e in self._entries.values() for o in e.outputs
+        }
+        for name in os.listdir(self.objects_dir):
+            if name.endswith(".tmp") or name not in referenced:
+                try:
+                    os.unlink(os.path.join(self.objects_dir, name))
+                except OSError:
+                    pass
+        if removed:
+            self.flush()
+        return removed

@@ -74,6 +74,13 @@ class LogStatus:
     clients_attached: int = 0
     clients_rejected: int = 0
     cache_shared: int = 0
+    #: persistent memoization: deterministic resubmissions served from
+    #: the store, ones that had to run, and entries invalidated at
+    #: lookup (OxyMake's rule: never serve an unsound entry)
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_invalidated: int = 0
+    memo_bytes_saved: int = 0
 
     @property
     def faults_injected(self) -> int:
@@ -155,6 +162,13 @@ def replay_status(events: list[Event], runtime: str = "unknown") -> LogStatus:
             st.clients_rejected += 1
         elif e.kind == "cache_shared":
             st.cache_shared += 1
+        elif e.kind == "memo_hit":
+            st.memo_hits += 1
+            st.memo_bytes_saved += e.size
+        elif e.kind == "memo_miss":
+            st.memo_misses += 1
+        elif e.kind == "memo_invalidated":
+            st.memo_invalidated += 1
         elif e.kind == "workflow_done":
             st.workflow_done = True
     st.tasks_running = len(open_tasks)
@@ -198,6 +212,12 @@ def format_log_status(st: LogStatus, max_workers: int = 20) -> str:
             f"clients: {st.clients_attached} attached, "
             f"{st.clients_rejected} rejected; "
             f"{st.cache_shared} cross-tenant cache hits"
+        )
+    if st.memo_hits or st.memo_misses or st.memo_invalidated:
+        lines.append(
+            f"memo: {st.memo_hits} hits, {st.memo_misses} misses, "
+            f"{st.memo_invalidated} invalidated; "
+            f"{st.memo_bytes_saved / 1e6:.1f}MB saved"
         )
     lines.append(f"workers connected: {st.workers_connected}")
     shown = 0

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import collections
+import hashlib
 import itertools
 import json
 import sys
@@ -263,11 +264,20 @@ def _cmd_demo(client: ServiceClient, args: argparse.Namespace) -> int:
             f"cat shared.txt > out.txt && echo task-{i} >> out.txt",
             inputs=[("shared.txt", declared["cache_name"])],
             outputs=["out.txt"],
+            # the commands are pure functions of their inputs, so a
+            # memoizing service may serve recorded results for them
+            deterministic=True,
         )
         for i in range(args.tasks)
     ]
     results = client.run_until_done(timeout=args.timeout)
     ok = sum(1 for r in results if r.get("exit_code") == 0)
+    # fetch each output back and digest it: two runs of the demo can be
+    # compared byte-for-byte (the memo smoke test's soundness check)
+    output_md5s = []
+    for reply in accepted:
+        name = reply["outputs"]["out.txt"]
+        output_md5s.append(hashlib.md5(client.fetch(name)).hexdigest())
     report = {
         "tenant": client.tenant,
         "cache_name": declared["cache_name"],
@@ -275,6 +285,7 @@ def _cmd_demo(client: ServiceClient, args: argparse.Namespace) -> int:
         "submitted": len(accepted),
         "completed": len(results),
         "succeeded": ok,
+        "output_md5s": output_md5s,
     }
     print(json.dumps(report))
     return 0 if ok == len(accepted) else 1

@@ -129,6 +129,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         txn_log_path=os.path.join(state_dir, TXN_LOG),
         metrics_dump_path=os.path.join(state_dir, METRICS_FILE),
         metrics_dump_interval=1.0,
+        memo_dir=os.path.abspath(args.memo_dir) if args.memo_dir else None,
+        memo_opt_out=args.memo_opt_out or None,
+        memo_payload_limit=args.memo_payload_limit,
     )
     workers = [
         _spawn_worker(state_dir, i, mgr.host, mgr.port, args.cores)
@@ -143,6 +146,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "port": mgr.port,
                 "project": args.project,
                 "workers": args.workers,
+                "memo_dir": os.path.abspath(args.memo_dir) if args.memo_dir else None,
                 "started": time.time(),
             },
             f,
@@ -268,6 +272,27 @@ def main(argv: Optional[list[str]] = None) -> int:
         type=float,
         default=3600.0,
         help="seconds before an idle detached client session is reaped",
+    )
+    run.add_argument(
+        "--memo-dir",
+        default=None,
+        help="persistent memoization store directory; deterministic "
+        "resubmissions are served from it across runs and tenants "
+        "(omitted: memoization off)",
+    )
+    run.add_argument(
+        "--memo-opt-out",
+        action="append",
+        default=None,
+        metavar="TENANT",
+        help="tenant excluded from memoization (repeatable)",
+    )
+    run.add_argument(
+        "--memo-payload-limit",
+        type=int,
+        default=None,
+        help="largest output (bytes) retained as a memo payload "
+        "(default 16 MiB); bigger outputs stay replica-backed only",
     )
     run.add_argument("--detach", action="store_true", help="daemonize (state-dir/service.log gets stdout/stderr)")
 

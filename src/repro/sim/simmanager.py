@@ -38,7 +38,7 @@ from repro.core.control_plane import (
 from repro.core.events import EventLog, makespan
 from repro.core.files import CacheLevel, File, MiniTaskFile, TempFile, URLFile
 from repro.core.gc import CacheEntryInfo, collect_workflow, plan_eviction
-from repro.core.naming import Namer
+from repro.core.naming import Namer, task_merkle
 from repro.core.resources import Resources
 from repro.core.task import MiniTask, Task, TaskResult, TaskState
 from repro.core.transfer_table import MANAGER_SOURCE, Transfer
@@ -115,6 +115,9 @@ class SimManager:
         requeue_backoff_base: float = 0.0,
         blocklist_threshold: int = 5,
         fair_share: bool = True,
+        memo_dir: Optional[str] = None,
+        memo_store=None,
+        memo_opt_out: Optional[Sequence[str]] = None,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
@@ -125,6 +128,15 @@ class SimManager:
             return {"ETag": f"sim:{url}"}
 
         self.namer.header_fetcher = _sim_headers
+        #: persistent memoization store shared across simulated runs —
+        #: pass an existing ``MemoStore`` (several SimManagers over one
+        #: cluster) or a directory to open one; validation in the sim is
+        #: replica-backed only (no real bytes exist to retain)
+        self.memo_store = memo_store
+        if self.memo_store is None and memo_dir is not None:
+            from repro.memo.store import MemoStore
+
+            self.memo_store = MemoStore(memo_dir)
         self.control = ControlPlane(
             self,
             worker_transfer_limit=worker_transfer_limit,
@@ -138,6 +150,8 @@ class SimManager:
             blocklist_threshold=blocklist_threshold,
             rng_seed=seed,
             fair_share=fair_share,
+            memo=self.memo_store,
+            memo_opt_out=memo_opt_out,
         )
         #: installed by :class:`repro.faults.sim.SimFaultInjector`; when
         #: set, every outbound transfer asks it for an injected verdict
@@ -487,6 +501,26 @@ class SimManager:
         task.sim_output_sizes = dict(output_sizes or {})  # type: ignore[attr-defined]
         for _, f in task.inputs:
             self._require_declared(f)
+        if (
+            self.memo_store is not None
+            and task.deterministic
+            and task.outputs
+            and task.tenant not in self.control.memo_opt_out
+        ):
+            # same recipe → same cache names across runs (see the real
+            # manager's _memo_name_outputs); worker level so replicas
+            # survive workflow GC and back later hits
+            merkle = task_merkle(task)
+            for _, f in task.outputs:
+                if self.control.memo_renameable(f):
+                    old = f.cache_name
+                    f.cache_level = CacheLevel.WORKER
+                    self.namer.name_task_output(f, task, merkle)
+                    self.control.declare_output_file(f)
+                    if old is not None and old != f.cache_name:
+                        self.meta[f.cache_name] = self.meta.get(
+                            old, _FileMeta(size=f.size or 0)
+                        )
         for _, f in task.outputs:
             if f.cache_name is None:
                 self.namer.assign(f)

@@ -1,6 +1,8 @@
 """Tests for content-addressable cache naming (paper §3.2, Fig. 7)."""
 
 
+import os
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -85,6 +87,76 @@ def test_merkle_symlink_hashes_target_path(tmp_path):
     (a / "ln").symlink_to("target1")
     (b / "ln").symlink_to("target2")
     assert directory_merkle(a) != directory_merkle(b)
+
+
+def test_merkle_symlink_not_followed(tmp_path):
+    # a dangling symlink must hash (by target path), not raise; and a
+    # symlink to a directory must hash as a link, not recurse into it
+    a = tmp_path / "a"
+    a.mkdir()
+    (a / "dangling").symlink_to("no/such/target")
+    first = directory_merkle(a)
+    real = tmp_path / "real"
+    real.mkdir()
+    (real / "f.txt").write_bytes(b"content")
+    b = tmp_path / "b"
+    b.mkdir()
+    (b / "ln").symlink_to(real)
+    linked = directory_merkle(b)
+    (real / "f.txt").write_bytes(b"changed")
+    assert directory_merkle(b) == linked  # link rows ignore target content
+    assert first != linked
+
+
+def test_merkle_empty_directory_still_counts(tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    a.mkdir(), b.mkdir()
+    assert directory_merkle(a) == directory_merkle(b)  # both empty
+    (a / "empty_sub").mkdir()
+    assert directory_merkle(a) != directory_merkle(b)
+    (b / "empty_sub").mkdir()
+    assert directory_merkle(a) == directory_merkle(b)
+
+
+def test_merkle_non_utf8_entry_names(tmp_path):
+    raw = b"bad\xff\xfename"
+    a, b = tmp_path / "a", tmp_path / "b"
+    a.mkdir(), b.mkdir()
+    for root in (a, b):
+        with open(os.path.join(os.fsencode(root), raw), "wb") as f:
+            f.write(b"payload")
+    assert directory_merkle(a) == directory_merkle(b)
+    with open(os.path.join(os.fsencode(a), raw), "wb") as f:
+        f.write(b"different")
+    assert directory_merkle(a) != directory_merkle(b)
+
+
+def test_merkle_non_utf8_symlink_target(tmp_path):
+    raw = b"target\xff\xfe"
+    a, b = tmp_path / "a", tmp_path / "b"
+    a.mkdir(), b.mkdir()
+    os.symlink(raw, os.path.join(os.fsencode(a), b"ln"))
+    os.symlink(raw, os.path.join(os.fsencode(b), b"ln"))
+    assert directory_merkle(a) == directory_merkle(b)
+    c = tmp_path / "c"
+    c.mkdir()
+    os.symlink(raw + b"x", os.path.join(os.fsencode(c), b"ln"))
+    assert directory_merkle(a) != directory_merkle(c)
+
+
+def test_merkle_special_files_do_not_crash(tmp_path):
+    a = tmp_path / "a"
+    a.mkdir()
+    (a / "normal.txt").write_bytes(b"data")
+    try:
+        os.mkfifo(a / "pipe")
+    except (AttributeError, OSError):
+        pytest.skip("platform cannot create FIFOs")
+    with_fifo = directory_merkle(a)
+    b = tmp_path / "b"
+    b.mkdir()
+    (b / "normal.txt").write_bytes(b"data")
+    assert with_fifo != directory_merkle(b)  # the fifo row is recorded
 
 
 def test_local_cache_name_prefixes(tmp_path):
