@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""End-to-end crash/recovery smoke for the always-on service.
+
+Drives the same daemon + client CLIs an operator uses:
+
+1. A *baseline* daemon runs a two-tenant workload to completion and
+   records every output's md5.
+2. A second daemon runs the same workload, but the manager process is
+   ``kill -9``-ed while one tenant's tasks are still in flight.
+3. ``repro-service run`` over the same state dir reclaims the stale
+   pidfile, replays the journal, reuses the crashed life's port, and
+   the first life's workers (spawned with a reconnect window) rejoin.
+4. Both tenants reattach by session token; every output — completed
+   before the crash or finished by the second life — must be
+   byte-identical to the baseline.
+5. The shared transaction log must show both lives as segments of one
+   file and **zero** re-executions of tasks whose outputs survived.
+
+Exit status 0 only if every check passes.  Needs PYTHONPATH=src.
+"""
+
+import hashlib
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+from repro.observe.txnlog import read_transactions
+from repro.service.client import ServiceClient
+
+SLOW = 6  # seconds each of bob's in-flight tasks sleeps
+
+
+def _wait_for_state(state_dir, not_pid=None, timeout=60.0):
+    """Poll for service.json, skipping a crashed prior life's stale
+    copy (``not_pid``) until the new daemon reclaims and rewrites it."""
+    path = os.path.join(state_dir, "service.json")
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(path) as f:
+                state = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            state = None
+        if state is not None and state.get("pid") != not_pid:
+            return state
+        time.sleep(0.2)
+    raise SystemExit(f"daemon in {state_dir} never wrote service.json")
+
+
+def _start_daemon(state_dir, *extra, not_pid=None):
+    # --detach double-forks, so the daemon is never this script's
+    # child: no zombie for stop's pid-liveness polling to trip on
+    subprocess.run(
+        [sys.executable, "-m", "repro.service.daemon", "run",
+         "--state-dir", state_dir, "--cores", "2", "--detach", *extra],
+        check=True,
+    )
+    return _wait_for_state(state_dir, not_pid=not_pid)
+
+
+def _stop_daemon(state_dir):
+    subprocess.run(
+        [sys.executable, "-m", "repro.service.daemon", "stop",
+         "--state-dir", state_dir, "--timeout", "60", "--quiet-missing"],
+        check=False,
+    )
+
+
+def _wait_pid_gone(pid, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return
+        time.sleep(0.2)
+    raise SystemExit(f"pid {pid} still alive after {timeout}s")
+
+
+def _wait_for_event(log_path, kind, timeout=90.0):
+    """Poll the (tailable) transaction log until ``kind`` appears."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            _, events = read_transactions(log_path)
+        except OSError:
+            events = []
+        if any(e.kind == kind for e in events):
+            return
+        time.sleep(0.5)
+    raise SystemExit(f"event {kind!r} never appeared in {log_path}")
+
+
+def _alice_workload(client):
+    """Fast fan-out: finishes well before the crash."""
+    shared = client.declare_buffer(b"recovery smoke shared input\n")
+    accepted = [
+        client.submit(
+            f"cat shared.txt > out.txt && echo alice-{i} >> out.txt",
+            inputs=[("shared.txt", shared["cache_name"])],
+            outputs=["out.txt"],
+        )
+        for i in range(3)
+    ]
+    for reply in accepted:
+        client.wait(reply["task_id"], timeout=60)
+    return accepted
+
+
+def _bob_submit(client):
+    """Slow tasks: still in flight when the manager dies."""
+    shared = client.declare_buffer(b"recovery smoke shared input\n")
+    return [
+        client.submit(
+            f"cat shared.txt > out.txt && sleep {SLOW} && echo bob-{i} >> out.txt",
+            inputs=[("shared.txt", shared["cache_name"])],
+            outputs=["out.txt"],
+        )
+        for i in range(3)
+    ]
+
+
+def _md5s(client, accepted):
+    return [
+        hashlib.md5(client.fetch(r["outputs"]["out.txt"], timeout=60)).hexdigest()
+        for r in accepted
+    ]
+
+
+def baseline(host_port):
+    host, port = host_port
+    with ServiceClient(host, port, "alice") as alice:
+        a_accepted = _alice_workload(alice)
+        a_md5s = _md5s(alice, a_accepted)
+    with ServiceClient(host, port, "bob") as bob:
+        b_accepted = _bob_submit(bob)
+        for reply in b_accepted:
+            bob.wait(reply["task_id"], timeout=120)
+        b_md5s = _md5s(bob, b_accepted)
+    return a_md5s, b_md5s
+
+
+def main():
+    for d in ("smoke-base", "smoke-svc"):
+        shutil.rmtree(d, ignore_errors=True)
+
+    print("== baseline: uninterrupted two-tenant run ==")
+    base_state = _start_daemon("smoke-base", "--workers", "2")
+    try:
+        base_a, base_b = baseline((base_state["host"], base_state["port"]))
+    finally:
+        _stop_daemon("smoke-base")
+        _wait_pid_gone(base_state["pid"])
+    print(f"baseline md5s: alice={base_a} bob={base_b}")
+
+    print("== crash run: kill -9 mid-flight, restart over the journal ==")
+    state = _start_daemon(
+        "smoke-svc", "--workers", "2", "--worker-reconnect", "120",
+        "--recovery-grace", "30",
+    )
+    host, port, pid = state["host"], state["port"], state["pid"]
+
+    alice = ServiceClient(host, port, "alice")
+    alice_token = alice.session
+    a_accepted = _alice_workload(alice)
+    pre_crash_a = _md5s(alice, a_accepted)
+    assert pre_crash_a == base_a, (pre_crash_a, base_a)
+
+    bob = ServiceClient(host, port, "bob")
+    bob_token = bob.session
+    b_accepted = _bob_submit(bob)
+    time.sleep(1.5)  # let the slow tasks reach the workers
+
+    print(f"kill -9 {pid} (manager mid-run)")
+    os.kill(pid, signal.SIGKILL)
+    _wait_pid_gone(pid)
+    alice.close()
+    bob.close()
+
+    # restart over the same state dir: reclaims the stale pidfile,
+    # replays the journal, rebinds the crashed life's port; the first
+    # life's workers are still alive and rejoin, so spawn no doubles
+    state2 = _start_daemon(
+        "smoke-svc", "--workers", "0", "--recovery-grace", "30",
+        not_pid=pid,
+    )
+    log_path = os.path.join("smoke-svc", "service.jsonl")
+    try:
+        assert state2["port"] == port, (state2["port"], port)
+        # outputs are fetchable once the surviving workers have rejoined
+        # and re-announced their caches
+        _wait_for_event(log_path, "replica_readopted")
+
+        alice = ServiceClient(host, port, "alice", session=alice_token)
+        assert alice.recovered, "pre-crash session not restored"
+        post_a = _md5s(alice, a_accepted)
+        assert post_a == base_a, (post_a, base_a)
+        alice.close()
+        print("alice: outputs byte-identical across the crash")
+
+        bob = ServiceClient(host, port, "bob", session=bob_token)
+        assert bob.recovered
+        for reply in b_accepted:
+            bob.wait(reply["task_id"], timeout=180)
+        post_b = _md5s(bob, b_accepted)
+        assert post_b == base_b, (post_b, base_b)
+        bob.close()
+        print("bob: in-flight work finished by the second life, byte-identical")
+    finally:
+        _stop_daemon("smoke-svc")
+        _wait_pid_gone(state2["pid"])
+
+    print("== transaction log: two segments, zero re-executions ==")
+    header, events = read_transactions(log_path)
+    assert header["segments"] == 2, header
+    restart_at = next(
+        i for i, e in enumerate(events) if e.kind == "manager_restart"
+    )
+    pre, post = events[:restart_at], events[restart_at:]
+    survived = {
+        e.task for e in pre if e.kind == "task_end" and e.category != "library"
+    }
+    restarted = {e.task for e in post if e.kind == "task_start"}
+    assert survived, "no task finished before the crash"
+    reexecuted = survived & restarted
+    assert not reexecuted, f"survived tasks re-executed: {sorted(reexecuted)}"
+    assert any(e.kind == "recovery_complete" for e in post)
+    assert any(e.kind == "replica_readopted" for e in post)
+    print(
+        f"{len(survived)} survived task(s), {len(restarted)} post-restart "
+        f"start(s), 0 re-executions"
+    )
+    print("recovery smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from typing import Iterable, Optional, Protocol, Sequence
 from repro.core.categories import CategoryTracker
 from repro.core.events import EventLog
 from repro.core.files import CacheLevel, File, FileRegistry, MiniTaskFile, TempFile
+from repro.core.journal import build_task, file_spec, restore_file, task_spec
 from repro.core.library import FunctionCall
 from repro.core.naming import task_merkle
 from repro.core.replica_table import ReplicaTable
@@ -271,6 +272,7 @@ class ControlPlane:
         default_byte_quota: Optional[int] = None,
         memo=None,
         memo_opt_out: Optional[Iterable[str]] = None,
+        journal=None,
     ) -> None:
         self.port = port
         self.registry = FileRegistry()
@@ -325,6 +327,27 @@ class ControlPlane:
         #: so ``port.deliver`` never fires inside ``submit`` (the service
         #: layer registers its bookkeeping only after submit returns)
         self._memo_complete: list[Task] = []
+
+        #: durable write-ahead journal (``repro.core.journal
+        #: .ControlPlaneJournal``) or None; every state transition that
+        #: must survive a manager crash is appended through ``_j()``
+        self.journal = journal
+        #: True while :meth:`restore_from_journal` replays — replayed
+        #: transitions must not be re-appended to the journal
+        self._restoring = False
+        #: recovery grace window: after a restart the pump holds new
+        #: placements until the previously-known workers rejoined (or a
+        #: deadline passed), so surviving replicas re-adopt before the
+        #: lineage machinery concludes anything was lost
+        self._recovering = False
+        self._recovery_deadline = 0.0
+        self._recovery_expected = 0
+        self._recovery_joined = 0
+        #: output names recorded DONE before the crash, awaiting a live
+        #: backing (re-announced replica / refetchable source) — the
+        #: OxyMake soundness rule applied at the end of the grace window
+        self._recovery_await: dict[str, int] = {}
+        self._recovery_backed: set[str] = set()
 
         self.tasks: dict[str, Task] = {}
         self._ready = ReadyQueue(fair_share=fair_share)
@@ -401,6 +424,14 @@ class ControlPlane:
         self._m_memo_misses = self.metrics.counter("memo.misses")
         self._m_memo_invalidated = self.metrics.counter("memo.invalidated")
         self._m_memo_bytes = self.metrics.counter("memo.bytes_saved")
+        self._m_restarts = self.metrics.counter("recovery.manager_restarts")
+        self._m_readopted = self.metrics.counter("recovery.replicas_readopted")
+        self._m_resumed = self.metrics.counter("recovery.tasks_resumed")
+        self._m_restored_done = self.metrics.counter("recovery.tasks_restored_done")
+        self._m_replayed = self.metrics.counter("recovery.journal_records_replayed")
+        self._m_snapshots = self.metrics.counter("journal.snapshots")
+        if journal is not None:
+            journal.on_compact = self._on_journal_compact
         #: per-source-kind concurrency gauges, created as kinds appear
         self._kind_gauges: dict[str, "object"] = {}
         self._pump_depth = 0
@@ -415,6 +446,19 @@ class ControlPlane:
         self.scheduler.failure_score = lambda wid: self.failure_scores[wid]
         self.scheduler.candidates_counter = self._m_candidates
 
+    def _j(self):
+        """The journal to append to, or None (absent / replaying)."""
+        if self.journal is None or self._restoring:
+            return None
+        return self.journal
+
+    def _on_journal_compact(self, lifetime: int) -> None:
+        """The journal rolled a compacting snapshot."""
+        self._m_snapshots.inc()
+        self.log.emit(
+            self.port.now(), "journal_snapshot", size=lifetime,
+        )
+
     # ------------------------------------------------------------------
     # declarations
     # ------------------------------------------------------------------
@@ -424,6 +468,9 @@ class ControlPlane:
         canonical = self.registry.register(f)
         self.fixed_sources[f.cache_name] = source
         self.sizes[f.cache_name] = size if size is not None else (f.size or 0)
+        j = self._j()
+        if j is not None:
+            j.record_declare(file_spec(f, source, self.sizes[f.cache_name]))
         return canonical
 
     def declare_output_file(self, f: File) -> None:
@@ -431,12 +478,31 @@ class ControlPlane:
         self.registry.register(f)
         self.fixed_sources[f.cache_name] = NO_SOURCE
         self.sizes.setdefault(f.cache_name, f.size or 0)
+        j = self._j()
+        if j is not None:
+            j.record_declare(
+                file_spec(f, NO_SOURCE, self.sizes[f.cache_name])
+            )
 
     def adopt_replica(self, worker_id: str, cache_name: str, size: int) -> None:
         """Adopt a pre-existing cache entry announced by a joining worker."""
         self.replicas.add_replica(cache_name, worker_id, size)
         self.sizes.setdefault(cache_name, size)
         self.fixed_sources.setdefault(cache_name, NO_SOURCE)
+        j = self._j()
+        if j is not None:
+            j.record_replica(worker_id, cache_name, size)
+        if (
+            self._recovering
+            and cache_name in self._recovery_await
+            and cache_name not in self._recovery_backed
+        ):
+            self._recovery_backed.add(cache_name)
+            self._m_readopted.inc()
+            self.log.emit(
+                self.port.now(), "replica_readopted",
+                worker=worker_id, file=cache_name, size=size,
+            )
 
     # ------------------------------------------------------------------
     # tenants: namespaces, quotas and per-tenant accounting
@@ -484,6 +550,9 @@ class ControlPlane:
         acct.task_quota = task_quota
         acct.byte_quota = byte_quota
         self._sync_tenant(acct)
+        j = self._j()
+        if j is not None:
+            j.record_quota(tenant, task_quota, byte_quota)
         return acct
 
     def tenant_submit_blocked(self, tenant: str) -> Optional[str]:
@@ -514,11 +583,17 @@ class ControlPlane:
             )
         acct.bytes_declared += nbytes
         self._sync_tenant(acct)
+        j = self._j()
+        if j is not None:
+            j.record_tenant_bytes(tenant, nbytes)
         return None
 
     def tenant_add_name(self, tenant: str, cache_name: str) -> None:
         """Admit a cache name into the tenant's namespace."""
         self.tenant_account(tenant).names.add(cache_name)
+        j = self._j()
+        if j is not None:
+            j.record_tenant_name(tenant, cache_name)
 
     def tenant_cache_hit(self, tenant: str, cache_name: str, size: int) -> None:
         """A tenant declared content already known to the service."""
@@ -710,6 +785,15 @@ class ControlPlane:
         task.state = TaskState.READY
         task.submitted_at = self.port.now()
         self.tasks[task.task_id] = task
+        j = self._j()
+        if j is not None:
+            j.record_submit(
+                task.task_id,
+                task.seq,
+                task.tenant,
+                task_spec(task),
+                getattr(task, "session_token", None),
+            )
         if not self._memo_try_hit(task):
             self._ready.push(task)
         self.outstanding += 1
@@ -926,6 +1010,22 @@ class ControlPlane:
             if f.cache_name:
                 acct.names.add(f.cache_name)
         self._sync_tenant(acct)
+        j = self._j()
+        if j is not None:
+            if task.state == TaskState.DONE:
+                j.record_done(
+                    task.task_id,
+                    [
+                        [f.cache_name, self.sizes.get(f.cache_name, f.size or 0)]
+                        for _, f in task.outputs
+                        if f.cache_name
+                    ],
+                )
+            else:
+                j.record_failed(
+                    task.task_id,
+                    result.failure or f"exit {result.exit_code}",
+                )
         self.port.deliver(task, regenerated=regenerated)
 
     def _abort_placement(self, task: Task) -> None:
@@ -1037,6 +1137,9 @@ class ControlPlane:
             self.port.now(), "file_cached",
             worker=worker_id, file=cache_name, size=size,
         )
+        j = self._j()
+        if j is not None:
+            j.record_replica(worker_id, cache_name, size)
         self._mark_stage_dirty(cache_name)
         for job in self._staging:
             if job.worker_id == worker_id and not job.started:
@@ -1047,6 +1150,9 @@ class ControlPlane:
         size = self.replicas.size_of(cache_name)
         self.replicas.remove_replica(cache_name, worker_id)
         self._mark_stage_dirty(cache_name)
+        j = self._j()
+        if j is not None:
+            j.record_replica_gone(worker_id, cache_name)
         self._m_evictions.inc()
         self._m_eviction_bytes.inc(size)
         self.log.emit(
@@ -1087,6 +1193,9 @@ class ControlPlane:
         """
         self.replicas.remove_replica(cache_name, worker_id)
         self._mark_stage_dirty(cache_name)
+        j = self._j()
+        if j is not None:
+            j.record_replica_gone(worker_id, cache_name)
         if transfer_id is None:
             self.port.request_pump()
             return  # autonomous eviction, not a failed command
@@ -1326,13 +1435,27 @@ class ControlPlane:
         worker_id: str,
         pool: ResourcePool,
         cached: Iterable[tuple[str, int]] = (),
+        rejoin: bool = False,
     ) -> WorkerState:
-        """Register a new worker and adopt its pre-existing cache."""
+        """Register a new worker and adopt its pre-existing cache.
+
+        ``rejoin`` marks a worker whose reconnect loop survived a
+        manager restart; one arriving inside the recovery grace window
+        counts toward the rejoin expectation that ends it early.
+        """
+        cached = list(cached)
         state = WorkerState(worker_id=worker_id, pool=pool)
         self.workers[worker_id] = state
         self.log.emit(self.port.now(), "worker_join", worker=worker_id)
         for cache_name, size in cached:
             self.adopt_replica(worker_id, cache_name, int(size))
+        if self._recovering or rejoin:
+            if self._recovering:
+                self._recovery_joined += 1
+            self.log.emit(
+                self.port.now(), "worker_rejoined",
+                worker=worker_id, size=len(cached),
+            )
         for lib in self.libraries.values():
             if lib.installed:
                 self._deploy_library(lib, worker_id)
@@ -1348,6 +1471,10 @@ class ControlPlane:
             return
         self.log.emit(self.port.now(), "worker_leave", worker=worker_id)
         lost_names = self.replicas.remove_worker(worker_id)
+        j = self._j()
+        if j is not None:
+            for name in lost_names:
+                j.record_replica_gone(worker_id, name)
         cancelled = self.transfers.cancel_for_worker(worker_id)
         self._sync_transfer_gauges()
         # tasks consuming a lost replica or a cancelled in-flight
@@ -1419,6 +1546,198 @@ class ControlPlane:
                         name, "lost with no recoverable lineage"
                     )
         self.port.request_pump()
+
+    # ------------------------------------------------------------------
+    # crash recovery: journal restore + rejoin grace window
+    # ------------------------------------------------------------------
+
+    def restore_from_journal(self) -> bool:
+        """Rebuild durable state from the journal of a prior manager life.
+
+        Replays declares, tenant ledgers and task records into the live
+        tables without re-journaling them.  Completed tasks come back
+        ``DONE`` with their recorded outputs parked in the recovery
+        await-set; the soundness rule is applied when the grace window
+        closes (:meth:`_finish_recovery`): outputs a rejoining worker
+        re-announced resume as-is, anything unbacked is replica loss and
+        flows into lineage regeneration.  Returns True when a prior life
+        left state behind.
+        """
+        j = self.journal
+        if j is None or not j.recovered:
+            return False
+        stats = j.last_replay_stats
+        now = self.port.now()
+        self._restoring = True
+        try:
+            for spec in j.declares.values():
+                name = spec["name"]
+                if name in self.registry:
+                    continue
+                f, source, size = restore_file(spec)
+                self.registry.register(f)
+                self.fixed_sources[name] = source
+                self.sizes[name] = size
+            for tenant, rec in j.quotas.items():
+                self.set_tenant_quota(tenant, rec.get("tasks"), rec.get("bytes"))
+            for tenant, total in j.tenant_bytes.items():
+                acct = self.tenant_account(tenant)
+                acct.bytes_declared = total
+                self._sync_tenant(acct)
+            for tenant, names in j.tenant_names.items():
+                self.tenant_account(tenant).names.update(names)
+            for rec in sorted(j.submits.values(), key=lambda r: r["seq"]):
+                self._restore_task(rec, now)
+            self._task_seq = itertools.count(j.max_seq + 1)
+        finally:
+            self._restoring = False
+        self._m_restarts.inc()
+        self._m_replayed.inc(stats.replayed_records)
+        self.log.emit(
+            now, "manager_restart",
+            size=stats.replayed_records,
+            category=f"lifetime={stats.lifetime_records}",
+        )
+        return True
+
+    def _restore_task(self, rec: dict, now: float) -> None:
+        """Replay one journaled submit into the task tables."""
+        j = self.journal
+        tid = rec["id"]
+        tenant = rec.get("tenant") or "default"
+        done_rec = j.done.get(tid)
+        failed_rec = j.failed.get(tid)
+        acct = self.tenant_account(tenant)
+        acct.submitted += 1
+        task = build_task(rec["spec"], self.registry)
+        if task is not None:
+            task.task_id = tid
+            task.seq = int(rec["seq"])
+            task.set_tenant(tenant)
+        if task is None:
+            # not re-executable (serverless call, or inputs the registry
+            # no longer knows).  A completed one still leaves recorded
+            # outputs to await re-adoption; a pending one is lost work.
+            if done_rec is not None:
+                acct.done += 1
+                self.done_count += 1
+                for name, size in done_rec.get("outputs", ()):
+                    self.sizes.setdefault(name, size)
+                    self._recovery_await[name] = size
+                    acct.names.add(name)
+            elif failed_rec is None:
+                stub = Task("@lost")
+                stub.task_id = tid
+                stub.seq = int(rec["seq"])
+                stub.set_tenant(tenant)
+                stub.state = TaskState.FAILED
+                stub.result = TaskResult(
+                    exit_code=-1,
+                    failure="not restorable across manager restart",
+                )
+                if rec.get("session"):
+                    stub.session_token = rec["session"]
+                self.tasks[tid] = stub
+                acct.failed += 1
+            else:
+                acct.failed += 1
+            self._sync_tenant(acct)
+            return
+        if rec.get("session"):
+            task.session_token = rec["session"]
+        for _, f in task.outputs:
+            setattr(f, "producer_task_id", tid)
+        self.tasks[tid] = task
+        if failed_rec is not None:
+            task.state = TaskState.FAILED
+            task.result = TaskResult(
+                exit_code=-1, failure=failed_rec.get("reason", "failed")
+            )
+            acct.failed += 1
+        elif done_rec is not None:
+            task.state = TaskState.DONE
+            task.result = TaskResult(exit_code=0, output="restored")
+            task.finished_at = now
+            self.done_count += 1
+            acct.done += 1
+            self._m_restored_done.inc()
+            for name, size in done_rec.get("outputs", ()):
+                self.sizes[name] = size
+                if name in self.registry:
+                    self.registry.by_name(name).size = size
+                self._recovery_await[name] = size
+                acct.names.add(name)
+        else:
+            task.state = TaskState.READY
+            task.submitted_at = now
+            for _, f in task.inputs:
+                self._input_refs[f.cache_name] += 1
+            self._ready.push(task)
+            self.outstanding += 1
+            acct.outstanding += 1
+            self._m_resumed.inc()
+        self._sync_tenant(acct)
+
+    def begin_recovery(
+        self, grace: float = 10.0, expected_workers: Optional[int] = None
+    ) -> None:
+        """Open the rejoin grace window after a journal restore.
+
+        The pump holds all placements until every worker the journal
+        knew about rejoined (re-announcing its cache inventory) or
+        ``grace`` elapsed, whichever is first; then
+        :meth:`_finish_recovery` settles what survived.
+        """
+        if expected_workers is None:
+            expected_workers = (
+                len(self.journal.known_workers()) if self.journal else 0
+            )
+        self._recovering = True
+        self._recovery_expected = expected_workers
+        self._recovery_joined = 0
+        self._recovery_deadline = self.port.now() + max(0.0, grace)
+        self.port.request_pump()
+
+    def _recovery_ready(self) -> bool:
+        """True once the grace window may close."""
+        return (
+            self._recovery_joined >= self._recovery_expected
+            or self.port.now() >= self._recovery_deadline
+        )
+
+    def _finish_recovery(self) -> None:
+        """Close the grace window: settle every awaited output.
+
+        Outputs backed by a re-adopted replica (or a refetchable fixed
+        source) resume without re-execution; the rest are replica loss
+        and take the lineage path — regenerate while lineage and retry
+        budgets allow, else fail the tasks that needed them.
+        """
+        self._recovering = False
+        awaited = self._recovery_await
+        self._recovery_await = {}
+        self._recovery_backed = set()
+        resumed = 0
+        regenerated = 0
+        lost = 0
+        for name in self.registry.in_declaration_order(list(awaited)):
+            if self.replicas.replica_count(name) > 0:
+                resumed += 1
+                continue
+            if self.fixed_sources.get(name, NO_SOURCE) != NO_SOURCE:
+                resumed += 1  # refetchable: transfer planning recovers it
+                continue
+            if self._regenerate(name):
+                regenerated += 1
+            else:
+                lost += 1
+                self.fail_tasks_needing(name, "lost across manager restart")
+        self.log.emit(
+            self.port.now(), "recovery_complete",
+            size=resumed,
+            category=f"regenerated={regenerated} lost={lost} "
+            f"workers={self._recovery_joined}/{self._recovery_expected}",
+        )
 
     # ------------------------------------------------------------------
     # fault recovery: regeneration and replication (paper §2.2/§3.2)
@@ -1559,6 +1878,16 @@ class ControlPlane:
         """
         if self.closed:
             return
+        if self._recovering:
+            # recovery grace window: no placements until the previously
+            # known workers re-announced their caches (or the deadline
+            # passed) — dispatching earlier would re-run tasks whose
+            # outputs are about to be re-adopted
+            if self._recovery_ready():
+                self._finish_recovery()
+            else:
+                self._schedule_pump(0.05)
+                return
         if self._pump_depth:
             self._pump_body()
             return

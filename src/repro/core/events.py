@@ -64,6 +64,15 @@ KINDS = frozenset(
         "memo_hit",
         "memo_miss",
         "memo_invalidated",
+        # crash-safe manager: journal snapshots, restart replay, and the
+        # rejoin grace window (workers re-announce caches, sessions
+        # reattach by token, unbacked facts become replica loss)
+        "journal_snapshot",
+        "manager_restart",
+        "worker_rejoined",
+        "replica_readopted",
+        "session_restored",
+        "recovery_complete",
     }
 )
 

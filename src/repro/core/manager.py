@@ -255,6 +255,10 @@ class _ClientSession:
         self.dropped = 0
         #: wall-clock time the session lost its attachment (reaping TTL)
         self.detached_at: Optional[float] = None
+        #: True when the session was rebuilt from the journal after a
+        #: manager restart: its pre-crash notices are gone (counted in
+        #: ``dropped``) and the next welcome says so
+        self.restored = False
 
 
 class _MemoHarvestWaiter:
@@ -340,6 +344,10 @@ class ManagerService:
         else:
             sess = _ClientSession(tenant)
             self.sessions[sess.token] = sess
+            if self.mgr.journal is not None:
+                self.mgr.journal.record_session(
+                    sess.token, sess.session_id, tenant
+                )
         sess.handle = _ClientHandle(state.conn)
         sess.detached_at = None
         state.client = sess
@@ -357,8 +365,10 @@ class ManagerService:
                 "project": self.project_name,
                 "done": sess.delivered,
                 "missed": sess.dropped,
+                "recovered": sess.restored,
             },
         )
+        sess.restored = False
         while sess.buffered:
             mgr._send(sess.handle, sess.buffered.popleft())
 
@@ -430,11 +440,55 @@ class ManagerService:
         for sess in expired:
             del self.sessions[sess.token]
             sess.buffered.clear()
+            if self.mgr.journal is not None:
+                self.mgr.journal.record_session_closed(sess.token)
             self.mgr.control.log.emit(
                 self.mgr.now(), "client_expired",
                 worker=sess.session_id, category=sess.tenant,
             )
         return [s.session_id for s in expired]
+
+    def restore_sessions(self, journal) -> None:
+        """Rebuild the session table from journal records after a restart.
+
+        Each restored session comes back *detached*: the client's old
+        socket died with the previous manager life, so it reattaches by
+        token exactly like a voluntary detach/reattach.  Notices emitted
+        before the crash are gone — every journaled terminal task of the
+        session counts into ``dropped`` so the reattach ``welcome``
+        reports an honest ``missed`` figure (results stay fetchable by
+        task id / cache name).
+        """
+        mgr = self.mgr
+        if journal.max_session_id:
+            # new sessions must not reuse a restored session's id
+            cur = next(_ClientSession._ids)
+            _ClientSession._ids = itertools.count(
+                max(cur, journal.max_session_id + 1)
+            )
+        by_token: dict[str, _ClientSession] = {}
+        for token, rec in journal.sessions.items():
+            sess = _ClientSession(rec.get("tenant", "default"))
+            sess.token = token
+            sess.session_id = rec.get("sid", sess.session_id)
+            sess.restored = True
+            sess.detached_at = time.time()
+            self.sessions[token] = sess
+            by_token[token] = sess
+            mgr.control.log.emit(
+                mgr.now(), "session_restored",
+                worker=sess.session_id, category=sess.tenant,
+            )
+        for task in mgr.control.tasks.values():
+            token = getattr(task, "session_token", None)
+            sess = by_token.get(token) if token else None
+            if sess is None:
+                continue
+            if task.is_done:
+                sess.dropped += 1  # its pre-crash notice did not survive
+            else:
+                sess.tasks.add(task.task_id)
+                self.by_task[task.task_id] = sess
 
     def attached_handles(self) -> list[_ClientHandle]:
         return [s.handle for s in self.sessions.values() if s.handle is not None]
@@ -601,6 +655,10 @@ class ManagerService:
         blocked = mgr.control.tenant_submit_blocked(task.tenant)
         if blocked is not None:
             raise ManagerError(blocked)
+        if not sess.loopback:
+            # journaled with the submit so a restarted manager can route
+            # the task's outcome back to the reattached session
+            task.session_token = sess.token
         tid = mgr._submit_prepared(task)
         for _name, f in task.outputs:
             mgr.control.tenant_add_name(task.tenant, f.cache_name)
@@ -775,6 +833,8 @@ class Manager:
         memo_dir: Optional[str] = None,
         memo_opt_out: Optional[Sequence[str]] = None,
         memo_payload_limit: Optional[int] = None,
+        journal_dir: Optional[str] = None,
+        recovery_grace: float = 10.0,
     ) -> None:
         if network not in ("reactor", "threads"):
             raise ValueError(f"unknown network mode {network!r}")
@@ -787,6 +847,14 @@ class Manager:
             from repro.memo.store import MemoStore
 
             self.memo_store = MemoStore(memo_dir, payload_limit=memo_payload_limit)
+        #: durable write-ahead journal; None runs the manager in-memory
+        #: only (the historical behavior)
+        self.journal = None
+        if journal_dir is not None:
+            from repro.core.journal import ControlPlaneJournal
+
+            self.journal = ControlPlaneJournal(journal_dir)
+        self.recovery_grace = recovery_grace
         self.control = ControlPlane(
             self,
             worker_transfer_limit=worker_transfer_limit,
@@ -805,6 +873,7 @@ class Manager:
             default_byte_quota=default_byte_quota,
             memo=self.memo_store,
             memo_opt_out=memo_opt_out,
+            journal=self.journal,
         )
         #: directory remote clients' ``kind="local"`` declarations must
         #: resolve inside; None (the default) disables them entirely
@@ -818,7 +887,13 @@ class Manager:
         #: streams every event to disk as it is emitted (live tailable)
         self._txn_writer: Optional[TransactionLogWriter] = None
         if txn_log_path is not None:
-            self._txn_writer = TransactionLogWriter(txn_log_path, runtime="real")
+            # a recovering manager *appends* a new @header segment so
+            # the crashed life's events stay in place for forensics
+            self._txn_writer = TransactionLogWriter(
+                txn_log_path,
+                runtime="real",
+                resume=self.journal is not None and self.journal.recovered,
+            )
             self.control.log.attach(self._txn_writer)
         self._metrics_dumper: Optional[SnapshotDumper] = None
         if metrics_dump_path is not None:
@@ -857,6 +932,17 @@ class Manager:
 
         self._listener = listen(host, port)
         self.host, self.port = self._listener.getsockname()
+        #: True when this life restored state journaled by a prior one
+        self.recovered = False
+        if self.journal is not None:
+            with self._lock:
+                if self.control.restore_from_journal():
+                    self.recovered = True
+                    self.service.restore_sessions(self.journal)
+                    # hold placements until the workers the journal knew
+                    # about rejoin (their caches re-adopt) or grace ends
+                    self.control.begin_recovery(recovery_grace)
+                self.journal.record_meta(port=self.port, project=project_name)
         self._reactor_thread: Optional[threading.Thread] = None
         self._accept_thread: Optional[threading.Thread] = None
         if network == "reactor":
@@ -1536,6 +1622,59 @@ class Manager:
             self._metrics_dumper.stop()
         if self._txn_writer is not None:
             self._txn_writer.close()
+        if self.journal is not None:
+            self.journal.close()
+
+    def crash(self) -> None:
+        """Die abruptly, as ``kill -9`` would: no workflow GC, no
+        SHUTDOWN to workers, no farewell events.
+
+        Connections are simply severed — workers with a
+        ``--reconnect`` window will back off and re-register with the
+        next manager life, whose journal replay (the same
+        ``journal_dir``) is the only record this life leaves behind.
+        Used by crash-recovery tests; operational crashes need no help.
+        """
+        with self._lock:
+            if self.control.closed:
+                return
+            self.control.closed = True
+            handles = list(self.workers.values())
+            client_handles = self.service.attached_handles()
+        self._closing.set()
+        if self._reactor_thread is not None:
+            self._wake_reactor()
+            self._reactor_thread.join(timeout=10)
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=10)
+        for handle in handles + list(client_handles):
+            handle.stop_sender()
+            handle._sender.join(timeout=10)
+            handle.conn.close()
+        for timer in list(self._timers):
+            timer.cancel()
+        self._timers.clear()
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10)
+        if self._reactor_thread is not None:
+            self._wake_r.close()
+            self._wake_w.close()
+        if self._metrics_dumper is not None:
+            self._metrics_dumper.stop()
+        # the journal and txn log hold only already-fsynced appends; a
+        # real SIGKILL would leave exactly these bytes behind
+        if self._txn_writer is not None:
+            self._txn_writer.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "Manager":
         return self
@@ -1618,8 +1757,10 @@ class Manager:
         with self._lock:
             self.workers[handle.worker_id] = handle
             log.info(
-                "worker %s joined (%s cores, transfer port %d, %d cached objects)",
-                handle.worker_id, handle.capacity.cores,
+                "worker %s %s (%s cores, transfer port %d, %d cached objects)",
+                handle.worker_id,
+                "rejoined" if msg.get("rejoin") else "joined",
+                handle.capacity.cores,
                 handle.transfer_port, len(msg.get("cached", [])),
             )
             # adopt persisted worker-lifetime cache contents (hot cache)
@@ -1629,6 +1770,7 @@ class Manager:
                 cached=[
                     (name, int(size)) for name, size, _level in msg.get("cached", [])
                 ],
+                rejoin=bool(msg.get("rejoin")),
             )
             handle.running = state.running
         return handle

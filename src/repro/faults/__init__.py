@@ -31,11 +31,16 @@ blocklist).
 from repro.faults.plan import (
     FaultPlan,
     LinkDegrade,
+    ManagerCrash,
     ManagerDisconnect,
     TransferFault,
     WorkerCrash,
 )
-from repro.faults.real import WorkerFaultConfig, worker_fault_configs
+from repro.faults.real import (
+    WorkerFaultConfig,
+    manager_crash_spec,
+    worker_fault_configs,
+)
 from repro.faults.sim import SimFaultInjector
 
 __all__ = [
@@ -44,7 +49,9 @@ __all__ = [
     "TransferFault",
     "LinkDegrade",
     "ManagerDisconnect",
+    "ManagerCrash",
     "SimFaultInjector",
     "WorkerFaultConfig",
     "worker_fault_configs",
+    "manager_crash_spec",
 ]

@@ -19,6 +19,11 @@ Fault kinds:
 * :class:`ManagerDisconnect` — the manager↔worker control connection
   drops at time ``at``; the worker process survives but the manager
   must declare it gone and recover.
+* :class:`ManagerCrash` — the *manager itself* dies abruptly at time
+  ``at`` or after ``after_tasks`` completions, testing journal replay
+  and the rejoin grace window: the harness restarts a manager over the
+  same journal directory and the run must converge to identical
+  outputs without re-executing work whose outputs survived.
 
 Plans serialize to/from plain dicts (JSON-ready) so a chaos run's plan
 can ship alongside its transaction log as one reproducible artifact.
@@ -36,6 +41,7 @@ __all__ = [
     "TransferFault",
     "LinkDegrade",
     "ManagerDisconnect",
+    "ManagerCrash",
     "FaultPlan",
     "SOURCE_KINDS",
 ]
@@ -111,6 +117,29 @@ class ManagerDisconnect:
     at: float
 
 
+@dataclass(frozen=True)
+class ManagerCrash:
+    """The manager process dies abruptly (``kill -9``) mid-run.
+
+    In the sim the injector calls ``SimManager.crash()``; in the real
+    runtime the harness kills and restarts the manager process.  Either
+    way the restarted manager replays the journal, waits out the rejoin
+    grace window, and resumes the run.
+    """
+
+    #: absolute crash time (virtual seconds in sim, seconds since
+    #: manager start for the real runtime); None defers to after_tasks
+    at: Optional[float] = None
+    #: crash after this many task completions (across all workers)
+    after_tasks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.at is None) == (self.after_tasks is None):
+            raise ValueError("ManagerCrash needs exactly one of at/after_tasks")
+        if self.after_tasks is not None and self.after_tasks < 1:
+            raise ValueError("after_tasks must be >= 1")
+
+
 @dataclass
 class FaultPlan:
     """A seeded, declarative schedule of faults for one chaos run."""
@@ -120,6 +149,7 @@ class FaultPlan:
     transfer_faults: list[TransferFault] = field(default_factory=list)
     degrades: list[LinkDegrade] = field(default_factory=list)
     disconnects: list[ManagerDisconnect] = field(default_factory=list)
+    manager_crashes: list[ManagerCrash] = field(default_factory=list)
 
     # -- construction helpers ------------------------------------------
 
@@ -146,6 +176,12 @@ class FaultPlan:
 
     def disconnect(self, worker: str, at: float) -> "FaultPlan":
         self.disconnects.append(ManagerDisconnect(worker, at))
+        return self
+
+    def crash_manager(
+        self, at: Optional[float] = None, after_tasks: Optional[int] = None
+    ) -> "FaultPlan":
+        self.manager_crashes.append(ManagerCrash(at=at, after_tasks=after_tasks))
         return self
 
     # -- deterministic randomness --------------------------------------
@@ -182,6 +218,7 @@ class FaultPlan:
             "transfer_faults": [asdict(t) for t in self.transfer_faults],
             "degrades": [asdict(d) for d in self.degrades],
             "disconnects": [asdict(d) for d in self.disconnects],
+            "manager_crashes": [asdict(c) for c in self.manager_crashes],
         }
 
     @classmethod
@@ -195,6 +232,9 @@ class FaultPlan:
             degrades=[LinkDegrade(**d) for d in payload.get("degrades", ())],
             disconnects=[
                 ManagerDisconnect(**d) for d in payload.get("disconnects", ())
+            ],
+            manager_crashes=[
+                ManagerCrash(**c) for c in payload.get("manager_crashes", ())
             ],
         )
 
@@ -211,4 +251,5 @@ class FaultPlan:
             + len(self.transfer_faults)
             + len(self.degrades)
             + len(self.disconnects)
+            + len(self.manager_crashes)
         )

@@ -22,9 +22,9 @@ import random
 from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, ManagerCrash
 
-__all__ = ["WorkerFaultConfig", "worker_fault_configs"]
+__all__ = ["WorkerFaultConfig", "worker_fault_configs", "manager_crash_spec"]
 
 
 def _combine(probabilities: list[float]) -> float:
@@ -96,6 +96,19 @@ class WorkerFaultConfig:
     @classmethod
     def from_json(cls, text: str) -> "WorkerFaultConfig":
         return cls.from_dict(json.loads(text))
+
+
+def manager_crash_spec(plan: FaultPlan) -> Optional[ManagerCrash]:
+    """The plan's first manager crash, or None.
+
+    Unlike worker faults, a manager crash cannot be self-injected by a
+    worker process: the *harness* owns the manager's lifetime.  It kills
+    the manager at the spec's instant (``at`` seconds after start, or
+    once ``after_tasks`` results have been delivered) and restarts one
+    over the same journal directory; this helper just surfaces the
+    schedule so harness and plan stay one serializable artifact.
+    """
+    return plan.manager_crashes[0] if plan.manager_crashes else None
 
 
 def worker_fault_configs(

@@ -22,7 +22,7 @@ from typing import Optional
 from repro.core.control_plane import source_kind
 from repro.core.events import Event
 from repro.core.transfer_table import Transfer
-from repro.faults.plan import FaultPlan, WorkerCrash
+from repro.faults.plan import FaultPlan, ManagerCrash, WorkerCrash
 
 __all__ = ["SimFaultInjector"]
 
@@ -46,6 +46,10 @@ class SimFaultInjector:
         self._task_counts: collections.Counter = collections.Counter()
         self._after_crashes: dict[str, list[WorkerCrash]] = {}
         self._fired: set[WorkerCrash] = set()
+        #: total completions across all workers, for manager crashes
+        self._total_task_ends = 0
+        self._after_mgr_crashes: list[ManagerCrash] = []
+        self._mgr_fired: set[ManagerCrash] = set()
         manager.fault_injector = self
         self._arm()
 
@@ -61,7 +65,12 @@ class SimFaultInjector:
             # the sim has no live socket to sever: the manager-visible
             # effect of a dropped control connection is a worker loss
             self.sim.schedule_at(d.at, self._crash, d.worker, "disconnect")
-        if self._after_crashes:
+        for mc in self.plan.manager_crashes:
+            if mc.at is not None:
+                self.sim.schedule_at(mc.at, self._crash_manager)
+            else:
+                self._after_mgr_crashes.append(mc)
+        if self._after_crashes or self._after_mgr_crashes:
             self.manager.control.log.attach(self._count_task_ends)
 
     # -- scheduled faults ----------------------------------------------
@@ -82,6 +91,13 @@ class SimFaultInjector:
             worker_id, up_bps=node.up_bps * factor, down_bps=node.down_bps * factor
         )
 
+    def _crash_manager(self) -> None:
+        if self.manager._crashed:
+            return
+        # no note_fault: a dying manager records nothing — the fault's
+        # evidence is the journal replay the next life performs
+        self.manager.crash()
+
     def _count_task_ends(self, e: Event) -> None:
         # EventLog sinks run inline under emit and must not re-enter the
         # control plane, so the kill itself is deferred to a sim event
@@ -93,6 +109,11 @@ class SimFaultInjector:
             if done >= c.after_tasks and c not in self._fired:
                 self._fired.add(c)
                 self.sim.schedule(0.0, self._crash, c.worker, "crash")
+        self._total_task_ends += 1
+        for mc in self._after_mgr_crashes:
+            if self._total_task_ends >= mc.after_tasks and mc not in self._mgr_fired:
+                self._mgr_fired.add(mc)
+                self.sim.schedule(0.0, self._crash_manager)
 
     # -- transfer interception -----------------------------------------
 

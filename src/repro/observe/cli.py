@@ -81,6 +81,17 @@ class LogStatus:
     memo_misses: int = 0
     memo_invalidated: int = 0
     memo_bytes_saved: int = 0
+    #: crash-safe manager: restarts seen in the log, journal snapshots,
+    #: and what the rejoin grace window settled on each restart
+    manager_restarts: int = 0
+    journal_snapshots: int = 0
+    workers_rejoined: int = 0
+    replicas_readopted: int = 0
+    sessions_restored: int = 0
+    #: category string of the last ``recovery_complete`` event
+    #: (``regenerated=N lost=N workers=J/E``), "" before any recovery
+    last_recovery: str = ""
+    outputs_resumed: int = 0
 
     @property
     def faults_injected(self) -> int:
@@ -169,6 +180,19 @@ def replay_status(events: list[Event], runtime: str = "unknown") -> LogStatus:
             st.memo_misses += 1
         elif e.kind == "memo_invalidated":
             st.memo_invalidated += 1
+        elif e.kind == "manager_restart":
+            st.manager_restarts += 1
+        elif e.kind == "journal_snapshot":
+            st.journal_snapshots += 1
+        elif e.kind == "worker_rejoined":
+            st.workers_rejoined += 1
+        elif e.kind == "replica_readopted":
+            st.replicas_readopted += 1
+        elif e.kind == "session_restored":
+            st.sessions_restored += 1
+        elif e.kind == "recovery_complete":
+            st.last_recovery = e.category or ""
+            st.outputs_resumed += e.size
         elif e.kind == "workflow_done":
             st.workflow_done = True
     st.tasks_running = len(open_tasks)
@@ -218,6 +242,15 @@ def format_log_status(st: LogStatus, max_workers: int = 20) -> str:
             f"memo: {st.memo_hits} hits, {st.memo_misses} misses, "
             f"{st.memo_invalidated} invalidated; "
             f"{st.memo_bytes_saved / 1e6:.1f}MB saved"
+        )
+    if st.manager_restarts:
+        lines.append(
+            f"recovery: {st.manager_restarts} manager restart(s), "
+            f"{st.workers_rejoined} workers rejoined, "
+            f"{st.replicas_readopted} replicas re-adopted, "
+            f"{st.sessions_restored} sessions restored, "
+            f"{st.outputs_resumed} outputs resumed"
+            + (f" ({st.last_recovery})" if st.last_recovery else "")
         )
     lines.append(f"workers connected: {st.workers_connected}")
     shown = 0

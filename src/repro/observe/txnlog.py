@@ -115,19 +115,39 @@ class TransactionLogWriter:
         runtime: str = "unknown",
         flush_every: int = 1,
         extra_header: Optional[dict] = None,
+        resume: bool = False,
     ) -> None:
         self.path = path
         self.runtime = runtime
         self.flush_every = max(1, flush_every)
         self._lock = threading.Lock()
         self._since_flush = 0
-        self._file: Optional[IO[str]] = open(path, "w")
+        needs_newline = False
+        if resume:
+            # ``resume`` appends a fresh ``@header`` *segment* instead of
+            # truncating: a restarted manager keeps the crashed life's
+            # events in place.  If the crash tore the previous final
+            # line, start on a fresh line so the reader sees exactly one
+            # torn line followed by a segment header (the forgiven shape).
+            try:
+                with open(path, "rb") as prev:
+                    prev.seek(0, 2)
+                    if prev.tell() > 0:
+                        prev.seek(-1, 2)
+                        needs_newline = prev.read(1) != b"\n"
+            except FileNotFoundError:
+                pass
+        self._file: Optional[IO[str]] = open(path, "a" if resume else "w")
+        if needs_newline:
+            self._file.write("\n")
         header = {
             "kind": HEADER_KIND,
             "v": TXN_SCHEMA_VERSION,
             "runtime": runtime,
             "fields": list(_FIELDS),
         }
+        if resume:
+            header["resumed"] = True
         if extra_header:
             header.update(extra_header)
         self._file.write(json.dumps(header) + "\n")
@@ -163,38 +183,63 @@ class TransactionLogWriter:
 def _parse_lines(lines: Iterable[str], strict: bool) -> tuple[dict, list[Event]]:
     header: Optional[dict] = None
     events: list[Event] = []
+    segments = 0
+    torn = 0
     pending_error: Optional[TransactionLogError] = None
     for lineno, raw in enumerate(lines, start=1):
         raw = raw.strip()
         if not raw:
             continue
-        if pending_error is not None:
-            raise pending_error  # a bad line *followed by data* is corruption
         try:
             record = json.loads(raw)
         except json.JSONDecodeError as exc:
-            # a torn final line is expected when tailing a live log;
-            # only fail if more records follow it
+            if pending_error is not None:
+                raise pending_error  # two torn lines in a row is corruption
+            # a torn line is expected when tailing a live log (final
+            # line) or after a crash (the next line is a new segment
+            # header); anything else following it is corruption
             pending_error = TransactionLogError(
                 f"line {lineno}: invalid JSON: {exc}"
             )
             continue
-        if lineno == 1:
-            if record.get("kind") != HEADER_KIND:
-                raise TransactionLogError("missing @header record on line 1")
+        if isinstance(record, dict) and record.get("kind") == HEADER_KIND:
             version = record.get("v")
             if version != TXN_SCHEMA_VERSION:
                 raise TransactionLogError(
                     f"unsupported schema version {version!r} "
                     f"(this reader supports {TXN_SCHEMA_VERSION})"
                 )
-            header = record
+            if pending_error is not None:
+                # a torn line right before a segment header is the
+                # signature of a crash: the old manager life died
+                # mid-write and the restarted one appended a segment
+                if strict:
+                    raise pending_error
+                torn += 1
+                pending_error = None
+            if header is None:
+                header = record
+            elif record.get("resumed"):
+                # keep the first segment's identity, but surface that a
+                # later life resumed the file
+                header = dict(header)
+                header["resumed"] = True
+            segments += 1
             continue
+        if header is None:
+            raise TransactionLogError("missing @header record on line 1")
+        if pending_error is not None:
+            raise pending_error  # a bad line *followed by data* is corruption
         events.append(record_to_event(record))
     if header is None:
         raise TransactionLogError("empty transaction log (no header)")
-    if pending_error is not None and strict:
-        raise pending_error
+    if pending_error is not None:
+        if strict:
+            raise pending_error
+        torn += 1
+    header = dict(header)
+    header["segments"] = segments
+    header["torn_lines"] = torn
     return header, events
 
 
@@ -202,8 +247,12 @@ def read_transactions(path: str, strict: bool = False) -> tuple[dict, list[Event
     """Parse a transaction log into its header and ordered events.
 
     With ``strict=False`` (default) a torn *final* line — the normal
-    state of a log being written concurrently — is ignored; corruption
-    anywhere else always raises :class:`TransactionLogError`.
+    state of a log being written concurrently — is ignored, as is a
+    torn line directly before a mid-file ``@header`` (a manager crash
+    followed by a resumed segment); corruption anywhere else always
+    raises :class:`TransactionLogError`.  The returned header carries
+    two synthesized keys: ``segments`` (how many manager lives wrote to
+    the file) and ``torn_lines`` (how many tears were forgiven).
     """
     with open(path) as f:
         return _parse_lines(f, strict=strict)

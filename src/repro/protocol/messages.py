@@ -97,6 +97,9 @@ _SCHEMA: Mapping[str, tuple[str, ...]] = {
     M.INVOKE: ("task_id", "library", "function", "payload_size"),
     M.CANCEL_TASK: ("task_id",),
     M.SHUTDOWN: (),
+    # optional "rejoin": True when the worker is reconnecting after its
+    # manager vanished (crash-safe restart) — its "cached" inventory
+    # re-adopts surviving replicas into the new manager life
     M.REGISTER: ("capacity", "transfer_port"),
     M.HEARTBEAT: (),
     M.CACHE_UPDATE: ("cache_name", "size"),
@@ -117,6 +120,9 @@ _SCHEMA: Mapping[str, tuple[str, ...]] = {
     M.SUBMIT_DAG: ("ref", "tasks"),
     M.FETCH_RESULT: ("cache_name",),
     M.DETACH: (),
+    # welcome optionally carries "done" (delivery baseline), "missed"
+    # (notices lost to the buffer cap or a manager crash) and
+    # "recovered" (True when the session was rebuilt from the journal)
     M.WELCOME: ("session", "tenant"),
     M.CLIENT_REJECT: ("reason",),
     M.FILE_DECLARED: ("ref", "cache_name", "cache_hit"),

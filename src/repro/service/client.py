@@ -72,6 +72,13 @@ class ServiceClient:
         self.session = welcome["session"]
         self.project = welcome.get("project")
         self._done_base = int(welcome.get("done", 0))
+        #: completion notices the service could not deliver while we were
+        #: away (detached, or the manager restarted); results stay
+        #: fetchable by cache name even though the notices are gone
+        self.missed = int(welcome.get("missed", 0))
+        #: True when this session was restored from a manager's journal
+        #: after a crash/restart rather than held live in memory
+        self.recovered = bool(welcome.get("recovered", False))
 
     # -- receive plumbing ---------------------------------------------
 

@@ -15,6 +15,14 @@ All run state lives under one ``--state-dir``:
 * ``metrics.json`` — periodic metrics snapshots (tenant table source)
 * ``service.log`` — daemon stdout/stderr when detached
 * ``worker-N/`` — workdirs of the locally spawned workers
+* ``journal/`` — the manager's durable control-plane journal
+  (``snapshot.json`` + ``journal.log``); a restarted daemon replays it,
+  reuses the recorded port, and resumes in-flight workflows (see
+  ``docs/recovery.md``)
+
+``run --supervise`` wraps the whole thing in a tiny supervisor that
+restarts the service child whenever it dies abnormally, turning a
+manager crash into a recovery instead of an outage.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ __all__ = ["main"]
 STATE_FILE = "service.json"
 TXN_LOG = "service.jsonl"
 METRICS_FILE = "metrics.json"
+JOURNAL_DIR = "journal"
 
 
 def _read_state(state_dir: str) -> Optional[dict]:
@@ -77,7 +86,14 @@ def _daemonize(log_path: str) -> None:
     os.close(log_fd)
 
 
-def _spawn_worker(state_dir: str, index: int, host: str, port: int, cores: float) -> subprocess.Popen:
+def _spawn_worker(
+    state_dir: str,
+    index: int,
+    host: str,
+    port: int,
+    cores: float,
+    reconnect: float = 0.0,
+) -> subprocess.Popen:
     workdir = os.path.join(state_dir, f"worker-{index}")
     os.makedirs(workdir, exist_ok=True)
     return subprocess.Popen(
@@ -91,10 +107,52 @@ def _spawn_worker(state_dir: str, index: int, host: str, port: int, cores: float
             workdir,
             "--cores",
             str(cores),
+            "--reconnect",
+            str(reconnect),
         ],
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
     )
+
+
+def _supervise(args: argparse.Namespace, argv: list[str]) -> int:
+    """Restart the service child whenever it dies abnormally.
+
+    The child is this same CLI minus ``--supervise``/``--detach``; it
+    owns ``service.json`` (so ``status``/``stop`` address the child).
+    A clean exit (SIGTERM honored, ``stop``) ends supervision; a crash
+    — nonzero exit or a death by signal — triggers a restart, and the
+    restarted child recovers from the journal.
+    """
+    state_dir = os.path.abspath(args.state_dir)
+    os.makedirs(state_dir, exist_ok=True)
+    if args.detach:
+        _daemonize(os.path.join(state_dir, "service.log"))
+    child_argv = [a for a in argv if a not in ("--supervise", "--detach")]
+    stop = threading.Event()
+    child: list[Optional[subprocess.Popen]] = [None]
+
+    def _forward(signum, _frame):
+        stop.set()
+        proc = child[0]
+        if proc is not None and proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _forward)
+    while True:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.daemon"] + child_argv
+        )
+        child[0] = proc
+        code = proc.wait()
+        if stop.is_set() or code == 0:
+            return 0 if code == 0 else code
+        print(
+            f"repro-service: child exited with {code}; restarting in 1s",
+            file=sys.stderr,
+        )
+        time.sleep(1.0)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -103,38 +161,90 @@ def _cmd_run(args: argparse.Namespace) -> int:
     state_dir = os.path.abspath(args.state_dir)
     os.makedirs(state_dir, exist_ok=True)
     state = _read_state(state_dir)
-    if state is not None and _pid_alive(int(state.get("pid", -1))):
-        print(
-            f"repro-service: already running (pid {state['pid']}, "
-            f"port {state.get('port')})",
-            file=sys.stderr,
-        )
-        return 1
+    if state is not None:
+        pid = int(state.get("pid", -1))
+        if _pid_alive(pid):
+            print(
+                f"repro-service: already running (pid {state['pid']}, "
+                f"port {state.get('port')})",
+                file=sys.stderr,
+            )
+            return 1
+        # a stale state file is a crashed prior life: reclaim the state
+        # dir and let the journal restore whatever it left behind
+        print(f"repro-service: reclaiming state dir (stale pidfile, pid {pid} dead)")
+        try:
+            os.unlink(os.path.join(state_dir, STATE_FILE))
+        except OSError:
+            pass
 
     if args.detach:
         # the child writes service.json once it is listening; the
         # launching shell returns immediately
         _daemonize(os.path.join(state_dir, "service.log"))
 
-    mgr = Manager(
-        port=args.port,
-        host=args.host,
-        project_name=args.project,
-        password=args.password,
-        fair_share=not args.no_fair_share,
-        default_task_quota=args.task_quota,
-        default_byte_quota=args.byte_quota,
-        client_local_root=args.client_local_root,
-        client_session_ttl=args.session_ttl,
-        txn_log_path=os.path.join(state_dir, TXN_LOG),
-        metrics_dump_path=os.path.join(state_dir, METRICS_FILE),
-        metrics_dump_interval=1.0,
-        memo_dir=os.path.abspath(args.memo_dir) if args.memo_dir else None,
-        memo_opt_out=args.memo_opt_out or None,
-        memo_payload_limit=args.memo_payload_limit,
-    )
+    journal_dir = None
+    port = args.port
+    if not args.no_journal:
+        journal_dir = (
+            os.path.abspath(args.journal_dir)
+            if args.journal_dir
+            else os.path.join(state_dir, JOURNAL_DIR)
+        )
+        if port == 0:
+            # reuse the crashed life's port so reconnecting workers and
+            # reattaching clients find the restarted manager
+            from repro.core.journal import ControlPlaneJournal
+
+            peek = ControlPlaneJournal(journal_dir)
+            prior_port = peek.meta.get("port")
+            peek.close()
+            if prior_port:
+                port = int(prior_port)
+
+    def _make_manager(bind_port: int) -> Manager:
+        return Manager(
+            port=bind_port,
+            host=args.host,
+            project_name=args.project,
+            password=args.password,
+            fair_share=not args.no_fair_share,
+            default_task_quota=args.task_quota,
+            default_byte_quota=args.byte_quota,
+            client_local_root=args.client_local_root,
+            client_session_ttl=args.session_ttl,
+            txn_log_path=os.path.join(state_dir, TXN_LOG),
+            metrics_dump_path=os.path.join(state_dir, METRICS_FILE),
+            metrics_dump_interval=1.0,
+            memo_dir=os.path.abspath(args.memo_dir) if args.memo_dir else None,
+            memo_opt_out=args.memo_opt_out or None,
+            memo_payload_limit=args.memo_payload_limit,
+            journal_dir=journal_dir,
+            recovery_grace=args.recovery_grace,
+        )
+
+    try:
+        mgr = _make_manager(port)
+    except OSError:
+        if port == args.port:
+            raise
+        # the crashed life's port was taken meanwhile: an ephemeral
+        # port still recovers state; only reconnects need re-pointing
+        print(
+            f"repro-service: prior port {port} unavailable; binding anew",
+            file=sys.stderr,
+        )
+        mgr = _make_manager(args.port)
+    if mgr.recovered:
+        print(
+            f"repro-service: recovered prior state from {journal_dir} "
+            f"(grace {args.recovery_grace:.0f}s for workers to rejoin)"
+        )
     workers = [
-        _spawn_worker(state_dir, i, mgr.host, mgr.port, args.cores)
+        _spawn_worker(
+            state_dir, i, mgr.host, mgr.port, args.cores,
+            reconnect=args.worker_reconnect,
+        )
         for i in range(args.workers)
     ]
     state_path = os.path.join(state_dir, STATE_FILE)
@@ -197,7 +307,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
     alive = _pid_alive(int(state.get("pid", -1)))
     uptime = time.time() - float(state.get("started", time.time()))
     print(
-        f"repro-service: {'running' if alive else 'DEAD (stale state file)'} "
+        f"repro-service: {'running' if alive else 'dead (stale pidfile)'} "
         f"pid={state.get('pid')} endpoint={state.get('host')}:{state.get('port')} "
         f"project={state.get('project')!r} uptime={uptime:.0f}s"
     )
@@ -230,8 +340,10 @@ def _cmd_stop(args: argparse.Namespace) -> int:
             os.unlink(os.path.join(state_dir, STATE_FILE))
         except OSError:
             pass
-        print(f"repro-service: pid {pid} already gone; cleaned stale state")
-        return 0
+        # nonzero: there was nothing to stop — the service is dead, and
+        # the caller should know its last life ended by crash, not stop
+        print(f"repro-service: dead (stale pidfile, pid {pid}); cleaned state file")
+        return 1
     os.kill(pid, signal.SIGTERM)
     deadline = time.time() + args.timeout
     while time.time() < deadline:
@@ -294,6 +406,41 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="largest output (bytes) retained as a memo payload "
         "(default 16 MiB); bigger outputs stay replica-backed only",
     )
+    run.add_argument(
+        "--journal-dir",
+        default=None,
+        help="durable control-plane journal directory "
+        "(default: <state-dir>/journal)",
+    )
+    run.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="run in-memory only: no crash recovery",
+    )
+    run.add_argument(
+        "--recovery-grace",
+        type=float,
+        default=10.0,
+        help="seconds a recovering manager waits for journaled workers "
+        "to rejoin before settling unbacked state as replica loss",
+    )
+    run.add_argument(
+        "--worker-reconnect",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="spawn local workers with this reconnect window so they "
+        "outlive a manager crash and rejoin the restarted life "
+        "(restart with --workers 0 to adopt them instead of spawning "
+        "doubles over the same workdirs; 0 = workers exit on "
+        "disconnect and fresh spawns re-announce their on-disk caches)",
+    )
+    run.add_argument(
+        "--supervise",
+        action="store_true",
+        help="wrap the service in a supervisor that restarts it (with "
+        "journal recovery) whenever it dies abnormally",
+    )
     run.add_argument("--detach", action="store_true", help="daemonize (state-dir/service.log gets stdout/stderr)")
 
     status = sub.add_parser("status", help="report daemon liveness and tenant table")
@@ -307,8 +454,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="exit 0 when no service is running",
     )
 
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     args = parser.parse_args(argv)
     if args.cmd == "run":
+        if args.supervise:
+            return _supervise(args, raw_argv)
         return _cmd_run(args)
     if args.cmd == "status":
         return _cmd_status(args)

@@ -118,6 +118,9 @@ class SimManager:
         memo_dir: Optional[str] = None,
         memo_store=None,
         memo_opt_out: Optional[Sequence[str]] = None,
+        journal_dir: Optional[str] = None,
+        journal_snapshot_every: int = 1024,
+        recovery_grace: float = 10.0,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
@@ -137,6 +140,16 @@ class SimManager:
             from repro.memo.store import MemoStore
 
             self.memo_store = MemoStore(memo_dir)
+        #: durable write-ahead journal shared with the real runtime; a
+        #: new SimManager over the same directory models a restarted
+        #: manager process recovering mid-workflow
+        self.journal = None
+        if journal_dir is not None:
+            from repro.core.journal import ControlPlaneJournal
+
+            self.journal = ControlPlaneJournal(
+                journal_dir, snapshot_every=journal_snapshot_every
+            )
         self.control = ControlPlane(
             self,
             worker_transfer_limit=worker_transfer_limit,
@@ -152,6 +165,7 @@ class SimManager:
             fair_share=fair_share,
             memo=self.memo_store,
             memo_opt_out=memo_opt_out,
+            journal=self.journal,
         )
         #: installed by :class:`repro.faults.sim.SimFaultInjector`; when
         #: set, every outbound transfer asks it for an injected verdict
@@ -160,7 +174,13 @@ class SimManager:
         #: same telemetry artifact as the real manager's, in virtual time
         self._txn_writer: Optional[TransactionLogWriter] = None
         if txn_log_path is not None:
-            self._txn_writer = TransactionLogWriter(txn_log_path, runtime="sim")
+            # a recovering manager appends a new @header segment so the
+            # crashed life's events stay in place (same as the real one)
+            self._txn_writer = TransactionLogWriter(
+                txn_log_path,
+                runtime="sim",
+                resume=self.journal is not None and self.journal.recovered,
+            )
             self.control.log.attach(self._txn_writer)
 
         self.meta: dict[str, _FileMeta] = {}
@@ -168,13 +188,28 @@ class SimManager:
         self.evictions = 0
         self._pump_scheduled = False
         self._finalized = False
+        #: set by :meth:`crash`; every scheduled callback belonging to
+        #: this manager life becomes a no-op once it is set
+        self._crashed = False
+        #: True when this life restored state journaled by a prior one
+        self.recovered = False
+        if self.journal is not None:
+            if self.control.restore_from_journal():
+                self.recovered = True
+                # rebuild the sim-only size metadata from restored state
+                for name, size in self.control.sizes.items():
+                    self.meta.setdefault(name, _FileMeta(size=size))
+                # hold placements until the workers the journal knew
+                # about rejoin (their caches re-adopt) or grace ends
+                self.control.begin_recovery(recovery_grace)
+            self.journal.record_meta(project="sim")
 
         # adopt pre-existing worker-level cache contents (hot cache, Fig 9)
         for worker in cluster.workers.values():
             if worker.connected:
                 self._join(worker)
             else:
-                for name, size in self._worker_level_cache(worker):
+                for name, size in self._adoptable_cache(worker):
                     self.control.adopt_replica(worker.worker_id, name, size)
         cluster.join_callbacks.append(self._on_worker_join)
         cluster.leave_callbacks.append(self._on_worker_leave)
@@ -238,12 +273,16 @@ class SimManager:
 
     def request_pump(self) -> None:
         """Coalesce pump requests into one zero-delay event."""
+        if self._crashed:
+            return
         if not self._pump_scheduled:
             self._pump_scheduled = True
             self.sim.schedule(0.0, self._fire_coalesced_pump)
 
     def _fire_coalesced_pump(self) -> None:
         self._pump_scheduled = False
+        if self._crashed:
+            return
         self.control.pump()
 
     def schedule_pump(self, delay: float) -> None:
@@ -263,7 +302,7 @@ class SimManager:
                 record.source,
                 record.dest_worker,
                 record.size,
-                lambda _t, tid=record.transfer_id: self.control.on_transfer_complete(tid),
+                lambda _t, tid=record.transfer_id: self._transfer_complete(tid),
             )
             return
         mode, fraction = verdict
@@ -286,7 +325,14 @@ class SimManager:
                 lambda _t, r=record: self._transfer_faulted(r, corrupt=False),
             )
 
+    def _transfer_complete(self, transfer_id: str) -> None:
+        if self._crashed:
+            return
+        self.control.on_transfer_complete(transfer_id)
+
     def _transfer_faulted(self, record: Transfer, corrupt: bool) -> None:
+        if self._crashed:
+            return
         try:
             self.transfers.get(record.transfer_id)
         except KeyError:
@@ -315,7 +361,12 @@ class SimManager:
 
     def run_minitask(self, job: StagingJob) -> None:
         stage_time = self.meta[job.file.cache_name].stage_time
-        self.sim.schedule(stage_time, self.control.on_stage_done, job)
+        self.sim.schedule(stage_time, self._stage_done, job)
+
+    def _stage_done(self, job: StagingJob) -> None:
+        if self._crashed:
+            return
+        self.control.on_stage_done(job)
 
     def start_task(self, task: Task) -> None:
         worker = self.cluster.workers[task.worker_id]
@@ -340,6 +391,8 @@ class SimManager:
         self.sim.schedule(lib.startup_time, self._library_up, lib, worker_id)
 
     def _library_up(self, lib: "SimLibrary", worker_id: str) -> None:
+        if self._crashed:
+            return
         # the control plane ignores stale reports (worker left meanwhile)
         self.control.on_library_ready(worker_id, lib.name)
         worker = self.cluster.workers.get(worker_id)
@@ -574,6 +627,19 @@ class SimManager:
         started = self.sim.now
         self.control.pump()
         self.sim.run(until=until, stop_when=self._workflow_done)
+        if self._crashed:
+            # an injected manager crash muted every callback and let the
+            # event queue drain: not a stall, just this life's end — the
+            # journal is what it leaves behind for the next one
+            return SimRunStats(
+                started=started,
+                finished=self.sim.now,
+                tasks_done=self.control.done_count,
+                log=self.control.log,
+                transfer_counts=dict(self.control.transfer_counts),
+                bytes_by_source=dict(self.control.bytes_by_source),
+                evictions=self.evictions,
+            )
         if not self._workflow_done():
             raise RuntimeError(
                 f"workflow stalled: {len(self.control._ready)} ready, "
@@ -639,6 +705,10 @@ class SimManager:
     # ------------------------------------------------------------------
 
     def _finish_execution(self, task: Task) -> None:
+        if self._crashed:
+            # the worker finished, but no manager was alive to hear the
+            # TASK_DONE: the restarted life re-dispatches from READY
+            return
         if task.state != TaskState.RUNNING:
             return  # stale completion: the task was requeued after a loss
         wid = task.worker_id
@@ -676,6 +746,8 @@ class SimManager:
         self.control.complete_task(task, result, defer=defer)
 
     def _on_retrieved(self, task_id: str, cache_name: str, wid: str) -> None:
+        if self._crashed:
+            return
         size = self.meta[cache_name].size
         self.control.count_retrieval(wid, cache_name, size)
         # the manager now holds the data and can serve downstream readers
@@ -708,17 +780,68 @@ class SimManager:
             if obj.level == CacheLevel.WORKER
         ]
 
+    def _adoptable_cache(self, worker: SimWorker) -> list[tuple[str, int]]:
+        """Cache entries a (re)joining worker announces.
+
+        Normally only worker-lifetime objects survive across manager
+        lives; during a recovery grace window *everything* the worker
+        still holds is announced — workflow-level replicas written by
+        the crashed life are exactly what re-adoption must find.
+        """
+        if self.control._recovering:
+            return [(obj.cache_name, obj.size) for obj in worker.cache.values()]
+        return self._worker_level_cache(worker)
+
     def _join(self, worker: SimWorker) -> None:
-        cached = self._worker_level_cache(worker)
+        cached = self._adoptable_cache(worker)
         for name, size in cached:
             self.meta.setdefault(name, _FileMeta(size=size))
         self.control.worker_joined(worker.worker_id, worker.pool, cached=cached)
 
     def _on_worker_join(self, worker: SimWorker) -> None:
+        if self._crashed:
+            return
         self._join(worker)
 
     def _on_worker_leave(self, worker: SimWorker) -> None:
+        if self._crashed:
+            return
         self.control.worker_left(worker.worker_id)
+
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Model this manager process dying abruptly (``kill -9``).
+
+        Every scheduled callback belonging to this life becomes a no-op,
+        cluster membership callbacks are detached, and the journal and
+        transaction-log handles are dropped with no graceful
+        finalization — leaving exactly the on-disk state a restarted
+        :class:`SimManager` over the same ``journal_dir`` must recover
+        from.  Workers and their caches survive (they are cluster
+        state, not manager state).
+        """
+        self._crashed = True
+        for callbacks, cb in (
+            (self.cluster.join_callbacks, self._on_worker_join),
+            (self.cluster.leave_callbacks, self._on_worker_leave),
+        ):
+            try:
+                callbacks.remove(cb)
+            except ValueError:
+                pass
+        # the allocation ledgers were this manager's view of worker
+        # capacity; the tasks behind them die unheard (their completions
+        # are discarded above), so the next life sees full capacity —
+        # exactly as a real worker's fresh registration would report
+        for worker in self.cluster.workers.values():
+            for holder in worker.pool.holders():
+                worker.pool.release(holder)
+            worker.libraries.clear()
+        if self.journal is not None:
+            self.journal.close()
+        if self._txn_writer is not None:
+            self._txn_writer.close()
 
     # -- reporting -------------------------------------------------------
 

@@ -39,6 +39,17 @@ def main(argv: list[str] | None = None) -> int:
         help="evict LRU cache objects beyond this bound (MB)",
     )
     parser.add_argument(
+        "--reconnect",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "keep retrying the manager address for this long after the "
+            "connection drops (0 = exit on disconnect); lets workers "
+            "survive a crash-safe manager restart"
+        ),
+    )
+    parser.add_argument(
         "--fault-config",
         default=None,
         metavar="PATH",
@@ -67,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
             args.max_cache_mb * 1_000_000 if args.max_cache_mb else None
         ),
         fault_config=fault_config,
+        reconnect_window=args.reconnect,
     )
     worker.run()
     return 0

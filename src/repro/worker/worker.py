@@ -67,6 +67,7 @@ class Worker:
         fault_config=None,
         batch_max: int = 128,
         batch_delay: float = 0.002,
+        reconnect_window: float = 0.0,
     ) -> None:
         self.workdir = os.path.abspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
@@ -105,6 +106,19 @@ class Worker:
         self._metrics_dumper = SnapshotDumper(
             self.metrics, os.path.join(self.workdir, "metrics.json")
         ).start()
+        self._manager_addr = (manager_host, manager_port)
+        #: how long (seconds) to keep retrying the manager address after
+        #: the connection drops.  0 preserves the historical behaviour:
+        #: a lost manager ends the worker.  Non-zero makes the worker
+        #: survive a crash-safe manager restart — it reconnects with
+        #: exponential backoff and re-registers its cache inventory so
+        #: the new manager life re-adopts the surviving replicas.
+        self.reconnect_window = reconnect_window
+        self._batch_max = batch_max
+        self._batch_delay = batch_delay
+        #: set when the manager *told* us to shut down; reconnect never
+        #: overrides an explicit SHUTDOWN
+        self._shutdown_ordered = False
         self._conn = Connection.connect(manager_host, manager_port)
         #: all outbound traffic funnels through the batch sender, which
         #: both serializes writers and coalesces payload-free notices
@@ -189,7 +203,10 @@ class Worker:
             try:
                 self._notice({"type": M.HEARTBEAT})
             except (ProtocolError, OSError):
-                return
+                # with reconnect enabled the sender is replaced under
+                # us; keep beating so the next life gets heartbeats too
+                if self.reconnect_window <= 0:
+                    return
 
     # -- cache pressure -----------------------------------------------------
 
@@ -252,20 +269,63 @@ class Worker:
     def _send_with_file(self, message: dict, path: str, size: int) -> None:
         self._sender.send_with_file(message, path, size)
 
-    def _register(self) -> None:
+    def _register(self, rejoin: bool = False) -> None:
         cached = [
             [e.cache_name, e.size, int(e.level)] for e in self.cache.entries()
         ]
-        self._send(
-            {
-                "type": M.REGISTER,
-                "capacity": self.capacity.to_dict(),
-                "transfer_port": self._peer_server.port,
-                "transfer_host": self._peer_server.host,
-                "workdir": self.workdir,
-                "cached": cached,
-            }
-        )
+        msg = {
+            "type": M.REGISTER,
+            "capacity": self.capacity.to_dict(),
+            "transfer_port": self._peer_server.port,
+            "transfer_host": self._peer_server.host,
+            "workdir": self.workdir,
+            "cached": cached,
+        }
+        if rejoin:
+            # the cached inventory above is what lets a restarted
+            # manager re-adopt surviving replicas during its grace window
+            msg["rejoin"] = True
+        self._send(msg)
+
+    def _reconnect(self) -> bool:
+        """Retry the manager address with exponential backoff.
+
+        Returns True once a fresh connection is registered, False when
+        the window expires (or shutdown intervenes).  The old sender and
+        connection are torn down first so in-flight worker threads fail
+        fast instead of writing into a dead socket.
+        """
+        deadline = time.monotonic() + self.reconnect_window
+        try:
+            self._sender.close()
+        except (ProtocolError, OSError):
+            pass
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        delay = 0.2
+        while not self._stop.is_set() and time.monotonic() < deadline:
+            try:
+                conn = Connection.connect(*self._manager_addr)
+            except OSError:
+                time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+                delay = min(delay * 2, 5.0)
+                continue
+            self._conn = conn
+            self._sender = BatchSender(
+                conn,
+                max_batch=self._batch_max,
+                max_delay=self._batch_delay,
+                metrics=self.metrics,
+            )
+            try:
+                self._register(rejoin=True)
+            except (ProtocolError, OSError):
+                continue  # manager died again mid-handshake; keep trying
+            log.info("reconnected to manager at %s:%d", *self._manager_addr)
+            return True
+        return False
 
     def _lookup(self, cache_name: str) -> Optional[str]:
         return self.cache.path_of(cache_name) if self.cache.has(cache_name) else None
@@ -301,12 +361,25 @@ class Worker:
     # -- main loop --------------------------------------------------------
 
     def run(self) -> None:
-        """Serve manager commands until shutdown or disconnect."""
+        """Serve manager commands until shutdown or disconnect.
+
+        With a non-zero ``reconnect_window`` a dropped connection is
+        not fatal: the worker re-dials the manager address (covering a
+        crash-safe manager restart) and resumes serving.  An explicit
+        SHUTDOWN from the manager always ends the worker.
+        """
         try:
             while not self._stop.is_set():
                 try:
                     msg = self._conn.recv_message()
                 except (ProtocolError, OSError):
+                    if self.reconnect_window > 0 and not self._shutdown_ordered:
+                        log.warning(
+                            "manager connection lost; retrying for %.0fs",
+                            self.reconnect_window,
+                        )
+                        if self._reconnect():
+                            continue
                     break
                 mtype = validate(msg)
                 # attached payloads must be drained on this thread to keep framing
@@ -317,6 +390,7 @@ class Worker:
                     self._handle_put_file(msg)  # streams to disk inline
                     continue
                 if mtype == M.SHUTDOWN:
+                    self._shutdown_ordered = True
                     break
                 self._dispatch(mtype, msg, payload)
         finally:

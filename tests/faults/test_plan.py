@@ -7,6 +7,7 @@ import pytest
 from repro.faults.plan import (
     FaultPlan,
     LinkDegrade,
+    ManagerCrash,
     TransferFault,
     WorkerCrash,
 )
@@ -25,6 +26,17 @@ def test_crash_needs_exactly_one_trigger():
         WorkerCrash("w0", after_tasks=0)
     WorkerCrash("w0", at=1.0)
     WorkerCrash("w0", after_tasks=1)
+
+
+def test_manager_crash_needs_exactly_one_trigger():
+    with pytest.raises(ValueError):
+        ManagerCrash()
+    with pytest.raises(ValueError):
+        ManagerCrash(at=1.0, after_tasks=2)
+    with pytest.raises(ValueError):
+        ManagerCrash(after_tasks=0)
+    ManagerCrash(at=1.0)
+    ManagerCrash(after_tasks=1)
 
 
 def test_transfer_fault_validates_kind_p_mode():
@@ -94,6 +106,7 @@ def _hostile_plan():
         .corrupt_transfers("peer", 0.05)
         .degrade_link("w2", at=1.0, factor=0.25)
         .disconnect("w3", at=5.0)
+        .crash_manager(after_tasks=3)
     )
 
 
@@ -101,7 +114,8 @@ def test_plan_json_round_trip():
     plan = _hostile_plan()
     clone = FaultPlan.from_json(plan.to_json())
     assert clone == plan
-    assert len(clone) == 6
+    assert len(clone) == 7
+    assert clone.manager_crashes == [ManagerCrash(after_tasks=3)]
     # the clone replays the identical verdict stream
     r1, r2 = plan.rng_for("x"), clone.rng_for("x")
     assert [plan.transfer_verdict(r1, "peer") for _ in range(20)] == [

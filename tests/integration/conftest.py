@@ -66,12 +66,15 @@ class EventWaiter:
         )
 
 
-def _worker_main(host, port, workdir, cores, memory, disk, fault_config=None):
+def _worker_main(
+    host, port, workdir, cores, memory, disk, fault_config=None, reconnect=0.0
+):
     from repro.worker.worker import Worker
 
     worker = Worker(
         host, port, workdir, cores=cores, memory=memory, disk=disk,
         task_timeout=120.0, fault_config=fault_config,
+        reconnect_window=reconnect,
     )
     worker.run()
 
@@ -86,12 +89,13 @@ class Cluster:
 
     def __init__(
         self, tmp_path, n_workers=2, cores=4, memory=2000, disk=2000,
-        fault_configs=None, **mkw,
+        fault_configs=None, reconnect=0.0, **mkw,
     ):
         self.manager = Manager(**mkw)
         self.events = EventWaiter(self.manager)
         self.tmp_path = tmp_path
         self.fault_configs = fault_configs or {}
+        self.reconnect = reconnect
         self.procs = []
         for i in range(n_workers):
             self.start_worker(f"w{i}", cores=cores, memory=memory, disk=disk)
@@ -103,7 +107,7 @@ class Cluster:
         proc = _CTX.Process(
             target=_worker_main,
             args=(self.manager.host, self.manager.port, workdir, cores, memory, disk,
-                  self.fault_configs.get(name)),
+                  self.fault_configs.get(name), self.reconnect),
         )
         proc.start()
         self.procs.append(proc)

@@ -1,0 +1,178 @@
+"""Crash-safe manager, real runtime: journal replay, worker rejoin,
+client reattach.
+
+A manager with a journal dies abruptly (``Manager.crash()`` — the
+in-process analogue of ``kill -9``: no GC, no SHUTDOWN, no farewell);
+a second life over the same journal directory and port restores the
+control plane, the workers' reconnect loops re-register with their
+cached inventory, and work resumes without re-executing anything whose
+outputs survived on worker disks.
+"""
+
+import pytest
+
+from repro.core.manager import Manager
+from repro.core.task import Task, TaskState
+from repro.observe.txnlog import read_transactions
+from repro.service.client import ClientError, ServiceClient
+
+from tests.integration.conftest import Cluster, EventWaiter
+
+
+def _journaled_cluster(tmp_path, n_workers=2):
+    return Cluster(
+        tmp_path,
+        n_workers=n_workers,
+        # workers outlive the manager: retry for up to a minute
+        reconnect=60.0,
+        journal_dir=str(tmp_path / "journal"),
+        txn_log_path=str(tmp_path / "txn.jsonl"),
+        recovery_grace=30.0,
+    )
+
+
+def _restart(cluster, tmp_path, port):
+    """Second manager life over the same journal dir and port."""
+    mgr2 = Manager(
+        port=port,
+        journal_dir=str(tmp_path / "journal"),
+        txn_log_path=str(tmp_path / "txn.jsonl"),
+        recovery_grace=30.0,
+    )
+    # the cluster teardown must close the live life, not the dead one
+    cluster.manager = mgr2
+    cluster.events = EventWaiter(mgr2)
+    return mgr2
+
+
+def test_crash_restart_resumes_without_reexecution(tmp_path):
+    c = _journaled_cluster(tmp_path, n_workers=2)
+    try:
+        mgr = c.manager
+        fin = mgr.declare_buffer(b"seed\n")
+        t1 = Task("cat in.txt > a.txt")
+        t1.add_input(fin, "in.txt")
+        a = mgr.declare_temp()
+        t1.add_output(a, "a.txt")
+        mgr.submit(t1)
+        done = mgr.run_until_done(timeout=60)
+        assert [t.state for t in done] == [TaskState.DONE]
+        a_name = a.cache_name
+        port = mgr.port
+
+        mgr.crash()
+
+        mgr2 = _restart(c, tmp_path, port)
+        assert mgr2.recovered
+        c.events.wait_event("recovery_complete", timeout=60)
+
+        # both workers reconnect and re-announce their caches (recovery
+        # only waits for workers the journal expects — the replica
+        # holder — so the other may rejoin moments later); the completed
+        # task's output was re-adopted, not regenerated
+        c.events.wait_for(
+            lambda: len(list(mgr2.log.events("worker_rejoined"))) == 2,
+            timeout=60,
+            describe="both workers rejoined",
+        )
+        assert any(e.file == a_name for e in mgr2.log.events("replica_readopted"))
+        assert not any(e.task == t1.task_id for e in mgr2.log.events("task_start"))
+
+        # downstream work in the new life consumes the surviving output
+        fa = mgr2.registry.by_name(a_name)
+        t2 = Task("cat a.txt a.txt > b.txt")
+        t2.add_input(fa, "a.txt")
+        b = mgr2.declare_temp()
+        t2.add_output(b, "b.txt")
+        mgr2.submit(t2)
+        done2 = mgr2.run_until_done(timeout=60)
+        assert all(t.state == TaskState.DONE for t in done2)
+        assert mgr2.fetch_bytes(b, timeout=60) == b"seed\nseed\n"
+
+        # the transaction log shows both lives and exactly one
+        # execution of the task whose output survived the crash
+        header, events = read_transactions(str(tmp_path / "txn.jsonl"))
+        assert header["segments"] == 2
+        starts = [e for e in events if e.kind == "task_start" and e.task == t1.task_id]
+        assert len(starts) == 1
+        assert any(e.kind == "manager_restart" for e in events)
+    finally:
+        c.stop()
+
+
+def test_pending_work_is_restored_and_finished_by_the_next_life(tmp_path):
+    c = _journaled_cluster(tmp_path, n_workers=1)
+    try:
+        mgr = c.manager
+        fin = mgr.declare_buffer(b"x\n")
+        t1 = Task("sleep 5 && cat in.txt > a.txt")
+        t1.add_input(fin, "in.txt")
+        a = mgr.declare_temp()
+        t1.add_output(a, "a.txt")
+        mgr.submit(t1)
+        # crash while the task is still in flight: nothing of it survives
+        c.events.wait_event("task_start", timeout=60)
+        port = mgr.port
+        mgr.crash()
+
+        mgr2 = _restart(c, tmp_path, port)
+        assert mgr2.recovered
+        c.events.wait_event("recovery_complete", timeout=60)
+        # the journaled submit is pending again — the restored task is
+        # a fresh stub re-dispatched from its recorded spec
+        restored = mgr2.tasks[t1.task_id]
+        assert restored.command.endswith("cat in.txt > a.txt")
+        done = mgr2.run_until_done(timeout=120)
+        assert restored.state == TaskState.DONE
+        assert mgr2.fetch_bytes(restored.outputs[0][1], timeout=60) == b"x\n"
+        assert restored in done
+    finally:
+        c.stop()
+
+
+def test_client_reattach_after_manager_restart(tmp_path):
+    c = _journaled_cluster(tmp_path, n_workers=1)
+    try:
+        mgr = c.manager
+        client = ServiceClient(mgr.host, mgr.port, "roam")
+        token = client.session
+        declared = client.declare_buffer(b"hello")
+        accepted = client.submit(
+            "cat in.txt > out.txt",
+            inputs=[("in.txt", declared["cache_name"])],
+            outputs=["out.txt"],
+        )
+        result = client.wait(accepted["task_id"], timeout=60)
+        assert result["exit_code"] == 0
+        port = mgr.port
+
+        mgr.crash()  # takes the client's socket down with it
+        client.close()
+
+        mgr2 = _restart(c, tmp_path, port)
+        c.events.wait_event("recovery_complete", timeout=60)
+        assert any(
+            e.category == "roam" for e in mgr2.log.events("session_restored")
+        )
+
+        # the pre-crash token reattaches; the welcome owns up to the
+        # completion notice that died with the previous life
+        again = ServiceClient(mgr2.host, port, "roam", session=token)
+        try:
+            assert again.session == token
+            assert again.recovered is True
+            assert again.missed >= 1
+            # the session is fully live: pre-crash output is fetchable
+            # (served by the rejoined worker) and new work runs
+            out_name = accepted["outputs"]["out.txt"]
+            assert again.fetch(out_name, timeout=60) == b"hello"
+            fresh = again.submit("echo again > out.txt", outputs=["out.txt"])
+            assert again.wait(fresh["task_id"], timeout=60)["exit_code"] == 0
+        finally:
+            again.close()
+
+        # forged tokens are still refused after a restart
+        with pytest.raises(ClientError, match="session"):
+            ServiceClient(mgr2.host, port, "intruder", session="bogus-token")
+    finally:
+        c.stop()

@@ -116,3 +116,73 @@ def test_second_run_refuses_while_daemon_alive(service):
     dup = run_cli("repro.service.daemon", "run", "--state-dir", state_dir, "--workers", "0")
     assert dup.returncode == 1
     assert "already running" in dup.stderr
+
+
+# ----------------------------------------------------------------------
+# stale pidfiles: the footprint a kill -9 leaves behind
+# ----------------------------------------------------------------------
+
+
+def _dead_pid():
+    """A pid guaranteed dead: a child we already reaped."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def _write_stale_state(state_dir):
+    os.makedirs(state_dir, exist_ok=True)
+    state = {
+        "pid": _dead_pid(),
+        "host": "127.0.0.1",
+        "port": 59999,
+        "project": "repro",
+        "started": time.time() - 60,
+    }
+    with open(os.path.join(state_dir, STATE_FILE), "w") as f:
+        json.dump(state, f)
+    return state
+
+
+def test_status_reports_stale_pidfile_and_exits_nonzero(tmp_path):
+    state_dir = str(tmp_path / "svc")
+    state = _write_stale_state(state_dir)
+    status = run_cli("repro.service.daemon", "status", "--state-dir", state_dir)
+    assert status.returncode != 0
+    assert "dead (stale pidfile)" in status.stdout
+    assert str(state["pid"]) in status.stdout
+
+
+def test_stop_cleans_stale_pidfile_and_exits_nonzero(tmp_path):
+    state_dir = str(tmp_path / "svc")
+    _write_stale_state(state_dir)
+    stop = run_cli("repro.service.daemon", "stop", "--state-dir", state_dir)
+    # nonzero: there was nothing to stop — the last life crashed
+    assert stop.returncode != 0
+    assert "stale pidfile" in stop.stdout
+    assert not os.path.exists(os.path.join(state_dir, STATE_FILE))
+
+
+def test_run_reclaims_stale_state_dir(tmp_path):
+    state_dir = str(tmp_path / "svc")
+    _write_stale_state(state_dir)
+    proc = run_cli(
+        "repro.service.daemon",
+        "run",
+        "--state-dir", state_dir,
+        "--workers", "0",
+        "--detach",
+    )
+    try:
+        assert proc.returncode == 0, proc.stderr
+        assert "reclaiming state dir" in proc.stdout
+        state = wait_state(state_dir)
+        # a fresh live pid replaced the stale one
+        assert state["pid"] != 0 and os.path.exists(f"/proc/{state['pid']}")
+        status = run_cli("repro.service.daemon", "status", "--state-dir", state_dir)
+        assert status.returncode == 0
+        assert "running" in status.stdout
+    finally:
+        run_cli(
+            "repro.service.daemon", "stop", "--state-dir", state_dir, "--quiet-missing"
+        )

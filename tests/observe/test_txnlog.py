@@ -136,3 +136,69 @@ def test_writer_after_close_is_noop(tmp_path):
     writer(Event(1.0, "worker_join", worker="w0"))  # must not raise
     _header, events = read_transactions(path)
     assert events == []
+
+
+# ----------------------------------------------------------------------
+# multi-segment logs: a recovering manager appends a new @header
+# ----------------------------------------------------------------------
+
+
+def test_resumed_writer_appends_a_segment(tmp_path):
+    path = str(tmp_path / "txn.jsonl")
+    with TransactionLogWriter(path, runtime="test") as w:
+        w(Event(1.0, "task_start", task="t1"))
+    with TransactionLogWriter(path, runtime="test", resume=True) as w:
+        w(Event(0.5, "manager_restart"))
+        w(Event(1.0, "task_end", task="t1"))
+
+    header, events = read_transactions(path)
+    # both lives' events read back in file order, across the new header
+    assert [e.kind for e in events] == ["task_start", "manager_restart", "task_end"]
+    assert header["segments"] == 2
+    assert header["torn_lines"] == 0
+    # strict mode accepts clean multi-segment files
+    header, _ = read_transactions(path, strict=True)
+    assert header["segments"] == 2
+
+
+def test_truncated_log_before_a_resume_segment_is_forgiven(tmp_path):
+    """The crash signature: the dying life tore its final line, then the
+    next life appended a fresh @header segment right after it."""
+    path = str(tmp_path / "txn.jsonl")
+    with TransactionLogWriter(path, runtime="test") as w:
+        w(Event(1.0, "task_start", task="t1"))
+    with open(path, "a") as f:
+        f.write('{"t": 2.0, "kind": "task_en')  # kill -9 mid-write
+    with TransactionLogWriter(path, runtime="test", resume=True) as w:
+        w(Event(0.5, "manager_restart"))
+
+    header, events = read_transactions(path)
+    assert [e.kind for e in events] == ["task_start", "manager_restart"]
+    assert header["segments"] == 2
+    assert header["torn_lines"] == 1
+    assert header["resumed"] is True  # the latest segment's header wins
+    # strict readers still refuse any tear
+    with pytest.raises(TransactionLogError):
+        read_transactions(path, strict=True)
+
+
+def test_torn_line_mid_segment_followed_by_data_raises(tmp_path):
+    # forgiveness is only for the line directly before a segment header
+    # (crash) or the final line (live tail) — not for arbitrary holes
+    path = str(tmp_path / "txn.jsonl")
+    with TransactionLogWriter(path, runtime="test") as w:
+        w(Event(1.0, "task_start", task="t1"))
+    with open(path, "a") as f:
+        f.write('{"t": 2.0, "kind": "task_en\n')
+        f.write('{"t": 3.0, "kind": "task_end", "task": "t1"}\n')
+    with pytest.raises(TransactionLogError):
+        read_transactions(path)
+
+
+def test_resume_onto_missing_file_starts_a_fresh_log(tmp_path):
+    path = str(tmp_path / "txn.jsonl")
+    with TransactionLogWriter(path, runtime="test", resume=True) as w:
+        w(Event(1.0, "worker_join", worker="w0"))
+    header, events = read_transactions(path)
+    assert header["segments"] == 1
+    assert [e.kind for e in events] == ["worker_join"]
