@@ -1,0 +1,148 @@
+"""Result plane cost on the real runtime: inline payloads vs proxies.
+
+A serverless map→reduce where every map emits a quarter-megabyte part
+and the reduce digests them.  Run once with inline call results (every
+part rides its ``task_done`` reply through the manager, and the reduce
+arguments carry the parts back out again) and once by reference (parts
+stay in worker caches, the reduce consumes them as declared inputs,
+and only the final digest crosses the fetch plane when dereferenced).
+
+The headline lever is result-payload bytes moved through the manager:
+by-reference must cut it by at least an order of magnitude while the
+final value stays byte-identical.
+"""
+
+import multiprocessing as mp
+import time
+
+from repro.core.library import FunctionCall
+from repro.core.manager import Manager
+from repro.core.task import TaskState
+
+_CTX = mp.get_context("spawn")
+
+N_PARTS = 8
+PART_BYTES = 256 * 1024
+
+
+def _worker_main(host, port, workdir):
+    from repro.worker.worker import Worker
+
+    Worker(host, port, workdir, cores=4, memory=2000, disk=4000,
+           task_timeout=120.0).run()
+
+
+def _start_workers(m, workdirs):
+    procs = []
+    for wd in workdirs:
+        p = _CTX.Process(target=_worker_main, args=(m.host, m.port, wd))
+        p.start()
+        procs.append(p)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        with m._lock:
+            if len(m.workers) >= len(workdirs):
+                return procs
+        time.sleep(0.05)
+    raise TimeoutError("workers did not register")
+
+
+def _stop(m, procs):
+    m.close(shutdown_workers=True)
+    for p in procs:
+        p.join(timeout=10)
+        if p.is_alive():
+            p.terminate()
+
+
+def _part(i, n):
+    return bytes([i % 251]) * n
+
+
+def _digest(parts):
+    import hashlib
+
+    joined = b"".join(parts)
+    return f"{hashlib.md5(joined).hexdigest()}:{len(joined)}"
+
+
+def _map_reduce(tmp_path, label, by_reference):
+    """One full map→reduce run; returns (value, elapsed, manager_bytes)."""
+    m = Manager(inline_call_results=not by_reference)
+    workdirs = [str(tmp_path / f"{label}-w{i}") for i in range(2)]
+    procs = _start_workers(m, workdirs)
+    try:
+        started = time.monotonic()
+        m.create_library("mapred", [_part, _digest], function_slots=2)
+        m.install_library("mapred")
+        maps = [FunctionCall("mapred", "_part", i, PART_BYTES) for i in range(N_PARTS)]
+        for fc in maps:
+            if by_reference:
+                fc.set_by_reference()
+            m.submit(fc)
+        m.run_until_done(timeout=120)
+        assert all(fc.state == TaskState.DONE for fc in maps)
+        parts = [fc.output() for fc in maps]
+
+        reduce_fc = FunctionCall("mapred", "_digest", parts)
+        if by_reference:
+            reduce_fc.set_by_reference()
+        m.submit(reduce_fc)
+        m.run_until_done(timeout=120)
+        assert reduce_fc.state == TaskState.DONE
+        out = reduce_fc.output()
+        value = out.resolve() if by_reference else out
+        elapsed = time.monotonic() - started
+
+        # result payloads through the manager: inline replies ride the
+        # retrieve channel, dereferences ride the fetch plane
+        manager_bytes = (
+            m.control.bytes_by_source.get("retrieve", 0)
+            + m.control.bytes_by_source.get("fetch", 0)
+        )
+        return value, elapsed, manager_bytes
+    finally:
+        _stop(m, procs)
+
+
+def test_result_proxy(tmp_path, bench_report, benchmark):
+    inline_value, inline_s, inline_bytes = _map_reduce(
+        tmp_path, "inline", by_reference=False
+    )
+
+    def byref_run():
+        return _map_reduce(tmp_path, "byref", by_reference=True)
+
+    byref_value, byref_s, byref_bytes = benchmark.pedantic(
+        byref_run, iterations=1, rounds=1
+    )
+
+    assert byref_value == inline_value  # byte-identical final result
+    ratio = inline_bytes / max(1, byref_bytes)
+    bench_report.record("inline_manager_bytes", inline_bytes)
+    bench_report.record("byref_manager_bytes", byref_bytes)
+    bench_report.record("manager_bytes_ratio", round(ratio, 1))
+    bench_report.record("inline_elapsed_s", round(inline_s, 2))
+    bench_report.record("byref_elapsed_s", round(byref_s, 2))
+    print(
+        f"\nresult plane: inline {inline_bytes / 1e6:.2f} MB through the "
+        f"manager vs by-reference {byref_bytes / 1e3:.1f} KB "
+        f"({ratio:.0f}x reduction), value {byref_value!r}"
+    )
+    # the paper's lever: results by reference stop shipping payloads
+    # through the manager
+    assert ratio >= 10
+
+
+if __name__ == "__main__":
+    import sys
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        iv, is_, ib = _map_reduce(root, "inline", by_reference=False)
+        bv, bs, bb = _map_reduce(root, "byref", by_reference=True)
+        print(f"inline: {ib} bytes via manager in {is_:.2f}s -> {iv}")
+        print(f"byref:  {bb} bytes via manager in {bs:.2f}s -> {bv}")
+        sys.exit(0 if bv == iv and ib >= 10 * max(1, bb) else 1)

@@ -424,6 +424,11 @@ class ControlPlane:
         self._m_memo_misses = self.metrics.counter("memo.misses")
         self._m_memo_invalidated = self.metrics.counter("memo.invalidated")
         self._m_memo_bytes = self.metrics.counter("memo.bytes_saved")
+        # result fetch plane (pass-by-reference results, ROADMAP item 3)
+        self._m_fetch_serves = self.metrics.counter("fetch.serves")
+        self._m_fetch_bytes = self.metrics.counter("fetch.bytes")
+        self._m_fetch_retries = self.metrics.counter("fetch.retries")
+        self._m_proxies = self.metrics.counter("proxy.published")
         self._m_restarts = self.metrics.counter("recovery.manager_restarts")
         self._m_readopted = self.metrics.counter("recovery.replicas_readopted")
         self._m_resumed = self.metrics.counter("recovery.tasks_resumed")
@@ -1343,6 +1348,31 @@ class ControlPlane:
             worker=worker_id, file=cache_name, size=size, category="@retrieve",
         )
 
+    def count_fetch(self, worker_id: str, cache_name: str, size: int) -> None:
+        """Account an on-demand result fetch served through the manager.
+
+        Distinct from ``@retrieve`` (eager output bring-back): a fetch
+        moves bytes only when a client or the memo store *dereferences*
+        a result — the by-reference plane's whole point is that this is
+        rare, so it gets its own category for the transaction log.
+        """
+        self.transfer_counts["fetch"] += 1
+        self.bytes_by_source["fetch"] += size
+        self._m_fetch_serves.inc()
+        self._m_fetch_bytes.inc(size)
+        self.log.emit(
+            self.port.now(), "transfer_end",
+            worker=worker_id, file=cache_name, size=size, category="@fetch",
+        )
+
+    def count_fetch_retry(self, cache_name: str, worker_id: str, reason: str) -> None:
+        """Record a fetch moving on from a holder that could not serve."""
+        self._m_fetch_retries.inc()
+        self.log.emit(
+            self.port.now(), "fetch_retried",
+            worker=worker_id, file=cache_name, category=reason,
+        )
+
     # ------------------------------------------------------------------
     # failure scoring, backoff and blocklisting (robustness hardening)
     # ------------------------------------------------------------------
@@ -1700,9 +1730,19 @@ class ControlPlane:
 
     def _recovery_ready(self) -> bool:
         """True once the grace window may close."""
-        return (
-            self._recovery_joined >= self._recovery_expected
-            or self.port.now() >= self._recovery_deadline
+        if self.port.now() >= self._recovery_deadline:
+            return True
+        if self._recovery_joined < self._recovery_expected:
+            return False
+        # worker ids are minted per manager life, so the join count
+        # alone cannot prove the *holders* are back — a bystander
+        # registering first must not trigger regeneration of outputs
+        # whose holder is still reconnecting.  Close early only when
+        # every awaited output is backed (or refetchable).
+        return all(
+            self.replicas.replica_count(name) > 0
+            or self.fixed_sources.get(name, NO_SOURCE) != NO_SOURCE
+            for name in self._recovery_await
         )
 
     def _finish_recovery(self) -> None:

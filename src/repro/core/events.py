@@ -73,6 +73,10 @@ KINDS = frozenset(
         "replica_readopted",
         "session_restored",
         "recovery_complete",
+        # result fetch plane: the worker asked to serve a fetch died (or
+        # denied holding the object) and the fetch moved on to the next
+        # holder / memo payload / lineage regeneration
+        "fetch_retried",
     }
 )
 

@@ -51,6 +51,26 @@ class Library:
         """Names invocable through this library, in declaration order."""
         return list(self.functions)
 
+    @classmethod
+    def from_names(cls, name: str, function_names: Sequence[str]) -> "Library":
+        """A *shell* library: names only, no callables.
+
+        Remote clients ship an already-serialized function table; the
+        manager never unpickles it, so the Library object it keeps is a
+        name-level description used for validation and routing while the
+        opaque payload travels to workers verbatim.
+        """
+        lib = cls.__new__(cls)
+        lib.name = name
+        lib.functions = {}
+        for fname in function_names:
+            if fname in lib.functions:
+                raise ValueError(f"duplicate function {fname!r} in library {name!r}")
+            lib.functions[fname] = None
+        if not lib.functions:
+            raise ValueError(f"library {name!r} declares no functions")
+        return lib
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Library {self.name} funcs={list(self.functions)}>"
 
@@ -91,7 +111,20 @@ class FunctionCall(Task):
     resident library instance instead of spawning a fresh process tree.
     The deserialized return value is available via :meth:`output` once
     the call completes.
+
+    Two result disciplines exist:
+
+    * *inline* (legacy, and the bench baseline): the pickled return
+      value rides the ``task_done`` reply through the manager;
+    * *by reference* (:meth:`set_by_reference`, or any remote
+      submission): the result envelope lands in the executing worker's
+      cache under :data:`RESULT_NAME`-derived content naming and only a
+      ``ResultRef`` travels — ``output()`` then yields a lazy
+      ``ResultProxy``.
     """
+
+    #: sandbox name of the by-reference result envelope output
+    RESULT_NAME = "call_result.bin"
 
     def __init__(
         self,
@@ -108,6 +141,17 @@ class FunctionCall(Task):
         self.category = "function_call"
         self._output: Any = None
         self._output_set = False
+        #: results stay in worker caches; output() is a ResultProxy
+        self.by_reference = False
+        #: remote form: the argument blob is a declared (staged) input
+        #: rather than inline invoke payload bytes
+        self.args_name: Optional[str] = None
+        self.args_blob: Optional[bytes] = None
+
+    def set_by_reference(self, flag: bool = True) -> "FunctionCall":
+        """Keep the result in worker caches; ``output()`` is a proxy."""
+        self.by_reference = bool(flag)
+        return self
 
     def set_output_value(self, value: Any) -> None:
         """Record the function's return value (called by the manager)."""

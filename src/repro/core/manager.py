@@ -62,6 +62,7 @@ from repro.core.gc import collect_workflow
 from repro.core.library import FunctionCall, Library
 from repro.core.naming import Namer, task_merkle
 from repro.core.resources import ResourcePool, Resources
+from repro.core.resultref import ResultProxy, ResultRef, scan_refs
 from repro.core.task import MiniTask, PythonTask, Task, TaskResult, TaskState
 from repro.core.transfer_table import MANAGER_SOURCE, Transfer
 from repro.observe.metrics import MetricsRegistry, SnapshotDumper
@@ -214,10 +215,30 @@ class _ConnState:
 class _LibraryState(LibraryState):
     """Control-plane library state plus the real runtime's payload."""
 
-    def __init__(self, library: Library, resources: Resources, slots: int) -> None:
+    def __init__(
+        self,
+        library: Library,
+        resources: Resources,
+        slots: int,
+        payload: Optional[bytes] = None,
+    ) -> None:
         super().__init__(library.name, (), resources, slots)
         self.library = library
-        self.payload = ser.dumps_portable(dict(library.functions))
+        #: client-shipped tables arrive pre-serialized and travel to
+        #: workers verbatim; locally created libraries serialize here
+        self.payload = (
+            payload
+            if payload is not None
+            else ser.dumps_portable(dict(library.functions))
+        )
+
+
+def _call_result_name(task: FunctionCall) -> Optional[str]:
+    """Cache name of a call's by-reference result output (None = inline)."""
+    for name, f in task.outputs:
+        if name == FunctionCall.RESULT_NAME:
+            return f.cache_name
+    return None
 
 
 class _ClientSession:
@@ -264,10 +285,14 @@ class _ClientSession:
 class _MemoHarvestWaiter:
     """Adapter retaining a ``send_back`` reply in the memo store.
 
-    Rides the same ``_fetch_waiters`` path as application fetches, so a
-    result payload coming back for any reason can double as the memo
-    store's retained copy (digest recorded alongside).
+    Rides the same fetch plane as application fetches, so a result
+    payload coming back for any reason can double as the memo store's
+    retained copy (digest recorded alongside).
     """
+
+    #: retention is opportunistic: its fetch must never trigger
+    #: lineage regeneration when the replicas are simply gone
+    best_effort = True
 
     def __init__(self, store, merkle: str, cache_name: str) -> None:
         self.store = store
@@ -296,6 +321,26 @@ class _ClientFetchWaiter:
 
     def put(self, payload: Optional[bytes]) -> None:
         self.service._send_file_data(self.sess, self.cache_name, payload)
+
+
+class _FetchState:
+    """One cache name's in-flight byte resolution at the manager.
+
+    Tracks which worker is currently being asked (``asked is None``
+    while parked on lineage regeneration), which holders were already
+    tried, and every waiter sharing the resolution — concurrent fetches
+    of one name cost one ``send_back``, not one per requester.  Waiters
+    quack ``put(payload_or_None)``: ``queue.Queue`` (in-process
+    fetches), :class:`_ClientFetchWaiter`, :class:`_MemoHarvestWaiter`.
+    """
+
+    __slots__ = ("waiters", "asked", "tried", "started")
+
+    def __init__(self) -> None:
+        self.waiters: list = []
+        self.asked: Optional[str] = None
+        self.tried: set[str] = set()
+        self.started = time.monotonic()
 
 
 class ManagerService:
@@ -507,6 +552,8 @@ class ManagerService:
                 self._submit_dag(sess, msg)
             elif mtype == M.FETCH_RESULT:
                 self._fetch(sess, msg)
+            elif mtype == M.CREATE_LIBRARY:
+                self._create_library(sess, msg, payload)
             elif mtype == M.DETACH:
                 self._detach(sess)
             else:  # a second client_hello on an attached session
@@ -615,7 +662,10 @@ class ManagerService:
 
     def _build_task(self, sess: _ClientSession, spec: dict, keymap: dict) -> Task:
         mgr = self.mgr
-        task = Task(str(spec["command"]))
+        if spec.get("kind") == "call":
+            task: Task = self._build_call(spec)
+        else:
+            task = Task(str(spec["command"]))
         acct = mgr.control.tenant_account(sess.tenant)
         for entry in spec.get("inputs", ()):
             sandbox, src = entry[0], entry[1]
@@ -625,9 +675,7 @@ class ManagerService:
                     raise ManagerError(f"unknown dag key {src.get('key')!r}")
             else:
                 if src not in acct.names:
-                    raise ManagerError(
-                        f"input {src!r} is outside tenant {sess.tenant!r}'s namespace"
-                    )
+                    self._adopt_name(sess, acct, src)
                 f = mgr.registry.by_name(src)
             task.add_input(f, sandbox)
         for entry in spec.get("outputs", ()):
@@ -649,6 +697,61 @@ class ManagerService:
             task.set_deterministic(True)
         task.set_tenant(sess.tenant)
         return task
+
+    def _build_call(self, spec: dict) -> FunctionCall:
+        """A remote serverless invocation: args travel as a staged blob.
+
+        The client declared its pickled argument tuple as an ordinary
+        buffer (``args_cache``) and lists it — plus any ``ResultRef``
+        arguments — among the task inputs, so the staging planner moves
+        every byte the invocation needs worker-to-worker.  Remote calls
+        are always by-reference: only a ref comes back.
+        """
+        mgr = self.mgr
+        lib = str(spec["library"])
+        state = mgr.control.libraries.get(lib)
+        if state is None:
+            raise ManagerError(f"function call names unknown library {lib!r}")
+        fn = str(spec["function"])
+        if fn not in state.library.functions:
+            raise ManagerError(f"library {lib!r} has no function {fn!r}")
+        task = FunctionCall(lib, fn)
+        task.set_by_reference()
+        args_cache = spec.get("args_cache")
+        if args_cache is not None:
+            task.args_name = str(args_cache)
+            f = (
+                mgr.registry.by_name(task.args_name)
+                if task.args_name in mgr.registry
+                else None
+            )
+            if isinstance(f, BufferFile):
+                # merkle identity hashes the exact argument bytes, so
+                # identical remote calls memo-match across runs/tenants
+                task.args_blob = f.data
+        return task
+
+    def _adopt_name(self, sess: _ClientSession, acct, src: str) -> None:
+        """Admit a cache name from outside the tenant's namespace.
+
+        Content-addressed names act as capabilities: a client holding a
+        ``ResultRef`` to another tenant's published output may consume
+        it, and the shared bytes charge the consuming tenant zero — the
+        same ``cache_shared`` accounting as a cross-tenant declare hit.
+        Names with no live backing (no replica, no retained payload)
+        stay namespace errors.
+        """
+        mgr = self.mgr
+        backed = src in mgr.registry and (
+            mgr.replicas.replica_count(src) > 0
+            or (mgr.memo_store is not None and mgr.memo_store.has_payload(src))
+        )
+        if not backed:
+            raise ManagerError(
+                f"input {src!r} is outside tenant {sess.tenant!r}'s namespace"
+            )
+        mgr.control.tenant_cache_hit(sess.tenant, src, mgr.sizes.get(src, 0))
+        mgr.control.tenant_add_name(sess.tenant, src)
 
     def _submit(self, sess: _ClientSession, task: Task) -> str:
         mgr = self.mgr
@@ -707,6 +810,54 @@ class ManagerService:
             tid = self._submit(sess, task)
             self._accept(sess, f"{ref}[{i}]", task, tid)
 
+    # -- serverless -------------------------------------------------------
+
+    def _create_library(
+        self, sess: _ClientSession, msg: dict, payload: Optional[bytes]
+    ) -> None:
+        """Install a client-shipped library of serverless functions.
+
+        The serialized function table is never unpickled here — the
+        manager keeps a name-level shell for validation and routing and
+        forwards the opaque payload to workers verbatim.  Re-creating a
+        library whose name and function set already exist is idempotent
+        (a cache hit in spirit), so every session of a tenant — and a
+        reattaching client — can issue the same ``create_library``
+        unconditionally.
+        """
+        mgr = self.mgr
+        name = str(msg["library"])
+        names = [str(n) for n in msg.get("functions", ())]
+        existing = mgr.control.libraries.get(name)
+        if existing is not None:
+            if set(names) != set(existing.library.functions):
+                raise ManagerError(
+                    f"library {name!r} already exists with a different function table"
+                )
+        else:
+            if not payload:
+                raise ManagerError(
+                    f"create_library {name!r} carries no function table"
+                )
+            library = Library.from_names(name, names)
+            mgr.control.libraries[name] = _LibraryState(
+                library,
+                Resources(cores=1),
+                int(msg.get("slots", 1)),
+                payload=payload,
+            )
+            mgr.control.install_library(name)
+        if sess.handle is not None:
+            mgr._send(
+                sess.handle,
+                {
+                    "type": M.LIBRARY_CREATED,
+                    "ref": msg.get("ref"),
+                    "library": name,
+                    "functions": names,
+                },
+            )
+
     # -- completion and retrieval ----------------------------------------
 
     def task_delivered(self, task: Task) -> Optional[_ClientSession]:
@@ -721,18 +872,27 @@ class ManagerService:
         sess.tasks.discard(task.task_id)
         sess.delivered += 1
         r = task.result
-        self._notify(
-            sess,
-            {
-                "type": M.TASK_RESULT,
-                "task_id": task.task_id,
-                "state": task.state.value,
-                "exit_code": r.exit_code if r else -1,
-                "failure": r.failure if r else None,
-                "output": (r.output or "")[-2000:] if r else "",
-                "outputs": {name: f.cache_name for name, f in task.outputs},
-            },
-        )
+        notice = {
+            "type": M.TASK_RESULT,
+            "task_id": task.task_id,
+            "state": task.state.value,
+            "exit_code": r.exit_code if r else -1,
+            "failure": r.failure if r else None,
+            "output": (r.output or "")[-2000:] if r else "",
+            "outputs": {name: f.cache_name for name, f in task.outputs},
+        }
+        if isinstance(task, FunctionCall) and task.state == TaskState.DONE:
+            name = _call_result_name(task)
+            if name is not None:
+                # the value never travels in the notice: consumers get a
+                # ref and resolve (or chain) it through the fetch plane
+                mgr = self.mgr
+                notice["result_ref"] = ResultRef(
+                    cache_name=name,
+                    size=mgr.sizes.get(name, 0),
+                    holders=tuple(sorted(mgr.replicas.locate(name))),
+                ).to_dict()
+        self._notify(sess, notice)
         if not sess.tasks:
             # "nothing outstanding" can be momentary under incremental
             # submission (task 1 done while task 2's submit is in
@@ -771,15 +931,11 @@ class ManagerService:
         if isinstance(f, BufferFile):
             self._send_file_data(sess, name, f.data)
             return
-        holders = [w for w in mgr.replicas.locate(name) if w in mgr.workers]
-        if not holders:
-            payload = mgr._memo_payload_bytes(name)
-            if payload is not None:
-                self._send_file_data(sess, name, payload)
-                return
-            raise ManagerError(f"no worker holds {name}")
-        mgr._fetch_waiters[name].append(_ClientFetchWaiter(self, sess, name))
-        mgr._send(mgr.workers[holders[0]], {"type": M.SEND_BACK, "cache_name": name})
+        # everything else rides the fetch plane: live holders first
+        # (retrying across them if one dies mid-serve), then the memo
+        # store's retained payload, then lineage regeneration; only
+        # when all three come up empty does the client see found=False
+        mgr._request_payload(name, _ClientFetchWaiter(self, sess, name))
 
     def _send_file_data(
         self, sess: _ClientSession, name: str, payload: Optional[bytes]
@@ -835,6 +991,8 @@ class Manager:
         memo_payload_limit: Optional[int] = None,
         journal_dir: Optional[str] = None,
         recovery_grace: float = 10.0,
+        inline_call_results: bool = False,
+        fetch_ttl: float = 300.0,
     ) -> None:
         if network not in ("reactor", "threads"):
             raise ValueError(f"unknown network mode {network!r}")
@@ -903,13 +1061,24 @@ class Manager:
         self.namer = Namer(seed=seed)
         self.namer.header_fetcher = self._url_headers
 
+        #: legacy wire discipline: function-call values ride the
+        #: task_done reply through the manager (the bench baseline the
+        #: by-reference result plane is measured against)
+        self.inline_call_results = inline_call_results
+        #: seconds before an in-flight result fetch is abandoned and
+        #: its orphaned waiters are failed (liveness-sweep hygiene)
+        self.fetch_ttl = fetch_ttl
         self.workers: dict[str, _WorkerHandle] = {}
         self._completed: "queue.Queue[Task]" = queue.Queue()
-        self._retrieving: dict[str, Task] = {}  # result cache_name -> python task
-        #: result names whose cache-update must trigger a SEND_BACK: the
+        #: result cache_name -> value-retrieval task (python task, or a
+        #: loopback function call in value mode) awaiting its payload
+        self._retrieving: dict[str, Task] = {}
+        #: result names whose cache-update must trigger a fetch: the
         #: worker announced the harvest but the update had not landed yet
         self._awaiting_result: dict[str, Task] = {}
-        self._fetch_waiters: dict[str, list[queue.Queue]] = collections.defaultdict(list)
+        #: in-flight result fetches by cache name — shared waiter lists,
+        #: holder retry on death/denial, regeneration parking
+        self._fetch_states: dict[str, _FetchState] = {}
 
         # network traffic accounting (docs/observability.md "net.*")
         m = self.control.metrics
@@ -1092,20 +1261,32 @@ class Manager:
         if handle is None:
             return
         if isinstance(task, FunctionCall):
+            msg = {
+                "type": M.INVOKE,
+                "task_id": task.task_id,
+                "library": task.library_name,
+                "function": task.function_name,
+            }
+            result_name = _call_result_name(task)
+            if result_name is not None:
+                rf = next(
+                    f for n, f in task.outputs if n == FunctionCall.RESULT_NAME
+                )
+                msg["result_name"] = result_name
+                msg["result_level"] = int(rf.cache_level)
+                msg["inputs"] = [f.cache_name for _n, f in task.inputs]
+            if task.args_name is not None:
+                # remote form: the argument blob was staged as an input,
+                # so nothing but the control frame goes over this hop
+                msg["args_cache"] = task.args_name
+                msg["payload_size"] = 0
+                self._send(handle, msg)
+                return
             from repro.worker.library_instance import pack_invocation
 
             blob = pack_invocation(task.args, dict(task.kwargs))
-            self._send(
-                handle,
-                {
-                    "type": M.INVOKE,
-                    "task_id": task.task_id,
-                    "library": task.library_name,
-                    "function": task.function_name,
-                    "payload_size": len(blob),
-                },
-                blob,
-            )
+            msg["payload_size"] = len(blob)
+            self._send(handle, msg, blob)
             return
         self._send(
             handle,
@@ -1162,8 +1343,34 @@ class Manager:
     def deliver(self, task: Task, regenerated: bool) -> None:
         if regenerated:  # regeneration reruns were already delivered
             return
+        if (
+            isinstance(task, FunctionCall)
+            and task.state == TaskState.DONE
+            and not task._output_set
+            and _call_result_name(task) is not None
+        ):
+            self._publish_proxy(task)
         if self.service.task_delivered(task) is None:
             self._completed.put(task)  # loopback (in-process) session
+
+    def _publish_proxy(self, task: FunctionCall) -> None:
+        """Stamp a completed by-reference call with its lazy result proxy.
+
+        The value stays in worker caches; ``output()`` hands back a
+        :class:`ResultProxy` whose first dereference resolves through
+        the fetch plane (replica send-back with holder retry, the memo
+        store's retained payload, or lineage regeneration).  Covers
+        fresh executions and memo hits alike.
+        """
+        name = _call_result_name(task)
+        assert name is not None
+        ref = ResultRef(
+            cache_name=name,
+            size=self.sizes.get(name, 0),
+            holders=tuple(sorted(self.replicas.locate(name))),
+        )
+        task.set_output_value(ResultProxy(ref, fetcher=self._fetch_result_bytes))
+        self.control._m_proxies.inc()
 
     # -- memoization mechanisms (optional RuntimePort hooks) -------------
 
@@ -1204,12 +1411,8 @@ class Manager:
             ]
             if not holders:
                 continue
-            self._fetch_waiters[out.cache_name].append(
-                _MemoHarvestWaiter(store, merkle, out.cache_name)
-            )
-            self._send(
-                self.workers[holders[0]],
-                {"type": M.SEND_BACK, "cache_name": out.cache_name},
+            self._request_payload(
+                out.cache_name, _MemoHarvestWaiter(store, merkle, out.cache_name)
             )
 
     def memo_finalize(self, task: Task, entry) -> bool:
@@ -1219,14 +1422,28 @@ class Manager:
         always finalize.  A python task's value must be decoded from the
         retained result payload — without one (or with a recorded
         exception) the hit is vetoed and the task runs.  Function calls
-        return their value on the wire, not in a file, so they always
-        execute.
+        follow the same rule in value (loopback) mode; by-reference and
+        remote calls always finalize — their proxy resolves lazily
+        through the fetch plane, which the validated entry (live
+        replicas or a digest-verified payload) is known to serve.
         """
         if isinstance(task, FunctionCall):
-            return False
+            result_name = _call_result_name(task)
+            if result_name is None:
+                return False  # inline mode: the value only ever rode the wire
+            if task.by_reference or getattr(task, "session_token", None) is not None:
+                return True
+            return self._finalize_value(task, entry, result_name)
         if not isinstance(task, PythonTask):
             return True
         result_name = task.outputs[-1][1].cache_name
+        if not self._finalize_value(task, entry, result_name):
+            return False
+        self._retrieving.pop(result_name, None)
+        return True
+
+    def _finalize_value(self, task: Task, entry, result_name: str) -> bool:
+        """Decode a retained result payload into a value-mode task."""
         out = next((o for o in entry.outputs if o.cache_name == result_name), None)
         if out is None or not self.memo_attach(result_name, out.size, out.md5):
             return False  # no digest-verified retained copy of the value
@@ -1240,7 +1457,6 @@ class Manager:
         if not decoded.get("ok"):
             return False
         task.set_output_value(decoded.get("value"))
-        self._retrieving.pop(result_name, None)
         return True
 
     def _memo_payload_bytes(self, cache_name: str) -> Optional[bytes]:
@@ -1382,6 +1598,7 @@ class Manager:
                 raise ManagerError(
                     f"function call names unknown library {task.library_name!r}"
                 )
+            self._prepare_function_call(task)
         for _, f in task.inputs:
             if f.cache_name is None or f.cache_name not in self.control.fixed_sources:
                 # ids are assigned at submit, so name the command here
@@ -1433,6 +1650,30 @@ class Manager:
         # named (memo-aware) and declared in _submit_prepared's output
         # pass; _retrieving is registered there once the name exists
         task.outputs.append((task.RESULT_NAME, result))
+
+    def _prepare_function_call(self, task: FunctionCall) -> None:
+        """Attach the by-reference result output and proxy-argument inputs.
+
+        Proxy arguments become ordinary task inputs, so the staging
+        planner moves the referenced bytes worker-to-worker (peer
+        transfers) and the invocation dereferences them from the local
+        cache — result payloads never route through the manager.  With
+        ``inline_call_results`` the legacy wire discipline is kept:
+        no result output, the pickled value rides the task_done reply.
+        """
+        for ref in scan_refs((task.args, dict(task.kwargs))):
+            if any(f.cache_name == ref.cache_name for _n, f in task.inputs):
+                continue
+            if ref.cache_name not in self.registry:
+                raise ManagerError(
+                    f"proxy argument {ref.cache_name} references an unknown object"
+                )
+            task.add_input(self.registry.by_name(ref.cache_name), ref.cache_name)
+        if self.inline_call_results or any(
+            n == FunctionCall.RESULT_NAME for n, _f in task.outputs
+        ):
+            return
+        task.add_output(TempFile(), FunctionCall.RESULT_NAME)
 
     def wait(self, timeout: Optional[float] = None) -> Optional[Task]:
         """Block until some task completes; None on timeout.
@@ -1534,28 +1775,109 @@ class Manager:
         if isinstance(f, LocalFile):
             with open(f.path, "rb") as fh:
                 return fh.read()
+        name = f.cache_name
+        if name is None:
+            raise ManagerError(f"file {f.file_id} was never declared")
+        return self._fetch_result_bytes(name, timeout=timeout)
+
+    def _fetch_result_bytes(self, cache_name: str, timeout: float = 60.0) -> bytes:
+        """Resolve a cache name to bytes through the fetch plane.
+
+        This is the fetcher bound into every published
+        :class:`ResultProxy` and the backend of :meth:`fetch_bytes`:
+        live holders are asked first (retrying across them if one dies
+        or denies mid-serve), then the memo store's retained payload,
+        then lineage regeneration.  Raises when every source comes up
+        empty or the deadline passes.
+        """
         waiter: "queue.Queue[Optional[bytes]]" = queue.Queue()
         with self._lock:
-            name = f.cache_name
-            if name is None:
-                raise ManagerError(f"file {f.file_id} was never declared")
-            holders = [
-                w for w in self.replicas.locate(name) if w in self.workers
-            ]
-            if not holders:
-                payload = self._memo_payload_bytes(name)
-                if payload is not None:
-                    return payload
-                raise ManagerError(f"no worker holds {name}")
-            self._fetch_waiters[name].append(waiter)
-            self._send(self.workers[holders[0]], {"type": M.SEND_BACK, "cache_name": name})
+            self._request_payload(cache_name, waiter)
         try:
             data = waiter.get(timeout=timeout)
         except queue.Empty:
-            raise ManagerError(f"timed out fetching {name}") from None
+            raise ManagerError(f"timed out fetching {cache_name}") from None
         if data is None:
-            raise ManagerError(f"worker could not serve {name}")
+            raise ManagerError(f"no worker holds {cache_name}")
         return data
+
+    # -- the fetch plane --------------------------------------------------
+
+    def _request_payload(self, name: str, waiter=None) -> None:
+        """Ensure the bytes of ``name`` are being fetched; park ``waiter``.
+
+        Concurrent requests for one name share a single in-flight
+        resolution: one ``send_back`` on the wire, every waiter served
+        from the same reply.  Callers hold the state lock.
+        """
+        st = self._fetch_states.get(name)
+        if st is not None:
+            if waiter is not None:
+                st.waiters.append(waiter)
+            return
+        st = self._fetch_states[name] = _FetchState()
+        if waiter is not None:
+            st.waiters.append(waiter)
+        self._fetch_advance(name, st)
+
+    def _fetch_advance(self, name: str, st: _FetchState) -> None:
+        """Ask the next source for ``name``'s bytes.
+
+        Source order: an untried live holder (lowest worker id, so the
+        choice is deterministic), the memo store's retained payload,
+        then lineage regeneration — the fetch parks (``asked=None``)
+        until the regenerated replica's cache-update advances it.  With
+        nothing left the fetch settles as unservable.
+        """
+        holders = [
+            w
+            for w in self.replicas.locate(name)
+            if w in self.workers and w not in st.tried
+        ]
+        if holders:
+            wid = min(holders)
+            st.tried.add(wid)
+            st.asked = wid
+            self._send(self.workers[wid], {"type": M.SEND_BACK, "cache_name": name})
+            return
+        payload = self._memo_payload_bytes(name)
+        if payload is not None:
+            self._fetch_settle(name, payload)
+            return
+        # best-effort waiters (memo retention) never justify re-running
+        # the producer; a value retrieval or an application fetch does
+        needy = name in self._retrieving or any(
+            not getattr(w, "best_effort", False) for w in st.waiters
+        )
+        if needy and name in self.registry and self.control._regenerate(name):
+            st.asked = None  # parked: the regenerated replica advances it
+            self.request_pump()
+            return
+        self._fetch_settle(name, None)
+
+    def _fetch_settle(
+        self, name: str, payload: Optional[bytes], worker_id: str = "@manager"
+    ) -> None:
+        """Resolve an in-flight fetch: serve every waiter at once."""
+        st = self._fetch_states.pop(name, None)
+        if st is None:
+            return
+        if payload is not None and st.waiters:
+            self.control.count_fetch(worker_id, name, len(payload))
+        for waiter in st.waiters:
+            waiter.put(payload)
+        if payload is None:
+            self._fail_retrieval(name)
+
+    def _fail_retrieval(self, name: str) -> None:
+        """Fail a deferred value retrieval whose bytes are unrecoverable."""
+        task = self._retrieving.get(name)
+        if task is None or task.is_done or task.result is None:
+            return  # nothing parked, or not yet a deferred completion
+        self._retrieving.pop(name, None)
+        result = task.result
+        result.failure = result.failure or "result file missing at worker"
+        self.control.finish_deferred(task, result)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -1565,6 +1887,11 @@ class Manager:
             if self.control.closed:
                 return
             self.control.closed = True
+            # unblock every parked fetcher before the wires go away
+            for st in self._fetch_states.values():
+                for waiter in st.waiters:
+                    waiter.put(None)
+            self._fetch_states.clear()
             deletions = collect_workflow(self.control.registry, self.control.replicas)
             for wid, names in deletions.items():
                 handle = self.workers.get(wid)
@@ -1698,6 +2025,29 @@ class Manager:
             if self.worker_liveness_timeout is not None:
                 self._reap_stale(time.time())
             self._reap_sessions(time.time())
+            self._reap_fetches(time.monotonic())
+
+    def _reap_fetches(self, now: float) -> list[str]:
+        """Fail fetches stuck past the TTL (orphaned-waiter hygiene).
+
+        A fetch normally resolves or fails through holder replies,
+        worker-loss retries, or regeneration; this sweep is the
+        backstop for the ways those signals can be lost (a reply frame
+        dropped mid-teardown, a regeneration whose producer hangs), so
+        no client ever waits on a fetch the manager has forgotten.
+        """
+        with self._lock:
+            stale = [
+                name
+                for name, st in self._fetch_states.items()
+                if now - st.started > self.fetch_ttl
+            ]
+            for name in stale:
+                log.warning(
+                    "fetch of %s abandoned after %.0fs", name, self.fetch_ttl
+                )
+                self._fetch_settle(name, None)
+        return stale
 
     def _find_stale(self, now: float) -> list[_WorkerHandle]:
         """Workers silent past the liveness timeout as of ``now``."""
@@ -1943,6 +2293,11 @@ class Manager:
             state.pending = msg
             state.frames.expect_bytes(int(spec["size"]))
             return
+        if mtype == M.CREATE_LIBRARY and int(msg.get("payload_size", 0)) > 0:
+            # the serialized function table follows as one bulk payload
+            state.pending = msg
+            state.frames.expect_bytes(int(msg["payload_size"]))
+            return
         with self._lock:
             self.service.handle_message(sess, mtype, msg, None)
 
@@ -2054,18 +2409,25 @@ class Manager:
         elif mtype == M.LIBRARY_READY:
             self._on_library_ready(handle, msg)
         elif mtype == M.FILE_DATA:
-            self._on_file_data(msg, payload)
+            self._on_file_data(handle, msg, payload)
 
     def _on_cache_update(self, handle: _WorkerHandle, msg: dict) -> None:
         name = msg["cache_name"]
         self.control.on_cache_update(
             handle.worker_id, name, int(msg["size"]), msg.get("transfer_id")
         )
-        # a python task finished before its result replica registered;
-        # now that the replica exists, pull the value back
+        # a value-mode task finished before its result replica
+        # registered; now that the replica exists, pull the value back
         task = self._awaiting_result.pop(name, None)
         if task is not None:
-            self._send(handle, {"type": M.SEND_BACK, "cache_name": name})
+            self._request_payload(name)
+        st = self._fetch_states.get(name)
+        if st is not None and st.asked is None:
+            # a fetch parked on lineage regeneration: the regenerated
+            # replica just landed, so the (possibly re-tried) holder
+            # can serve it now
+            st.tried.discard(handle.worker_id)
+            self._fetch_advance(name, st)
 
     # -- task completion --------------------------------------------------
 
@@ -2090,9 +2452,8 @@ class Manager:
         task = self.control.on_task_result(handle.worker_id, task_id, result)
         if task is None:
             return  # stale report, or requeued by a retry policy
-        if isinstance(task, FunctionCall) and payload is not None:
-            self._set_call_output(task, result, payload)
-            self.control.complete_task(task, result)
+        if isinstance(task, FunctionCall):
+            self._on_call_done(handle, task, result, msg, payload)
             return
         if isinstance(task, PythonTask) and result.exit_code in (0, 1):
             if task._output_set:
@@ -2102,11 +2463,7 @@ class Manager:
             result_name = task.outputs[-1][1].cache_name
             if self.replicas.replica_count(result_name):
                 task.result = result
-                holders = list(self.replicas.locate(result_name))
-                self._send(
-                    self.workers[holders[0]],
-                    {"type": M.SEND_BACK, "cache_name": result_name},
-                )
+                self._request_payload(result_name)
                 self.control.complete_task(task, result, defer=True)
                 return  # completion finishes in _on_file_data
             if result_name in msg.get("harvested", ()):
@@ -2123,6 +2480,62 @@ class Manager:
                 f"result file never produced (exit {result.exit_code})"
                 + (f": {tail}" if tail else "")
             )
+        self.control.complete_task(task, result)
+
+    def _on_call_done(
+        self,
+        handle: _WorkerHandle,
+        task: FunctionCall,
+        result: TaskResult,
+        msg: dict,
+        payload: Optional[bytes],
+    ) -> None:
+        """Route a finished function call by its result discipline."""
+        if payload is not None:
+            # legacy inline result: the pickled value rode the task_done
+            # reply through the manager — counted as a retrieval so the
+            # bench can hold inline against the by-reference plane
+            self.control.count_retrieval(
+                handle.worker_id, f"result:{task.task_id}", len(payload)
+            )
+            self._set_call_output(task, result, payload)
+            self.control.complete_task(task, result)
+            return
+        result_name = _call_result_name(task)
+        if result_name is None or result.exit_code != 0:
+            # an inline call that produced no reply payload (the library
+            # never ran), or a failed invocation: terminal either way
+            if result.exit_code != 0 and not result.failure:
+                result.failure = f"invocation failed (exit {result.exit_code})"
+            self.control.complete_task(task, result)
+            return
+        if task._output_set:
+            # regeneration rerun: the value was already delivered
+            self.control.complete_task(task, task.result or result)
+            return
+        if task.by_reference or getattr(task, "session_token", None) is not None:
+            # by-reference: the envelope stays in the worker's cache and
+            # only a ref travels — the proxy is stamped at delivery
+            self.control.complete_task(task, result)
+            return
+        # loopback value semantics: the application asked for a value,
+        # not a proxy, so pull the envelope back like a python result
+        if self.replicas.replica_count(result_name):
+            task.result = result
+            self._retrieving[result_name] = task
+            self._request_payload(result_name)
+            self.control.complete_task(task, result, defer=True)
+            return  # completion finishes in _on_file_data
+        if result_name in msg.get("harvested", ()):
+            task.result = result
+            self._retrieving[result_name] = task
+            self._awaiting_result[result_name] = task
+            self.control.complete_task(task, result, defer=True)
+            return
+        tail = (result.output or "").strip()[-500:]
+        result.failure = result.failure or (
+            "result file never produced" + (f": {tail}" if tail else "")
+        )
         self.control.complete_task(task, result)
 
     def _set_call_output(self, task: FunctionCall, result: TaskResult, blob: bytes) -> None:
@@ -2143,30 +2556,53 @@ class Manager:
             handle.libraries.add(name)
         self.control.on_library_ready(handle.worker_id, name)
 
-    def _on_file_data(self, msg: dict, payload: Optional[bytes]) -> None:
+    def _on_file_data(
+        self, handle: Optional[_WorkerHandle], msg: dict, payload: Optional[bytes]
+    ) -> None:
         name = msg["cache_name"]
+        wid = handle.worker_id if handle is not None else "@manager"
+        if payload is None:
+            # the asked worker denies holding the object (evicted,
+            # corrupt): move the fetch on to the next source instead of
+            # failing every waiter on one holder's say-so
+            st = self._fetch_states.get(name)
+            if st is not None and st.asked == wid:
+                self.control.count_fetch_retry(name, wid, "not_found")
+                st.asked = None
+                self._fetch_advance(name, st)
+                return
+            if st is not None:
+                return  # a stale miss from a superseded source
+            self._fail_retrieval(name)
+            return
         task = self._retrieving.pop(name, None)
-        if task is not None and isinstance(task, PythonTask):
-            result = task.result or TaskResult(exit_code=0)
-            if payload is None:
-                result.failure = "result file missing at worker"
-            else:
-                try:
-                    decoded = ser.loads(payload)
-                    if decoded.get("ok"):
-                        task.set_output_value(decoded.get("value"))
-                    else:
-                        task.set_output_value(None)
-                        result.failure = decoded.get("traceback") or "remote exception"
-                        err = decoded.get("error")
-                        if isinstance(err, BaseException):
-                            task.set_output_value(err)
-                except ser.SerializationError as exc:
-                    result.failure = f"result decode failed: {exc}"
+        if task is not None and not task.is_done and task.result is not None:
+            self.control.count_retrieval(wid, name, len(payload))
+            result = task.result
+            self._decode_value(task, result, payload)
             self.control.finish_deferred(task, result)
-        waiters = self._fetch_waiters.pop(name, [])
-        for waiter in waiters:
-            waiter.put(payload)
+        self._fetch_settle(name, payload, worker_id=wid)
+
+    def _decode_value(self, task: Task, result: TaskResult, payload: bytes) -> None:
+        """Decode a pulled-back result envelope into a value-mode task."""
+        try:
+            decoded = ser.loads(payload)
+        except ser.SerializationError as exc:
+            result.failure = f"result decode failed: {exc}"
+            return
+        if decoded.get("ok"):
+            task.set_output_value(decoded.get("value"))
+            return
+        if isinstance(task, PythonTask):
+            # exit-1 semantics: the exception is the task's output
+            task.set_output_value(None)
+            result.failure = decoded.get("traceback") or "remote exception"
+            err = decoded.get("error")
+            if isinstance(err, BaseException):
+                task.set_output_value(err)
+            return
+        result.failure = decoded.get("traceback") or repr(decoded.get("error"))
+        result.exit_code = result.exit_code or 1
 
     def _on_worker_gone(self, handle: _WorkerHandle) -> None:
         if not handle.alive:
@@ -2176,6 +2612,13 @@ class Manager:
         self.workers.pop(handle.worker_id, None)
         handle.stop_sender()
         self.control.worker_left(handle.worker_id)
+        # in-flight fetches asked of the dead worker move on to the
+        # next holder instead of stranding their waiters until timeout
+        for name, st in list(self._fetch_states.items()):
+            if st.asked == handle.worker_id:
+                self.control.count_fetch_retry(name, handle.worker_id, "worker_lost")
+                st.asked = None
+                self._fetch_advance(name, st)
 
     # -- low-level send -------------------------------------------------------
 

@@ -202,13 +202,18 @@ def task_merkle(task) -> str:
     if isinstance(task, PythonTask):
         kind, command = "python", "@pytask"
     elif isinstance(task, FunctionCall):
-        from repro.protocol import serialization as ser
+        # remote submissions carry an opaque pre-serialized argument
+        # blob the manager never unpickles; its bytes are the identity
+        if getattr(task, "args_blob", None) is not None:
+            payload = task.args_blob
+        else:
+            from repro.protocol import serialization as ser
 
-        # plain dumps, not dumps_portable: the portable envelope embeds
-        # the sender's sys.path, which is host noise, not call identity
-        payload = ser.dumps(
-            {"args": list(task.args), "kwargs": dict(task.kwargs)}
-        )
+            # plain dumps, not dumps_portable: the portable envelope
+            # embeds the sender's sys.path — host noise, not identity
+            payload = ser.dumps(
+                {"args": list(task.args), "kwargs": dict(task.kwargs)}
+            )
         kind = "call"
         command = (
             f"{task.library_name}.{task.function_name}:{hash_bytes(payload)}"

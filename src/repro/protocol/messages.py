@@ -68,6 +68,7 @@ class M:
     SUBMIT_TASK = "submit_task"
     SUBMIT_DAG = "submit_dag"
     FETCH_RESULT = "fetch_result"
+    CREATE_LIBRARY = "create_library"  # + serialized function table follows
     DETACH = "detach"
 
     # manager -> client
@@ -76,6 +77,7 @@ class M:
     FILE_DECLARED = "file_declared"
     TASK_ACCEPTED = "task_accepted"
     TASK_RESULT = "task_result"
+    LIBRARY_CREATED = "library_created"
     WORKFLOW_DONE = "workflow_done"
     DETACHED = "detached"
 
@@ -119,6 +121,10 @@ _SCHEMA: Mapping[str, tuple[str, ...]] = {
     M.SUBMIT_TASK: ("ref", "spec"),
     M.SUBMIT_DAG: ("ref", "tasks"),
     M.FETCH_RESULT: ("cache_name",),
+    # ``create_library`` ships the serialized function table as trailing
+    # bytes ("payload_size"); the manager never unpickles it — the blob
+    # is forwarded verbatim to workers via ``install_library``.
+    M.CREATE_LIBRARY: ("ref", "library", "functions", "payload_size"),
     M.DETACH: (),
     # welcome optionally carries "done" (delivery baseline), "missed"
     # (notices lost to the buffer cap or a manager crash) and
@@ -128,6 +134,7 @@ _SCHEMA: Mapping[str, tuple[str, ...]] = {
     M.FILE_DECLARED: ("ref", "cache_name", "cache_hit"),
     M.TASK_ACCEPTED: ("ref", "task_id"),
     M.TASK_RESULT: ("task_id", "state"),
+    M.LIBRARY_CREATED: ("ref", "library"),
     M.WORKFLOW_DONE: ("tenant",),
     M.DETACHED: (),
 }
@@ -143,6 +150,7 @@ CLIENT_KINDS = frozenset(
         M.SUBMIT_TASK,
         M.SUBMIT_DAG,
         M.FETCH_RESULT,
+        M.CREATE_LIBRARY,
         M.DETACH,
     }
 )

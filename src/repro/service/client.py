@@ -20,10 +20,13 @@ import collections
 import hashlib
 import itertools
 import json
+import select
 import sys
 import time
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
+from repro.core.resultref import ResultProxy, ResultRef, scan_refs
+from repro.protocol import serialization as ser
 from repro.protocol.connection import Connection
 from repro.protocol.messages import M
 
@@ -82,8 +85,17 @@ class ServiceClient:
 
     # -- receive plumbing ---------------------------------------------
 
-    def _pump(self) -> None:
-        """Receive one message, filing notices; replies join a queue."""
+    def _pump(self, wait: Optional[float] = None) -> bool:
+        """Receive one message, filing notices; replies join a queue.
+
+        With ``wait`` set, blocks on the socket for at most that long
+        and returns False if nothing arrived — deadline loops sleep in
+        the kernel instead of spinning recv against the socket timeout.
+        """
+        if wait is not None:
+            ready, _, _ = select.select([self.conn.fileno()], [], [], max(0.0, wait))
+            if not ready:
+                return False
         msg = self.conn.recv_message()
         mtype = msg.get("type")
         if mtype == M.TASK_RESULT:
@@ -101,6 +113,7 @@ class ServiceClient:
             raise ClientError(msg.get("reason", "rejected"))
         else:
             self._replies.append(msg)
+        return True
 
     def _await(self, mtype: str, ref=None) -> dict:
         """Block until the reply of ``mtype`` (and ``ref``, if given)."""
@@ -190,11 +203,98 @@ class ServiceClient:
         self.workflow_done = False
         return replies
 
+    # -- serverless calls -------------------------------------------------
+
+    def create_library(
+        self, name: str, functions, function_slots: int = 1
+    ) -> dict:
+        """Install a serverless library at the service.
+
+        ``functions`` is a dict of name → callable (or a sequence of
+        callables, keyed by ``__name__``); the serialized table ships
+        with the request and is idempotent — re-creating a library with
+        the same function set is a no-op, a different set is refused.
+        """
+        if not isinstance(functions, dict):
+            functions = {fn.__name__: fn for fn in functions}
+        payload = ser.dumps_portable(dict(functions))
+        ref = next(self._refs)
+        self.conn.send_message(
+            {
+                "type": M.CREATE_LIBRARY,
+                "ref": ref,
+                "library": name,
+                "functions": sorted(functions),
+                "payload_size": len(payload),
+                "slots": int(function_slots),
+            }
+        )
+        if payload:
+            self.conn.send_bytes(payload)
+        return self._await(M.LIBRARY_CREATED, ref)
+
+    def call(
+        self,
+        library: str,
+        function: str,
+        *args,
+        deterministic: bool = False,
+        **kwargs,
+    ) -> dict:
+        """Submit one by-reference function call; returns ``task_accepted``.
+
+        Arguments are pickled into a content-addressed buffer the
+        workers stage like any other input — :class:`ResultProxy`
+        arguments travel as refs, so upstream result bytes move
+        worker-to-worker and never through the manager or this client.
+        The eventual ``task_result`` notice carries a ``result_ref``;
+        turn it into a lazy value with :meth:`result_proxy`.
+        """
+        blob = ser.dumps({"args": args, "kwargs": kwargs})
+        declared = self.declare_buffer(blob, level="workflow")
+        args_cache = declared["cache_name"]
+        inputs = [[args_cache, args_cache]]
+        for r in scan_refs((args, kwargs)):
+            if r.cache_name != args_cache:
+                inputs.append([r.cache_name, r.cache_name])
+        ref = next(self._refs)
+        spec = {
+            "kind": "call",
+            "library": library,
+            "function": function,
+            "args_cache": args_cache,
+            "inputs": inputs,
+            "outputs": [],
+        }
+        if deterministic:
+            spec["deterministic"] = True
+        self.conn.send_message({"type": M.SUBMIT_TASK, "ref": ref, "spec": spec})
+        reply = self._await(M.TASK_ACCEPTED, ref)
+        self._accepted += 1
+        self.workflow_done = False
+        return reply
+
+    def result_proxy(self, notice: dict) -> ResultProxy:
+        """Lazy handle to a call's by-reference result.
+
+        ``notice`` is the ``task_result`` for a call submitted with
+        :meth:`call`.  No bytes move until the proxy is dereferenced
+        (``.resolve()``) — and none at all if it is only ever passed to
+        a follow-up :meth:`call`, where it pickles back to a ref.
+        """
+        ref = notice.get("result_ref")
+        if ref is None:
+            raise ClientError(
+                f"task {notice.get('task_id')} carries no result reference"
+            )
+        fetcher: Callable[[str], bytes] = self.fetch
+        return ResultProxy(ResultRef.from_dict(ref), fetcher=fetcher)
+
     # -- completion and retrieval ----------------------------------------
 
     def wait(self, task_id: Optional[str] = None, timeout: float = 300.0) -> dict:
         """Block for a ``task_result`` notice (a specific task, or any)."""
-        deadline = time.time() + timeout
+        deadline = time.monotonic() + timeout
 
         def take() -> Optional[dict]:
             if task_id is not None:
@@ -207,18 +307,20 @@ class ServiceClient:
             got = take()
             if got is not None:
                 return got
-            if time.time() > deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ClientError(f"timed out waiting for {task_id or 'a result'}")
-            self._pump()
+            self._pump(wait=min(0.25, remaining))
 
     def run_until_done(self, timeout: float = 300.0) -> list[dict]:
         """Block until the service announces ``workflow_done``; returns
         every buffered ``task_result`` notice."""
-        deadline = time.time() + timeout
+        deadline = time.monotonic() + timeout
         while not self.workflow_done:
-            if time.time() > deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ClientError(f"workflow did not finish within {timeout}s")
-            self._pump()
+            self._pump(wait=min(0.25, remaining))
         self.workflow_done = False  # reset for a follow-up batch
         out, self.results = list(self.results.values()), {}
         return out
@@ -226,7 +328,7 @@ class ServiceClient:
     def fetch(self, cache_name: str, timeout: float = 60.0) -> bytes:
         """Fetch declared or produced content back by cache name."""
         self.conn.send_message({"type": M.FETCH_RESULT, "cache_name": cache_name})
-        deadline = time.time() + timeout
+        deadline = time.monotonic() + timeout
         while True:
             for i, (msg, payload) in enumerate(self._files):
                 if msg["cache_name"] == cache_name:
@@ -234,9 +336,10 @@ class ServiceClient:
                     if not msg.get("found"):
                         raise ClientError(f"service could not serve {cache_name}")
                     return payload or b""
-            if time.time() > deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ClientError(f"timed out fetching {cache_name}")
-            self._pump()
+            self._pump(wait=min(0.25, remaining))
 
     # -- lifecycle --------------------------------------------------------
 
@@ -298,6 +401,56 @@ def _cmd_demo(client: ServiceClient, args: argparse.Namespace) -> int:
     return 0 if ok == len(accepted) else 1
 
 
+def _demo_part(i: int, size: int) -> bytes:
+    """Deterministic chunk of result-plane ballast."""
+    return bytes([i % 256]) * size
+
+
+def _demo_total(parts) -> int:
+    """Reduce over upstream results (materialized from proxies)."""
+    return sum(len(p) for p in parts)
+
+
+def _cmd_proxy_demo(client: ServiceClient, args: argparse.Namespace) -> int:
+    """Map → reduce through result proxies; payloads stay at workers.
+
+    Each map call produces ``--size`` bytes that never leave worker
+    caches: the reduce consumes them by reference (worker-to-worker
+    staging) and only the final integer is fetched back.  The CI smoke
+    job asserts from the transaction log that zero result-payload bytes
+    transited the manager (no ``@retrieve`` transfers).
+    """
+    client.create_library(
+        "proxydemo", {"part": _demo_part, "total": _demo_total}, function_slots=2
+    )
+    accepted = [
+        client.call("proxydemo", "part", i, args.size) for i in range(args.tasks)
+    ]
+    proxies = []
+    for reply in accepted:
+        notice = client.wait(reply["task_id"], timeout=args.timeout)
+        if notice.get("exit_code") != 0:
+            print(f"error: map call failed: {notice}", file=sys.stderr)
+            return 1
+        proxies.append(client.result_proxy(notice))
+    reduce_reply = client.call("proxydemo", "total", proxies)
+    notice = client.wait(reduce_reply["task_id"], timeout=args.timeout)
+    if notice.get("exit_code") != 0:
+        print(f"error: reduce call failed: {notice}", file=sys.stderr)
+        return 1
+    total = client.result_proxy(notice).resolve()
+    expect = args.tasks * args.size
+    report = {
+        "tenant": client.tenant,
+        "maps": len(accepted),
+        "bytes_per_map": args.size,
+        "total": total,
+        "ok": total == expect,
+    }
+    print(json.dumps(report))
+    return 0 if total == expect else 1
+
+
 def _cmd_submit(client: ServiceClient, args: argparse.Namespace) -> int:
     """Submit one command and wait for its result."""
     inputs = []
@@ -324,6 +477,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     demo.add_argument("--tasks", type=int, default=4)
     demo.add_argument("--content", default="shared demo input\n")
 
+    pdemo = sub.add_parser(
+        "proxy-demo", help="map → reduce with by-reference results"
+    )
+    pdemo.add_argument("--tasks", type=int, default=4)
+    pdemo.add_argument("--size", type=int, default=64 << 10)
+
     submit = sub.add_parser("submit", help="submit one command task")
     submit.add_argument("command")
     submit.add_argument(
@@ -343,6 +502,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         ) as client:
             if args.cmd == "demo":
                 return _cmd_demo(client, args)
+            if args.cmd == "proxy-demo":
+                return _cmd_proxy_demo(client, args)
             return _cmd_submit(client, args)
     except (ClientError, ConnectionError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

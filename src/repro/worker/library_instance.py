@@ -35,24 +35,65 @@ class LibraryError(RuntimeError):
     """Library failed to initialize or died mid-workflow."""
 
 
+def _materialize(obj: Any) -> Any:
+    """Recursively replace :class:`ResultProxy` objects with their values.
+
+    Runs in the forked invocation child *after* the worker-local cache
+    paths are installed, so each dereference is a local file read — the
+    by-reference bytes were already staged to this worker as task
+    inputs, never through the manager.
+    """
+    from repro.core.resultref import ResultProxy
+
+    if isinstance(obj, ResultProxy):
+        return obj.resolve()
+    if isinstance(obj, list):
+        return [_materialize(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_materialize(x) for x in obj)
+    if isinstance(obj, set):
+        return {_materialize(x) for x in obj}
+    if isinstance(obj, dict):
+        return {_materialize(k): _materialize(v) for k, v in obj.items()}
+    return obj
+
+
 def _invoke_child(
-    functions_blob: bytes, function: str, args_blob: bytes, result_queue, invocation_id: str
+    functions_blob: bytes,
+    function: str,
+    args_blob: bytes,
+    result_queue,
+    invocation_id: str,
+    paths: Optional[dict] = None,
 ) -> None:  # pragma: no cover - runs in a forked child
-    """Run one invocation in a forked process and post the result."""
+    """Run one invocation in a forked process and post the result.
+
+    Posts ``(invocation_id, blob, meta)``: the serialized result
+    envelope plus a plain-dict sidechannel (``ok``, ``traceback``) the
+    worker can act on without unpickling the envelope — result values
+    may reference classes that only exist inside this child.
+    """
     try:
         functions = _invoke_child._cache  # populated pre-fork, see below
     except AttributeError:
         functions = ser.loads(functions_blob)
     try:
+        if paths:
+            from repro.core.resultref import install_local_paths
+
+            install_local_paths(paths)
         payload = ser.loads(args_blob)
         fn = functions[function]
-        value = fn(*payload.get("args", ()), **payload.get("kwargs", {}))
+        args = _materialize(tuple(payload.get("args", ())))
+        kwargs = _materialize(dict(payload.get("kwargs", {})))
+        value = fn(*args, **kwargs)
         blob = ser.dumps({"ok": True, "value": value})
+        meta = {"ok": True, "traceback": None}
     except BaseException as exc:
-        blob = ser.dumps(
-            {"ok": False, "error": exc, "traceback": traceback.format_exc()}
-        )
-    result_queue.put((invocation_id, blob))
+        tb = traceback.format_exc()
+        blob = ser.dumps({"ok": False, "error": exc, "traceback": tb})
+        meta = {"ok": False, "traceback": tb}
+    result_queue.put((invocation_id, blob, meta))
 
 
 def _instance_main(
@@ -82,7 +123,14 @@ def _instance_main(
         _CTX.active_children()  # reap finished invocation forks
         child = _CTX.Process(
             target=_invoke_child,
-            args=(b"", msg["function"], msg["args_blob"], result_queue, msg["id"]),
+            args=(
+                b"",
+                msg["function"],
+                msg["args_blob"],
+                result_queue,
+                msg["id"],
+                msg.get("paths"),
+            ),
         )
         child.start()
     for child in _CTX.active_children():
@@ -108,7 +156,7 @@ class LibraryInstanceHandle:
         self.functions: list[str] = init
         self._lock = threading.Lock()
         self._waiters: dict[str, "threading.Event"] = {}
-        self._done: dict[str, bytes] = {}
+        self._done: dict[str, tuple[bytes, Optional[dict]]] = {}
         self._in_flight = 0
         self._collector = threading.Thread(target=self._collect, daemon=True)
         self._collector.start()
@@ -132,8 +180,19 @@ class LibraryInstanceHandle:
         with self._lock:
             return self._in_flight < self.function_slots
 
-    def invoke(self, invocation_id: str, function: str, args_blob: bytes) -> None:
-        """Start an invocation; result arrives via :meth:`wait_result`."""
+    def invoke(
+        self,
+        invocation_id: str,
+        function: str,
+        args_blob: bytes,
+        paths: Optional[dict] = None,
+    ) -> None:
+        """Start an invocation; result arrives via :meth:`wait_result`.
+
+        ``paths`` maps cache names to worker-local file paths; the
+        invocation child installs it so proxy arguments dereference
+        against this worker's cache instead of the network.
+        """
         if function not in self.functions:
             raise LibraryError(
                 f"library {self.name!r} has no function {function!r}"
@@ -147,11 +206,23 @@ class LibraryInstanceHandle:
                 "id": invocation_id,
                 "function": function,
                 "args_blob": args_blob,
+                "paths": dict(paths or {}),
             }
         )
 
     def wait_result(self, invocation_id: str, timeout: Optional[float] = None) -> bytes:
-        """Block until an invocation's serialized result is available.
+        """Block until an invocation's serialized result is available."""
+        blob, _meta = self.wait_result_full(invocation_id, timeout)
+        return blob
+
+    def wait_result_full(
+        self, invocation_id: str, timeout: Optional[float] = None
+    ) -> tuple[bytes, Optional[dict]]:
+        """Like :meth:`wait_result`, but also returns the meta sidechannel.
+
+        ``meta`` is a plain dict (``ok``, ``traceback``) the worker can
+        inspect without unpickling the result envelope — envelope values
+        may reference classes that only exist in the invocation child.
 
         Waits in short slices so a crash of the resident instance is
         detected within a second rather than after the full call
@@ -182,13 +253,15 @@ class LibraryInstanceHandle:
     def _collect(self) -> None:
         while True:
             try:
-                invocation_id, blob = self._results.get()
+                item = self._results.get()
             except (EOFError, OSError):
                 return
+            invocation_id, blob = item[0], item[1]
+            meta = item[2] if len(item) > 2 else None
             if invocation_id is None:
                 return
             with self._lock:
-                self._done[invocation_id] = blob
+                self._done[invocation_id] = (blob, meta)
                 self._in_flight -= 1
                 waiter = self._waiters.get(invocation_id)
             if waiter is not None:

@@ -712,21 +712,81 @@ class Worker:
                 }
             )
             return
+        result_name = msg.get("result_name")
+        input_names = [str(n) for n in msg.get("inputs", [])]
+        self._pin(input_names)
         try:
             invoke_started = time.monotonic()
-            handle.invoke(task_id, msg["function"], payload)
-            result = handle.wait_result(task_id, timeout=self.task_timeout)
+            # argument blob: inline invoke payload, or (remote form) a
+            # buffer previously staged into the cache
+            args_blob = payload
+            args_cache = msg.get("args_cache")
+            if not args_blob and args_cache:
+                path = self._lookup(args_cache)
+                if path is None:
+                    raise RuntimeError(f"argument blob {args_cache} not cached")
+                with open(path, "rb") as f:
+                    args_blob = f.read()
+            if result_name is None:
+                # legacy inline result: the envelope rides the reply
+                handle.invoke(task_id, msg["function"], args_blob)
+                result = handle.wait_result(task_id, timeout=self.task_timeout)
+                self._m_invoke.observe(time.monotonic() - invoke_started)
+                self._send(
+                    {
+                        "type": M.TASK_DONE,
+                        "task_id": task_id,
+                        "exit_code": 0,
+                        "output": "",
+                        "result_size": len(result),
+                    },
+                    result,
+                )
+                return
+            # by-reference result: proxy arguments dereference against
+            # this worker's cache, and the envelope lands in the cache
+            # instead of the reply — only metadata returns
+            paths = {
+                cn: p for cn in input_names if (p := self._lookup(cn)) is not None
+            }
+            handle.invoke(task_id, msg["function"], args_blob, paths=paths)
+            blob, meta = handle.wait_result_full(task_id, timeout=self.task_timeout)
             self._m_invoke.observe(time.monotonic() - invoke_started)
-            self._send(
-                {
-                    "type": M.TASK_DONE,
-                    "task_id": task_id,
-                    "exit_code": 0,
-                    "output": "",
-                    "result_size": len(result),
-                },
-                result,
-            )
+            if meta is None or meta.get("ok"):
+                level = CacheLevel(
+                    int(msg.get("result_level", int(CacheLevel.WORKFLOW)))
+                )
+                staged = self.cache.staging_path(result_name)
+                with open(staged, "wb") as f:
+                    f.write(blob)
+                entry = self.cache.insert_from(
+                    staged, result_name, level, time.time()
+                )
+                # FIFO notices keep the harvested-before-done contract
+                self._cache_update(result_name, entry.size)
+                self._notice(
+                    {
+                        "type": M.TASK_DONE,
+                        "task_id": task_id,
+                        "exit_code": 0,
+                        "output": "",
+                        "harvested": [result_name],
+                    }
+                )
+            else:
+                # a failure envelope is never cached: a cached failure
+                # under a content-addressed name would shadow a later
+                # successful retry (insert_from keeps the existing entry)
+                tb = meta.get("traceback") or ""
+                self._notice(
+                    {
+                        "type": M.TASK_DONE,
+                        "task_id": task_id,
+                        "exit_code": 1,
+                        "output": tb[-1000:],
+                        "failure": tb[-1000:] or "invoke",
+                    }
+                )
         except Exception as exc:
             self._notice(
                 {
@@ -734,9 +794,11 @@ class Worker:
                     "task_id": task_id,
                     "exit_code": 1,
                     "output": f"{exc}\n{traceback.format_exc()[:1000]}",
-                    "failure": "invoke",
+                    "failure": str(exc)[:500] or "invoke",
                 }
             )
+        finally:
+            self._unpin(input_names)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -10,8 +10,10 @@ resident-instance crash while a call is in flight.
 """
 
 from repro.core.library import FunctionCall
+from repro.core.resultref import ResultProxy
 from repro.core.task import Task, TaskState
 
+from .conftest import Cluster
 from .test_real_runtime import run_all
 
 
@@ -101,3 +103,75 @@ def test_library_instance_crash_mid_call(cluster):
     run_all(m, timeout=60.0)
     assert t.state == TaskState.DONE
     assert "survived" in t.result.output
+
+
+def test_by_reference_chain_keeps_results_at_workers(cluster):
+    """A by-reference call chain moves zero result bytes via the manager.
+
+    The first call's quarter-megabyte output stays in the worker cache;
+    the second call consumes it through a proxy argument (worker-to-
+    worker staging).  Only the final integer crosses the fetch plane,
+    when the test dereferences it.
+    """
+    m = cluster.manager
+
+    def make(n):
+        return b"\x07" * n
+
+    def measure(blob, extra=0):
+        return len(blob) + extra
+
+    m.create_library("chain", [make, measure], function_slots=2)
+    m.install_library("chain")
+    first = FunctionCall("chain", "make", 1 << 18).set_by_reference()
+    m.submit(first)
+    run_all(m)
+    assert first.state == TaskState.DONE
+    proxy = first.output()
+    assert isinstance(proxy, ResultProxy)
+    assert proxy.ref.size > 1 << 18  # envelope wraps the payload
+
+    second = FunctionCall("chain", "measure", proxy, extra=1).set_by_reference()
+    m.submit(second)
+    run_all(m)
+    assert second.state == TaskState.DONE
+    assert second.output().resolve() == (1 << 18) + 1
+
+    # no result payload ever rode a task reply through the manager
+    assert not [e for e in m.log.events() if e.category == "@retrieve"]
+    fetched = [e for e in m.log.events("transfer_end") if e.category == "@fetch"]
+    assert [e.file for e in fetched] == [second.output().cache_name]
+
+
+def test_function_call_memo_hit_serves_by_reference(tmp_path):
+    """An identical deterministic call is served from memo, not re-run.
+
+    Inline-result calls used to veto memo recording outright; the
+    by-reference plane makes the result an ordinary replica-backed
+    cache object, so the veto is gone and hits serve.
+    """
+    c = Cluster(tmp_path, n_workers=1, memo_dir=str(tmp_path / "memo"))
+    try:
+        m = c.manager
+
+        def triple(n):
+            return n * 3
+
+        m.create_library("memolib", [triple])
+        m.install_library("memolib")
+        first = FunctionCall("memolib", "triple", 14)
+        first.set_by_reference().set_deterministic()
+        m.submit(first)
+        run_all(m)
+        assert first.state == TaskState.DONE
+
+        second = FunctionCall("memolib", "triple", 14)
+        second.set_by_reference().set_deterministic()
+        m.submit(second)
+        run_all(m)
+        assert second.state == TaskState.DONE
+        assert len(list(m.log.events("memo_hit"))) == 1
+        assert second.output().cache_name == first.output().cache_name
+        assert second.output().resolve() == 42
+    finally:
+        c.stop()

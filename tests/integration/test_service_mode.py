@@ -8,6 +8,11 @@ detach/reattach with buffered notice replay, and loopback equivalence
 with the standalone in-process API.
 """
 
+import os
+import signal
+import threading
+import time
+
 import pytest
 
 from repro.core.task import Task, TaskState
@@ -236,3 +241,121 @@ def test_fetch_serves_declared_buffers_from_the_manager(service_cluster):
         # names outside the tenant namespace are refused
         with pytest.raises(ClientError):
             a.fetch("buffer-md5-deadbeef")
+
+
+# -- the on-demand result fetch plane ---------------------------------
+
+
+def _proc_for(cluster, worker_id):
+    """The OS process behind a registered worker id."""
+    workdir = cluster.manager.workers[worker_id].workdir
+    name = workdir.rsplit("worker-", 1)[1]
+    return cluster.procs[int(name[1:])]  # launch names are w0, w1, ...
+
+
+def _produce_output(client, payload="payload"):
+    """Submit one task producing a worker-held temp output."""
+    accepted = client.submit(f"echo {payload} > out.txt", outputs=["out.txt"])
+    assert client.wait(accepted["task_id"], timeout=60)["exit_code"] == 0
+    return accepted["outputs"]["out.txt"]
+
+
+def test_concurrent_fetches_of_one_name_share_one_serve(service_cluster):
+    mgr = service_cluster.manager
+    with client_for(service_cluster, "alice") as a, client_for(
+        service_cluster, "alice"
+    ) as b:
+        name = _produce_output(a)
+        # freeze the only holder so both requests park on one waiter
+        # list before any payload can come back
+        proc = _proc_for(service_cluster, next(iter(mgr.replicas.locate(name))))
+        os.kill(proc.pid, signal.SIGSTOP)
+        try:
+            got = {}
+            threads = [
+                threading.Thread(
+                    target=lambda c=c, k=k: got.__setitem__(
+                        k, c.fetch(name, timeout=60)
+                    ),
+                )
+                for k, c in (("one", a), ("two", b))
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(1.0)
+        finally:
+            os.kill(proc.pid, signal.SIGCONT)
+        for t in threads:
+            t.join(timeout=60)
+        assert got == {"one": b"payload\n", "two": b"payload\n"}
+    # one SEND_BACK served both waiters: a single fetch transfer moved
+    # the bytes through the manager
+    fetched = [e for e in mgr.log.events("transfer_end") if e.category == "@fetch"]
+    assert [e.file for e in fetched] == [name]
+
+
+def test_fetch_after_reattach(service_cluster):
+    client = client_for(service_cluster, "roaming")
+    accepted = client.submit("echo kept > out.txt", outputs=["out.txt"])
+    token = client.detach()
+    service_cluster.events.wait_event(
+        "workflow_done", predicate=lambda e: e.category == "roaming", timeout=60
+    )
+    # the notice stream is gone, but the result stays fetchable by name
+    with client_for(service_cluster, "roaming", session=token) as again:
+        assert again.fetch(accepted["outputs"]["out.txt"], timeout=60) == b"kept\n"
+
+
+def test_fetch_retries_surviving_holder_when_the_asked_worker_dies(tmp_path):
+    c = Cluster(tmp_path, n_workers=2, temp_replica_count=2)
+    try:
+        mgr = c.manager
+        with client_for(c, "alice") as a:
+            name = _produce_output(a, payload="replicated")
+            c.events.wait_for(
+                lambda: len(mgr.replicas.locate(name)) == 2,
+                timeout=60,
+                describe="output replicated to both workers",
+            )
+            # the fetch deterministically asks the lowest worker id;
+            # freeze it so the request is parked there, then kill it
+            asked = min(mgr.replicas.locate(name))
+            proc = _proc_for(c, asked)
+            os.kill(proc.pid, signal.SIGSTOP)
+            got = {}
+            t = threading.Thread(
+                target=lambda: got.__setitem__("data", a.fetch(name, timeout=60))
+            )
+            t.start()
+            time.sleep(1.0)
+            os.kill(proc.pid, signal.SIGKILL)
+            t.join(timeout=60)
+            assert got.get("data") == b"replicated\n"
+        retried = [e for e in mgr.log.events("fetch_retried") if e.file == name]
+        assert retried and retried[0].worker == asked
+        assert retried[0].category == "worker_lost"
+    finally:
+        c.stop()
+
+
+def test_fetch_regenerates_results_lost_with_their_worker(tmp_path):
+    c = Cluster(tmp_path, n_workers=1)
+    try:
+        mgr = c.manager
+        with client_for(c, "alice") as a:
+            name = _produce_output(a, payload="rebuilt")
+            # every replica dies with the only worker
+            wid = next(iter(mgr.replicas.locate(name)))
+            os.kill(_proc_for(c, wid).pid, signal.SIGKILL)
+            c.events.wait_event(
+                "worker_leave", predicate=lambda e: e.worker == wid, timeout=60
+            )
+            c.start_worker("w1")
+            c.wait_workers(1)
+            # lineage still knows the recipe: the fetch reruns the
+            # producer on the fresh worker and serves its output
+            assert a.fetch(name, timeout=90) == b"rebuilt\n"
+        regenerated = [e for e in mgr.log.events("file_regenerated") if e.file == name]
+        assert regenerated
+    finally:
+        c.stop()

@@ -16,6 +16,7 @@ def test_client_kinds_cover_every_client_request():
         M.DECLARE_FILE,
         M.SUBMIT_TASK,
         M.SUBMIT_DAG,
+        M.CREATE_LIBRARY,
         M.FETCH_RESULT,
         M.DETACH,
     }
@@ -29,6 +30,13 @@ def test_client_kinds_cover_every_client_request():
         {"type": M.DECLARE_FILE, "ref": "r1", "spec": {"kind": "buffer", "size": 3}},
         {"type": M.SUBMIT_TASK, "ref": "r2", "spec": {"command": "true"}},
         {"type": M.SUBMIT_DAG, "ref": "r3", "tasks": [{"command": "true"}]},
+        {
+            "type": M.CREATE_LIBRARY,
+            "ref": "r4",
+            "library": "lib",
+            "functions": ["f"],
+            "payload_size": 10,
+        },
         {"type": M.FETCH_RESULT, "cache_name": "buffer-md5-abc"},
         {"type": M.DETACH},
         {"type": M.WELCOME, "session": "tok", "tenant": "alice"},
@@ -36,6 +44,7 @@ def test_client_kinds_cover_every_client_request():
         {"type": M.FILE_DECLARED, "ref": "r1", "cache_name": "n", "cache_hit": True},
         {"type": M.TASK_ACCEPTED, "ref": "r2", "task_id": "t1"},
         {"type": M.TASK_RESULT, "task_id": "t1", "state": "done"},
+        {"type": M.LIBRARY_CREATED, "ref": "r4", "library": "lib"},
         {"type": M.WORKFLOW_DONE, "tenant": "alice"},
         {"type": M.DETACHED},
     ],
@@ -51,6 +60,7 @@ def test_client_messages_validate(msg):
         {"type": M.DECLARE_FILE, "ref": "r"},  # missing spec
         {"type": M.SUBMIT_TASK, "spec": {}},  # missing ref
         {"type": M.SUBMIT_DAG, "ref": "r"},  # missing tasks
+        {"type": M.CREATE_LIBRARY, "ref": "r", "library": "lib"},  # missing functions
         {"type": M.FETCH_RESULT},  # missing cache_name
         {"type": M.TASK_ACCEPTED, "ref": "r"},  # missing task_id
         {"type": "bogus_kind"},  # unknown type

@@ -1,0 +1,114 @@
+"""On-demand result fetches in the simulated runtime.
+
+The sim mirrors the real manager's by-reference resolution path:
+result bytes stay in worker caches until a fetch dereferences them,
+concurrent fetches of one name coalesce into a single serve, a holder
+dying mid-serve retries the remaining holders, and a name whose
+replicas vanished regenerates through lineage before serving.
+"""
+
+from repro.core.task import Task, TaskState
+from repro.sim.cluster import SimCluster
+from repro.sim.simmanager import SimManager
+
+MB = 1_000_000
+
+
+def _produce(m, size=10 * MB, duration=1.0, cache_name=None):
+    """Run one task producing a temp output; returns its cache name."""
+    out = m.declare_temp()
+    t = Task("produce").add_output(out, "out")
+    m.submit(t, duration=duration, output_sizes={"out": size})
+    m.run(finalize=False)
+    assert t.state == TaskState.DONE
+    return out.cache_name
+
+
+def test_fetch_serves_from_a_holder_and_counts_fetch_bytes():
+    c = SimCluster()
+    c.add_worker(worker_id="w0")
+    m = SimManager(c)
+    name = _produce(m, size=10 * MB)
+
+    served = []
+    m.fetch_result(name, served.append)
+    m.run(finalize=False)
+    assert served == ["w0"]
+    # accounted in its own category: a fetch is not a bring-back
+    assert m.control.transfer_counts.get("fetch") == 1
+    assert m.control.bytes_by_source.get("fetch") == 10 * MB
+    assert not m.control.bytes_by_source.get("retrieve")
+    ends = [e for e in m.log.events("transfer_end") if e.category == "@fetch"]
+    assert [e.file for e in ends] == [name]
+
+
+def test_concurrent_fetches_coalesce_into_one_serve():
+    c = SimCluster()
+    c.add_worker(worker_id="w0")
+    m = SimManager(c)
+    name = _produce(m, size=5 * MB)
+
+    served = []
+    m.fetch_result(name, lambda w: served.append(("first", w)))
+    m.fetch_result(name, lambda w: served.append(("second", w)))
+    m.run(finalize=False)
+    # both waiters settle, but only one transfer moved the bytes
+    assert served == [("first", "w0"), ("second", "w0")]
+    assert m.control.transfer_counts.get("fetch") == 1
+
+
+def test_fetch_retries_surviving_holder_when_the_asked_worker_dies():
+    c = SimCluster()
+    c.add_worker(worker_id="w0")
+    c.add_worker(worker_id="w1")
+    m = SimManager(c, temp_replica_count=2)
+    name = _produce(m, size=10 * MB)
+    m.control.pump()
+    m.sim.run()  # drain the replication transfer
+    assert set(m.replicas.locate(name)) == {"w0", "w1"}
+
+    served = []
+    m.fetch_result(name, served.append)  # asks w0 (deterministic min)
+    c.remove_worker("w0", at=m.sim.now)  # dies mid-serve
+    m.run(finalize=False)
+    assert served == ["w1"]
+    retried = m.log.events("fetch_retried")
+    assert [(e.worker, e.file, e.category) for e in retried] == [
+        ("w0", name, "worker_lost")
+    ]
+
+
+def test_fetch_regenerates_vanished_results_through_lineage():
+    c = SimCluster()
+    c.add_worker(worker_id="w0")
+    c.add_worker(worker_id="w1")
+    m = SimManager(c)
+    name = _produce(m, size=8 * MB)
+
+    # every replica vanishes with its holder; lineage still knows how
+    # to make the bytes again
+    holder = next(iter(m.replicas.locate(name)))
+    c.remove_worker(holder, at=m.sim.now)
+    m.sim.run()
+    assert not m.replicas.locate(name)
+
+    served = []
+    m.fetch_result(name, served.append)
+    m.run(finalize=False)
+    assert served and served[0] is not None
+    assert m.log.events("file_regenerated")
+    assert m.control.transfer_counts.get("fetch") == 1
+
+
+def test_fetch_of_an_unservable_name_settles_none():
+    c = SimCluster()
+    c.add_worker(worker_id="w0")
+    m = SimManager(c)
+    # declared but never produced and not regenerable: no producer task
+    f = m.declare_temp()
+
+    served = ["sentinel"]
+    m.fetch_result(f.cache_name, lambda w: served.__setitem__(0, w))
+    m.run(finalize=False)
+    assert served == [None]
+    assert not m.control.transfer_counts.get("fetch")

@@ -166,3 +166,46 @@ def test_crash_recovery_is_deterministic_for_a_seed(tmp_path):
     _, m2a, _ = _run_with_crash(19, tmp_path / "a")
     _, m2b, _ = _run_with_crash(19, tmp_path / "b")
     assert _fingerprint(m2a) == _fingerprint(m2b)
+
+
+def test_bystander_rejoin_does_not_end_the_grace_window_early(tmp_path):
+    """A fresh empty worker registering first must not trigger
+    regeneration of outputs whose holder is still reconnecting.
+
+    Worker ids are minted per manager life, so the recovery window
+    cannot match rejoiners to the journal's expected holders by id —
+    it must wait until the awaited outputs are actually re-backed (or
+    the grace deadline passes).
+    """
+    from repro.core.files import CacheLevel
+
+    journal_dir = str(tmp_path / "journal")
+    c1 = SimCluster()
+    c1.add_worker(worker_id="w0")
+    m1 = SimManager(c1, journal_dir=journal_dir)
+    out = m1.declare_temp()
+    t = Task("produce").add_output(out, "out")
+    m1.submit(t, duration=1.0, output_sizes={"out": MB})
+    m1.run(finalize=False)
+    assert t.state == TaskState.DONE
+    name = out.cache_name
+    m1.crash()
+
+    # life 2: an empty bystander connects immediately; the holder's
+    # registration (same disk, new identity) arrives a moment later,
+    # well inside the grace window
+    c2 = SimCluster()
+    c2.add_worker(worker_id="fresh0")
+    m2 = SimManager(c2, journal_dir=journal_dir, recovery_grace=5.0)
+    assert m2.recovered
+    holder = c2.add_worker(worker_id="late0", at=1.0)
+    holder.insert(name, MB, CacheLevel.WORKFLOW, 0.0)
+    m2.sim.run()  # no workflow outstanding: drain the join events
+
+    # the output was re-adopted from the late holder, not re-executed
+    assert any(
+        e.file == name and e.worker == "late0"
+        for e in m2.log.events("replica_readopted")
+    )
+    assert not list(m2.log.events("file_regenerated"))
+    assert set(m2.replicas.locate(name)) == {"late0"}
