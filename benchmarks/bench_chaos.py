@@ -91,3 +91,64 @@ def test_chaos_recovery_overhead(once, bench_report):
     assert faults, "the hostile plan must actually fire"
     assert chaos.makespan > clean.makespan
     assert chaos.log.events()[-1].kind == "workflow_done"
+
+
+def _elastic_plan(seed):
+    """The hostile plan plus membership churn: a mid-run join that is
+    itself crashed shortly after, and a graceful drain racing the chaos."""
+    return (
+        _plan(seed)
+        .join("w8", at=1.5)
+        .drain("w4", at=2.5)
+        .crash("w8", at=4.0)
+    )
+
+
+def test_chaos_elastic_membership(once, bench_report):
+    def _chaos_elastic():
+        cluster = SimCluster()
+        for i in range(PARAMS["n_workers"]):
+            cluster.add_worker(cores=4, worker_id=f"w{i}")
+        m = SimManager(cluster, seed=PARAMS["seed"], max_task_retries=10)
+        SimFaultInjector(_elastic_plan(PARAMS["seed"]), m)
+        shared = m.declare_dataset("shared", MB)
+        temps, tasks = [], []
+        n = PARAMS["n_stage"]
+        for i in range(n):
+            temp = m.declare_temp()
+            t = Task(f"produce{i}").add_input(shared, "d").add_output(temp, "out")
+            m.submit(t, duration=1.0, output_sizes={"out": MB})
+            temps.append(temp)
+            tasks.append(t)
+        for i in range(n):
+            t = (
+                Task(f"consume{i}")
+                .add_input(temps[i], "a")
+                .add_input(temps[(i + 5) % n], "b")
+            )
+            m.submit(t, duration=1.0)
+            tasks.append(t)
+        stats = m.run()
+        assert all(t.state == TaskState.DONE for t in tasks)
+        return m, stats
+
+    m, stats = once(_chaos_elastic)
+    bench_report.from_stats(stats, prefix="chaos_elastic")
+    bench_report.record_many({
+        "drains_started": m.metrics.counter("elastic.drains_started").value,
+        "drains_completed": m.metrics.counter("elastic.drains_completed").value,
+        "drain_bytes": m.metrics.counter("elastic.drain_bytes_replicated").value,
+        "recovery_requeues": m.metrics.counter("recovery.requeues").value,
+        "recovery_regenerations": m.metrics.counter(
+            "recovery.regenerations").value,
+    })
+
+    # membership churn rode along with the chaos and both resolved:
+    # every drain ordered completed, and the run still converged
+    events = stats.log.events()
+    assert len(stats.log.events("worker_drain")) == len(
+        stats.log.events("worker_drained")
+    ) == 1
+    joins = [e for e in events if e.kind == "worker_join" and e.worker == "w8"]
+    assert joins, "the scheduled join must have materialized"
+    assert events[-1].kind == "workflow_done"

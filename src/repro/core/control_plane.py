@@ -388,6 +388,16 @@ class ControlPlane:
         #: worker stops receiving placements and is avoided as a source
         self.failure_scores: collections.Counter = collections.Counter()
         self.blocklist: set[str] = set()
+        #: workers gracefully departing (elastic scale-down): they keep
+        #: serving running tasks and peer transfers but receive no new
+        #: placements; sole-holder objects migrate to survivors first
+        self.draining: set[str] = set()
+        #: draining workers whose release was already ordered through
+        #: the port's ``finish_drain`` hook (awaiting the actual leave)
+        self._drain_released: set[str] = set()
+        #: per-draining-worker migration accounting for the
+        #: ``worker_drained`` event: objects/bytes re-replicated so far
+        self._drain_stats: dict[str, dict] = {}
         #: ids of regenerated producers: redelivery to wait() is suppressed
         self._regenerated: set[str] = set()
         #: earliest already-scheduled delayed pump (coalesces timers)
@@ -429,6 +439,15 @@ class ControlPlane:
         self._m_fetch_bytes = self.metrics.counter("fetch.bytes")
         self._m_fetch_retries = self.metrics.counter("fetch.retries")
         self._m_proxies = self.metrics.counter("proxy.published")
+        # elastic clusters (ROADMAP item 5a): graceful drains and the
+        # autoscaler's fleet decisions
+        self._m_drains = self.metrics.counter("elastic.drains_started")
+        self._m_drains_done = self.metrics.counter("elastic.drains_completed")
+        self._m_drain_objects = self.metrics.counter("elastic.drain_objects_replicated")
+        self._m_drain_bytes = self.metrics.counter("elastic.drain_bytes_replicated")
+        self._m_drain_stranded = self.metrics.counter("elastic.drain_objects_stranded")
+        self._m_scale_up = self.metrics.counter("elastic.scale_up")
+        self._m_scale_down = self.metrics.counter("elastic.scale_down")
         self._m_restarts = self.metrics.counter("recovery.manager_restarts")
         self._m_readopted = self.metrics.counter("recovery.replicas_readopted")
         self._m_resumed = self.metrics.counter("recovery.tasks_resumed")
@@ -841,6 +860,11 @@ class ControlPlane:
         return not (
             self._ready or self._dispatched or self._running or self._finishing
         )
+
+    @property
+    def ready_depth(self) -> int:
+        """Tasks queued for placement — the autoscaler's load signal."""
+        return len(self._ready)
 
     def on_task_result(
         self, worker_id: str, task_id: str, result: TaskResult
@@ -1293,6 +1317,14 @@ class ControlPlane:
         self._retry_at.pop(key, None)
         if source_kind(record.source) == "peer":
             self._note_worker_success(record.source)
+        if record.source in self.draining:
+            # migration off a draining worker landed: drain accounting
+            stats = self._drain_stats.get(record.source)
+            if stats is not None:
+                stats["objects"] += 1
+                stats["bytes"] += record.size
+            self._m_drain_objects.inc()
+            self._m_drain_bytes.inc(record.size)
         reported = size if size is not None else record.size
         if record.source == MINITASK_SOURCE:
             self._staging = [
@@ -1476,6 +1508,11 @@ class ControlPlane:
         cached = list(cached)
         state = WorkerState(worker_id=worker_id, pool=pool)
         self.workers[worker_id] = state
+        # a fresh registration under a reused id is a fresh worker: any
+        # drain state belonging to the previous owner must not gate it
+        self.draining.discard(worker_id)
+        self._drain_released.discard(worker_id)
+        self._drain_stats.pop(worker_id, None)
         self.log.emit(self.port.now(), "worker_join", worker=worker_id)
         for cache_name, size in cached:
             self.adopt_replica(worker_id, cache_name, int(size))
@@ -1564,6 +1601,11 @@ class ControlPlane:
         # worker that happens to reuse the id
         self.blocklist.discard(worker_id)
         self.failure_scores.pop(worker_id, None)
+        # a crash mid-drain ends the drain the hard way; a clean release
+        # just retires its bookkeeping (worker_drained already emitted)
+        self.draining.discard(worker_id)
+        self._drain_released.discard(worker_id)
+        self._drain_stats.pop(worker_id, None)
         # restore the replication target of still-needed produced files,
         # and regenerate any that lost their final replica (lineage);
         # declaration order keeps recovery deterministic for a seed
@@ -1576,6 +1618,133 @@ class ControlPlane:
                         name, "lost with no recoverable lineage"
                     )
         self.port.request_pump()
+
+    # ------------------------------------------------------------------
+    # graceful drain (elastic scale-down)
+    # ------------------------------------------------------------------
+
+    def drain_worker(self, worker_id: str) -> bool:
+        """Begin a graceful departure for one worker.
+
+        The worker keeps serving its running tasks and any peer
+        transfers, but receives no new placements; objects it alone
+        holds are re-replicated to survivors through the normal
+        transfer machinery.  Once nothing references the worker any
+        more, the port's optional ``finish_drain`` hook releases it
+        (the sim removes it from the cluster, the real manager sends
+        SHUTDOWN) and the eventual ``worker_left`` finds every needed
+        replica already backed elsewhere — the opposite of a crash,
+        which loses the cache and forces lineage regeneration.
+        """
+        state = self.workers.get(worker_id)
+        if state is None or worker_id in self.draining:
+            return False
+        self.draining.add(worker_id)
+        self._drain_stats[worker_id] = {"objects": 0, "bytes": 0}
+        self._m_drains.inc()
+        self.log.emit(self.port.now(), "worker_drain", worker=worker_id)
+        self._replicate_for_drain(worker_id)
+        self.port.request_pump()
+        return True
+
+    def _drain_sole_names(self, worker_id: str) -> list[str]:
+        """Objects this worker alone holds that no fixed source backs,
+        in declaration order (the deterministic migration order)."""
+        sole = [
+            name
+            for name in self.replicas.holdings(worker_id)
+            if self.replicas.replica_count(name) == 1
+            and self.fixed_sources.get(name) == NO_SOURCE
+        ]
+        return self.registry.in_declaration_order(sole)
+
+    def _replicate_for_drain(self, worker_id: str) -> int:
+        """Migrate sole-holder objects off a draining worker.
+
+        Starts one transfer per object (capacity permitting) with the
+        draining worker as the source; returns how many objects still
+        lack a safe copy — in-flight migrations count, objects no
+        survivor can take do not (they are stranded, surfaced at
+        release time instead of wedging the drain forever).
+        """
+        pending = 0
+        incoming = {
+            t.cache_name
+            for t in self.transfers.active()
+            if t.dest_worker not in self.draining
+        }
+        for name in self._drain_sole_names(worker_id):
+            if name in incoming:
+                pending += 1
+                continue
+            candidates = sorted(
+                (
+                    wid
+                    for wid in self.workers
+                    if wid != worker_id
+                    and self.port.worker_connected(wid)
+                    and wid not in self.draining
+                    and wid not in self.blocklist
+                ),
+                key=lambda wid: (self._cached_bytes(wid), wid),
+            )
+            if not candidates:
+                continue  # stranded: no survivor exists to take it
+            if not self.transfers.source_available(worker_id):
+                pending += 1
+                continue  # source slots busy; retried next pump
+            self._start_transfer(name, worker_id, candidates[0])
+            pending += 1
+        return pending
+
+    def _advance_drains(self) -> None:
+        """Per-pump drain progress: re-kick migrations (new outputs may
+        have landed, capacity may have freed) and release workers with
+        nothing left to give."""
+        for worker_id in sorted(self.draining - self._drain_released):
+            state = self.workers.get(worker_id)
+            if state is None:
+                continue  # leave already processed
+            pending = self._replicate_for_drain(worker_id)
+            if state.running or pending:
+                continue
+            if any(t.worker_id == worker_id for t in self._finishing.values()):
+                continue  # output retrieval still in flight
+            if any(
+                t.source == worker_id or t.dest_worker == worker_id
+                for t in self.transfers.active()
+            ):
+                continue  # still serving (or receiving) a transfer
+            self._finish_drain(worker_id)
+
+    def _finish_drain(self, worker_id: str) -> None:
+        stats = self._drain_stats.get(worker_id, {})
+        stranded = self._drain_sole_names(worker_id)
+        if stranded:
+            # nothing could take these (no survivors): they die with the
+            # worker and lineage regeneration covers any future readers
+            self._m_drain_stranded.inc(len(stranded))
+        self._drain_released.add(worker_id)
+        self._m_drains_done.inc()
+        self.log.emit(
+            self.port.now(), "worker_drained",
+            worker=worker_id,
+            size=int(stats.get("bytes", 0)),
+            category="stranded" if stranded else None,
+        )
+        finish = getattr(self.port, "finish_drain", None)
+        if finish is not None:
+            finish(worker_id)
+
+    def record_autoscale(self, direction: str, amount: int = 1) -> None:
+        """Log one autoscaler fleet decision (``direction`` up/down)."""
+        if direction == "up":
+            self._m_scale_up.inc(amount)
+        else:
+            self._m_scale_down.inc(amount)
+        self.log.emit(
+            self.port.now(), "autoscale", size=amount, category=direction
+        )
 
     # ------------------------------------------------------------------
     # crash recovery: journal restore + rejoin grace window
@@ -1869,12 +2038,18 @@ class ControlPlane:
                 if self.port.worker_connected(wid)
                 and wid not in have
                 and wid not in self.blocklist
+                and wid not in self.draining
                 and not self.transfers.in_flight(cache_name, wid)
             ),
             key=lambda wid: (self._cached_bytes(wid), wid),
         )
-        # serve from a holder that is not under suspicion when possible
-        trusted = [w for w in have if w not in self.blocklist]
+        # serve from a holder that is not under suspicion — nor on its
+        # way out of the cluster — when possible
+        trusted = [
+            w for w in have if w not in self.blocklist and w not in self.draining
+        ]
+        if not trusted:
+            trusted = [w for w in have if w not in self.blocklist]
         source = min(trusted) if trusted else min(have)
         for wid in candidates[:needed]:
             if not self.transfers.source_available(source):
@@ -1895,6 +2070,8 @@ class ControlPlane:
             return None
         if worker_id in self.blocklist:
             return None  # repeat offender: no new placements
+        if worker_id in self.draining:
+            return None  # on its way out: finish what it has, take no more
         if library is not None:
             lib = self.libraries[library]
             if lib.state.get(worker_id) != "ready":
@@ -2045,6 +2222,10 @@ class ControlPlane:
         for job in list(self._staging):
             if not job.started:
                 self._advance_staging(job)
+
+        # 5. graceful drains: re-kick migrations, release finished ones
+        if self.draining:
+            self._advance_drains()
 
         if next_retry is not None:
             self._schedule_pump(next_retry - now)

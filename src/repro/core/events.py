@@ -77,6 +77,14 @@ KINDS = frozenset(
         # denied holding the object) and the fetch moved on to the next
         # holder / memo payload / lineage regeneration
         "fetch_retried",
+        # elastic clusters: a worker announces a graceful departure
+        # (worker_drain), the manager finishes migrating its sole-holder
+        # objects and releases it (worker_drained), and an autoscaler
+        # policy decides to grow or shrink the fleet (autoscale, with
+        # category "up"/"down")
+        "worker_drain",
+        "worker_drained",
+        "autoscale",
     }
 )
 

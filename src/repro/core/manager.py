@@ -1340,6 +1340,16 @@ class Manager:
         if handle is not None and handle.alive:
             self._send(handle, {"type": M.UNLINK, "cache_name": cache_name})
 
+    def finish_drain(self, worker_id: str) -> None:
+        """RuntimePort drain hook: every sole-holder object has migrated
+        off the worker, so order it out.  The shutdown travels the
+        normal command path; the worker's run loop exits on it, the
+        socket closes, and ``_on_worker_gone`` → ``worker_left`` then
+        finds every needed replica already backed by a survivor."""
+        handle = self.workers.get(worker_id)
+        if handle is not None and handle.alive:
+            self._send(handle, {"type": M.SHUTDOWN})
+
     def deliver(self, task: Task, regenerated: bool) -> None:
         if regenerated:  # regeneration reruns were already delivered
             return
@@ -1881,6 +1891,17 @@ class Manager:
 
     # -- lifecycle --------------------------------------------------------
 
+    def drain_worker(self, worker_id: str) -> bool:
+        """Gracefully drain one worker (elastic scale-down surface).
+
+        Manager-initiated twin of the worker's ``draining`` announce:
+        the fleet supervisor / autoscaler calls this to shrink the
+        fleet without losing sole-holder cache objects.  Returns False
+        when the worker is unknown or already draining.
+        """
+        with self._lock:
+            return self.control.drain_worker(worker_id)
+
     def close(self, shutdown_workers: bool = True) -> None:
         """Garbage-collect workflow files and release all connections."""
         with self._lock:
@@ -2404,6 +2425,10 @@ class Manager:
             self.control.note_fault(
                 handle.worker_id, msg["category"], msg.get("cache_name")
             )
+        elif mtype == M.DRAINING:
+            # a graceful departure: stop placing onto the worker, migrate
+            # its sole-holder objects, answer with shutdown when done
+            self.control.drain_worker(handle.worker_id)
         elif mtype == M.TASK_DONE:
             self._on_task_done(handle, msg, payload)
         elif mtype == M.LIBRARY_READY:

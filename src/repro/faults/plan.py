@@ -10,6 +10,14 @@ Fault kinds:
 
 * :class:`WorkerCrash` — a worker leaves abruptly at virtual/wall time
   ``at`` or after completing ``after_tasks`` tasks, losing its cache.
+* :class:`WorkerJoin` — a new worker joins the cluster at time ``at``
+  with the given resources (elastic scale-up; in the real runtime a
+  fleet supervisor launches the process).
+* :class:`WorkerDrain` — a graceful departure at time ``at``: the
+  worker announces it is leaving, the manager stops placing work onto
+  it, re-replicates its sole-holder cache objects to survivors, and
+  only then releases it (elastic scale-down — the opposite of a
+  :class:`WorkerCrash`, which loses the cache).
 * :class:`TransferFault` — each transfer served by a matching source
   kind fails (``mode="fail"``) or delivers corrupt bytes detected by
   checksum verification (``mode="corrupt"``) with probability ``p``.
@@ -38,6 +46,8 @@ from typing import Optional
 
 __all__ = [
     "WorkerCrash",
+    "WorkerJoin",
+    "WorkerDrain",
     "TransferFault",
     "LinkDegrade",
     "ManagerDisconnect",
@@ -69,6 +79,46 @@ class WorkerCrash:
             )
         if self.after_tasks is not None and self.after_tasks < 1:
             raise ValueError("after_tasks must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkerJoin:
+    """A new worker joining the cluster mid-run (elastic scale-up).
+
+    Resource defaults mirror :meth:`repro.sim.cluster.SimCluster.add_worker`;
+    the real-runtime fleet supervisor maps them onto worker-process
+    flags as best it can.
+    """
+
+    worker: str
+    #: absolute join time (virtual seconds in sim, seconds since
+    #: manager start for the real runtime)
+    at: float
+    cores: int = 4
+    memory: int = 16_000
+    disk: int = 100_000
+    gpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"WorkerJoin({self.worker!r}) at must be >= 0")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkerDrain:
+    """One worker's graceful departure (autoscaler scale-down, node
+    maintenance): announced ahead of time so the manager can migrate
+    sole-holder cache objects to survivors before the disconnect."""
+
+    worker: str
+    #: absolute time the drain is announced
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"WorkerDrain({self.worker!r}) at must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -150,6 +200,8 @@ class FaultPlan:
     degrades: list[LinkDegrade] = field(default_factory=list)
     disconnects: list[ManagerDisconnect] = field(default_factory=list)
     manager_crashes: list[ManagerCrash] = field(default_factory=list)
+    joins: list[WorkerJoin] = field(default_factory=list)
+    drains: list[WorkerDrain] = field(default_factory=list)
 
     # -- construction helpers ------------------------------------------
 
@@ -160,6 +212,24 @@ class FaultPlan:
         after_tasks: Optional[int] = None,
     ) -> "FaultPlan":
         self.crashes.append(WorkerCrash(worker, at=at, after_tasks=after_tasks))
+        return self
+
+    def join(
+        self,
+        worker: str,
+        at: float,
+        cores: int = 4,
+        memory: int = 16_000,
+        disk: int = 100_000,
+        gpus: int = 0,
+    ) -> "FaultPlan":
+        self.joins.append(
+            WorkerJoin(worker, at=at, cores=cores, memory=memory, disk=disk, gpus=gpus)
+        )
+        return self
+
+    def drain(self, worker: str, at: float) -> "FaultPlan":
+        self.drains.append(WorkerDrain(worker, at=at))
         return self
 
     def fail_transfers(self, kind: str, p: float) -> "FaultPlan":
@@ -219,6 +289,8 @@ class FaultPlan:
             "degrades": [asdict(d) for d in self.degrades],
             "disconnects": [asdict(d) for d in self.disconnects],
             "manager_crashes": [asdict(c) for c in self.manager_crashes],
+            "joins": [asdict(j) for j in self.joins],
+            "drains": [asdict(d) for d in self.drains],
         }
 
     @classmethod
@@ -236,6 +308,8 @@ class FaultPlan:
             manager_crashes=[
                 ManagerCrash(**c) for c in payload.get("manager_crashes", ())
             ],
+            joins=[WorkerJoin(**j) for j in payload.get("joins", ())],
+            drains=[WorkerDrain(**d) for d in payload.get("drains", ())],
         )
 
     def to_json(self) -> str:
@@ -252,4 +326,6 @@ class FaultPlan:
             + len(self.degrades)
             + len(self.disconnects)
             + len(self.manager_crashes)
+            + len(self.joins)
+            + len(self.drains)
         )

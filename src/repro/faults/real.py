@@ -24,7 +24,12 @@ from typing import Optional, Sequence
 
 from repro.faults.plan import FaultPlan, ManagerCrash
 
-__all__ = ["WorkerFaultConfig", "worker_fault_configs", "manager_crash_spec"]
+__all__ = [
+    "WorkerFaultConfig",
+    "worker_fault_configs",
+    "manager_crash_spec",
+    "join_schedule",
+]
 
 
 def _combine(probabilities: list[float]) -> float:
@@ -48,6 +53,9 @@ class WorkerFaultConfig:
     crash_after_tasks: Optional[int] = None
     #: close the manager connection (process survives) at this time
     disconnect_at: Optional[float] = None
+    #: announce a graceful departure (elastic drain) at this time: the
+    #: worker keeps serving until the manager's shutdown order arrives
+    drain_at: Optional[float] = None
     #: per-serve probability of aborting a peer transfer mid-stream
     fail_serve_p: float = 0.0
     #: per-serve probability of delivering corrupted bytes to a peer
@@ -59,6 +67,7 @@ class WorkerFaultConfig:
             self.crash_at is None
             and self.crash_after_tasks is None
             and self.disconnect_at is None
+            and self.drain_at is None
             and self.fail_serve_p <= 0.0
             and self.corrupt_serve_p <= 0.0
         )
@@ -143,5 +152,20 @@ def worker_fault_configs(
         for d in plan.disconnects:
             if d.worker == name:
                 cfg.disconnect_at = d.at
+        for dr in plan.drains:
+            if dr.worker == name:
+                cfg.drain_at = dr.at
         configs[name] = cfg
     return configs
+
+
+def join_schedule(plan: FaultPlan) -> list:
+    """The plan's scheduled joins, launch-ordered (earliest first).
+
+    Like manager crashes, joins cannot be self-injected: processes that
+    do not exist yet cannot sabotage themselves.  The fleet supervisor
+    (test harness, daemon autoscale thread) owns the launches; this
+    surfaces the schedule so the whole membership scenario remains one
+    serializable plan artifact.
+    """
+    return sorted(plan.joins, key=lambda j: (j.at, j.worker))

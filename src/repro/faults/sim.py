@@ -59,6 +59,10 @@ class SimFaultInjector:
                 self.sim.schedule_at(c.at, self._crash, c.worker, "crash")
             else:
                 self._after_crashes.setdefault(c.worker, []).append(c)
+        for jn in self.plan.joins:
+            self.sim.schedule_at(jn.at, self._join, jn)
+        for dr in self.plan.drains:
+            self.sim.schedule_at(dr.at, self._drain, dr.worker)
         for d in self.plan.degrades:
             self.sim.schedule_at(d.at, self._degrade, d.worker, d.factor)
         for d in self.plan.disconnects:
@@ -81,6 +85,31 @@ class SimFaultInjector:
             return  # already gone; nothing to kill
         self.manager.control.note_fault(worker_id, category)
         self.cluster.remove_worker(worker_id, at=self.sim.now)
+
+    def _join(self, spec) -> None:
+        """Elastic scale-up: a scheduled worker joins the live cluster."""
+        worker = self.cluster.workers.get(spec.worker)
+        if worker is not None:
+            if not worker.connected:
+                self.cluster._join(worker)  # a known worker returning
+            return
+        self.cluster.add_worker(
+            worker_id=spec.worker,
+            cores=spec.cores,
+            memory=spec.memory,
+            disk=spec.disk,
+            gpus=spec.gpus,
+            at=self.sim.now,
+        )
+
+    def _drain(self, worker_id: str) -> None:
+        """Elastic scale-down: a graceful, announced departure — no
+        note_fault, because nothing broke; the txn log records it as a
+        worker_drain/worker_drained pair instead."""
+        worker = self.cluster.workers.get(worker_id)
+        if worker is None or not worker.connected:
+            return  # already gone; nothing to drain
+        self.manager.control.drain_worker(worker_id)
 
     def _degrade(self, worker_id: str, factor: float) -> None:
         node = self.manager.network.nodes.get(worker_id)

@@ -92,6 +92,15 @@ class LogStatus:
     #: (``regenerated=N lost=N workers=J/E``), "" before any recovery
     last_recovery: str = ""
     outputs_resumed: int = 0
+    #: elastic membership: graceful drains ordered and completed, bytes
+    #: migrated off draining workers, drains that left sole-holder
+    #: objects stranded, and autoscaler decisions by direction
+    drains_started: int = 0
+    drains_completed: int = 0
+    drain_bytes_migrated: int = 0
+    drains_stranded: int = 0
+    autoscale_up: int = 0
+    autoscale_down: int = 0
 
     @property
     def faults_injected(self) -> int:
@@ -193,6 +202,18 @@ def replay_status(events: list[Event], runtime: str = "unknown") -> LogStatus:
         elif e.kind == "recovery_complete":
             st.last_recovery = e.category or ""
             st.outputs_resumed += e.size
+        elif e.kind == "worker_drain":
+            st.drains_started += 1
+        elif e.kind == "worker_drained":
+            st.drains_completed += 1
+            st.drain_bytes_migrated += e.size
+            if e.category == "stranded":
+                st.drains_stranded += 1
+        elif e.kind == "autoscale":
+            if e.category == "up":
+                st.autoscale_up += e.size
+            else:
+                st.autoscale_down += e.size
         elif e.kind == "workflow_done":
             st.workflow_done = True
     st.tasks_running = len(open_tasks)
@@ -251,6 +272,13 @@ def format_log_status(st: LogStatus, max_workers: int = 20) -> str:
             f"{st.sessions_restored} sessions restored, "
             f"{st.outputs_resumed} outputs resumed"
             + (f" ({st.last_recovery})" if st.last_recovery else "")
+        )
+    if st.drains_started or st.autoscale_up or st.autoscale_down:
+        lines.append(
+            f"elastic: {st.drains_started} drains "
+            f"({st.drains_completed} completed, {st.drains_stranded} stranded), "
+            f"{st.drain_bytes_migrated / 1e6:.1f}MB migrated; "
+            f"autoscale +{st.autoscale_up}/-{st.autoscale_down}"
         )
     lines.append(f"workers connected: {st.workers_connected}")
     shown = 0

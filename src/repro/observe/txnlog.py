@@ -14,6 +14,9 @@ The covered lifecycles (see :data:`repro.core.events.KINDS`):
 lifecycle                 kinds
 ========================  ====================================================
 worker membership         ``worker_join`` / ``worker_leave``
+elastic membership        ``worker_drain`` / ``worker_drained`` /
+                          ``autoscale`` (graceful scale-down migrates
+                          sole-holder replicas before departure)
 task execution            ``task_start`` / ``task_end``
 transfers                 ``transfer_start`` / ``transfer_end``
 mini-task staging         ``stage_start`` / ``stage_end``

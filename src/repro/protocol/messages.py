@@ -12,7 +12,7 @@ decisions, while the worker provides the mechanisms"):
   ``stage_minitask``, ``execute``, ``send_back``, ``unlink``,
   ``install_library``, ``invoke``, ``shutdown``)
 * worker → manager: facts (``register``, ``cache_update``,
-  ``cache_invalid``, ``task_done``, ``library_ready``)
+  ``cache_invalid``, ``task_done``, ``library_ready``, ``draining``)
 * worker ↔ worker: the peer transfer protocol (``get`` /
   ``file_data``).
 * client ↔ manager: the session protocol of service mode
@@ -58,6 +58,7 @@ class M:
     LIBRARY_READY = "library_ready"
     FILE_DATA = "file_data"          # + raw bytes follow (send_back reply)
     FAULT = "fault"                  # injected-fault notice (chaos runs)
+    DRAINING = "draining"            # graceful-departure announcement
 
     # worker <-> worker peer transfers
     GET = "get"
@@ -111,6 +112,11 @@ _SCHEMA: Mapping[str, tuple[str, ...]] = {
     # optional "md5": transit digest of the served bytes (peer replies)
     M.FILE_DATA: ("cache_name", "found", "size"),
     M.FAULT: ("category",),
+    # a worker announcing its graceful departure (elastic scale-down):
+    # it keeps serving running tasks and peer transfers until the
+    # manager finishes migrating its sole-holder objects and answers
+    # with ``shutdown``; optional "reason" describes why it is leaving
+    M.DRAINING: (),
     M.GET: ("cache_name",),
     # client sessions.  ``client_hello`` optionally carries "password"
     # (project auth) and "session" (a token from a previous welcome,

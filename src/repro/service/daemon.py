@@ -115,6 +115,98 @@ def _spawn_worker(
     )
 
 
+class _FleetAutoscaler(threading.Thread):
+    """Background fleet supervisor for ``run --autoscale``.
+
+    Periodically sizes the local worker pool to the manager's ready
+    queue using the shared :class:`~repro.sim.workloads.Autoscaler`
+    policy (the same one the sim driver uses, see docs/elasticity.md).
+    Scale-up spawns fresh worker subprocesses; scale-down picks the
+    emptiest connected workers (fewest running tasks, fewest cached
+    bytes) and drains them gracefully through the control plane, so
+    sole-holder cache objects migrate to survivors before the worker
+    processes are ordered to exit.
+    """
+
+    def __init__(
+        self,
+        mgr,
+        state_dir: str,
+        args: argparse.Namespace,
+        procs: list,
+        next_index: int,
+    ) -> None:
+        super().__init__(daemon=True, name="fleet-autoscaler")
+        from repro.sim.workloads import Autoscaler
+
+        self.mgr = mgr
+        self.state_dir = state_dir
+        self.args = args
+        #: live worker subprocesses (shared with the run loop's shutdown
+        #: path; exited processes are pruned each tick)
+        self.procs = procs
+        self._next_index = next_index
+        self.policy = Autoscaler(
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            tasks_per_worker=args.tasks_per_worker,
+            cooldown=2.0 * args.scale_interval,
+        )
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.args.scale_interval):
+            try:
+                self._tick()
+            except Exception:  # autoscaling must never kill the service
+                import traceback
+
+                traceback.print_exc(file=sys.stderr)
+
+    def _tick(self) -> None:
+        self.procs[:] = [p for p in self.procs if p.poll() is None]
+        mgr = self.mgr
+        with mgr._lock:
+            control = mgr.control
+            fleet = sorted(
+                wid for wid in control.workers if wid not in control.draining
+            )
+            delta = self.policy.decide(
+                time.monotonic(), control.ready_depth, len(fleet)
+            )
+            if delta < 0:
+                victims = sorted(
+                    fleet,
+                    key=lambda wid: (
+                        len(control.workers[wid].running),
+                        control.replicas.bytes_at(wid),
+                        wid,
+                    ),
+                )[: -delta]
+                control.record_autoscale("down", len(victims))
+                for wid in victims:
+                    control.drain_worker(wid)
+            elif delta > 0:
+                control.record_autoscale("up", delta)
+        if delta > 0:
+            # subprocess launches are slow: do them outside the lock
+            for _ in range(delta):
+                self.procs.append(
+                    _spawn_worker(
+                        self.state_dir,
+                        self._next_index,
+                        mgr.host,
+                        mgr.port,
+                        self.args.cores,
+                        reconnect=self.args.worker_reconnect,
+                    )
+                )
+                self._next_index += 1
+
+
 def _supervise(args: argparse.Namespace, argv: list[str]) -> int:
     """Restart the service child whenever it dies abnormally.
 
@@ -247,6 +339,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         for i in range(args.workers)
     ]
+    fleet: Optional[_FleetAutoscaler] = None
+    if args.autoscale:
+        fleet = _FleetAutoscaler(
+            mgr, state_dir, args, workers, next_index=args.workers
+        )
+        fleet.start()
     state_path = os.path.join(state_dir, STATE_FILE)
     with open(state_path, "w") as f:
         json.dump(
@@ -269,6 +367,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         stop.wait()
     finally:
+        if fleet is not None:
+            fleet.stop()
         # close() sends SHUTDOWN to connected workers; give the
         # subprocesses a moment to honor it before escalating
         mgr.close(shutdown_workers=True)
@@ -434,6 +534,29 @@ def main(argv: Optional[list[str]] = None) -> int:
         "(restart with --workers 0 to adopt them instead of spawning "
         "doubles over the same workdirs; 0 = workers exit on "
         "disconnect and fresh spawns re-announce their on-disk caches)",
+    )
+    run.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="size the local worker fleet to the ready queue: spawn "
+        "workers under pressure, gracefully drain the emptiest ones "
+        "when idle (replicas migrate before the process exits)",
+    )
+    run.add_argument(
+        "--min-workers", type=int, default=1,
+        help="autoscale floor (workers kept even when idle)",
+    )
+    run.add_argument(
+        "--max-workers", type=int, default=8,
+        help="autoscale ceiling",
+    )
+    run.add_argument(
+        "--tasks-per-worker", type=float, default=4.0,
+        help="autoscale target: ready tasks each worker should absorb",
+    )
+    run.add_argument(
+        "--scale-interval", type=float, default=2.0,
+        help="seconds between autoscale evaluations",
     )
     run.add_argument(
         "--supervise",

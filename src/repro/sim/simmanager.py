@@ -204,6 +204,10 @@ class SimManager:
         self.evictions = 0
         self._pump_scheduled = False
         self._finalized = False
+        #: future arrivals a streaming driver has scheduled but not yet
+        #: submitted; run() must not mistake an arrival gap (everything
+        #: submitted so far done, more on the way) for completion
+        self.pending_arrivals = 0
         #: set by :meth:`crash`; every scheduled callback belonging to
         #: this manager life becomes a no-op once it is set
         self._crashed = False
@@ -701,6 +705,8 @@ class SimManager:
             self.control.idle()
             and not any(self._retrieval_pending.values())
             and not self._fetch_states
+            and not self.pending_arrivals
+            and not self.control.draining
         )
 
     def finalize(self) -> None:
@@ -873,6 +879,21 @@ class SimManager:
         self.request_pump()
 
     # -- worker membership ------------------------------------------------
+
+    def finish_drain(self, worker_id: str) -> None:
+        """RuntimePort drain hook: the control plane migrated everything
+        off this worker, so the graceful departure can now complete.
+
+        Deferring the actual removal to here (rather than leaving at
+        drain-announce time) is the point of the protocol: the cluster
+        ``_leave`` clears the worker's cache, which until this moment
+        was the migration *source*.
+        """
+        self.cluster.remove_worker(worker_id, at=self.sim.now)
+
+    def drain_worker(self, worker_id: str) -> bool:
+        """Gracefully drain one simulated worker (autoscaler surface)."""
+        return self.control.drain_worker(worker_id)
 
     @staticmethod
     def _worker_level_cache(worker: SimWorker) -> list[tuple[str, int]]:

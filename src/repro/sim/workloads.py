@@ -14,10 +14,18 @@ Experiment ↔ figure map:
 * :func:`topeft_workflow` — Fig. 12 a/d and Fig. 13 (in-cluster vs shared storage)
 * :func:`colmena_workflow` — Fig. 12 b/e (peer distribution of a software env)
 * :func:`bgd_workflow` — Fig. 12 c/f (serverless ramp-up)
+
+Beyond the paper's figures, :func:`streaming_genome_workload` drives a
+1000-genome-style wide fan-out/fan-in as a *continuous arrival stream*
+(jobs land at Poisson or trace-driven times, not as one batch), and
+:class:`Autoscaler` + :class:`SimAutoscaleDriver` grow/shrink the
+simulated fleet against ready-queue depth — the elastic-cluster
+scenarios of ROADMAP item 5.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Optional
@@ -36,6 +44,11 @@ __all__ = [
     "topeft_workflow",
     "colmena_workflow",
     "bgd_workflow",
+    "StreamingResult",
+    "streaming_arrivals",
+    "streaming_genome_workload",
+    "Autoscaler",
+    "SimAutoscaleDriver",
 ]
 
 MB = 1_000_000
@@ -440,3 +453,250 @@ def bgd_workflow(
         first_call_started=first - stats.started,
         library_ready_times=ready,
     )
+
+
+# ---------------------------------------------------------------------------
+# Elastic clusters: continuous-arrival streaming + autoscaling (ROADMAP 5a/5c)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StreamingResult:
+    """Outcome of one continuous-arrival streaming run."""
+
+    stats: SimRunStats
+    jobs: int
+    #: virtual times each job arrived (was submitted)
+    arrival_times: list[float]
+    #: virtual time each job's merge output landed, by job index
+    job_completions: list[float]
+    #: merge-output cache name and size per job — the run's "outputs":
+    #: same seed ⇒ same names, so two runs (static vs elastic fleet)
+    #: are compared for identical products with these
+    outputs: list[tuple[str, int]]
+
+
+def streaming_arrivals(
+    n_jobs: int, mean_interarrival: float, seed: int
+) -> list[float]:
+    """Seeded Poisson arrival times for ``n_jobs`` (strictly increasing)."""
+    rng = random.Random(f"{seed}:arrivals")
+    times, t = [], 0.0
+    for _ in range(n_jobs):
+        t += rng.expovariate(1.0 / mean_interarrival)
+        times.append(t)
+    return times
+
+
+def streaming_genome_workload(
+    m: SimManager,
+    n_jobs: int = 20,
+    fanout: int = 8,
+    mean_interarrival: float = 10.0,
+    input_mb: float = 8.0,
+    partial_mb: float = 2.0,
+    task_time: float = 12.0,
+    merge_time: float = 6.0,
+    seed: int = 0,
+    arrivals: Optional[list[float]] = None,
+    until: Optional[float] = None,
+) -> StreamingResult:
+    """A 1000-genome-style stream: wide fan-out/fan-in jobs arriving
+    continuously (SNIPPETS.md Snippet 1 shape, driven as a stream).
+
+    Each job is ``fanout`` independent alignment tasks over a shared
+    per-job input, their partial outputs merged by one fan-in task.
+    Jobs are submitted at Poisson arrival times (or an explicit
+    ``arrivals`` trace) through the sim clock — the manager sees a
+    living service workload, not a batch.  All per-job randomness is
+    scoped to ``(seed, job index)``, so the task stream is identical
+    regardless of fleet size or membership churn: two runs with the
+    same seed produce the same outputs, which is what the elastic
+    scenario tests assert.
+
+    ``m`` is a ready :class:`SimManager` (fault injectors and
+    autoscale drivers attach before this call).
+    """
+    times = (
+        list(arrivals)
+        if arrivals is not None
+        else streaming_arrivals(n_jobs, mean_interarrival, seed)
+    )
+    if len(times) != n_jobs:
+        raise ValueError("arrivals trace length must match n_jobs")
+    completions: list[float] = [0.0] * n_jobs
+    outputs: list[tuple[str, int]] = [("", 0)] * n_jobs
+
+    def submit_job(i: int) -> None:
+        m.pending_arrivals -= 1
+        rng = random.Random(f"{seed}:job{i}")
+        genome = m.declare_dataset(
+            f"genome-{i}", int(input_mb * MB), cache="workflow"
+        )
+        partials = []
+        for k in range(fanout):
+            part = m.declare_temp(size=int(partial_mb * MB))
+            t = Task(f"align job{i}.{k}").set_category("align")
+            t.add_input(genome, "genome")
+            t.add_output(part, "part")
+            m.submit(t, duration=rng.expovariate(1.0 / task_time) + 1.0)
+            partials.append(part)
+        merged = m.declare_temp(size=int(partial_mb * MB * fanout))
+        mt = Task(f"merge job{i}").set_category("merge")
+        for idx, p in enumerate(partials):
+            mt.add_input(p, f"part{idx}")
+        mt.add_output(merged, "merged")
+        m.submit(mt, duration=rng.expovariate(1.0 / merge_time) + 1.0)
+        merge_tasks.append((i, mt, merged))
+
+    merge_tasks: list[tuple[int, Task, object]] = []
+    m.pending_arrivals += n_jobs
+    for i, at in enumerate(times):
+        m.sim.schedule_at(at, submit_job, i)
+    stats = m.run(until=until)
+    for i, mt, merged in merge_tasks:
+        if mt.finished_at is not None:
+            completions[i] = mt.finished_at
+            outputs[i] = (merged.cache_name, merged.size or 0)
+    return StreamingResult(
+        stats=stats,
+        jobs=n_jobs,
+        arrival_times=times,
+        job_completions=completions,
+        outputs=outputs,
+    )
+
+
+class Autoscaler:
+    """Fleet-size policy: target workers as a function of queue depth.
+
+    Pure and runtime-agnostic — both :class:`SimAutoscaleDriver` and
+    the ``repro-service`` daemon's fleet thread evaluate it.  The
+    target is ``ceil(ready_depth / tasks_per_worker)`` clamped to
+    ``[min_workers, max_workers]``; scale-up is prompt (queued work is
+    waiting), scale-down only fires when the fleet exceeds the target
+    by the hysteresis band, and any decision starts a cooldown that
+    suppresses further ones — the classic anti-flap pair.
+    """
+
+    def __init__(
+        self,
+        min_workers: int = 1,
+        max_workers: int = 32,
+        tasks_per_worker: float = 4.0,
+        hysteresis: float = 0.25,
+        cooldown: float = 30.0,
+    ) -> None:
+        if min_workers < 1 or max_workers < min_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
+        if tasks_per_worker <= 0:
+            raise ValueError("tasks_per_worker must be positive")
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.tasks_per_worker = tasks_per_worker
+        self.hysteresis = hysteresis
+        self.cooldown = cooldown
+        self._last_action: Optional[float] = None
+
+    def target(self, ready_depth: int) -> int:
+        """The clamped ideal fleet size for one queue-depth sample."""
+        want = math.ceil(ready_depth / self.tasks_per_worker)
+        return max(self.min_workers, min(self.max_workers, want))
+
+    def decide(self, now: float, ready_depth: int, current: int) -> int:
+        """Workers to add (>0), drain (<0), or leave alone (0)."""
+        if (
+            self._last_action is not None
+            and now - self._last_action < self.cooldown
+        ):
+            return 0
+        want = self.target(ready_depth)
+        delta = want - current
+        if delta > 0:
+            delta = min(delta, self.max_workers - current)
+        elif delta < 0:
+            # hysteresis: tolerate a modest surplus before draining
+            band = max(1, int(self.hysteresis * max(current, 1)))
+            if current - want < band:
+                return 0
+            delta = max(delta, self.min_workers - current)
+        if delta != 0:
+            self._last_action = now
+        return delta
+
+
+class SimAutoscaleDriver:
+    """Applies an :class:`Autoscaler` to a simulated cluster.
+
+    Samples ready-queue depth every ``interval`` virtual seconds;
+    scale-up adds workers to the cluster, scale-down gracefully drains
+    the emptiest ones (fewest running tasks, then fewest cached bytes)
+    through :meth:`ControlPlane.drain_worker`.  Every decision lands in
+    the transaction log as an ``autoscale`` event.
+    """
+
+    def __init__(
+        self,
+        manager: SimManager,
+        policy: Autoscaler,
+        interval: float = 5.0,
+        cores: int = 4,
+        memory: int = 16_000,
+        disk: int = 100_000,
+        prefix: str = "auto",
+    ) -> None:
+        self.m = manager
+        self.policy = policy
+        self.interval = interval
+        self.cores = cores
+        self.memory = memory
+        self.disk = disk
+        self.prefix = prefix
+        self._spawned = 0
+        self.joins = 0
+        self.drains = 0
+        manager.sim.schedule(interval, self._tick)
+
+    def _fleet(self) -> list:
+        draining = self.m.control.draining
+        return [
+            w
+            for w in self.m.cluster.connected_workers()
+            if w.worker_id not in draining
+        ]
+
+    def _tick(self) -> None:
+        if self.m._crashed:
+            return
+        control = self.m.control
+        fleet = self._fleet()
+        delta = self.policy.decide(
+            self.m.sim.now, control.ready_depth, len(fleet)
+        )
+        if delta > 0:
+            control.record_autoscale("up", delta)
+            for _ in range(delta):
+                self._spawned += 1
+                self.m.cluster.add_worker(
+                    worker_id=f"{self.prefix}{self._spawned:03d}",
+                    cores=self.cores,
+                    memory=self.memory,
+                    disk=self.disk,
+                    at=self.m.sim.now,
+                )
+                self.joins += 1
+        elif delta < 0:
+            control.record_autoscale("down", -delta)
+            victims = sorted(
+                fleet,
+                key=lambda w: (
+                    len(control.workers[w.worker_id].running)
+                    if w.worker_id in control.workers
+                    else 0,
+                    control.replicas.bytes_at(w.worker_id),
+                    w.worker_id,
+                ),
+            )
+            for w in victims[: -delta]:
+                if control.drain_worker(w.worker_id):
+                    self.drains += 1
+        self.m.sim.schedule(self.interval, self._tick)

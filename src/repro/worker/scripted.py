@@ -146,6 +146,14 @@ class ScriptedWorker:
 
     # -- lifecycle ------------------------------------------------------
 
+    def drain(self) -> None:
+        """Announce a graceful departure; the manager answers shutdown."""
+        self._sender.send({"type": M.DRAINING})
+
+    def join(self, timeout: Optional[float] = 5.0) -> None:
+        """Wait for the reader thread to exit (manager-ordered shutdown)."""
+        self._thread.join(timeout=timeout)
+
     def close(self, timeout: Optional[float] = 5.0) -> None:
         """Stop the reader and release the connection (idempotent)."""
         self._sender.close()

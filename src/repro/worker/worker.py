@@ -165,6 +165,10 @@ class Worker:
             timer = threading.Timer(cfg.disconnect_at, self._fault_disconnect)
             timer.daemon = True
             timer.start()
+        if cfg.drain_at is not None:
+            timer = threading.Timer(cfg.drain_at, self.announce_drain)
+            timer.daemon = True
+            timer.start()
 
     def _notify_fault(self, category: str, cache_name: Optional[str] = None) -> None:
         """Best-effort fault notice so the manager's log shows the cause."""
@@ -187,6 +191,23 @@ class Worker:
         try:
             self._conn.close()
         except OSError:
+            pass
+
+    def announce_drain(self, reason: Optional[str] = None) -> None:
+        """Announce a graceful departure (elastic scale-down).
+
+        The worker keeps serving running tasks and peer transfers; the
+        manager migrates this worker's sole-holder objects to survivors
+        and then answers with ``shutdown``, which ends the run loop
+        without triggering a reconnect.
+        """
+        log.info("announcing graceful drain to manager")
+        msg: dict = {"type": M.DRAINING}
+        if reason is not None:
+            msg["reason"] = reason
+        try:
+            self._send(msg)
+        except (ProtocolError, OSError):
             pass
 
     def _serve_tamper(self, cache_name: str) -> Optional[str]:

@@ -21,6 +21,7 @@ from repro.core.replica_table import ReplicaTable
 from repro.core.scheduler import Scheduler
 from repro.core.task import Task, TaskState
 from repro.core.transfer_table import TransferTable
+from repro.faults import FaultPlan, SimFaultInjector
 from repro.sim.cluster import SimCluster
 from repro.sim.simmanager import SimManager
 
@@ -134,6 +135,79 @@ def test_late_size_credits_existing_holders():
     assert table.bytes_at("w0") == 50
     assert table.bytes_at("w1") == 50
     assert table.bytes_at("w2") == 50
+
+
+# -- elastic membership index hygiene -----------------------------------
+
+
+def _elastic_workload(m, n=8, duration=2.0):
+    shared = m.declare_dataset("shared", 1000)
+    temps, tasks = [], []
+    for i in range(n):
+        temp = m.declare_temp()
+        t = Task(f"p{i}").add_input(shared, "d").add_output(temp, "out")
+        m.submit(t, duration=duration, output_sizes={"out": 1000})
+        temps.append(temp)
+        tasks.append(t)
+    for i in range(n):
+        t = (
+            Task(f"c{i}")
+            .add_input(temps[i], "a")
+            .add_input(temps[(i + 3) % n], "b")
+        )
+        m.submit(t, duration=duration)
+        tasks.append(t)
+    return tasks
+
+
+def test_drain_path_leaves_no_stale_worker_state():
+    """The worker set is no longer fixed after start: a graceful drain
+    must retire *every* per-worker index entry — byte totals, name
+    sets, drain bookkeeping, failure accounting — exactly like a crash
+    does, with nothing accumulating run over run."""
+    c = SimCluster()
+    for i in range(3):
+        c.add_worker(cores=4, worker_id=f"w{i}")
+    m = SimManager(c, seed=5, max_task_retries=5)
+    tasks = _elastic_workload(m)
+    SimFaultInjector(FaultPlan(seed=5).drain("w0", at=0.5), m)
+    m.run()
+    assert all(t.state == TaskState.DONE for t in tasks)
+    control = m.control
+    assert "w0" not in control.workers
+    assert control.replicas.bytes_at("w0") == 0
+    assert "w0" not in control.replicas._names_by_worker
+    assert "w0" not in control.replicas._bytes_by_worker
+    assert not control.draining
+    assert not control._drain_released
+    assert not control._drain_stats
+    assert "w0" not in control.blocklist
+    assert control.failure_scores["w0"] == 0
+
+
+def test_drained_worker_id_rejoins_fresh():
+    """Id reuse: a worker id that drained away and later rejoins must
+    start from a clean slate — not inherit the old life's draining
+    flag (which would silently exclude it from placement forever)."""
+    c = SimCluster()
+    for i in range(3):
+        c.add_worker(cores=4, worker_id=f"w{i}")
+    m = SimManager(c, seed=5, max_task_retries=5)
+    tasks = _elastic_workload(m, n=12)
+    plan = FaultPlan(seed=5).drain("w0", at=0.5).join("w0", at=3.0)
+    SimFaultInjector(plan, m)
+    stats = m.run()
+    assert all(t.state == TaskState.DONE for t in tasks)
+    joins = [e for e in stats.log.events("worker_join") if e.worker == "w0"]
+    assert len(joins) == 2, "the drained id must have rejoined"
+    assert "w0" in m.control.workers
+    assert "w0" not in m.control.draining
+    # the second life was actually schedulable again
+    rejoined_at = joins[1].time
+    assert any(
+        e.kind == "task_start" and e.worker == "w0" and e.time >= rejoined_at
+        for e in stats.log.events()
+    ), "the rejoined worker never received work"
 
 
 # -- id generators ------------------------------------------------------

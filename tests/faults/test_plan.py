@@ -3,6 +3,8 @@
 import pickle
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.faults.plan import (
     FaultPlan,
@@ -10,8 +12,10 @@ from repro.faults.plan import (
     ManagerCrash,
     TransferFault,
     WorkerCrash,
+    WorkerDrain,
+    WorkerJoin,
 )
-from repro.faults.real import WorkerFaultConfig, worker_fault_configs
+from repro.faults.real import WorkerFaultConfig, join_schedule, worker_fault_configs
 
 
 # -- validation --------------------------------------------------------
@@ -49,6 +53,17 @@ def test_transfer_fault_validates_kind_p_mode():
     assert TransferFault("any", 0.1).matches("peer")
     assert TransferFault("peer", 0.1).matches("peer")
     assert not TransferFault("peer", 0.1).matches("manager")
+
+
+def test_membership_specs_validate():
+    with pytest.raises(ValueError):
+        WorkerJoin("w9", at=-1.0)
+    with pytest.raises(ValueError):
+        WorkerJoin("w9", at=1.0, cores=0)
+    with pytest.raises(ValueError):
+        WorkerDrain("w0", at=-0.5)
+    WorkerJoin("w9", at=0.0)
+    WorkerDrain("w0", at=0.0)
 
 
 def test_degrade_factor_bounds():
@@ -123,13 +138,78 @@ def test_plan_json_round_trip():
     ]
 
 
+# -- membership property tests -----------------------------------------
+
+_name = st.text(alphabet="wabc0123456789", min_size=1, max_size=8)
+_at = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+_crash_at = st.floats(
+    min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+_join_specs = st.builds(
+    WorkerJoin,
+    worker=_name,
+    at=_at,
+    cores=st.integers(min_value=1, max_value=64),
+    memory=st.integers(min_value=1, max_value=10**6),
+    disk=st.integers(min_value=1, max_value=10**7),
+    gpus=st.integers(min_value=0, max_value=8),
+)
+_drain_specs = st.builds(WorkerDrain, worker=_name, at=_at)
+_crash_specs = st.builds(lambda w, at: WorkerCrash(w, at=at), _name, _crash_at)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    joins=st.lists(_join_specs, max_size=5),
+    drains=st.lists(_drain_specs, max_size=5),
+    crashes=st.lists(_crash_specs, max_size=5),
+)
+def test_membership_plan_round_trips_and_replays(seed, joins, drains, crashes):
+    """Any mix of joins/drains/crashes survives JSON exactly, and the
+    clone replays the identical deterministic verdict streams."""
+    plan = FaultPlan(seed=seed, joins=joins, drains=drains, crashes=crashes)
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone == plan
+    assert len(clone) == len(joins) + len(drains) + len(crashes)
+    assert clone.joins == joins and clone.drains == drains
+    # rng_for streams are a pure function of (seed, scope): the clone's
+    # replay is bit-identical, and distinct scopes stay independent
+    for scope in ("membership", "transfers"):
+        assert [plan.rng_for(scope).random() for _ in range(5)] == [
+            clone.rng_for(scope).random() for _ in range(5)
+        ]
+    # real-runtime compilation is deterministic too: same per-worker
+    # sabotage configs and the same launch-ordered join schedule
+    names = sorted({s.worker for s in drains} | {s.worker for s in crashes})
+    assert worker_fault_configs(plan, names) == worker_fault_configs(clone, names)
+    assert join_schedule(plan) == join_schedule(clone)
+    assert [j.at for j in join_schedule(plan)] == sorted(
+        j.at for j in joins
+    )
+
+
+def test_plan_builders_cover_membership():
+    plan = FaultPlan(seed=3).join("w9", at=1.0, cores=8).drain("w0", at=2.0)
+    assert plan.joins == [WorkerJoin("w9", at=1.0, cores=8)]
+    assert plan.drains == [WorkerDrain("w0", at=2.0)]
+    assert len(plan) == 2
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone == plan
+
+
 # -- real-runtime compilation ------------------------------------------
 
 
 def test_worker_fault_configs_compile_per_worker():
-    configs = worker_fault_configs(_hostile_plan(), ["w0", "w1", "w2", "w3"])
+    configs = worker_fault_configs(
+        _hostile_plan().drain("w1", at=9.0), ["w0", "w1", "w2", "w3"]
+    )
     assert configs["w0"].crash_at == 3.0 and configs["w0"].crash_after_tasks is None
     assert configs["w1"].crash_after_tasks == 2
+    assert configs["w1"].drain_at == 9.0
+    assert configs["w0"].drain_at is None
     assert configs["w3"].disconnect_at == 5.0
     # serve probabilities combine the peer-visible rules uniformly: every
     # worker can be picked as a replica source

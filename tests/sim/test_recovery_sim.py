@@ -209,3 +209,36 @@ def test_bystander_rejoin_does_not_end_the_grace_window_early(tmp_path):
     )
     assert not list(m2.log.events("file_regenerated"))
     assert set(m2.replicas.locate(name)) == {"late0"}
+
+
+def test_cleanly_drained_worker_leaves_the_rejoin_expectation(tmp_path):
+    """Regression for a worker-set-fixed-after-start assumption: a
+    worker that *gracefully drained* before the manager crash must not
+    linger in the journal's rejoin expectation set.  Its replicas were
+    migrated to survivors while it departed, so recovery must neither
+    wait out the grace window for it nor regenerate what it once held.
+    """
+    journal_dir = str(tmp_path / "journal")
+    cluster = _cluster()
+    m1 = SimManager(cluster, seed=23, journal_dir=journal_dir)
+    tasks = _build_workload(m1)
+    SimFaultInjector(FaultPlan(seed=23).drain("w0", at=0.5), m1)
+    m1.run(finalize=False)
+    assert all(t.state == TaskState.DONE for t in tasks)
+    assert any(e.kind == "worker_drained" for e in m1.log.events())
+    # the journal derives rejoin expectations from replica hints, and
+    # the drain's departure pruned every hint naming w0
+    assert "w0" not in m1.journal.known_workers()
+    assert m1.journal.known_workers() <= {"w1", "w2"}
+    m1.crash()
+
+    # life 2 over the same journal: only the survivors come back, and
+    # recovery settles without regenerating anything the drain migrated
+    m2 = SimManager(
+        cluster, seed=23, journal_dir=journal_dir, recovery_grace=5.0
+    )
+    assert m2.recovered
+    m2.run()
+    assert not list(m2.log.events("file_regenerated"))
+    rejoined = {e.worker for e in m2.log.events("worker_rejoined")}
+    assert "w0" not in rejoined
